@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Writing your own keep-alive policy against the platform simulator.
+
+The engine drives any `repro.runtime.policy.KeepAlivePolicy`. This
+example implements a simple *budgeted* policy — keep the highest variant
+alive only while a per-function memory-minute budget lasts, then fall
+back to the lowest variant — and compares it against OpenWhisk, the
+all-low baseline and PULSE on the same workload.
+
+This is the extension surface a provider would use to prototype their
+own keep-alive strategy against the paper's metrics.
+
+Run:  python examples/custom_policy.py
+"""
+
+from repro import PulsePolicy, Simulation, SyntheticTraceConfig, generate_trace
+from repro.baselines import AllLowQualityPolicy, OpenWhiskPolicy
+from repro.experiments.assignments import sample_assignment
+from repro.experiments.reporting import format_table
+from repro.models.variants import ModelVariant
+from repro.runtime.policy import KeepAlivePolicy
+
+
+class BudgetedKeepAlivePolicy(KeepAlivePolicy):
+    """Highest quality while a per-function MB-minute budget lasts.
+
+    Every planned highest-variant minute draws its memory footprint from
+    the function's budget; once exhausted, the function keeps the lowest
+    variant alive instead (never nothing — cold starts hurt more than a
+    cheap container).
+    """
+
+    name = "budgeted"
+
+    def __init__(self, budget_mb_minutes: float = 200_000.0):
+        super().__init__()
+        if budget_mb_minutes <= 0:
+            raise ValueError("budget must be positive")
+        self.budget_mb_minutes = budget_mb_minutes
+        self._remaining: dict[int, float] = {}
+
+    def on_bind(self) -> None:
+        self._remaining = {
+            fid: self.budget_mb_minutes for fid in range(self.n_functions)
+        }
+
+    def cold_variant(self, function_id: int, minute: int) -> ModelVariant:
+        family = self.family(function_id)
+        if self._remaining[function_id] > 0:
+            return family.highest
+        return family.lowest
+
+    def plan(self, function_id: int, minute: int) -> list[ModelVariant | None]:
+        family = self.family(function_id)
+        plan: list[ModelVariant | None] = []
+        for _ in range(self.keep_alive_window):
+            if self._remaining[function_id] >= family.highest.memory_mb:
+                self._remaining[function_id] -= family.highest.memory_mb
+                plan.append(family.highest)
+            else:
+                plan.append(family.lowest)
+        return plan
+
+
+def main() -> None:
+    trace = generate_trace(SyntheticTraceConfig(horizon_minutes=2880, seed=5))
+    assignment = sample_assignment(trace.n_functions, seed=5)
+
+    rows = []
+    for policy in (
+        OpenWhiskPolicy(),
+        AllLowQualityPolicy(),
+        BudgetedKeepAlivePolicy(budget_mb_minutes=150_000.0),
+        PulsePolicy(),
+    ):
+        rows.append(Simulation(trace, assignment, policy).run().summary())
+
+    print(format_table(rows, title="Custom policy vs the built-ins:"))
+    print()
+    print(
+        "The budgeted policy interpolates between OpenWhisk and all-low by "
+        "construction;\nPULSE reaches a better cost/accuracy point because its "
+        "spend follows invocation\nprobability instead of a fixed budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

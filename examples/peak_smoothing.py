@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Peak smoothing: how PULSE's two optimizers shape keep-alive memory.
+
+Reproduces the story of Figures 4 and 7 on one run: the fixed policy's
+memory series spikes at invocation bursts; the function-centric stage
+alone lowers the average but keeps the spikes; the cross-function stage
+(Algorithm 1 peak detection + Algorithm 2 utility downgrades) flattens
+them. Also prints PULSE's internal diagnostics: how many minutes were
+flagged as peaks, how many downgrades ran, and which functions absorbed
+them (the priority structure).
+
+Run:  python examples/peak_smoothing.py
+"""
+
+from repro import PulseConfig, PulsePolicy, Simulation, SyntheticTraceConfig, generate_trace
+from repro.baselines import OpenWhiskPolicy
+from repro.experiments.assignments import sample_assignment
+from repro.experiments.reporting import format_series
+
+
+def main() -> None:
+    trace = generate_trace(SyntheticTraceConfig(horizon_minutes=2880, seed=7))
+    assignment = sample_assignment(trace.n_functions, seed=7)
+
+    openwhisk = Simulation(trace, assignment, OpenWhiskPolicy()).run()
+
+    individual = PulsePolicy(PulseConfig(enable_global=False))
+    individual_run = Simulation(trace, assignment, individual).run()
+
+    pulse = PulsePolicy()
+    pulse_run = Simulation(trace, assignment, pulse).run()
+
+    print("keep-alive memory (MB) over the two days:")
+    print(" ", format_series(openwhisk.memory_series_mb, label="fixed 10-min     "))
+    print(" ", format_series(individual_run.memory_series_mb, label="function-centric "))
+    print(" ", format_series(pulse_run.memory_series_mb, label="full PULSE       "))
+
+    print()
+    for label, run in [
+        ("fixed 10-min", openwhisk),
+        ("function-centric", individual_run),
+        ("full PULSE", pulse_run),
+    ]:
+        mem = run.memory_series_mb
+        print(
+            f"  {label:18s} avg={mem.mean():7.0f} MB  max={mem.max():7.0f} MB  "
+            f"accuracy={run.mean_accuracy:.2f}%  cost=${run.keepalive_cost_usd:.2f}"
+        )
+
+    print()
+    print("PULSE cross-function diagnostics:")
+    print(f"  peak minutes flagged : {pulse.n_peak_minutes}")
+    print(f"  downgrades performed : {pulse.n_downgrades}")
+    print("  downgrade counts per function (the priority structure):")
+    for spec, count in zip(trace.functions, pulse.priority_counts):
+        family = assignment[spec.function_id].name
+        bar = "#" * min(int(count), 60)
+        print(f"    {spec.name:22s} [{family:8s}] {count:5d} {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Run every experiment at report scale and dump the numbers for
+EXPERIMENTS.md (paper-vs-measured table).
+
+Heavier than the benches (more runs, longer horizon); takes a few
+minutes on a laptop. Writes JSON to stdout / a file for the docs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import numpy as np
+
+from repro.experiments import (
+    ExperimentConfig,
+    default_trace,
+    figure4_and_7_memory,
+    figure5_tradeoff,
+    figure6_headline,
+    figure8_integration,
+    figure9_overhead,
+    figure10_threshold_schemes,
+    figure11_memory_thresholds,
+    figure12_local_windows,
+    keep_alive_duration_sweep,
+    table1_characterization,
+    tables2_3_peak_strategies,
+)
+from repro.experiments.assignments import sample_assignment
+from repro.traces.schema import MINUTES_PER_DAY
+
+
+def main(out_path: str | None = None) -> None:
+    config = ExperimentConfig(
+        n_runs=8, horizon_minutes=4 * MINUTES_PER_DAY, seed=2024
+    )
+    trace = default_trace(config)
+    assignment = sample_assignment(trace.n_functions, seed=config.seed)
+    out: dict[str, object] = {"config": {
+        "n_runs": config.n_runs, "horizon_minutes": config.horizon_minutes,
+        "seed": config.seed,
+    }}
+
+    _, rows = table1_characterization(seed=config.seed)
+    out["table1"] = rows
+
+    tables = tables2_3_peak_strategies(trace, assignment)
+    out["tables2_3"] = {
+        name: [r.__dict__ for r in rows] for name, rows in tables.items()
+    }
+
+    mem = figure4_and_7_memory(config, trace)
+    out["fig4_7"] = {
+        k: {
+            "mean_memory_mb": v.mean_memory_mb,
+            "max_memory_mb": v.max_memory_mb,
+            "peakiness": v.peakiness,
+            "accuracy_percent": v.accuracy_percent,
+        }
+        for k, v in mem.items()
+    }
+
+    pts = figure5_tradeoff(config, trace)
+    out["fig5"] = [p.__dict__ for p in pts]
+
+    headline = figure6_headline(config, trace)
+    out["fig6"] = {
+        "improvements": headline.improvements,
+        "openwhisk_mean_cost_error": float(headline.openwhisk_cost_error.mean()),
+        "pulse_mean_cost_error": float(headline.pulse_cost_error.mean()),
+        "openwhisk": headline.openwhisk_aggregate,
+        "pulse": headline.pulse_aggregate,
+    }
+
+    out["fig8"] = [
+        {
+            "technique": r.technique,
+            "accuracy": r.accuracy,
+            "keepalive_cost": r.keepalive_cost,
+            "service_time": r.service_time,
+        }
+        for r in figure8_integration(config, trace)
+    ]
+
+    ov = figure9_overhead(
+        ExperimentConfig(n_runs=4, horizon_minutes=2 * MINUTES_PER_DAY, seed=2024),
+    )
+    out["fig9"] = {
+        "pulse_median_ratio": float(np.median(ov.pulse_overhead_ratio)),
+        "milp_median_ratio": float(np.median(ov.milp_overhead_ratio)),
+        "overhead_factor": ov.overhead_factor,
+        "pulse_accuracy": ov.pulse_accuracy,
+        "milp_accuracy": ov.milp_accuracy,
+    }
+
+    out["fig10"] = [p.__dict__ for p in figure10_threshold_schemes(config, trace)]
+    out["fig11"] = [p.__dict__ for p in figure11_memory_thresholds(config, trace)]
+    out["fig12"] = [p.__dict__ for p in figure12_local_windows(config, trace)]
+    out["duration_sweep"] = {
+        str(k): [p.__dict__ for p in v]
+        for k, v in keep_alive_duration_sweep(config, trace).items()
+    }
+
+    text = json.dumps(out, indent=2, default=str)
+    if out_path:
+        with open(out_path, "w") as fh:
+            fh.write(text)
+    else:
+        print(text)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -1,0 +1,18 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP-517 editable
+installs (``pip install -e .``) cannot build; ``python setup.py develop``
+installs the same editable package without needing wheels.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Reproduction of PULSE: mixed-quality model keep-alive for serverless ML (SC-W 2024)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+)

@@ -1,0 +1,49 @@
+"""repro — reproduction of PULSE (SC-W 2024).
+
+PULSE is a dynamic keep-alive mechanism for serverless ML inference that
+mixes model-quality *variants* inside the conventional 10-minute keep-alive
+window to cut keep-alive cost while preserving accuracy and service time.
+
+Top-level convenience re-exports cover the most common entry points; the
+subpackages hold the full system:
+
+- :mod:`repro.models`      — model-variant zoo (BERT/YOLO/GPT/ResNet/DenseNet)
+- :mod:`repro.traces`      — Azure-trace loader + calibrated synthetic generator
+- :mod:`repro.runtime`     — discrete-time serverless platform simulator
+- :mod:`repro.core`        — the PULSE policy (function-centric + global optimizers)
+- :mod:`repro.baselines`   — OpenWhisk fixed keep-alive and static strategies
+- :mod:`repro.sota`        — Serverless-in-the-Wild and IceBreaker (+ PULSE shims)
+- :mod:`repro.milp`        — MILP comparator (scipy HiGHS backend)
+- :mod:`repro.experiments` — per-table / per-figure reproduction harness
+"""
+
+from repro.models.zoo import default_zoo, ModelZoo
+from repro.models.variants import ModelFamily, ModelVariant
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+from repro.traces.schema import Trace, FunctionSpec
+from repro.runtime.simulator import Simulation, SimulationConfig
+from repro.runtime.costmodel import CostModel
+from repro.runtime.policy import KeepAlivePolicy
+from repro.core.pulse import PulsePolicy, PulseConfig
+from repro.baselines.openwhisk import OpenWhiskPolicy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "FunctionSpec",
+    "KeepAlivePolicy",
+    "ModelFamily",
+    "ModelVariant",
+    "ModelZoo",
+    "OpenWhiskPolicy",
+    "PulseConfig",
+    "PulsePolicy",
+    "Simulation",
+    "SimulationConfig",
+    "SyntheticTraceConfig",
+    "Trace",
+    "default_zoo",
+    "generate_trace",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Baseline keep-alive strategies.
+
+- :class:`~repro.baselines.openwhisk.OpenWhiskPolicy` — the fixed
+  10-minute keep-alive of the highest-quality variant, the paper's main
+  comparison point (OpenWhisk's policy, and "aligned with AWS, Google and
+  Azure Functions");
+- :mod:`repro.baselines.static` — the §II motivation strategies: all-low,
+  random balanced high/low mixing, and the intelligent oracle of
+  Tables II/III;
+- :class:`~repro.baselines.ideal.IdealOraclePolicy` — keep-alive exactly
+  during invocation minutes (Figure 6b's reference).
+"""
+
+from repro.baselines.openwhisk import FixedKeepAlivePolicy, OpenWhiskPolicy
+from repro.baselines.static import (
+    AllLowQualityPolicy,
+    IntelligentOraclePolicy,
+    RandomMixedPolicy,
+)
+from repro.baselines.ideal import IdealOraclePolicy
+
+__all__ = [
+    "AllLowQualityPolicy",
+    "FixedKeepAlivePolicy",
+    "IdealOraclePolicy",
+    "IntelligentOraclePolicy",
+    "OpenWhiskPolicy",
+    "RandomMixedPolicy",
+]

@@ -1,0 +1,35 @@
+"""The ideal keep-alive oracle (Figure 6b's reference).
+
+"The ideal value of keep-alive cost, where the model is only kept alive
+during the time it is invoked": an oracle that plans the highest-quality
+variant warm exactly at the minutes with actual invocations and nothing
+anywhere else. Every invocation after the first is a warm start and no
+memory is ever idle.
+"""
+
+from __future__ import annotations
+
+from repro.models.variants import ModelVariant
+from repro.runtime.policy import KeepAlivePolicy
+
+__all__ = ["IdealOraclePolicy"]
+
+
+class IdealOraclePolicy(KeepAlivePolicy):
+    """Keep-alive exactly during invocation minutes (future-reading)."""
+
+    name = "ideal"
+    is_oracle = True
+
+    def cold_variant(self, function_id: int, minute: int) -> ModelVariant:
+        return self.family(function_id).highest
+
+    def plan(self, function_id: int, minute: int) -> list[ModelVariant | None]:
+        assert self._trace is not None
+        counts = self._trace.counts[function_id]
+        highest = self.family(function_id).highest
+        plan: list[ModelVariant | None] = []
+        for d in range(1, self.keep_alive_window + 1):
+            m = minute + d
+            plan.append(highest if m < len(counts) and counts[m] > 0 else None)
+        return plan

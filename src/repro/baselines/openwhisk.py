@@ -1,0 +1,58 @@
+"""The fixed keep-alive baseline (OpenWhisk's 10-minute policy).
+
+After every invocation the container is kept alive for the full keep-alive
+window, regardless of the likelihood of another invocation. The policy is
+variant-unaware: it always runs one fixed quality level (the highest, for
+the paper's OpenWhisk comparison — commercial providers deploy the model
+the user shipped, i.e. the full-quality one).
+"""
+
+from __future__ import annotations
+
+from repro.models.variants import ModelVariant
+from repro.runtime.policy import KeepAlivePolicy
+
+__all__ = ["FixedKeepAlivePolicy", "OpenWhiskPolicy"]
+
+
+class FixedKeepAlivePolicy(KeepAlivePolicy):
+    """Keep one fixed variant level alive for the whole window after every
+    invocation.
+
+    ``level="highest"`` reproduces OpenWhisk / AWS / Azure behaviour;
+    ``level="lowest"`` is the all-low-quality strategy of §II; an integer
+    pins an explicit variant level (clamped to each family's range).
+    """
+
+    def __init__(self, level: str | int = "highest", name: str | None = None):
+        super().__init__()
+        if isinstance(level, str) and level not in ("highest", "lowest"):
+            raise ValueError(
+                f"level must be 'highest', 'lowest' or an int, got {level!r}"
+            )
+        if isinstance(level, bool) or (isinstance(level, int) and level < 0):
+            raise ValueError(f"integer level must be >= 0, got {level!r}")
+        self.level = level
+        self.name = name or f"fixed-{level}"
+
+    def _variant_for(self, function_id: int) -> ModelVariant:
+        family = self.family(function_id)
+        if self.level == "highest":
+            return family.highest
+        if self.level == "lowest":
+            return family.lowest
+        assert isinstance(self.level, int)
+        return family.variant(min(self.level, family.n_variants - 1))
+
+    def cold_variant(self, function_id: int, minute: int) -> ModelVariant:
+        return self._variant_for(function_id)
+
+    def plan(self, function_id: int, minute: int) -> list[ModelVariant | None]:
+        return self._full_window_plan(self._variant_for(function_id))
+
+
+class OpenWhiskPolicy(FixedKeepAlivePolicy):
+    """The paper's main baseline: fixed window, highest-quality variant."""
+
+    def __init__(self) -> None:
+        super().__init__(level="highest", name="OpenWhisk")

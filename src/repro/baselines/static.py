@@ -1,0 +1,102 @@
+"""The §II motivation strategies (Tables II & III).
+
+Four ways of assigning qualities during the keep-alive window:
+
+- **all high** — :class:`~repro.baselines.openwhisk.OpenWhiskPolicy`;
+- **all low** — :class:`AllLowQualityPolicy`;
+- **random mixed** — :class:`RandomMixedPolicy`: a balanced random split
+  of the functions into high-quality and low-quality keep-alive;
+- **intelligent** — :class:`IntelligentOraclePolicy`: functions with more
+  *actual* invocations in the coming window get the high-quality variant
+  (an oracle — it reads the future; that is the point of the motivation
+  analysis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.openwhisk import FixedKeepAlivePolicy
+from repro.models.variants import ModelVariant
+from repro.runtime.policy import KeepAlivePolicy
+from repro.utils.rng import rng_from_seed
+
+__all__ = ["AllLowQualityPolicy", "IntelligentOraclePolicy", "RandomMixedPolicy"]
+
+
+class AllLowQualityPolicy(FixedKeepAlivePolicy):
+    """Fixed window keep-alive of the lowest-quality variant."""
+
+    def __init__(self) -> None:
+        super().__init__(level="lowest", name="all-low")
+
+
+class RandomMixedPolicy(KeepAlivePolicy):
+    """Random but *balanced* high/low split across functions (§II approach 3).
+
+    Half the functions (rounded up) keep the high-quality variant alive
+    after invocations, the other half the low-quality variant; the split
+    is drawn once per run.
+    """
+
+    name = "random-mixed"
+
+    def __init__(self, seed: int | np.random.Generator | None = None):
+        super().__init__()
+        self._rng = rng_from_seed(seed)
+        self._high_functions: set[int] = set()
+
+    def on_bind(self) -> None:
+        n = self.n_functions
+        order = self._rng.permutation(n)
+        self._high_functions = set(int(f) for f in order[: (n + 1) // 2])
+
+    def _variant_for(self, function_id: int) -> ModelVariant:
+        family = self.family(function_id)
+        return (
+            family.highest if function_id in self._high_functions else family.lowest
+        )
+
+    def cold_variant(self, function_id: int, minute: int) -> ModelVariant:
+        return self._variant_for(function_id)
+
+    def plan(self, function_id: int, minute: int) -> list[ModelVariant | None]:
+        return self._full_window_plan(self._variant_for(function_id))
+
+
+class IntelligentOraclePolicy(KeepAlivePolicy):
+    """§II approach 4: high quality for the functions that will actually be
+    invoked most during the window.
+
+    At each invocation the oracle counts the function's true invocations in
+    the next K minutes and keeps the high-quality variant when that count
+    reaches ``high_threshold`` (default 2 — "a higher number of actual
+    invocations"), the low-quality variant otherwise.
+    """
+
+    name = "intelligent-oracle"
+    is_oracle = True
+
+    def __init__(self, high_threshold: int = 2):
+        super().__init__()
+        if high_threshold < 1:
+            raise ValueError(f"high_threshold must be >= 1, got {high_threshold}")
+        self.high_threshold = high_threshold
+
+    def _future_count(self, function_id: int, minute: int) -> int:
+        assert self._trace is not None
+        counts = self._trace.counts[function_id]
+        stop = min(minute + 1 + self.keep_alive_window, len(counts))
+        return int(counts[minute + 1 : stop].sum())
+
+    def _variant_for(self, function_id: int, minute: int) -> ModelVariant:
+        family = self.family(function_id)
+        if self._future_count(function_id, minute) >= self.high_threshold:
+            return family.highest
+        return family.lowest
+
+    def cold_variant(self, function_id: int, minute: int) -> ModelVariant:
+        return self._variant_for(function_id, minute)
+
+    def plan(self, function_id: int, minute: int) -> list[ModelVariant | None]:
+        return self._full_window_plan(self._variant_for(function_id, minute))

@@ -1,0 +1,347 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``   run one or more keep-alive policies over the synthetic
+               trace (or loaded Azure CSVs) and print the headline table;
+``profile``    run the simulated Lambda profiling campaign (Table I);
+``trace``      generate / summarize a workload trace, optionally export
+               it as Azure-schema CSVs;
+``reproduce``  run one paper experiment by id (table1, fig1 … fig12,
+               tables2-3, ablations) at a chosen scale and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.ideal import IdealOraclePolicy
+from repro.baselines.openwhisk import OpenWhiskPolicy
+from repro.baselines.static import AllLowQualityPolicy, RandomMixedPolicy
+from repro.core.pulse import PulseConfig, PulsePolicy
+from repro.experiments import (
+    ExperimentConfig,
+    figure1_histograms,
+    figure2_drift,
+    figure4_and_7_memory,
+    figure5_tradeoff,
+    figure6_headline,
+    figure8_integration,
+    figure9_overhead,
+    figure10_threshold_schemes,
+    figure11_memory_thresholds,
+    figure12_local_windows,
+    table1_characterization,
+    tables2_3_peak_strategies,
+)
+from repro.experiments.ablations import (
+    peak_detector_ablation,
+    scalability_study,
+    utility_component_ablation,
+)
+from repro.experiments.assignments import sample_assignment
+from repro.experiments.reporting import format_bar_chart, format_series, format_table
+from repro.milp.policy import MilpPolicy
+from repro.runtime.simulator import Simulation, SimulationConfig
+from repro.sota.icebreaker import IceBreakerPolicy
+from repro.sota.integration import PulseIntegratedPolicy
+from repro.sota.wild import WildPolicy
+from repro.traces.analysis import activity_summary, invocation_peaks
+from repro.traces.azure import load_azure_csv, top_functions, write_azure_csv
+from repro.traces.schema import Trace
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+__all__ = ["main"]
+
+_POLICIES = {
+    "pulse": lambda: PulsePolicy(),
+    "pulse-t2": lambda: PulsePolicy(PulseConfig(threshold_scheme="T2")),
+    "openwhisk": OpenWhiskPolicy,
+    "all-low": AllLowQualityPolicy,
+    "random-mixed": RandomMixedPolicy,
+    "ideal": IdealOraclePolicy,
+    "wild": WildPolicy,
+    "icebreaker": IceBreakerPolicy,
+    "wild+pulse": lambda: PulseIntegratedPolicy(WildPolicy()),
+    "icebreaker+pulse": lambda: PulseIntegratedPolicy(IceBreakerPolicy()),
+    "milp": MilpPolicy,
+}
+
+#: Policies whose plans exceed the standard 10-minute schedule capacity.
+_LONG_WINDOW_POLICIES = {"wild", "icebreaker", "wild+pulse", "icebreaker+pulse"}
+
+
+def _load_trace(args: argparse.Namespace) -> Trace:
+    if getattr(args, "azure_csv", None):
+        trace = load_azure_csv([Path(p) for p in args.azure_csv])
+        return top_functions(trace, getattr(args, "functions", 12))
+    return generate_trace(
+        SyntheticTraceConfig(horizon_minutes=args.horizon, seed=args.seed)
+    )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    assignment = sample_assignment(trace.n_functions, seed=args.seed)
+    rows = []
+    for name in args.policies:
+        try:
+            factory = _POLICIES[name]
+        except KeyError:
+            print(
+                f"unknown policy {name!r}; known: {sorted(_POLICIES)}",
+                file=sys.stderr,
+            )
+            return 2
+        # Each policy runs at its own natural schedule capacity: 10 for
+        # the fixed-window policies and PULSE, 240 for the long-horizon
+        # predictors — sharing one capacity would silently change the
+        # fixed policies' keep-alive duration.
+        window = 240 if name in _LONG_WINDOW_POLICIES else 10
+        sim = SimulationConfig(keep_alive_window=window)
+        result = Simulation(trace, assignment, factory(), sim).run()
+        rows.append(result.summary())
+    print(format_table(rows, title=f"{trace!r}"))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    _, rows = table1_characterization(
+        n_warm_samples=args.warm_samples, n_cold_samples=args.cold_samples,
+        seed=args.seed,
+    )
+    print(format_table(rows, title="Table I: model-variant characterization"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    print(trace)
+    print()
+    print(format_table(activity_summary(trace), title="Per-function activity"))
+    peaks = invocation_peaks(trace, n_peaks=2)
+    totals = trace.total_per_minute()
+    print()
+    print(
+        "Prominent invocation peaks: "
+        + ", ".join(f"minute {m} ({totals[m]} invocations)" for m in peaks)
+    )
+    if args.export:
+        paths = write_azure_csv(trace, Path(args.export))
+        print(f"\nexported {len(paths)} Azure-schema day files to {args.export}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        n_runs=args.runs, horizon_minutes=args.horizon, seed=args.seed
+    )
+    trace = _load_trace(args)
+    exp = args.experiment
+    if exp == "table1":
+        _, rows = table1_characterization(seed=args.seed)
+        print(format_table(rows, title="Table I"))
+    elif exp == "fig1":
+        for name, h in figure1_histograms(trace).items():
+            print(format_series(h, label=f"{name:24s}"))
+    elif exp == "fig2":
+        for label, h in figure2_drift(trace).items():
+            print(format_series(h, label=f"{label:16s}"))
+    elif exp == "tables2-3":
+        assignment = sample_assignment(trace.n_functions, seed=args.seed)
+        for name, rows in tables2_3_peak_strategies(trace, assignment).items():
+            print(format_table([r.__dict__ for r in rows], title=name))
+            print()
+    elif exp in ("fig4", "fig7"):
+        res = figure4_and_7_memory(config, trace)
+        for label, r in res.items():
+            print(
+                format_series(r.memory_series_mb, label=f"{label:16s}"),
+                f" acc={r.accuracy_percent:.2f}%",
+            )
+    elif exp == "fig5":
+        points = figure5_tradeoff(config, trace)
+        print(format_table([p.__dict__ for p in points], title="Figure 5"))
+    elif exp == "fig6":
+        res = figure6_headline(config, trace)
+        print(format_bar_chart(res.improvements, unit="%"))
+        print(format_series(res.openwhisk_cost_error, label="OpenWhisk err"))
+        print(format_series(res.pulse_cost_error, label="PULSE err    "))
+    elif exp == "fig8":
+        for r in figure8_integration(config, trace):
+            print(f"{r.technique}+PULSE vs {r.technique}:")
+            print(
+                format_bar_chart(
+                    {
+                        "accuracy": r.accuracy,
+                        "keepalive_cost": r.keepalive_cost,
+                        "service_time": r.service_time,
+                    },
+                    unit="%",
+                )
+            )
+    elif exp == "fig9":
+        res = figure9_overhead(config, trace)
+        print(
+            f"median overhead/service: PULSE "
+            f"{float(np.median(res.pulse_overhead_ratio)):.2e}, MILP "
+            f"{float(np.median(res.milp_overhead_ratio)):.2e} "
+            f"({res.overhead_factor:.1f}x)"
+        )
+        print(
+            f"accuracy: PULSE {res.pulse_accuracy:.2f}%, "
+            f"MILP {res.milp_accuracy:.2f}%"
+        )
+    elif exp in ("fig10", "fig11", "fig12"):
+        fn = {
+            "fig10": figure10_threshold_schemes,
+            "fig11": figure11_memory_thresholds,
+            "fig12": figure12_local_windows,
+        }[exp]
+        print(format_table([p.__dict__ for p in fn(config, trace)], title=exp))
+    elif exp == "capacity":
+        from repro.experiments.capacity import memory_capacity_study
+
+        points = memory_capacity_study(config=config, trace=trace)
+        print(
+            format_table(
+                [p.__dict__ for p in points],
+                title="Memory-capacity study (forced random downgrades)",
+            )
+        )
+    elif exp == "ablations":
+        print(
+            format_table(
+                [
+                    {**{"label": r.label}, **r.extra,
+                     "cost_usd": r.keepalive_cost_usd,
+                     "accuracy": r.accuracy_percent}
+                    for r in utility_component_ablation(config, trace)
+                ],
+                title="Utility-component ablation",
+            )
+        )
+        print()
+        print(
+            format_table(
+                [
+                    {**{"label": r.label}, **r.extra,
+                     "warm_fraction": r.warm_fraction}
+                    for r in peak_detector_ablation(config)
+                ],
+                title="Peak-detector ablation (day-phase trace)",
+            )
+        )
+        print()
+        print(
+            format_table(
+                [{**{"label": r.label}, **r.extra} for r in scalability_study()],
+                title="Scalability study",
+            )
+        )
+    else:  # pragma: no cover - argparse choices guard this
+        raise AssertionError(exp)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    config = ExperimentConfig(
+        n_runs=args.runs, horizon_minutes=args.horizon, seed=args.seed
+    )
+    text = generate_report(config, _load_trace(args))
+    Path(args.output).write_text(text)
+    print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import render_all
+
+    config = ExperimentConfig(
+        n_runs=args.runs, horizon_minutes=args.horizon, seed=args.seed
+    )
+    paths = render_all(args.output, config, _load_trace(args))
+    for p in paths:
+        print(f"wrote {p}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PULSE reproduction: serverless mixed-quality keep-alive",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_trace_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--horizon", type=int, default=2880,
+                       help="synthetic trace length in minutes")
+        p.add_argument("--seed", type=int, default=2024)
+        p.add_argument("--azure-csv", nargs="+", metavar="CSV",
+                       help="load these Azure per-day CSVs instead")
+        p.add_argument("--functions", type=int, default=12,
+                       help="keep the top-K functions of a loaded trace")
+
+    p_sim = sub.add_parser("simulate", help="run policies over a workload")
+    add_trace_args(p_sim)
+    p_sim.add_argument(
+        "policies", nargs="+", choices=sorted(_POLICIES), metavar="POLICY",
+        help=f"one or more of: {', '.join(sorted(_POLICIES))}",
+    )
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_prof = sub.add_parser("profile", help="Table I profiling campaign")
+    p_prof.add_argument("--warm-samples", type=int, default=1000)
+    p_prof.add_argument("--cold-samples", type=int, default=30)
+    p_prof.add_argument("--seed", type=int, default=2024)
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_trace = sub.add_parser("trace", help="generate / summarize a trace")
+    add_trace_args(p_trace)
+    p_trace.add_argument("--export", metavar="DIR",
+                         help="write the trace as Azure-schema CSVs")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_rep = sub.add_parser("reproduce", help="reproduce a paper element")
+    add_trace_args(p_rep)
+    p_rep.add_argument(
+        "experiment",
+        choices=[
+            "table1", "fig1", "fig2", "tables2-3", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations",
+            "capacity",
+        ],
+    )
+    p_rep.add_argument("--runs", type=int, default=3)
+    p_rep.set_defaults(func=_cmd_reproduce)
+
+    p_report = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    add_trace_args(p_report)
+    p_report.add_argument("output", metavar="OUT.md",
+                          help="path of the markdown report to write")
+    p_report.add_argument("--runs", type=int, default=3)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_fig = sub.add_parser("figures", help="render the paper figures as SVGs")
+    add_trace_args(p_fig)
+    p_fig.add_argument("output", metavar="DIR", help="directory for the SVGs")
+    p_fig.add_argument("--runs", type=int, default=3)
+    p_fig.set_defaults(func=_cmd_figures)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

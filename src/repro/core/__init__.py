@@ -1,0 +1,53 @@
+"""PULSE itself: the paper's primary contribution.
+
+Two cooperating optimizers (§III):
+
+- **function-centric** (:mod:`repro.core.function_optimizer`) — per
+  function, estimate the probability that the next invocation lands at
+  each minute of the keep-alive window
+  (:mod:`repro.core.interarrival`), then greedily map probability bands
+  to model variants (:mod:`repro.core.thresholds`);
+- **cross-function** (:mod:`repro.core.global_optimizer`) — detect
+  keep-alive memory peaks (:mod:`repro.core.peak`, Algorithm 1) and
+  downgrade the lowest-utility kept-alive model until the peak flattens
+  (Algorithm 2), with the utility ``Uv = Ai + Pr + Ip``
+  (:mod:`repro.core.utility`) and the downgrade-count priority structure
+  (:mod:`repro.core.priority`, Eq. 1).
+
+:class:`repro.core.pulse.PulsePolicy` wires both into the
+:class:`~repro.runtime.policy.KeepAlivePolicy` interface.
+"""
+
+from repro.core.interarrival import InterArrivalEstimator
+from repro.core.thresholds import (
+    ThresholdScheme,
+    TechniqueT1,
+    TechniqueT2,
+    get_scheme,
+)
+from repro.core.function_optimizer import FunctionCentricOptimizer
+from repro.core.peak import PeakDetector
+from repro.core.priority import PriorityStructure, normalize
+from repro.core.utility import UtilityComponents, utility_value
+from repro.core.global_optimizer import GlobalOptimizer
+from repro.core.forecast_eval import CalibrationReport, evaluate_estimator
+from repro.core.pulse import PulseConfig, PulsePolicy
+
+__all__ = [
+    "CalibrationReport",
+    "evaluate_estimator",
+    "FunctionCentricOptimizer",
+    "GlobalOptimizer",
+    "InterArrivalEstimator",
+    "PeakDetector",
+    "PriorityStructure",
+    "PulseConfig",
+    "PulsePolicy",
+    "TechniqueT1",
+    "TechniqueT2",
+    "ThresholdScheme",
+    "UtilityComponents",
+    "get_scheme",
+    "normalize",
+    "utility_value",
+]

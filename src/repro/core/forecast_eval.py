@@ -1,0 +1,138 @@
+"""Calibration evaluation of the inter-arrival estimator.
+
+PULSE's whole function-centric stage rides on the per-offset invocation
+probabilities; this module measures how good those probabilities actually
+are, by replaying a trace through the estimator and scoring, at every
+arrival, the *exact-minute* probabilities it would have produced against
+what actually happened in the following window:
+
+- **Brier score** — mean squared error of P(arrival at offset d) against
+  the 0/1 outcome, averaged over offsets and arrivals (lower is better;
+  predicting the base rate everywhere is the reference);
+- **reliability table** — predicted-probability bins vs observed arrival
+  frequency (a calibrated estimator has observed ≈ predicted per bin);
+- **hit rate** — fraction of actual arrivals that landed on an offset
+  whose predicted probability cleared its T1 top band (the "was the
+  high-quality model warm when it mattered?" question).
+
+Used by the calibration bench and the estimator's regression tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.interarrival import InterArrivalEstimator
+from repro.traces.schema import Trace
+from repro.utils.validation import check_positive_int
+
+__all__ = ["CalibrationReport", "evaluate_estimator"]
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Scores for one estimator over one trace."""
+
+    n_predictions: int  # (arrival, offset) pairs scored
+    brier_score: float
+    base_rate: float  # overall arrival frequency per (arrival, offset)
+    brier_of_base_rate: float  # score of always predicting the base rate
+    reliability: list[tuple[float, float, int]]  # (mean predicted, observed, n)
+    top_band_hit_rate: float  # arrivals with p >= 2/3 at their offset
+
+    @property
+    def skill(self) -> float:
+        """Brier skill score vs the base-rate forecaster (1 = perfect,
+        0 = no better than the base rate, negative = worse)."""
+        if self.brier_of_base_rate == 0:
+            return 0.0
+        return 1.0 - self.brier_score / self.brier_of_base_rate
+
+
+def evaluate_estimator(
+    trace: Trace,
+    window: int = 10,
+    local_window: int = 60,
+    normalization: str = "window",
+    n_bins: int = 5,
+    warmup_arrivals: int = 5,
+) -> CalibrationReport:
+    """Replay ``trace`` through a fresh estimator and score it.
+
+    Predictions are scored only after a function has seen
+    ``warmup_arrivals`` arrivals (an estimator without history predicts
+    zeros, which would just dilute the measurement with the cold-start
+    regime the fallback path handles separately).
+    """
+    check_positive_int("n_bins", n_bins)
+    est = InterArrivalEstimator(
+        trace.n_functions,
+        window=window,
+        local_window=local_window,
+        normalization=normalization,
+        mode="exact",
+    )
+    predicted: list[np.ndarray] = []
+    outcomes: list[np.ndarray] = []
+    seen = [0] * trace.n_functions
+
+    arrivals_by_minute: list[np.ndarray] = [
+        np.flatnonzero(trace.counts[:, t]) for t in range(trace.horizon)
+    ]
+    for t in range(trace.horizon):
+        for fid in arrivals_by_minute[t]:
+            fid = int(fid)
+            if seen[fid] >= warmup_arrivals:
+                p = est.probabilities(fid, t).copy()
+                outcome = np.zeros(window)
+                stop = min(t + 1 + window, trace.horizon)
+                future = trace.counts[fid, t + 1 : stop]
+                nz = np.flatnonzero(future)
+                if len(nz):
+                    outcome[int(nz[0])] = 1.0  # the *next* arrival's offset
+                predicted.append(p)
+                outcomes.append(outcome)
+            est.observe(fid, t)
+            seen[fid] += 1
+
+    if not predicted:
+        raise ValueError(
+            "trace too short/sparse: no predictions past the warm-up phase"
+        )
+    pred = np.concatenate(predicted)
+    obs = np.concatenate(outcomes)
+    brier = float(np.mean((pred - obs) ** 2))
+    base = float(obs.mean())
+    brier_base = float(np.mean((base - obs) ** 2))
+
+    # Reliability: bin by predicted probability.
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    reliability: list[tuple[float, float, int]] = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (pred >= lo) & (pred < hi if hi < 1.0 else pred <= hi)
+        n = int(mask.sum())
+        if n:
+            reliability.append((float(pred[mask].mean()), float(obs[mask].mean()), n))
+
+    # Hit rate: among scored arrivals that did re-arrive in the window,
+    # how often did the estimator give their offset top-band probability?
+    hits = 0
+    total_hits_possible = 0
+    for p, o in zip(predicted, outcomes):
+        idx = np.flatnonzero(o)
+        if len(idx):
+            total_hits_possible += 1
+            if p[idx[0]] >= 2.0 / 3.0:
+                hits += 1
+    hit_rate = hits / total_hits_possible if total_hits_possible else 0.0
+
+    return CalibrationReport(
+        n_predictions=int(pred.size),
+        brier_score=brier,
+        base_rate=base,
+        brier_of_base_rate=brier_base,
+        reliability=reliability,
+        top_band_hit_rate=hit_rate,
+    )

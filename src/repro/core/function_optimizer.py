@@ -1,0 +1,89 @@
+"""Function-centric (individual) optimization (§III-A).
+
+After an invocation of a function at minute *t*, decide — for each of the
+next K minutes — which variant to keep alive, by greedily mapping that
+minute's invocation probability through the threshold scheme. High
+probability → high-accuracy variant warm exactly when an arrival is
+likely; low probability → a cheap variant that still prevents a cold
+start.
+
+Functions with no inter-arrival history yet fall back to keeping the
+*highest* variant alive for the full window — exactly the fixed
+OpenWhisk behaviour — so PULSE never performs worse than the baseline
+before it has data to act on.
+"""
+
+from __future__ import annotations
+
+from repro.core.interarrival import InterArrivalEstimator
+from repro.core.thresholds import ThresholdScheme
+from repro.models.variants import ModelFamily, ModelVariant
+
+__all__ = ["FunctionCentricOptimizer"]
+
+
+class FunctionCentricOptimizer:
+    """Greedy per-function variant scheduling over the keep-alive window."""
+
+    def __init__(
+        self,
+        estimator: InterArrivalEstimator,
+        scheme: ThresholdScheme,
+        cold_start_fallback: str = "highest",
+    ):
+        if cold_start_fallback not in ("highest", "lowest"):
+            raise ValueError(
+                f"cold_start_fallback must be 'highest' or 'lowest', "
+                f"got {cold_start_fallback!r}"
+            )
+        self.estimator = estimator
+        self.scheme = scheme
+        self.cold_start_fallback = cold_start_fallback
+
+    def plan(
+        self, function_id: int, minute: int, family: ModelFamily
+    ) -> list[ModelVariant | None]:
+        """The keep-alive plan for offsets 1..K after an arrival at ``minute``."""
+        probs = self.estimator.probabilities(function_id, minute)
+        lifetime, recent = self.estimator.n_gaps(function_id)
+        if lifetime == 0 and recent == 0:
+            # No history: behave like the fixed policy until data exists.
+            fallback = (
+                family.highest
+                if self.cold_start_fallback == "highest"
+                else family.lowest
+            )
+            return [fallback] * self.estimator.window
+        plan: list[ModelVariant | None] = []
+        for p in probs:
+            level = self.scheme.select_level(float(min(p, 1.0)), family.n_variants)
+            plan.append(None if level is None else family.variant(level))
+        return plan
+
+    def invocation_probability(self, function_id: int, minute: int) -> float:
+        """Expose *Ip* for the cross-function utility computation."""
+        return self.estimator.invocation_probability(function_id, minute)
+
+    def max_remaining_probability(self, function_id: int, minute: int) -> float:
+        """Highest invocation probability over the function's *remaining*
+        keep-alive window (offsets from now through K after its last
+        arrival).
+
+        Used by the global optimizer's drop protection: a keep-alive may
+        only be dropped entirely when the function has no chance of
+        invocation at any minute its plan still covers — the probability
+        at the current minute alone would wrongly shed functions whose
+        arrival mode sits later in the window (e.g. a 7-minute timer
+        reviewed at offset 2).
+        """
+        last = self.estimator.last_arrival(function_id)
+        if last is None:
+            return 0.0
+        offset = minute - last
+        if offset <= 0:
+            return 1.0
+        window = self.estimator.window
+        if offset > window:
+            return 0.0
+        probs = self.estimator.exact_probabilities(function_id, minute)
+        return float(probs[offset - 1 :].max())

@@ -1,0 +1,128 @@
+"""Cross-function (global) optimization (§III-B, Algorithm 2).
+
+Every minute, after the function-centric plans are installed, the global
+optimizer checks whether the minute's keep-alive memory constitutes a peak
+(Algorithm 1). While it does, it:
+
+1. normalizes the priority structure (Eq. 1);
+2. computes ``Uv = Ai + Pr + Ip`` for every model currently kept alive;
+3. downgrades the model with the lowest Uv by one variant — rewriting
+   that function's remaining schedule entries — and gives it +1 in the
+   priority structure;
+
+until the peak is flattened (memory back within the threshold of the
+prior) or nothing is left to downgrade. Downgrading a model already at
+its lowest variant drops the keep-alive entirely ("or even cold starts").
+"""
+
+from __future__ import annotations
+
+from repro.core.function_optimizer import FunctionCentricOptimizer
+from repro.core.peak import PeakDetector
+from repro.core.priority import PriorityStructure
+from repro.core.utility import UtilityWeights, components_for
+from repro.models.variants import ModelFamily
+from repro.runtime.schedule import KeepAliveSchedule
+
+__all__ = ["GlobalOptimizer"]
+
+
+class GlobalOptimizer:
+    """Algorithm 2, bound to a peak detector, priority structure and the
+    function-centric optimizer that supplies invocation probabilities.
+
+    ``weights`` defaults to the paper's equal weighting of the three
+    utility components; the ablation harness zeroes individual terms.
+    """
+
+    def __init__(
+        self,
+        detector: PeakDetector,
+        priority: PriorityStructure,
+        function_optimizer: FunctionCentricOptimizer,
+        weights: UtilityWeights | None = None,
+    ):
+        self.detector = detector
+        self.priority = priority
+        self.function_optimizer = function_optimizer
+        self.weights = weights or UtilityWeights()
+        self.n_downgrades = 0
+        self.n_peak_minutes = 0
+
+    def review(
+        self,
+        minute: int,
+        schedule: KeepAliveSchedule,
+        assignment: dict[int, ModelFamily],
+    ) -> int:
+        """Flatten a peak at ``minute`` if there is one.
+
+        Returns the number of downgrades performed this minute, and always
+        commits the (post-flattening) memory into the detector's history.
+        """
+        demand = schedule.memory_at(minute)
+        prior = self.detector.prior_memory()
+        current = demand
+        downgrades = 0
+        if self.detector.is_peak(current, prior):
+            self.n_peak_minutes += 1
+            target = self.detector.flatten_target(prior)
+            while current > target:
+                victim = self._lowest_utility(
+                    schedule.alive_at(minute), minute, assignment
+                )
+                if victim is None:
+                    break  # nothing downgradable remains; as flat as it gets
+                allow_drop = (
+                    self.function_optimizer.max_remaining_probability(victim, minute)
+                    == 0.0
+                )
+                schedule.downgrade(
+                    victim, minute, assignment[victim], allow_drop=allow_drop
+                )
+                self.priority.record_downgrade(victim)
+                downgrades += 1
+                current = schedule.memory_at(minute)
+        self.detector.observe(demand, current)
+        self.n_downgrades += downgrades
+        return downgrades
+
+    def _lowest_utility(
+        self,
+        alive: dict,
+        minute: int,
+        assignment: dict[int, ModelFamily],
+    ) -> int | None:
+        """Alg. 2 lines 4–9: normalize priorities, score every kept-alive
+        model, pick the minimum (ties: lowest function id, deterministic).
+
+        A model already at its lowest variant can only be "downgraded" by
+        dropping its keep-alive entirely; that is allowed only when it has
+        zero invocation probability over its whole remaining window —
+        §II's design principle ("the utilization of lower-quality models
+        when there's even a slight chance of invocation prevents ... cold
+        starts") and the guarantee of §V ("PULSE ensures that at least
+        the container with low-quality model is kept alive"). Returns
+        ``None`` when no model is eligible.
+        """
+        normalized = self.priority.normalized()
+        best_fid: int | None = None
+        best_uv = float("inf")
+        for fid in sorted(alive):
+            variant = alive[fid]
+            ip = self.function_optimizer.invocation_probability(fid, minute)
+            if variant.level == 0 and (
+                self.function_optimizer.max_remaining_probability(fid, minute) > 0.0
+            ):
+                continue  # protected: dropping would risk a likely cold start
+            comp = components_for(
+                family=assignment[fid],
+                kept_variant=variant,
+                priority=float(normalized[fid]),
+                invocation_probability=min(ip, 1.0),
+            )
+            value = self.weights.apply(comp)
+            if value < best_uv:
+                best_uv = value
+                best_fid = fid
+        return best_fid

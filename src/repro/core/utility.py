@@ -1,0 +1,103 @@
+"""Utility value of a keep-alive decision (§III-B, Eq. 2).
+
+During a peak, every model currently kept alive is scored::
+
+    Uv = Ai + Pr + Ip
+
+- **Ai** — accuracy improvement of the kept variant over the next-lower
+  variant (for the lowest variant: its accuracy in decimal form, since
+  "downgrading" it means dropping the keep-alive and risking a cold
+  start);
+- **Pr** — Eq. 1-normalized downgrade count (protects models that already
+  absorbed downgrades — the unbiasedness mechanism);
+- **Ip** — probability of invocation at the current offset, from the
+  function-centric optimizer.
+
+Each component lies in [0, 1] and they are *equally weighted* ("to ensure
+a balanced assessment and prevent bias"). The model with the lowest Uv is
+downgraded first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.variants import ModelFamily, ModelVariant
+
+__all__ = ["UtilityComponents", "UtilityWeights", "utility_value", "components_for"]
+
+
+@dataclass(frozen=True)
+class UtilityWeights:
+    """Weights on the three Eq. 2 components.
+
+    The paper weights them equally "to ensure a balanced assessment and
+    prevent bias"; the utility-component ablation
+    (:func:`repro.experiments.ablations.utility_component_ablation`) zeroes
+    them one at a time to show what each term buys.
+    """
+
+    accuracy_improvement: float = 1.0
+    priority: float = 1.0
+    invocation_probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        for label, v in (
+            ("accuracy_improvement", self.accuracy_improvement),
+            ("priority", self.priority),
+            ("invocation_probability", self.invocation_probability),
+        ):
+            if v < 0:
+                raise ValueError(f"weight {label} must be >= 0, got {v!r}")
+
+    def apply(self, components: "UtilityComponents") -> float:
+        """Weighted Eq. 2 value."""
+        return (
+            self.accuracy_improvement * components.accuracy_improvement
+            + self.priority * components.priority
+            + self.invocation_probability * components.invocation_probability
+        )
+
+
+@dataclass(frozen=True)
+class UtilityComponents:
+    """The three scored components of one keep-alive decision."""
+
+    accuracy_improvement: float  # Ai
+    priority: float  # Pr
+    invocation_probability: float  # Ip
+
+    def __post_init__(self) -> None:
+        for label, v in (
+            ("Ai", self.accuracy_improvement),
+            ("Pr", self.priority),
+            ("Ip", self.invocation_probability),
+        ):
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {v!r}")
+
+    @property
+    def value(self) -> float:
+        """Eq. 2: the equally-weighted sum."""
+        return (
+            self.accuracy_improvement + self.priority + self.invocation_probability
+        )
+
+
+def utility_value(ai: float, pr: float, ip: float) -> float:
+    """Eq. 2 as a plain function."""
+    return UtilityComponents(ai, pr, ip).value
+
+
+def components_for(
+    family: ModelFamily,
+    kept_variant: ModelVariant,
+    priority: float,
+    invocation_probability: float,
+) -> UtilityComponents:
+    """Build the components for one kept-alive model during a peak."""
+    return UtilityComponents(
+        accuracy_improvement=family.accuracy_improvement(kept_variant),
+        priority=priority,
+        invocation_probability=invocation_probability,
+    )

@@ -1,0 +1,75 @@
+"""Per-table / per-figure reproduction harness.
+
+One module per paper element (see DESIGN.md §4 for the experiment
+index). All experiments share :mod:`repro.experiments.runner`'s
+orchestration: a trace, N model-to-function assignments sampled per run
+(the paper's 1000 runs use a different assignment each), one simulation
+per (policy, assignment), aggregated with
+:func:`repro.runtime.metrics.aggregate_results`.
+
+Benches (``benchmarks/``) call these functions at reduced scale; the
+functions themselves accept the paper-scale parameters.
+"""
+
+from repro.experiments.assignments import sample_assignment, sample_assignments
+from repro.experiments.runner import (
+    ExperimentConfig,
+    default_trace,
+    run_policies,
+    run_policy,
+)
+from repro.experiments.table1 import table1_characterization
+from repro.experiments.motivation import figure1_histograms, figure2_drift
+from repro.experiments.peaks import PeakStrategyRow, tables2_3_peak_strategies
+from repro.experiments.tradeoff import figure5_tradeoff
+from repro.experiments.headline import figure6_headline
+from repro.experiments.memory import figure4_and_7_memory
+from repro.experiments.integration import figure8_integration
+from repro.experiments.overhead import figure9_overhead
+from repro.experiments.sensitivity import (
+    figure10_threshold_schemes,
+    figure11_memory_thresholds,
+    figure12_local_windows,
+    keep_alive_duration_sweep,
+)
+from repro.experiments.ablations import (
+    peak_detector_ablation,
+    scalability_study,
+    utility_component_ablation,
+)
+from repro.experiments.capacity import memory_capacity_study
+from repro.experiments.pareto import pareto_frontier, pulse_configuration_sweep
+from repro.experiments.report import generate_report
+from repro.experiments.variance import paired_deltas, variance_report
+
+__all__ = [
+    "generate_report",
+    "memory_capacity_study",
+    "paired_deltas",
+    "pareto_frontier",
+    "pulse_configuration_sweep",
+    "variance_report",
+    "peak_detector_ablation",
+    "scalability_study",
+    "utility_component_ablation",
+    "ExperimentConfig",
+    "PeakStrategyRow",
+    "default_trace",
+    "figure1_histograms",
+    "figure2_drift",
+    "figure4_and_7_memory",
+    "figure5_tradeoff",
+    "figure6_headline",
+    "figure8_integration",
+    "figure9_overhead",
+    "figure10_threshold_schemes",
+    "figure11_memory_thresholds",
+    "figure12_local_windows",
+    "keep_alive_duration_sweep",
+    "run_policies",
+    "run_policy",
+    "sample_assignment",
+    "sample_assignments",
+    "table1_characterization",
+    "tables2_3_peak_strategies",
+]

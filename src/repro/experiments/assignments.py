@@ -1,0 +1,51 @@
+"""Model-to-function assignment sampling.
+
+Each simulation run assigns one model family to each trace function; the
+paper performs 1000 runs, "each presenting a unique combination of
+model-to-function assignments", and averages the metrics. Sampling is
+*balanced*: every family appears either ``floor(n/k)`` or ``ceil(n/k)``
+times, so no run degenerates into a single-family workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.variants import ModelFamily
+from repro.models.zoo import ModelZoo, default_zoo
+from repro.utils.rng import rng_from_seed, spawn_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["sample_assignment", "sample_assignments"]
+
+
+def sample_assignment(
+    n_functions: int,
+    zoo: ModelZoo | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> dict[int, ModelFamily]:
+    """One balanced random family-per-function assignment."""
+    check_positive_int("n_functions", n_functions)
+    zoo = zoo or default_zoo()
+    rng = rng_from_seed(seed)
+    families = list(zoo)
+    # Balanced multiset of family indices, then a random permutation.
+    reps = -(-n_functions // len(families))  # ceil
+    pool = np.tile(np.arange(len(families)), reps)[:n_functions]
+    rng.shuffle(pool)
+    return {fid: families[int(pool[fid])] for fid in range(n_functions)}
+
+
+def sample_assignments(
+    n_functions: int,
+    n_runs: int,
+    zoo: ModelZoo | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> list[dict[int, ModelFamily]]:
+    """``n_runs`` independent assignments (one per simulation run)."""
+    check_positive_int("n_runs", n_runs)
+    parent = rng_from_seed(seed)
+    return [
+        sample_assignment(n_functions, zoo, spawn_rng(parent, i))
+        for i in range(n_runs)
+    ]

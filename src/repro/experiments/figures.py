@@ -1,0 +1,158 @@
+"""Render the paper's figures as SVG files.
+
+Each ``render_*`` function takes the corresponding experiment's output
+and writes one SVG per figure panel;
+:func:`render_all` runs the needed experiments at the given scale and
+produces the full set — ``python -m repro figures out/`` from the CLI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.headline import HeadlineResult, figure6_headline
+from repro.experiments.memory import MemorySeriesResult, figure4_and_7_memory
+from repro.experiments.motivation import figure1_histograms, figure2_drift
+from repro.experiments.runner import ExperimentConfig, default_trace
+from repro.experiments.sensitivity import SweepPoint, figure11_memory_thresholds
+from repro.experiments.tradeoff import TradeoffPoint, figure5_tradeoff
+from repro.traces.schema import Trace
+from repro.utils.svgplot import bar_chart, line_chart, save, scatter_chart
+
+__all__ = ["render_all"]
+
+
+def _render_motivation(trace: Trace, outdir: Path) -> list[Path]:
+    paths = []
+    hists = figure1_histograms(trace)
+    paths.append(
+        save(
+            line_chart(
+                hists,
+                title="Fig 1: inter-arrival histograms (window minutes)",
+                xlabel="minute of the keep-alive window",
+                ylabel="% of invocations",
+            ),
+            outdir / "fig1_interarrival_histograms.svg",
+        )
+    )
+    drift = figure2_drift(trace)
+    paths.append(
+        save(
+            line_chart(
+                drift,
+                title="Fig 2: one function across trace periods",
+                xlabel="minute of the keep-alive window",
+                ylabel="% of invocations",
+            ),
+            outdir / "fig2_interarrival_drift.svg",
+        )
+    )
+    return paths
+
+
+def _render_memory(
+    mem: dict[str, MemorySeriesResult], outdir: Path
+) -> list[Path]:
+    paths = []
+    paths.append(
+        save(
+            line_chart(
+                {
+                    "OpenWhisk fixed": mem["openwhisk"].memory_series_mb,
+                    "individual-only": mem["individual_only"].memory_series_mb,
+                },
+                title="Fig 4: individual optimization lowers memory, peaks persist",
+                xlabel="minute",
+                ylabel="keep-alive memory (MB)",
+            ),
+            outdir / "fig4_individual_memory.svg",
+        )
+    )
+    paths.append(
+        save(
+            line_chart(
+                {
+                    "OpenWhisk fixed": mem["openwhisk"].memory_series_mb,
+                    "PULSE": mem["pulse"].memory_series_mb,
+                },
+                title="Fig 7: PULSE smooths keep-alive memory",
+                xlabel="minute",
+                ylabel="keep-alive memory (MB)",
+            ),
+            outdir / "fig7_pulse_memory.svg",
+        )
+    )
+    return paths
+
+
+def _render_tradeoff(points: list[TradeoffPoint], outdir: Path) -> Path:
+    return save(
+        scatter_chart(
+            {
+                p.label: (p.keepalive_cost_usd, p.accuracy_percent)
+                for p in points
+            },
+            title="Fig 5: accuracy vs keep-alive cost",
+            xlabel="keep-alive cost ($)",
+            ylabel="accuracy (%)",
+        ),
+        outdir / "fig5_tradeoff.svg",
+    )
+
+
+def _render_headline(res: HeadlineResult, outdir: Path) -> list[Path]:
+    paths = [
+        save(
+            bar_chart(
+                res.improvements,
+                title="Fig 6a: % improvement of PULSE over OpenWhisk",
+                ylabel="% improvement",
+            ),
+            outdir / "fig6a_improvements.svg",
+        ),
+        save(
+            line_chart(
+                {
+                    "OpenWhisk": res.openwhisk_cost_error,
+                    "PULSE": res.pulse_cost_error,
+                },
+                title="Fig 6b: keep-alive cost error vs ideal",
+                xlabel="minute",
+                ylabel="error (%)",
+            ),
+            outdir / "fig6b_cost_error.svg",
+        ),
+    ]
+    return paths
+
+
+def _render_sensitivity(points: list[SweepPoint], outdir: Path) -> Path:
+    return save(
+        bar_chart(
+            {p.label: p.keepalive_cost for p in points},
+            title="Fig 11: cost improvement across memory thresholds",
+            ylabel="% improvement over OpenWhisk",
+        ),
+        outdir / "fig11_memory_thresholds.svg",
+    )
+
+
+def render_all(
+    outdir: str | Path,
+    config: ExperimentConfig | None = None,
+    trace: Trace | None = None,
+) -> list[Path]:
+    """Render the SVG figure set; returns the written paths."""
+    config = config or ExperimentConfig()
+    trace = trace if trace is not None else default_trace(config)
+    outdir = Path(outdir)
+    paths: list[Path] = []
+    paths += _render_motivation(trace, outdir)
+    paths += _render_memory(figure4_and_7_memory(config, trace), outdir)
+    paths.append(_render_tradeoff(figure5_tradeoff(config, trace), outdir))
+    paths += _render_headline(figure6_headline(config, trace), outdir)
+    paths.append(
+        _render_sensitivity(figure11_memory_thresholds(config, trace), outdir)
+    )
+    return paths

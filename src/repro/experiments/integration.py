@@ -1,0 +1,97 @@
+"""Figure 8 — integrating PULSE into Wild and IceBreaker.
+
+For each base technique, runs the technique standalone (variant-unaware:
+highest quality during its predicted windows) and with PULSE layered on
+top (:class:`~repro.sota.integration.PulseIntegratedPolicy`), and reports
+the percentage change in accuracy, keep-alive cost and service time.
+
+Paper shapes: Wild+PULSE slashes keep-alive cost (−99 %) at the price of
+service time; IceBreaker+PULSE improves both cost (−14 %) and service
+time (−7 %); both lose well under 1 % accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import partial
+
+from repro.experiments.runner import ExperimentConfig, default_trace, run_policies
+from repro.runtime.metrics import aggregate_results, percent_improvement
+from repro.runtime.simulator import SimulationConfig
+from repro.sota.icebreaker import IceBreakerPolicy
+from repro.sota.integration import PulseIntegratedPolicy
+from repro.sota.wild import WildPolicy
+from repro.traces.schema import Trace
+
+__all__ = ["IntegrationResult", "figure8_integration"]
+
+#: Schedule capacity large enough for Wild's 99th-percentile keep-alives.
+INTEGRATION_WINDOW = 240
+
+
+def _wild_pulse() -> PulseIntegratedPolicy:
+    return PulseIntegratedPolicy(WildPolicy())
+
+
+def _icebreaker_pulse() -> PulseIntegratedPolicy:
+    return PulseIntegratedPolicy(IceBreakerPolicy())
+
+
+@dataclass(frozen=True)
+class IntegrationResult:
+    """Percent improvements of <technique>+PULSE over <technique>."""
+
+    technique: str
+    accuracy: float
+    keepalive_cost: float
+    service_time: float
+    base_aggregate: dict[str, float]
+    integrated_aggregate: dict[str, float]
+
+
+def figure8_integration(
+    config: ExperimentConfig | None = None,
+    trace: Trace | None = None,
+) -> list[IntegrationResult]:
+    """Both integrations' improvement triplets."""
+    config = config or ExperimentConfig()
+    sim = replace(config.sim, keep_alive_window=INTEGRATION_WINDOW)
+    config = replace(config, sim=sim)
+    trace = trace if trace is not None else default_trace(config)
+    results = run_policies(
+        trace,
+        {
+            "Wild": WildPolicy,
+            "Wild+PULSE": _wild_pulse,
+            "IceBreaker": IceBreakerPolicy,
+            "IceBreaker+PULSE": _icebreaker_pulse,
+        },
+        config,
+    )
+    out = []
+    for technique in ("Wild", "IceBreaker"):
+        base = aggregate_results(results[technique])
+        integ = aggregate_results(results[f"{technique}+PULSE"])
+        out.append(
+            IntegrationResult(
+                technique=technique,
+                accuracy=percent_improvement(
+                    base["accuracy_percent"],
+                    integ["accuracy_percent"],
+                    higher_is_better=True,
+                ),
+                keepalive_cost=percent_improvement(
+                    base["keepalive_cost_usd"],
+                    integ["keepalive_cost_usd"],
+                    higher_is_better=False,
+                ),
+                service_time=percent_improvement(
+                    base["service_time_s"],
+                    integ["service_time_s"],
+                    higher_is_better=False,
+                ),
+                base_aggregate=base,
+                integrated_aggregate=integ,
+            )
+        )
+    return out

@@ -1,0 +1,104 @@
+"""Figures 1 & 2 — motivation: diverse and drifting inter-arrival patterns.
+
+Figure 1 plots, for five different functions, the percentage of
+invocations re-arriving at each minute of the 10-minute post-invocation
+window; the shapes differ sharply across functions. Figure 2 plots the
+same histogram for *one* function over the first / middle / last four
+days of the trace, showing the shape changes over time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.analysis import window_interarrival_histogram
+from repro.traces.schema import MINUTES_PER_DAY, Trace
+
+__all__ = ["figure1_histograms", "figure2_drift", "histogram_divergence"]
+
+
+def figure1_histograms(
+    trace: Trace,
+    function_ids: list[int] | None = None,
+    window: int = 10,
+) -> dict[str, np.ndarray]:
+    """Per-function windowed inter-arrival histograms (Fig. 1's panels).
+
+    Defaults to five functions chosen for shape diversity: the five whose
+    histograms are pairwise most different (greedy max-min selection on
+    L1 distance).
+    """
+    if function_ids is None:
+        hists = [
+            window_interarrival_histogram(trace, fid, window)
+            for fid in range(trace.n_functions)
+        ]
+        chosen = [int(np.argmax([h.sum() for h in hists]))]
+        while len(chosen) < min(5, trace.n_functions):
+            best, best_d = -1, -1.0
+            for fid in range(trace.n_functions):
+                if fid in chosen:
+                    continue
+                d = min(float(np.abs(hists[fid] - hists[c]).sum()) for c in chosen)
+                if d > best_d:
+                    best, best_d = fid, d
+            chosen.append(best)
+        function_ids = chosen
+    return {
+        trace.functions[fid].name: window_interarrival_histogram(trace, fid, window)
+        for fid in function_ids
+    }
+
+
+def figure2_drift(
+    trace: Trace,
+    function_id: int | None = None,
+    days_per_period: int = 4,
+    window: int = 10,
+) -> dict[str, np.ndarray]:
+    """One function's histogram over three trace periods (Fig. 2's panels).
+
+    Defaults to the function whose histograms drift the most across the
+    first / middle / last ``days_per_period`` days.
+    """
+    horizon_days = int(trace.horizon // MINUTES_PER_DAY)
+    if horizon_days >= 3:
+        days = min(days_per_period, max(1, horizon_days // 3))
+        mid_start = max(0, (horizon_days - days) // 2)
+        last_start = max(0, horizon_days - days)
+        periods = {
+            f"first {days} days": trace.days(0, days),
+            f"middle {days} days": trace.days(mid_start, days),
+            f"last {days} days": trace.days(last_start, days),
+        }
+    else:
+        # Short traces: non-overlapping thirds of the horizon.
+        third = trace.horizon // 3
+        periods = {
+            "first third": trace.window(0, third),
+            "middle third": trace.window(third, 2 * third),
+            "last third": trace.window(2 * third, trace.horizon),
+        }
+    if function_id is None:
+        function_id = max(
+            range(trace.n_functions),
+            key=lambda fid: histogram_divergence(
+                [
+                    window_interarrival_histogram(p, fid, window)
+                    for p in periods.values()
+                ]
+            ),
+        )
+    return {
+        label: window_interarrival_histogram(p, function_id, window)
+        for label, p in periods.items()
+    }
+
+
+def histogram_divergence(histograms: list[np.ndarray]) -> float:
+    """Total pairwise L1 distance — how much a set of histograms differ."""
+    total = 0.0
+    for i in range(len(histograms)):
+        for j in range(i + 1, len(histograms)):
+            total += float(np.abs(histograms[i] - histograms[j]).sum())
+    return total

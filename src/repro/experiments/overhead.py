@@ -1,0 +1,71 @@
+"""Figure 9 — decision overhead and accuracy: MILP vs PULSE.
+
+Panel (a): the distribution over simulation runs of (total policy
+decision overhead) / (total service time) — the paper's histogram has
+MILP roughly an order of magnitude above PULSE. Panel (b): end-to-end
+accuracy of the two policies — MILP loses accuracy because the joint
+optimization "tends to favor lower-quality models".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.pulse import PulsePolicy
+from repro.experiments.runner import ExperimentConfig, default_trace, run_policies
+from repro.milp.policy import MilpPolicy
+from repro.runtime.metrics import aggregate_results
+from repro.traces.schema import Trace
+
+__all__ = ["OverheadResult", "figure9_overhead"]
+
+
+@dataclass(frozen=True)
+class OverheadResult:
+    """Figure 9's data: per-run overhead ratios and accuracies."""
+
+    pulse_overhead_ratio: np.ndarray  # overhead / service time, per run
+    milp_overhead_ratio: np.ndarray
+    pulse_accuracy: float
+    milp_accuracy: float
+    pulse_aggregate: dict[str, float]
+    milp_aggregate: dict[str, float]
+
+    @property
+    def overhead_factor(self) -> float:
+        """How many times more overhead MILP incurs than PULSE (medians)."""
+        p = float(np.median(self.pulse_overhead_ratio))
+        if p == 0:
+            return float("inf")
+        return float(np.median(self.milp_overhead_ratio)) / p
+
+
+def figure9_overhead(
+    config: ExperimentConfig | None = None,
+    trace: Trace | None = None,
+) -> OverheadResult:
+    """Run both optimizers with decision-overhead instrumentation."""
+    config = config or ExperimentConfig()
+    config = replace(config, sim=replace(config.sim, measure_overhead=True))
+    trace = trace if trace is not None else default_trace(config)
+    results = run_policies(
+        trace,
+        {"PULSE": PulsePolicy, "MILP": MilpPolicy},
+        config,
+    )
+    pulse_ratio = np.array(
+        [r.overhead_over_service_time for r in results["PULSE"]]
+    )
+    milp_ratio = np.array([r.overhead_over_service_time for r in results["MILP"]])
+    pu = aggregate_results(results["PULSE"])
+    mi = aggregate_results(results["MILP"])
+    return OverheadResult(
+        pulse_overhead_ratio=pulse_ratio,
+        milp_overhead_ratio=milp_ratio,
+        pulse_accuracy=pu["accuracy_percent"],
+        milp_accuracy=mi["accuracy_percent"],
+        pulse_aggregate=pu,
+        milp_aggregate=mi,
+    )

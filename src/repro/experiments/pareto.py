@@ -1,0 +1,103 @@
+"""Cost–accuracy Pareto frontier over PULSE's configuration space.
+
+Figure 5 plots three points (all-lowest, all-highest, PULSE); this
+extension sweeps PULSE's configuration grid — threshold scheme ×
+probability shape × memory threshold — and computes which configurations
+are Pareto-optimal in (keep-alive cost ↓, accuracy ↑). It makes the
+probability-shape trade-off of DESIGN.md §7.1 visible as a frontier a
+provider can pick an operating point from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from itertools import product
+
+from repro.baselines.openwhisk import OpenWhiskPolicy
+from repro.baselines.static import AllLowQualityPolicy
+from repro.core.pulse import PulseConfig, PulsePolicy
+from repro.experiments.runner import ExperimentConfig, default_trace, run_policies
+from repro.runtime.metrics import aggregate_results
+from repro.traces.schema import Trace
+
+__all__ = ["ParetoPoint", "pareto_frontier", "pulse_configuration_sweep"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One configuration's position in the cost/accuracy plane."""
+
+    label: str
+    keepalive_cost_usd: float
+    accuracy_percent: float
+    service_time_s: float
+    on_frontier: bool = False
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Weakly better on both objectives, strictly on one."""
+        better_cost = self.keepalive_cost_usd <= other.keepalive_cost_usd
+        better_acc = self.accuracy_percent >= other.accuracy_percent
+        strictly = (
+            self.keepalive_cost_usd < other.keepalive_cost_usd
+            or self.accuracy_percent > other.accuracy_percent
+        )
+        return better_cost and better_acc and strictly
+
+
+def pareto_frontier(points: list[ParetoPoint]) -> list[ParetoPoint]:
+    """Mark and return the non-dominated subset (cost ↓, accuracy ↑)."""
+    out = []
+    for p in points:
+        dominated = any(q.dominates(p) for q in points if q is not p)
+        out.append(
+            ParetoPoint(
+                label=p.label,
+                keepalive_cost_usd=p.keepalive_cost_usd,
+                accuracy_percent=p.accuracy_percent,
+                service_time_s=p.service_time_s,
+                on_frontier=not dominated,
+            )
+        )
+    return out
+
+
+def pulse_configuration_sweep(
+    config: ExperimentConfig | None = None,
+    trace: Trace | None = None,
+    schemes: tuple[str, ...] = ("T1", "T2"),
+    modes: tuple[str, ...] = ("exact", "survival", "hazard"),
+    memory_thresholds: tuple[float, ...] = (0.10,),
+) -> list[ParetoPoint]:
+    """Sweep the grid, add the two fixed anchors, mark the frontier."""
+    if not schemes or not modes or not memory_thresholds:
+        raise ValueError("each sweep dimension needs at least one value")
+    config = config or ExperimentConfig()
+    trace = trace if trace is not None else default_trace(config)
+    policies = {
+        "all-highest": OpenWhiskPolicy,
+        "all-lowest": AllLowQualityPolicy,
+    }
+    for scheme, mode, km_t in product(schemes, modes, memory_thresholds):
+        label = f"{scheme}/{mode}/KM_T={km_t:.2f}"
+        policies[label] = partial(
+            PulsePolicy,
+            PulseConfig(
+                threshold_scheme=scheme,
+                probability_mode=mode,
+                memory_threshold=km_t,
+            ),
+        )
+    results = run_policies(trace, policies, config)
+    points = []
+    for label, runs in results.items():
+        agg = aggregate_results(runs)
+        points.append(
+            ParetoPoint(
+                label=label,
+                keepalive_cost_usd=agg["keepalive_cost_usd"],
+                accuracy_percent=agg["accuracy_percent"],
+                service_time_s=agg["service_time_s"],
+            )
+        )
+    return pareto_frontier(points)

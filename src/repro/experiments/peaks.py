@@ -1,0 +1,140 @@
+"""Tables II & III — strategy comparison over the post-peak window.
+
+§II designates the two most prominent cumulative-invocation peaks in the
+trace and evaluates four quality-assignment strategies over the 10-minute
+keep-alive window that follows each peak, for the functions invoked at
+the peak (every strategy keeps all of them alive for the full window, so
+warm starts are equal by construction; the strategies differ in *which
+variant* each function holds):
+
+1. **all high** — every function keeps its highest-quality variant;
+2. **all low** — every function keeps its lowest;
+3. **random high/low** — a balanced random split;
+4. **intelligent** — functions ranked by their *actual* invocation count
+   inside the window; the top half keep high quality.
+
+Reported per strategy: total service time over the window's invocations,
+keep-alive cost of holding the containers for the window, and
+invocation-weighted accuracy — Table II for the first peak, Table III for
+the second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.variants import ModelFamily
+from repro.runtime.costmodel import CostModel
+from repro.traces.analysis import invocation_peaks
+from repro.traces.schema import Trace
+from repro.utils.rng import rng_from_seed
+
+__all__ = ["PeakStrategyRow", "evaluate_peak_window", "tables2_3_peak_strategies"]
+
+STRATEGIES = ("all_high", "all_low", "random_mixed", "intelligent")
+
+
+@dataclass(frozen=True)
+class PeakStrategyRow:
+    """One table row: a strategy's metrics over one post-peak window."""
+
+    strategy: str
+    service_time_s: float
+    keepalive_cost_usd: float
+    accuracy_percent: float
+    n_invocations: int
+    n_functions: int
+
+
+def _levels_for(
+    strategy: str,
+    fids: list[int],
+    future_counts: dict[int, int],
+    rng: np.random.Generator,
+) -> dict[int, str]:
+    """Which quality ('high'/'low') each function keeps, per strategy."""
+    if strategy == "all_high":
+        return {f: "high" for f in fids}
+    if strategy == "all_low":
+        return {f: "low" for f in fids}
+    if strategy == "random_mixed":
+        order = list(fids)
+        rng.shuffle(order)
+        half = (len(order) + 1) // 2
+        return {f: ("high" if i < half else "low") for i, f in enumerate(order)}
+    if strategy == "intelligent":
+        ranked = sorted(fids, key=lambda f: (-future_counts[f], f))
+        half = (len(ranked) + 1) // 2
+        return {f: ("high" if i < half else "low") for i, f in enumerate(ranked)}
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def evaluate_peak_window(
+    trace: Trace,
+    assignment: dict[int, ModelFamily],
+    peak_minute: int,
+    window: int = 10,
+    cost_model: CostModel | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> list[PeakStrategyRow]:
+    """Evaluate all four strategies over one post-peak window."""
+    cost_model = cost_model or CostModel()
+    rng = rng_from_seed(seed)
+    stop = min(peak_minute + 1 + window, trace.horizon)
+    fids = [int(f) for f in np.flatnonzero(trace.counts[:, peak_minute])]
+    if not fids:
+        raise ValueError(f"no function invokes at minute {peak_minute}")
+    future_counts = {
+        f: int(trace.counts[f, peak_minute + 1 : stop].sum()) for f in fids
+    }
+    rows = []
+    for strategy in STRATEGIES:
+        quality = _levels_for(strategy, fids, future_counts, rng)
+        service = 0.0
+        acc_weighted = 0.0
+        cost = 0.0
+        n_inv = 0
+        for f in fids:
+            fam = assignment[f]
+            variant = fam.highest if quality[f] == "high" else fam.lowest
+            # Keep-alive cost: the container is held for the whole window.
+            cost += cost_model.minute_cost(variant.memory_mb) * (stop - peak_minute)
+            # Window invocations (including the peak minute) are all warm.
+            count = int(trace.counts[f, peak_minute:stop].sum())
+            service += count * variant.warm_service_time_s
+            acc_weighted += count * variant.accuracy
+            n_inv += count
+        rows.append(
+            PeakStrategyRow(
+                strategy=strategy,
+                service_time_s=service,
+                keepalive_cost_usd=cost,
+                accuracy_percent=acc_weighted / n_inv if n_inv else 0.0,
+                n_invocations=n_inv,
+                n_functions=len(fids),
+            )
+        )
+    return rows
+
+
+def tables2_3_peak_strategies(
+    trace: Trace,
+    assignment: dict[int, ModelFamily],
+    window: int = 10,
+    cost_model: CostModel | None = None,
+    seed: int = 2024,
+) -> dict[str, list[PeakStrategyRow]]:
+    """Both tables: the two most prominent peaks' strategy comparisons."""
+    peaks = invocation_peaks(trace, n_peaks=2)
+    if len(peaks) < 2:
+        raise ValueError("trace does not contain two distinct invocation peaks")
+    return {
+        "table2_peak1": evaluate_peak_window(
+            trace, assignment, peaks[0], window, cost_model, seed
+        ),
+        "table3_peak2": evaluate_peak_window(
+            trace, assignment, peaks[1], window, cost_model, seed + 1
+        ),
+    }

@@ -1,0 +1,200 @@
+"""Full-report generation: every experiment, one markdown document.
+
+``generate_report`` runs the complete per-table/per-figure suite at a
+chosen scale and renders a self-contained markdown report with the same
+structure as EXPERIMENTS.md — useful for checking a code change against
+every paper element at once (``python -m repro report out.md``).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import replace
+
+import numpy as np
+
+from repro.experiments.ablations import (
+    peak_detector_ablation,
+    scalability_study,
+    utility_component_ablation,
+)
+from repro.experiments.assignments import sample_assignment
+from repro.experiments.headline import figure6_headline
+from repro.experiments.integration import figure8_integration
+from repro.experiments.memory import figure4_and_7_memory
+from repro.experiments.motivation import figure1_histograms, figure2_drift
+from repro.experiments.overhead import figure9_overhead
+from repro.experiments.peaks import tables2_3_peak_strategies
+from repro.experiments.reporting import format_bar_chart, format_series, format_table
+from repro.experiments.runner import ExperimentConfig, default_trace
+from repro.experiments.sensitivity import (
+    figure10_threshold_schemes,
+    figure11_memory_thresholds,
+    figure12_local_windows,
+    keep_alive_duration_sweep,
+)
+from repro.experiments.table1 import table1_characterization
+from repro.experiments.tradeoff import figure5_tradeoff
+from repro.traces.schema import Trace
+
+__all__ = ["generate_report"]
+
+
+def _sweep_rows(points) -> list[dict[str, float | str]]:
+    return [
+        {
+            "point": p.label,
+            "keepalive_cost_%": p.keepalive_cost,
+            "service_time_%": p.service_time,
+            "accuracy_%": p.accuracy,
+        }
+        for p in points
+    ]
+
+
+def generate_report(
+    config: ExperimentConfig | None = None,
+    trace: Trace | None = None,
+    quick: bool = False,
+) -> str:
+    """Run everything; return the markdown report.
+
+    ``quick`` shrinks the fixed-size side studies (scalability grid) so a
+    smoke-test report finishes in seconds; the per-figure experiments
+    already scale with ``config``.
+    """
+    config = config or ExperimentConfig()
+    trace = trace if trace is not None else default_trace(config)
+    assignment = sample_assignment(trace.n_functions, seed=config.seed)
+    out = io.StringIO()
+    w = out.write
+
+    w("# PULSE reproduction report\n\n")
+    w(
+        f"Scale: {config.n_runs} runs x {config.horizon_minutes} minutes, "
+        f"seed {config.seed}; trace `{trace.name}` with "
+        f"{trace.n_functions} functions and "
+        f"{trace.total_invocations()} invocations.\n\n"
+    )
+
+    w("## Table I — variant characterization\n\n```\n")
+    _, rows = table1_characterization(seed=config.seed)
+    w(format_table(rows))
+    w("\n```\n\n")
+
+    w("## Figures 1 & 2 — inter-arrival shapes\n\n```\n")
+    for name, h in figure1_histograms(trace).items():
+        w(format_series(h, label=f"{name:24s}") + "\n")
+    w("\n")
+    for label, h in figure2_drift(trace).items():
+        w(format_series(h, label=f"{label:16s}") + "\n")
+    w("```\n\n")
+
+    w("## Tables II & III — post-peak strategies\n\n```\n")
+    for name, rows_ in tables2_3_peak_strategies(trace, assignment).items():
+        w(format_table([r.__dict__ for r in rows_], title=name) + "\n\n")
+    w("```\n\n")
+
+    w("## Figures 4 & 7 — keep-alive memory\n\n```\n")
+    for label, r in figure4_and_7_memory(config, trace).items():
+        w(
+            format_series(r.memory_series_mb, label=f"{label:16s}")
+            + f"  avg={r.mean_memory_mb:.0f}MB max={r.max_memory_mb:.0f}MB"
+            + f" acc={r.accuracy_percent:.2f}%\n"
+        )
+    w("```\n\n")
+
+    w("## Figure 5 — trade-off\n\n```\n")
+    w(format_table([p.__dict__ for p in figure5_tradeoff(config, trace)]))
+    w("\n```\n\n")
+
+    w("## Figure 6 — headline vs OpenWhisk\n\n```\n")
+    headline = figure6_headline(config, trace)
+    w(format_bar_chart(headline.improvements, unit="%") + "\n")
+    w(format_series(headline.openwhisk_cost_error, label="OpenWhisk err") + "\n")
+    w(format_series(headline.pulse_cost_error, label="PULSE err    ") + "\n")
+    w("```\n\n")
+
+    w("## Figure 8 — integrations\n\n```\n")
+    for r in figure8_integration(config, trace):
+        w(f"{r.technique}+PULSE vs {r.technique}:\n")
+        w(
+            format_bar_chart(
+                {
+                    "accuracy": r.accuracy,
+                    "keepalive_cost": r.keepalive_cost,
+                    "service_time": r.service_time,
+                },
+                unit="%",
+            )
+            + "\n"
+        )
+    w("```\n\n")
+
+    w("## Figure 9 — MILP vs PULSE\n\n```\n")
+    ov = figure9_overhead(replace(config, n_runs=max(1, config.n_runs // 2)), trace)
+    w(
+        f"median overhead/service: PULSE "
+        f"{float(np.median(ov.pulse_overhead_ratio)):.2e}, "
+        f"MILP {float(np.median(ov.milp_overhead_ratio)):.2e} "
+        f"({ov.overhead_factor:.1f}x)\n"
+    )
+    w(f"accuracy: PULSE {ov.pulse_accuracy:.2f}%, MILP {ov.milp_accuracy:.2f}%\n")
+    w("```\n\n")
+
+    w("## Figures 10-12 — sensitivity\n\n```\n")
+    w(format_table(_sweep_rows(figure10_threshold_schemes(config, trace)),
+                   title="Fig 10: T1 vs T2") + "\n\n")
+    w(format_table(_sweep_rows(figure11_memory_thresholds(config, trace)),
+                   title="Fig 11: memory thresholds") + "\n\n")
+    w(format_table(_sweep_rows(figure12_local_windows(config, trace)),
+                   title="Fig 12: local windows") + "\n")
+    w("```\n\n")
+
+    w("## Extensions\n\n```\n")
+    duration = keep_alive_duration_sweep(config, trace)
+    w(
+        format_table(
+            [
+                {"window_min": k, **_sweep_rows(v)[0]}
+                for k, v in duration.items()
+            ],
+            title="Keep-alive durations",
+        )
+        + "\n\n"
+    )
+    w(
+        format_table(
+            [
+                {"label": r.label, "cost_usd": r.keepalive_cost_usd,
+                 "accuracy_%": r.accuracy_percent, **r.extra}
+                for r in utility_component_ablation(config, trace)
+            ],
+            title="Utility components",
+        )
+        + "\n\n"
+    )
+    w(
+        format_table(
+            [
+                {"label": r.label, "warm_fraction": r.warm_fraction, **r.extra}
+                for r in peak_detector_ablation(config)
+            ],
+            title="Peak detector (day-phase trace)",
+        )
+        + "\n\n"
+    )
+    scaling = (
+        scalability_study((12, 24), horizon_minutes=240, seed=config.seed)
+        if quick
+        else scalability_study()
+    )
+    w(
+        format_table(
+            [{"label": r.label, **r.extra} for r in scaling],
+            title="Scalability",
+        )
+        + "\n"
+    )
+    w("```\n")
+    return out.getvalue()

@@ -1,0 +1,95 @@
+"""Plain-text rendering of experiment outputs.
+
+The paper's artifact renders matplotlib bar plots from averaged .txt
+metrics; offline we render the same rows/series as aligned ASCII tables
+and sparkline-style series so every bench prints exactly what the
+corresponding table or figure reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "format_bar_chart"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    values: np.ndarray | Sequence[float],
+    label: str = "",
+    width: int = 72,
+) -> str:
+    """Render a numeric series as a one-line unicode sparkline.
+
+    Long series are bucket-averaged down to ``width`` points.
+    """
+    x = np.asarray(values, dtype=float)
+    if x.size == 0:
+        return f"{label}: (empty)"
+    if x.size > width:
+        edges = np.linspace(0, x.size, width + 1).astype(int)
+        x = np.array([x[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+    lo, hi = float(x.min()), float(x.max())
+    if hi == lo:
+        body = _BLOCKS[1] * x.size
+    else:
+        idx = np.round((x - lo) / (hi - lo) * (len(_BLOCKS) - 1)).astype(int)
+        body = "".join(_BLOCKS[i] for i in idx)
+    prefix = f"{label}: " if label else ""
+    return f"{prefix}[{lo:.3g}..{hi:.3g}] {body}"
+
+
+def format_bar_chart(
+    entries: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of labeled values (handles negatives)."""
+    if not entries:
+        return "(no entries)"
+    label_w = max(len(k) for k in entries)
+    max_abs = max(abs(v) for v in entries.values()) or 1.0
+    lines = []
+    for k, v in entries.items():
+        n = int(round(abs(v) / max_abs * width))
+        bar = ("-" if v < 0 else "#") * n
+        lines.append(f"{k.ljust(label_w)}  {v:+9.2f}{unit}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Figures 10–12 — sensitivity sweeps, plus the keep-alive duration sweep.
+
+Each sweep reports PULSE's percentage improvement over the OpenWhisk
+fixed policy on the three headline metrics, across:
+
+- Figure 10: probability-threshold technique T1 vs T2 (≈ equal — the
+  robustness claim);
+- Figure 11: keep-alive memory threshold KM_T ∈ {5 %, 10 %, 15 %}
+  (M1/M2/M3);
+- Figure 12: local window size ∈ {10, 60, 120} minutes;
+- extension (§V's "can be adapted to different keep-alive durations"):
+  engine keep-alive windows of 5/10/15 minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import partial
+
+from repro.baselines.openwhisk import OpenWhiskPolicy
+from repro.core.pulse import PulseConfig, PulsePolicy
+from repro.experiments.runner import ExperimentConfig, default_trace, run_policies
+from repro.runtime.metrics import aggregate_results, percent_improvement
+from repro.traces.schema import Trace
+
+__all__ = [
+    "SweepPoint",
+    "figure10_threshold_schemes",
+    "figure11_memory_thresholds",
+    "figure12_local_windows",
+    "keep_alive_duration_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """PULSE-vs-OpenWhisk improvement triplet for one parameter value."""
+
+    label: str
+    accuracy: float
+    keepalive_cost: float
+    service_time: float
+
+
+def _sweep(
+    variants: dict[str, PulseConfig],
+    config: ExperimentConfig,
+    trace: Trace,
+) -> list[SweepPoint]:
+    policies = {"OpenWhisk": OpenWhiskPolicy}
+    policies.update(
+        {label: partial(PulsePolicy, cfg) for label, cfg in variants.items()}
+    )
+    results = run_policies(trace, policies, config)
+    base = aggregate_results(results["OpenWhisk"])
+    points = []
+    for label in variants:
+        agg = aggregate_results(results[label])
+        points.append(
+            SweepPoint(
+                label=label,
+                accuracy=percent_improvement(
+                    base["accuracy_percent"],
+                    agg["accuracy_percent"],
+                    higher_is_better=True,
+                ),
+                keepalive_cost=percent_improvement(
+                    base["keepalive_cost_usd"],
+                    agg["keepalive_cost_usd"],
+                    higher_is_better=False,
+                ),
+                service_time=percent_improvement(
+                    base["service_time_s"],
+                    agg["service_time_s"],
+                    higher_is_better=False,
+                ),
+            )
+        )
+    return points
+
+
+def figure10_threshold_schemes(
+    config: ExperimentConfig | None = None,
+    trace: Trace | None = None,
+) -> list[SweepPoint]:
+    """T1 vs T2 probability-threshold techniques."""
+    config = config or ExperimentConfig()
+    trace = trace if trace is not None else default_trace(config)
+    return _sweep(
+        {
+            "T1": PulseConfig(threshold_scheme="T1"),
+            "T2": PulseConfig(threshold_scheme="T2"),
+        },
+        config,
+        trace,
+    )
+
+
+def figure11_memory_thresholds(
+    config: ExperimentConfig | None = None,
+    trace: Trace | None = None,
+    thresholds: tuple[float, ...] = (0.05, 0.10, 0.15),
+) -> list[SweepPoint]:
+    """KM_T sweep (the paper's M1/M2/M3)."""
+    config = config or ExperimentConfig()
+    trace = trace if trace is not None else default_trace(config)
+    return _sweep(
+        {
+            f"M{i + 1} ({int(t * 100)}%)": PulseConfig(memory_threshold=t)
+            for i, t in enumerate(thresholds)
+        },
+        config,
+        trace,
+    )
+
+
+def figure12_local_windows(
+    config: ExperimentConfig | None = None,
+    trace: Trace | None = None,
+    windows: tuple[int, ...] = (10, 60, 120),
+) -> list[SweepPoint]:
+    """Local window size sweep."""
+    config = config or ExperimentConfig()
+    trace = trace if trace is not None else default_trace(config)
+    return _sweep(
+        {f"{w}min": PulseConfig(local_window=w) for w in windows},
+        config,
+        trace,
+    )
+
+
+def keep_alive_duration_sweep(
+    config: ExperimentConfig | None = None,
+    trace: Trace | None = None,
+    durations: tuple[int, ...] = (5, 10, 15),
+) -> dict[int, list[SweepPoint]]:
+    """PULSE vs OpenWhisk at different keep-alive window lengths.
+
+    Both policies use the same window per point, so this tests §V's claim
+    that PULSE "can be adapted to different keep-alive durations".
+    """
+    config = config or ExperimentConfig()
+    trace = trace if trace is not None else default_trace(config)
+    out: dict[int, list[SweepPoint]] = {}
+    for k in durations:
+        cfg_k = replace(config, sim=replace(config.sim, keep_alive_window=k))
+        out[k] = _sweep({f"window={k}": PulseConfig()}, cfg_k, trace)
+    return out

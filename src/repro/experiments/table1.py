@@ -1,0 +1,46 @@
+"""Table I — comparative analysis of model variants.
+
+Runs the simulated Lambda profiling campaign
+(:class:`~repro.models.profiler.LambdaProfiler`) over the zoo and reports
+each variant's measured warm service time, keep-alive cost and accuracy —
+the same three columns as the paper's Table I — plus the cold-start
+characterization the simulation consumes.
+"""
+
+from __future__ import annotations
+
+from repro.models.profiler import LambdaProfiler, ProfileReport
+from repro.models.zoo import ModelZoo, default_zoo
+
+__all__ = ["table1_characterization"]
+
+
+def table1_characterization(
+    zoo: ModelZoo | None = None,
+    n_warm_samples: int = 1000,
+    n_cold_samples: int = 30,
+    seed: int = 2024,
+) -> tuple[ProfileReport, list[dict[str, float | str]]]:
+    """Profile every variant; returns (full report, Table-I-shaped rows)."""
+    zoo = zoo or default_zoo()
+    profiler = LambdaProfiler(
+        zoo,
+        n_warm_samples=n_warm_samples,
+        n_cold_samples=n_cold_samples,
+        seed=seed,
+    )
+    report = profiler.run()
+    rows = [
+        {
+            "model": p.variant.name,
+            "service_time_s": round(p.warm_mean_s, 2),
+            "keepalive_cost_cents_per_hour": round(
+                p.keepalive_cost_cents_per_hour, 3
+            ),
+            "accuracy_percent": p.variant.accuracy,
+            "cold_service_time_s": round(p.cold_mean_s, 2),
+            "memory_mb": round(p.variant.memory_mb, 0),
+        }
+        for p in report
+    ]
+    return report, rows

@@ -1,0 +1,59 @@
+"""Figure 5 — accuracy vs keep-alive cost trade-off.
+
+Three points: keeping only the lowest-quality variants (cheap, least
+accurate), only the highest-quality variants (accurate, expensive) and
+PULSE — which should land at near-lowest cost with near-highest accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.openwhisk import OpenWhiskPolicy
+from repro.baselines.static import AllLowQualityPolicy
+from repro.core.pulse import PulsePolicy
+from repro.experiments.runner import ExperimentConfig, default_trace, run_policies
+from repro.runtime.metrics import aggregate_results
+from repro.traces.schema import Trace
+
+__all__ = ["TradeoffPoint", "figure5_tradeoff"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One scatter point of Figure 5."""
+
+    label: str
+    keepalive_cost_usd: float
+    accuracy_percent: float
+    service_time_s: float
+
+
+def figure5_tradeoff(
+    config: ExperimentConfig | None = None,
+    trace: Trace | None = None,
+) -> list[TradeoffPoint]:
+    """The three trade-off points (lowest / highest / PULSE)."""
+    config = config or ExperimentConfig()
+    trace = trace if trace is not None else default_trace(config)
+    results = run_policies(
+        trace,
+        {
+            "lowest quality": AllLowQualityPolicy,
+            "highest quality": OpenWhiskPolicy,
+            "PULSE": PulsePolicy,
+        },
+        config,
+    )
+    points = []
+    for label, runs in results.items():
+        agg = aggregate_results(runs)
+        points.append(
+            TradeoffPoint(
+                label=label,
+                keepalive_cost_usd=agg["keepalive_cost_usd"],
+                accuracy_percent=agg["accuracy_percent"],
+                service_time_s=agg["service_time_s"],
+            )
+        )
+    return points

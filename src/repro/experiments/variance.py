@@ -1,0 +1,93 @@
+"""Run-to-run variability analysis.
+
+The paper reports averages over 1000 runs with random model-to-function
+assignments; this module quantifies the spread behind those averages —
+per-metric summary statistics with confidence intervals and the
+distribution over runs (Figure 9a is exactly such a distribution for the
+overhead ratio).
+
+Use :func:`variance_report` on the output of
+:func:`repro.experiments.runner.run_policies`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.metrics import RunResult
+from repro.utils.stats import SummaryStats, summarize
+
+__all__ = ["MetricVariance", "variance_report", "paired_deltas"]
+
+_METRICS = {
+    "keepalive_cost_usd": lambda r: r.keepalive_cost_usd,
+    "service_time_s": lambda r: r.total_service_time_s,
+    "accuracy_percent": lambda r: r.mean_accuracy,
+    "warm_fraction": lambda r: r.warm_fraction,
+}
+
+
+@dataclass(frozen=True)
+class MetricVariance:
+    """One policy × metric summary across runs."""
+
+    policy: str
+    metric: str
+    stats: SummaryStats
+
+    @property
+    def relative_spread(self) -> float:
+        """Coefficient of variation across runs (0 for a constant)."""
+        if self.stats.mean == 0:
+            return 0.0
+        return self.stats.std / abs(self.stats.mean)
+
+
+def variance_report(
+    results: dict[str, list[RunResult]],
+) -> list[MetricVariance]:
+    """Per-policy, per-metric spread across runs."""
+    if not results:
+        raise ValueError("no results given")
+    out: list[MetricVariance] = []
+    for policy, runs in results.items():
+        if not runs:
+            raise ValueError(f"policy {policy!r} has no runs")
+        for metric, getter in _METRICS.items():
+            out.append(
+                MetricVariance(
+                    policy=policy,
+                    metric=metric,
+                    stats=summarize(getter(r) for r in runs),
+                )
+            )
+    return out
+
+
+def paired_deltas(
+    results: dict[str, list[RunResult]],
+    baseline: str,
+    candidate: str,
+    metric: str = "keepalive_cost_usd",
+) -> SummaryStats:
+    """Per-run paired differences ``baseline - candidate`` on one metric.
+
+    Because :func:`~repro.experiments.runner.run_policies` reuses the same
+    assignment per run index across policies, the paired differences have
+    far lower variance than the unpaired means — the right way to ask
+    "does PULSE beat OpenWhisk *on the same workload*?".
+    """
+    if metric not in _METRICS:
+        raise KeyError(f"unknown metric {metric!r}; known: {sorted(_METRICS)}")
+    if baseline not in results or candidate not in results:
+        raise KeyError(
+            f"need both {baseline!r} and {candidate!r} in results "
+            f"(have {sorted(results)})"
+        )
+    base, cand = results[baseline], results[candidate]
+    if len(base) != len(cand):
+        raise ValueError(
+            f"paired analysis needs equal run counts ({len(base)} vs {len(cand)})"
+        )
+    getter = _METRICS[metric]
+    return summarize(getter(b) - getter(c) for b, c in zip(base, cand))

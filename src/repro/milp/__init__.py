@@ -1,0 +1,19 @@
+"""Mixed-Integer Linear Programming comparator (§V, Figure 9).
+
+The paper contrasts PULSE's greedy Algorithm 2 with an MILP that, at each
+peak, "simultaneously evaluates all selected models and their variants,
+aiming to identify the combination that maximizes utility value while
+adhering to the memory budget constraint". This package provides:
+
+- :mod:`repro.milp.formulation` — builds the MILP (variables, objective,
+  constraints) from a peak's state;
+- :mod:`repro.milp.policy` — :class:`MilpPolicy`, a drop-in policy that is
+  PULSE with Algorithm 2 replaced by the MILP solve (scipy's HiGHS
+  backend), so Figure 9's overhead and accuracy comparison is
+  apples-to-apples.
+"""
+
+from repro.milp.formulation import MilpProblem, build_peak_milp
+from repro.milp.policy import MilpPolicy
+
+__all__ = ["MilpPolicy", "MilpProblem", "build_peak_milp"]

@@ -1,0 +1,98 @@
+"""MILP formulation of the peak keep-alive selection.
+
+At a peak minute, for every kept-alive model *f* (current variant level
+``L_f``) the solver chooses one option: keep some level ``l ≤ L_f`` or —
+when the function is droppable (no remaining invocation probability, the
+same protection PULSE's greedy applies) — drop the keep-alive entirely.
+
+Binary variable ``x_{f,l}`` selects level *l* for function *f*::
+
+    maximize    Σ_{f,l} U_{f,l} · x_{f,l}
+    subject to  Σ_l x_{f,l} ≤ 1                      (one choice per fn;
+                                                      slack = drop, only
+                                                      for droppable fns)
+                Σ_{f,l} mem_{f,l} · x_{f,l} ≤ budget (the flatten target)
+                Σ_l x_{f,l} = 1 for protected fns    (must keep something)
+
+with ``U_{f,l} = Ai_{f,l} + Pr_f + Ip_f`` — the same components as
+Algorithm 2, evaluated per candidate level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.variants import ModelFamily, ModelVariant
+
+__all__ = ["MilpProblem", "build_peak_milp"]
+
+
+@dataclass(frozen=True)
+class MilpProblem:
+    """A fully materialized peak-selection MILP.
+
+    ``options[i]`` describes variable *i* as ``(function_id, level)``.
+    Solve with :func:`repro.milp.policy.solve_milp` (or scipy directly):
+    minimize ``c @ x`` subject to ``A_ub @ x <= b_ub``,
+    ``A_eq @ x == b_eq``, ``x`` binary.
+    """
+
+    options: tuple[tuple[int, int], ...]
+    c: np.ndarray  # negated utilities (scipy minimizes)
+    memory: np.ndarray  # per-option memory, MB
+    budget: float
+    function_rows: dict[int, list[int]]  # fid -> option indices
+    protected: frozenset[int]  # fids that must keep >= the lowest variant
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.options)
+
+
+def build_peak_milp(
+    alive: dict[int, ModelVariant],
+    assignment: dict[int, ModelFamily],
+    priorities: dict[int, float],
+    invocation_probabilities: dict[int, float],
+    droppable: dict[int, bool],
+    budget: float,
+) -> MilpProblem:
+    """Build the peak MILP from the current keep-alive state.
+
+    ``alive`` maps each kept-alive function to its currently planned
+    variant; candidate levels range from 0 to that variant's level
+    (the MILP may only downgrade, like Algorithm 2).
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be >= 0, got {budget}")
+    options: list[tuple[int, int]] = []
+    utilities: list[float] = []
+    memory: list[float] = []
+    function_rows: dict[int, list[int]] = {}
+    protected: set[int] = set()
+    for fid in sorted(alive):
+        family = assignment[fid]
+        current_level = alive[fid].level
+        pr = priorities.get(fid, 0.0)
+        ip = invocation_probabilities.get(fid, 0.0)
+        rows: list[int] = []
+        for level in range(current_level + 1):
+            variant = family.variant(level)
+            ai = family.accuracy_improvement(variant)
+            options.append((fid, level))
+            utilities.append(ai + pr + min(ip, 1.0))
+            memory.append(variant.memory_mb)
+            rows.append(len(options) - 1)
+        function_rows[fid] = rows
+        if not droppable.get(fid, False):
+            protected.add(fid)
+    return MilpProblem(
+        options=tuple(options),
+        c=-np.asarray(utilities, dtype=float),
+        memory=np.asarray(memory, dtype=float),
+        budget=float(budget),
+        function_rows=function_rows,
+        protected=frozenset(protected),
+    )

@@ -1,0 +1,35 @@
+"""Model-variant zoo substrate.
+
+The paper characterizes every ML model variant by four scalars measured on
+AWS Lambda (Table I): warm service time, cold service time, keep-alive cost
+and accuracy — plus the container memory footprint that drives keep-alive
+memory accounting. This subpackage provides:
+
+- :mod:`repro.models.variants` — the :class:`ModelVariant` / :class:`ModelFamily`
+  dataclasses and ordering semantics ("downgrade by one variant");
+- :mod:`repro.models.zoo` — the registry pre-populated with the paper's
+  model families (Tables I & IV);
+- :mod:`repro.models.latency` — stochastic service-time samplers;
+- :mod:`repro.models.profiler` — the simulated Lambda profiling campaign
+  (cold-start forcing via memory-size manipulation, 1000-input warm runs)
+  that regenerates Table I from noisy measurements.
+"""
+
+from repro.models.variants import ModelFamily, ModelVariant
+from repro.models.zoo import ModelZoo, default_zoo
+from repro.models.latency import LatencyModel
+from repro.models.datasets import DATASETS, SyntheticDataset, dataset_for
+from repro.models.profiler import LambdaProfiler, ProfileReport
+
+__all__ = [
+    "DATASETS",
+    "LambdaProfiler",
+    "LatencyModel",
+    "ModelFamily",
+    "ModelVariant",
+    "ModelZoo",
+    "ProfileReport",
+    "SyntheticDataset",
+    "dataset_for",
+    "default_zoo",
+]

@@ -1,0 +1,166 @@
+"""Synthetic stand-ins for the evaluation datasets (Table IV).
+
+The paper profiles each variant with "1000 distinct inputs drawn from the
+datasets" — sst2 sentences for BERT, COCO images for YOLO, wikitext
+prompts for GPT, CIFAR-10 images for ResNet/DenseNet. The datasets
+themselves are not redistributable here, so this module generates inputs
+with the *property that matters to the profiler*: a per-input latency
+modulation with the right shape for each task —
+
+- **sst2-like**: sentence lengths are short and right-skewed; latency
+  scales mildly with token count;
+- **wikitext-like**: generation prompts/continuations have heavy-tailed
+  lengths; latency scales strongly with sequence length (autoregressive
+  decoding);
+- **COCO-like**: images are fixed-size but object counts vary; detection
+  latency rises slightly with crowded scenes (NMS and post-processing);
+- **CIFAR-10-like**: fixed 32×32 inputs; per-input latency is nearly
+  constant (classification is input-independent).
+
+Each dataset yields :class:`SyntheticInput` records whose ``complexity``
+has mean 1.0, so a variant's expected warm latency stays its Table I
+scalar while individual invocations vary realistically.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import rng_from_seed
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "SyntheticInput",
+    "SyntheticDataset",
+    "Sst2Like",
+    "WikitextLike",
+    "CocoLike",
+    "Cifar10Like",
+    "dataset_for",
+    "DATASETS",
+]
+
+
+@dataclass(frozen=True)
+class SyntheticInput:
+    """One drawn input.
+
+    ``size`` is the task-specific magnitude (tokens, objects, pixels);
+    ``complexity`` is the latency multiplier relative to the variant's
+    mean service time (population mean 1.0).
+    """
+
+    input_id: int
+    size: float
+    complexity: float
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"size must be >= 0, got {self.size}")
+        if self.complexity <= 0:
+            raise ValueError(f"complexity must be > 0, got {self.complexity}")
+
+
+class SyntheticDataset(abc.ABC):
+    """A deterministic generator of task-shaped inputs."""
+
+    #: Dataset name as Table IV spells it.
+    name: str = "dataset"
+    #: Task the dataset drives.
+    task: str = "task"
+
+    @abc.abstractmethod
+    def _raw_sizes(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw task-specific size measures."""
+
+    @abc.abstractmethod
+    def _complexity(self, sizes: np.ndarray) -> np.ndarray:
+        """Map sizes to latency multipliers (before mean-normalization)."""
+
+    def sample(self, n: int, seed: int | np.random.Generator | None = None) -> list[SyntheticInput]:
+        """Draw ``n`` distinct inputs (deterministic given the seed)."""
+        check_positive_int("n", n)
+        rng = rng_from_seed(seed)
+        sizes = self._raw_sizes(rng, n).astype(float)
+        complexity = self._complexity(sizes)
+        complexity = complexity / complexity.mean()  # E[complexity] == 1
+        return [
+            SyntheticInput(input_id=i, size=float(sizes[i]),
+                           complexity=float(complexity[i]))
+            for i in range(n)
+        ]
+
+
+class Sst2Like(SyntheticDataset):
+    """Short movie-review sentences; mild latency dependence on length."""
+
+    name = "sst2"
+    task = "sentiment analysis"
+
+    def _raw_sizes(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # Token counts: right-skewed, mode ~10, capped at BERT's 128.
+        return np.clip(rng.gamma(shape=3.0, scale=4.0, size=n) + 3, 3, 128)
+
+    def _complexity(self, sizes: np.ndarray) -> np.ndarray:
+        # Transformer encoders batch to max length; mild linear term.
+        return 0.8 + 0.2 * sizes / sizes.mean()
+
+
+class WikitextLike(SyntheticDataset):
+    """Heavy-tailed prompt lengths; strong latency dependence (decoding)."""
+
+    name = "wikitext"
+    task = "text generation"
+
+    def _raw_sizes(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.clip(rng.lognormal(mean=4.0, sigma=0.6, size=n), 8, 1024)
+
+    def _complexity(self, sizes: np.ndarray) -> np.ndarray:
+        # Autoregressive decoding: latency ~ generated length.
+        return 0.3 + 0.7 * sizes / sizes.mean()
+
+
+class CocoLike(SyntheticDataset):
+    """Fixed-size images with varying object counts."""
+
+    name = "COCO"
+    task = "object detection"
+
+    def _raw_sizes(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # Objects per image: COCO averages ~7, heavy right tail.
+        return np.clip(rng.poisson(7.0, size=n), 0, 60).astype(float)
+
+    def _complexity(self, sizes: np.ndarray) -> np.ndarray:
+        # Backbone dominates; NMS/post-processing add a small term.
+        return 0.95 + 0.05 * sizes / max(sizes.mean(), 1.0)
+
+
+class Cifar10Like(SyntheticDataset):
+    """Fixed 32x32 inputs; effectively constant latency."""
+
+    name = "CIFAR-10"
+    task = "image classification"
+
+    def _raw_sizes(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, 32.0 * 32.0)
+
+    def _complexity(self, sizes: np.ndarray) -> np.ndarray:
+        return np.ones_like(sizes)
+
+
+DATASETS: dict[str, SyntheticDataset] = {
+    d.name: d for d in (Sst2Like(), WikitextLike(), CocoLike(), Cifar10Like())
+}
+
+
+def dataset_for(name: str) -> SyntheticDataset:
+    """Look up the dataset a Table IV family uses, by its dataset name."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {sorted(DATASETS)}"
+        ) from None

@@ -1,0 +1,71 @@
+"""Stochastic service-time samplers.
+
+The paper measures each variant's service time over 1000 distinct inputs;
+individual invocations are noisy around the per-variant mean. The
+simulator's default accounting uses the deterministic means (so one run's
+metrics are exactly reproducible), while the profiler and examples use
+:class:`LatencyModel` to sample realistic per-invocation latencies.
+
+The sampler uses a lognormal multiplicative-noise model, the standard
+shape for serverless invocation latencies (positive support, right skew):
+``sample = mean * LogNormal(-sigma^2 / 2, sigma)`` so that the expectation
+is exactly ``mean``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.variants import ModelVariant
+from repro.utils.rng import rng_from_seed
+from repro.utils.validation import check_fraction
+
+__all__ = ["LatencyModel"]
+
+
+class LatencyModel:
+    """Samples per-invocation warm and cold service times for variants.
+
+    Parameters
+    ----------
+    warm_cv:
+        Coefficient of variation for warm invocations (execution noise).
+    cold_cv:
+        Coefficient of variation for cold invocations (container creation
+        and model load dominate and are noisier than execution).
+    seed:
+        Seed or generator for reproducible sampling.
+    """
+
+    def __init__(
+        self,
+        warm_cv: float = 0.05,
+        cold_cv: float = 0.15,
+        seed: int | np.random.Generator | None = None,
+    ):
+        check_fraction("warm_cv", warm_cv)
+        check_fraction("cold_cv", cold_cv)
+        self.warm_cv = warm_cv
+        self.cold_cv = cold_cv
+        self._rng = rng_from_seed(seed)
+
+    @staticmethod
+    def _sigma(cv: float) -> float:
+        # For X ~ LogNormal(mu, sigma), CV^2 = exp(sigma^2) - 1.
+        return float(np.sqrt(np.log1p(cv * cv)))
+
+    def _sample(self, mean: float, cv: float, n: int | None) -> float | np.ndarray:
+        if cv == 0.0:
+            return mean if n is None else np.full(n, mean)
+        sigma = self._sigma(cv)
+        mu = -0.5 * sigma * sigma  # E[LogNormal(mu, sigma)] == 1
+        noise = self._rng.lognormal(mean=mu, sigma=sigma, size=n)
+        return mean * noise
+
+    def warm(self, variant: ModelVariant, n: int | None = None) -> float | np.ndarray:
+        """Sample ``n`` warm service times (or one scalar when ``n`` is None)."""
+        return self._sample(variant.warm_service_time_s, self.warm_cv, n)
+
+    def cold(self, variant: ModelVariant, n: int | None = None) -> float | np.ndarray:
+        """Sample ``n`` cold service times (or one scalar when ``n`` is None)."""
+        return self._sample(variant.cold_service_time_s, self.cold_cv, n)

@@ -1,0 +1,123 @@
+"""An independent event-driven reference implementation of fixed keep-alive.
+
+The minute-loop engine (:mod:`repro.runtime.simulator`) is the system
+under study; this module re-implements the *fixed keep-alive* accounting
+a second way — as an event-driven pass over each function's invocation
+minutes, with closed-form per-gap keep-alive intervals — so the two can
+be checked against each other (differential testing). For any trace and
+any fixed-variant policy, both implementations must agree exactly on:
+
+- the number of cold and warm starts,
+- total service time,
+- total keep-alive memory-minutes (hence cost).
+
+The closed form: for one function with arrival minutes
+``m_0 < m_1 < … < m_k`` and keep-alive window ``K``, a container is alive
+at minute ``t`` iff ``m_i <= t <= m_i + K`` for some *i*; the union of
+those intervals has length ``sum(min(gap_i, K + 1)) + K + 1`` where
+``gap_i = m_{i+1} - m_i``. An arrival is warm iff its gap from the
+previous arrival is ``<= K`` (or it shares a minute with an earlier
+invocation).
+
+This is deliberately *not* a policy plugged into the main engine — it
+shares no code with it, which is what makes agreement meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.variants import ModelFamily, ModelVariant
+from repro.runtime.costmodel import CostModel
+from repro.traces.schema import Trace
+from repro.utils.validation import check_positive_int
+
+__all__ = ["FixedPolicyReference", "ReferenceResult"]
+
+
+@dataclass(frozen=True)
+class ReferenceResult:
+    """The reference implementation's accounting."""
+
+    n_invocations: int
+    n_warm: int
+    n_cold: int
+    total_service_time_s: float
+    keepalive_mb_minutes: float
+    keepalive_cost_usd: float
+    mean_accuracy: float
+
+
+class FixedPolicyReference:
+    """Closed-form fixed keep-alive accounting for one variant level."""
+
+    def __init__(
+        self,
+        keep_alive_window: int = 10,
+        level: str = "highest",
+        cost_model: CostModel | None = None,
+    ):
+        check_positive_int("keep_alive_window", keep_alive_window)
+        if level not in ("highest", "lowest"):
+            raise ValueError(f"level must be 'highest' or 'lowest', got {level!r}")
+        self.window = keep_alive_window
+        self.level = level
+        self.cost_model = cost_model or CostModel()
+
+    def _variant(self, family: ModelFamily) -> ModelVariant:
+        return family.highest if self.level == "highest" else family.lowest
+
+    def _alive_minutes(self, arrivals: np.ndarray, horizon: int) -> int:
+        """Length of the union of [m_i, m_i + K] intervals, clipped."""
+        if len(arrivals) == 0:
+            return 0
+        k = self.window
+        total = 0
+        gaps = np.diff(arrivals)
+        total += int(np.minimum(gaps, k + 1).sum())
+        # Last arrival's interval, clipped to the horizon.
+        total += int(min(k + 1, horizon - arrivals[-1]))
+        return total
+
+    def run(self, trace: Trace, assignment: dict[int, ModelFamily]) -> ReferenceResult:
+        """Account the whole trace."""
+        n_warm = 0
+        n_cold = 0
+        n_invocations = 0
+        service = 0.0
+        accuracy_sum = 0.0
+        mb_minutes = 0.0
+        for fid in range(trace.n_functions):
+            family = assignment[fid]
+            variant = self._variant(family)
+            counts = trace.counts_for(fid)
+            arrivals = trace.invocation_minutes(fid)
+            if len(arrivals) == 0:
+                continue
+            # Cold starts: the first arrival, plus any arrival whose gap
+            # from the previous arrival minute exceeds the window.
+            gaps = np.diff(arrivals)
+            cold_arrivals = 1 + int(np.count_nonzero(gaps > self.window))
+            total_inv = int(counts.sum())
+            n_cold += cold_arrivals
+            n_warm += total_inv - cold_arrivals
+            n_invocations += total_inv
+            service += (
+                cold_arrivals * variant.cold_service_time_s
+                + (total_inv - cold_arrivals) * variant.warm_service_time_s
+            )
+            accuracy_sum += total_inv * variant.accuracy
+            mb_minutes += variant.memory_mb * self._alive_minutes(
+                arrivals, trace.horizon
+            )
+        return ReferenceResult(
+            n_invocations=n_invocations,
+            n_warm=n_warm,
+            n_cold=n_cold,
+            total_service_time_s=service,
+            keepalive_mb_minutes=mb_minutes,
+            keepalive_cost_usd=self.cost_model.minute_cost(mb_minutes),
+            mean_accuracy=accuracy_sum / n_invocations if n_invocations else 0.0,
+        )

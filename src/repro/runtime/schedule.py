@@ -1,0 +1,152 @@
+"""The keep-alive ledger: who is planned to be warm, when, at which quality.
+
+Policies write *plans* into the schedule — after an invocation of function
+*f* at minute *t*, a plan assigns a model variant (or nothing) to each of
+minutes *t+1 … t+K* (K = the keep-alive window, 10 in the paper). The
+engine reads the schedule to decide warm/cold starts and to account
+keep-alive memory; the global optimizer (PULSE's cross-function stage)
+rewrites schedule entries during peaks via :meth:`downgrade`.
+
+Later plans overwrite earlier ones minute-by-minute, which reproduces the
+fixed policy's "extend on re-invocation" behaviour and lets adaptive
+policies shorten or upgrade earlier decisions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.models.variants import ModelFamily, ModelVariant
+from repro.utils.validation import check_positive_int
+
+__all__ = ["KeepAliveSchedule"]
+
+
+class KeepAliveSchedule:
+    """Minute-indexed keep-alive decisions for every function."""
+
+    def __init__(self, n_functions: int, keep_alive_window: int = 10):
+        check_positive_int("n_functions", n_functions)
+        check_positive_int("keep_alive_window", keep_alive_window)
+        self.n_functions = n_functions
+        self.keep_alive_window = keep_alive_window
+        # per function: {absolute minute -> planned variant}
+        self._entries: list[dict[int, ModelVariant]] = [
+            {} for _ in range(n_functions)
+        ]
+
+    # -- writes -------------------------------------------------------------
+    def mark_alive(self, function_id: int, minute: int, variant: ModelVariant) -> None:
+        """Record that a container serves (and therefore lives) at ``minute``.
+
+        Used when a cold start at ``minute`` brings a container up: it
+        consumes keep-alive memory for the remainder of that minute.
+        """
+        self._check_fid(function_id)
+        self._entries[function_id][minute] = variant
+
+    def set_plan(
+        self,
+        function_id: int,
+        invocation_minute: int,
+        plan: Sequence[ModelVariant | None],
+    ) -> None:
+        """Install a policy's plan for minutes ``invocation_minute + 1 ..``.
+
+        ``plan[d-1]`` is the decision for offset ``d``; ``None`` entries
+        clear any previously planned keep-alive for that minute.
+        """
+        self._check_fid(function_id)
+        if len(plan) > self.keep_alive_window:
+            raise ValueError(
+                f"plan of length {len(plan)} exceeds keep-alive window "
+                f"{self.keep_alive_window}"
+            )
+        entries = self._entries[function_id]
+        for d, variant in enumerate(plan, start=1):
+            m = invocation_minute + d
+            if variant is None:
+                entries.pop(m, None)
+            else:
+                entries[m] = variant
+
+    def clear(self, function_id: int, minute: int) -> None:
+        """Remove any keep-alive decision for one minute."""
+        self._check_fid(function_id)
+        self._entries[function_id].pop(minute, None)
+
+    def downgrade(
+        self,
+        function_id: int,
+        from_minute: int,
+        family: ModelFamily,
+        allow_drop: bool = True,
+    ) -> float:
+        """Downgrade every planned entry of a function from ``from_minute`` on.
+
+        Each entry is replaced by its next-lower variant. Entries already
+        at the lowest variant are removed when ``allow_drop`` is true (the
+        paper: "warm starts with models having lower accuracy, or even
+        cold starts") and left untouched otherwise — the caller decides
+        droppability per *function* (PULSE protects functions that still
+        have a chance of invocation), so it must not be implied per entry.
+        Returns the memory in MB freed **at ``from_minute``** — the
+        quantity the peak-flattening loop iterates on.
+        """
+        self._check_fid(function_id)
+        entries = self._entries[function_id]
+        freed_now = 0.0
+        for m in [m for m in entries if m >= from_minute]:
+            old = entries[m]
+            new = family.downgrade(old)
+            if new is None:
+                if not allow_drop:
+                    continue
+                del entries[m]
+                if m == from_minute:
+                    freed_now += old.memory_mb
+            else:
+                entries[m] = new
+                if m == from_minute:
+                    freed_now += old.memory_mb - new.memory_mb
+        return freed_now
+
+    def advance(self, minute: int) -> None:
+        """Forget entries strictly before ``minute`` (bounds memory use)."""
+        for entries in self._entries:
+            stale = [m for m in entries if m < minute]
+            for m in stale:
+                del entries[m]
+
+    # -- reads --------------------------------------------------------------
+    def alive_variant(self, function_id: int, minute: int) -> ModelVariant | None:
+        """The variant planned to be warm for a function at ``minute``."""
+        self._check_fid(function_id)
+        return self._entries[function_id].get(minute)
+
+    def alive_at(self, minute: int) -> dict[int, ModelVariant]:
+        """All (function -> variant) keep-alives at ``minute``."""
+        return {
+            fid: entries[minute]
+            for fid, entries in enumerate(self._entries)
+            if minute in entries
+        }
+
+    def memory_at(self, minute: int) -> float:
+        """Total keep-alive memory (MB) at ``minute``."""
+        return sum(
+            entries[minute].memory_mb
+            for entries in self._entries
+            if minute in entries
+        )
+
+    def planned_minutes(self, function_id: int) -> list[int]:
+        """Sorted minutes with a keep-alive decision for a function."""
+        self._check_fid(function_id)
+        return sorted(self._entries[function_id])
+
+    def _check_fid(self, function_id: int) -> None:
+        if not 0 <= function_id < self.n_functions:
+            raise IndexError(
+                f"function_id {function_id} out of range 0..{self.n_functions - 1}"
+            )

@@ -1,0 +1,265 @@
+"""The simulation engine.
+
+Drives one keep-alive policy over one trace with one model-to-function
+assignment, at minute resolution, and produces a
+:class:`~repro.runtime.metrics.RunResult`.
+
+Per-minute order of operations (§5 of DESIGN.md):
+
+1. serve each function's invocations — warm if the schedule has a variant
+   alive at this minute (or a cold start earlier in the same minute left a
+   container up), cold otherwise with the policy's chosen variant;
+2. feed the invocation to the policy and install its new keep-alive plan
+   for the next K minutes;
+3. run the policy's cross-function review (PULSE flattens peaks here by
+   rewriting schedule entries for the current and future minutes);
+4. reconcile the container pool, commit the minute's keep-alive memory to
+   the ledger and accumulate cost.
+
+The *ideal* memory series (Figure 6b's reference) is accounted alongside:
+a container of the assigned family's highest variant alive exactly during
+invocation minutes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.variants import ModelFamily
+from repro.runtime.container import ContainerPool
+from repro.runtime.costmodel import CostModel
+from repro.runtime.events import EventKind, EventLog
+from repro.runtime.metrics import RunResult
+from repro.runtime.policy import KeepAlivePolicy
+from repro.runtime.schedule import KeepAliveSchedule
+from repro.traces.schema import Trace
+from repro.utils.rng import rng_from_seed
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Simulation", "SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Engine parameters.
+
+    ``record_series`` keeps the per-minute memory series (needed for the
+    memory/cost-error figures; disable for large sweeps).
+    ``track_containers`` maintains the container pool (lifecycle statistics;
+    small overhead).
+    ``measure_overhead`` wall-clocks every policy decision (Figure 9).
+    ``record_events`` collects a structured event log (cold/warm starts,
+    pre-warms, evictions, memory commits) on ``RunResult.events``;
+    implies container tracking for the pre-warm/eviction events.
+
+    ``memory_capacity_mb`` models the provider's finite memory (§III-A:
+    memory "is shared between actual invocations and keep-alive"). When a
+    minute's keep-alive memory exceeds capacity *after* the policy's
+    review, the platform force-downgrades **randomly chosen** kept-alive
+    models until it fits — the paper's "random functions/models are
+    downgraded" pressure valve that PULSE's utility-guided flattening is
+    designed to preempt. ``None`` (default) disables the cap.
+    """
+
+    keep_alive_window: int = 10
+    cost_model: CostModel = field(default_factory=CostModel)
+    record_series: bool = True
+    track_containers: bool = True
+    measure_overhead: bool = False
+    record_events: bool = False
+    memory_capacity_mb: float | None = None
+    capacity_seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int("keep_alive_window", self.keep_alive_window)
+        if self.memory_capacity_mb is not None and self.memory_capacity_mb <= 0:
+            raise ValueError(
+                f"memory_capacity_mb must be positive, got {self.memory_capacity_mb}"
+            )
+
+
+class Simulation:
+    """One policy, one trace, one assignment — one run."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        assignment: dict[int, ModelFamily],
+        policy: KeepAlivePolicy,
+        config: SimulationConfig | None = None,
+    ):
+        self.trace = trace
+        self.assignment = dict(assignment)
+        self.policy = policy
+        self.config = config or SimulationConfig()
+        self._validate()
+
+    def _validate(self) -> None:
+        if set(self.assignment) != set(range(self.trace.n_functions)):
+            raise ValueError(
+                "assignment must map every function id 0..n-1 to a family; "
+                f"got keys {sorted(self.assignment)}"
+            )
+
+    def run(self) -> RunResult:
+        """Execute the run and return its metrics."""
+        trace, cfg, policy = self.trace, self.config, self.policy
+        horizon = trace.horizon
+        n_fn = trace.n_functions
+        counts = trace.counts
+
+        policy.bind(trace, self.assignment, cfg.keep_alive_window)
+        schedule = KeepAliveSchedule(n_fn, cfg.keep_alive_window)
+        events = EventLog() if cfg.record_events else None
+        pool = (
+            ContainerPool(events)
+            if (cfg.track_containers or cfg.record_events)
+            else None
+        )
+
+        highest_mb = np.array(
+            [self.assignment[fid].highest.memory_mb for fid in range(n_fn)]
+        )
+
+        service_time = 0.0
+        accuracy_sum = 0.0
+        n_invocations = 0
+        n_warm = 0
+        n_cold = 0
+        overhead = 0.0
+        n_decisions = 0
+        total_mb_minutes = 0.0
+        mem_series = np.zeros(horizon) if cfg.record_series else None
+        ideal_series = np.zeros(horizon) if cfg.record_series else None
+
+        measure = cfg.measure_overhead
+        clock = time.perf_counter
+        capacity = cfg.memory_capacity_mb
+        capacity_rng = rng_from_seed(cfg.capacity_seed)
+        n_forced = 0
+
+        # Pre-compute which functions invoke at each minute (hot-loop aid:
+        # most minutes touch only a few of the 12 functions).
+        invoking_by_minute: list[np.ndarray] = [
+            np.flatnonzero(counts[:, t]) for t in range(horizon)
+        ]
+
+        for t in range(horizon):
+            # Pre-warm pass: realize the schedule's decisions for this
+            # minute before invocations arrive.
+            if pool is not None:
+                for fid in range(n_fn):
+                    pool.reconcile(fid, schedule.alive_variant(fid, t), t)
+
+            # 1 + 2: serve invocations, then plan.
+            for fid in invoking_by_minute[t]:
+                fid = int(fid)
+                count = int(counts[fid, t])
+                alive = schedule.alive_variant(fid, t)
+                if alive is None:
+                    if measure:
+                        t0 = clock()
+                        variant = policy.cold_variant(fid, t)
+                        overhead += clock() - t0
+                        n_decisions += 1
+                    else:
+                        variant = policy.cold_variant(fid, t)
+                    service_time += (
+                        variant.cold_service_time_s
+                        + (count - 1) * variant.warm_service_time_s
+                    )
+                    n_cold += 1
+                    n_warm += count - 1
+                    accuracy_sum += count * variant.accuracy
+                    schedule.mark_alive(fid, t, variant)
+                    if pool is not None:
+                        pool.cold_start(fid, variant, t)
+                        pool.record_served(fid, count)
+                    if events is not None:
+                        events.emit(t, EventKind.COLD_START, fid, variant.name, 1)
+                        if count > 1:
+                            events.emit(
+                                t, EventKind.WARM_START, fid, variant.name, count - 1
+                            )
+                else:
+                    service_time += count * alive.warm_service_time_s
+                    n_warm += count
+                    accuracy_sum += count * alive.accuracy
+                    if pool is not None:
+                        pool.record_served(fid, count)
+                    if events is not None:
+                        events.emit(t, EventKind.WARM_START, fid, alive.name, count)
+                n_invocations += count
+
+                policy.observe_invocation(fid, t, count)
+                if measure:
+                    t0 = clock()
+                    plan = policy.plan(fid, t)
+                    overhead += clock() - t0
+                    n_decisions += 1
+                else:
+                    plan = policy.plan(fid, t)
+                schedule.set_plan(fid, t, plan)
+
+            # 3: cross-function review (peak flattening).
+            if measure:
+                t0 = clock()
+                policy.review_minute(t, schedule)
+                overhead += clock() - t0
+                n_decisions += 1
+            else:
+                policy.review_minute(t, schedule)
+
+            # 3b: provider pressure valve — random downgrades when the
+            # minute's keep-alive memory exceeds the platform capacity.
+            if capacity is not None:
+                while schedule.memory_at(t) > capacity:
+                    alive = schedule.alive_at(t)
+                    if not alive:
+                        break
+                    victim = int(
+                        capacity_rng.choice(np.fromiter(alive, dtype=np.int64))
+                    )
+                    schedule.downgrade(
+                        victim, t, self.assignment[victim], allow_drop=True
+                    )
+                    n_forced += 1
+
+            # 4: commit the minute — settle containers on the post-review
+            # variants, then charge warm minutes.
+            if pool is not None:
+                for fid in range(n_fn):
+                    pool.reconcile(fid, schedule.alive_variant(fid, t), t)
+                pool.tick_all()
+
+            mem_t = schedule.memory_at(t)
+            total_mb_minutes += mem_t
+            if events is not None:
+                events.emit(t, EventKind.MEMORY_COMMIT, value=mem_t)
+            if mem_series is not None:
+                mem_series[t] = mem_t
+            if ideal_series is not None and len(invoking_by_minute[t]):
+                ideal_series[t] = highest_mb[invoking_by_minute[t]].sum()
+
+            schedule.advance(t + 1)
+
+        mean_accuracy = accuracy_sum / n_invocations if n_invocations else 0.0
+        return RunResult(
+            policy_name=policy.name,
+            n_invocations=n_invocations,
+            n_warm=n_warm,
+            n_cold=n_cold,
+            total_service_time_s=service_time,
+            keepalive_cost_usd=cfg.cost_model.minute_cost(total_mb_minutes),
+            mean_accuracy=mean_accuracy,
+            policy_overhead_s=overhead,
+            n_policy_decisions=n_decisions,
+            memory_series_mb=mem_series,
+            ideal_memory_series_mb=ideal_series,
+            pool_stats=pool.stats if pool is not None else None,
+            events=events,
+            n_forced_downgrades=n_forced,
+        )

@@ -1,0 +1,31 @@
+"""State-of-the-art serverless warm-up strategies (§IV) and PULSE shims.
+
+- :mod:`repro.sota.wild` — *Serverless in the Wild* (ATC'20): hybrid
+  histogram of idle times with percentile-derived pre-warm/keep-alive
+  windows, a time-series (AR) fallback for out-of-bounds patterns, and a
+  conservative fixed window while learning;
+- :mod:`repro.sota.icebreaker` — *IceBreaker* (ASPLOS'22): Fourier-based
+  invocation forecasting (top-k harmonic extrapolation of the recent
+  per-minute invocation signal);
+- :mod:`repro.sota.arima` — the lightweight autoregressive forecaster the
+  Wild policy uses where the original used ARIMA;
+- :mod:`repro.sota.integration` — :class:`PulseIntegratedPolicy`, which
+  preserves the base technique's predicted concurrency and lets PULSE
+  choose variants and apply cross-function peak flattening (Figure 8).
+
+Neither technique is model-variant aware: standalone, they keep the
+highest-quality variant alive during their predicted windows, exactly as
+the paper configures them.
+"""
+
+from repro.sota.arima import ARForecaster
+from repro.sota.wild import WildPolicy
+from repro.sota.icebreaker import IceBreakerPolicy
+from repro.sota.integration import PulseIntegratedPolicy
+
+__all__ = [
+    "ARForecaster",
+    "IceBreakerPolicy",
+    "PulseIntegratedPolicy",
+    "WildPolicy",
+]

@@ -1,0 +1,58 @@
+"""Autoregressive forecasting of idle times.
+
+Serverless-in-the-Wild falls back to an ARIMA model for functions whose
+idle-time histogram is not representative (heavy tails / out-of-bounds
+patterns). Offline we have no statsmodels, so we implement the piece the
+policy actually needs: a one-step-ahead autoregressive forecaster, AR(p)
+fit by ordinary least squares on the recent idle-time series — the AR
+core of ARIMA(p, 0, 0). For the gently drifting idle-time series this
+fallback sees, differencing and MA terms change forecasts marginally; the
+policy only consumes the point forecast and clamps it into a pre-warm
+window anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ARForecaster"]
+
+
+class ARForecaster:
+    """AR(p) least-squares one-step forecaster.
+
+    Fit on demand from whatever history is passed in; degrades gracefully
+    with short histories (falls back to lower orders, then to the mean,
+    then to the last value).
+    """
+
+    def __init__(self, order: int = 3):
+        check_positive_int("order", order)
+        self.order = order
+
+    def forecast(self, series: np.ndarray | list[float]) -> float:
+        """Predict the next value of ``series``."""
+        x = np.asarray(series, dtype=float)
+        if x.size == 0:
+            raise ValueError("cannot forecast from an empty series")
+        if x.size == 1:
+            return float(x[0])
+        p = min(self.order, x.size - 1)
+        if x.size < 2 * p + 1:
+            # Too short to fit reliably: use the mean of what we have.
+            return float(x.mean())
+        # Design matrix of lagged windows: rows [x[t-1], ..., x[t-p], 1].
+        n = x.size - p
+        design = np.empty((n, p + 1))
+        for lag in range(1, p + 1):
+            design[:, lag - 1] = x[p - lag : p - lag + n]
+        design[:, p] = 1.0
+        target = x[p:]
+        coef, *_ = np.linalg.lstsq(design, target, rcond=None)
+        last_lags = x[-1 : -p - 1 : -1]  # most recent first
+        pred = float(last_lags @ coef[:p] + coef[p])
+        if not np.isfinite(pred):
+            return float(x.mean())
+        return pred

@@ -1,0 +1,47 @@
+"""Workload-trace substrate.
+
+PULSE is evaluated against the Microsoft Azure Functions production trace
+(two weeks of per-minute invocation counts; the paper uses the 12
+representative functions previously used by Serverless-in-the-Wild and
+IceBreaker). This subpackage provides:
+
+- :mod:`repro.traces.schema`    — the in-memory :class:`Trace` representation;
+- :mod:`repro.traces.azure`     — loader/writer for the public Azure trace
+  CSV schema (``HashFunction, 1, 2, …, 1440`` per-minute count columns);
+- :mod:`repro.traces.synthetic` — a calibrated generator that reproduces the
+  trace's statistical structure (function archetypes, global peaks,
+  day-phase drift) when the real trace is not on disk;
+- :mod:`repro.traces.analysis`  — inter-arrival extraction, peak finding and
+  the windowed histograms behind Figures 1 and 2.
+"""
+
+from repro.traces.schema import FunctionSpec, Trace
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+from repro.traces.azure import load_azure_csv, write_azure_csv
+from repro.traces.analysis import (
+    interarrival_times,
+    invocation_peaks,
+    window_interarrival_histogram,
+)
+from repro.traces.characterize import (
+    FunctionCharacterization,
+    characterize_function,
+    characterize_trace,
+    classify,
+)
+
+__all__ = [
+    "FunctionCharacterization",
+    "FunctionSpec",
+    "SyntheticTraceConfig",
+    "Trace",
+    "characterize_function",
+    "characterize_trace",
+    "classify",
+    "generate_trace",
+    "interarrival_times",
+    "invocation_peaks",
+    "load_azure_csv",
+    "window_interarrival_histogram",
+    "write_azure_csv",
+]

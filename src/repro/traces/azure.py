@@ -1,0 +1,153 @@
+"""Loader/writer for the public Azure Functions trace CSV schema.
+
+The Microsoft Azure Functions 2019 dataset ("Serverless in the Wild",
+ATC'20) ships per-day CSVs with one row per function and columns::
+
+    HashOwner, HashApp, HashFunction, Trigger, 1, 2, ..., 1440
+
+where column *i* holds the invocation count in minute *i* of that day.
+:func:`load_azure_csv` reads one or more such files (consecutive days of
+the same function population) into a :class:`~repro.traces.schema.Trace`;
+:func:`write_azure_csv` writes a trace back out in the same schema, which
+is also how the test-suite round-trips the synthetic generator.
+
+Functions are identified by their ``HashFunction`` value; when loading
+multiple days, functions absent on some day contribute zero counts for
+that day.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.schema import MINUTES_PER_DAY, FunctionSpec, Trace
+
+__all__ = ["load_azure_csv", "write_azure_csv", "top_functions"]
+
+_META_COLUMNS = ("HashOwner", "HashApp", "HashFunction", "Trigger")
+
+
+def _read_day(path: Path) -> dict[str, np.ndarray]:
+    """Read one day file into {HashFunction: counts[1440]}."""
+    out: dict[str, np.ndarray] = {}
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        try:
+            fn_col = header.index("HashFunction")
+        except ValueError:
+            raise ValueError(
+                f"{path}: missing HashFunction column (header={header[:6]}...)"
+            ) from None
+        first_minute_col = len([c for c in header if c in _META_COLUMNS])
+        n_minutes = len(header) - first_minute_col
+        if n_minutes < 1:
+            raise ValueError(f"{path}: no per-minute columns found")
+        for row in reader:
+            if not row:
+                continue
+            key = row[fn_col]
+            vals = np.array(
+                [int(float(x)) if x else 0 for x in row[first_minute_col:]],
+                dtype=np.int64,
+            )
+            if key in out:
+                out[key] = out[key] + vals  # duplicate rows: sum (same function)
+            else:
+                out[key] = vals
+    return out
+
+
+def load_azure_csv(
+    paths: list[str | Path] | str | Path,
+    function_ids: list[str] | None = None,
+    name: str = "azure",
+) -> Trace:
+    """Load consecutive per-day Azure trace CSVs into one :class:`Trace`.
+
+    Parameters
+    ----------
+    paths:
+        One path or a list of per-day CSV paths, in chronological order.
+    function_ids:
+        Optional subset of ``HashFunction`` values to keep (in this order).
+        By default every function seen on any day is kept, ordered by
+        total invocation count descending.
+    """
+    if isinstance(paths, (str, Path)):
+        paths = [paths]
+    if not paths:
+        raise ValueError("at least one CSV path is required")
+    days = [_read_day(Path(p)) for p in paths]
+    day_lengths = [len(next(iter(d.values()))) if d else MINUTES_PER_DAY for d in days]
+
+    all_keys: dict[str, int] = {}
+    for d in days:
+        for k, v in d.items():
+            all_keys[k] = all_keys.get(k, 0) + int(v.sum())
+    if function_ids is None:
+        keys = sorted(all_keys, key=lambda k: (-all_keys[k], k))
+    else:
+        missing = [k for k in function_ids if k not in all_keys]
+        if missing:
+            raise KeyError(f"functions not present in trace files: {missing}")
+        keys = list(function_ids)
+    if not keys:
+        raise ValueError("no functions found in the given files")
+
+    horizon = sum(day_lengths)
+    counts = np.zeros((len(keys), horizon), dtype=np.int64)
+    offset = 0
+    for d, length in zip(days, day_lengths):
+        for i, k in enumerate(keys):
+            if k in d:
+                counts[i, offset : offset + length] = d[k]
+        offset += length
+
+    specs = tuple(
+        FunctionSpec(function_id=i, name=k, archetype="azure")
+        for i, k in enumerate(keys)
+    )
+    return Trace(counts=counts, functions=specs, name=name)
+
+
+def top_functions(trace: Trace, k: int) -> Trace:
+    """Restrict a trace to its ``k`` most-invoked functions (the paper keeps
+    the 12 most commonly used functions)."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    totals = trace.counts.sum(axis=1)
+    order = np.argsort(-totals, kind="stable")[: min(k, trace.n_functions)]
+    return trace.select_functions(list(order), name=f"{trace.name}-top{k}")
+
+
+def write_azure_csv(trace: Trace, directory: str | Path, prefix: str = "day") -> list[Path]:
+    """Write a trace as per-day CSVs in the Azure schema; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    n_days = int(np.ceil(trace.horizon / MINUTES_PER_DAY))
+    paths: list[Path] = []
+    for day in range(n_days):
+        start = day * MINUTES_PER_DAY
+        stop = min(start + MINUTES_PER_DAY, trace.horizon)
+        width = stop - start
+        path = directory / f"{prefix}{day + 1:02d}.csv"
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(
+                list(_META_COLUMNS) + [str(m) for m in range(1, width + 1)]
+            )
+            for spec in trace.functions:
+                row = [
+                    f"owner{spec.function_id:04d}",
+                    f"app{spec.function_id:04d}",
+                    spec.name,
+                    "http",
+                ]
+                row += [str(int(c)) for c in trace.counts[spec.function_id, start:stop]]
+                writer.writerow(row)
+        paths.append(path)
+    return paths

@@ -1,0 +1,200 @@
+"""Loaders for the Azure dataset's metadata files.
+
+Besides per-minute invocation counts, the Azure Functions 2019 dataset
+ships two metadata schemas the paper mentions ("the memory allocations
+for each function, and their corresponding execution times"):
+
+- ``function_durations_percentiles.anon.d**.csv`` — per function:
+  ``HashOwner, HashApp, HashFunction, Average, Count, Minimum, Maximum,
+  percentile_Average_0, percentile_Average_1, percentile_Average_25,
+  percentile_Average_50, percentile_Average_75, percentile_Average_99,
+  percentile_Average_100`` (durations in milliseconds);
+- ``app_memory_percentiles.anon.d**.csv`` — per *application*:
+  ``HashOwner, HashApp, SampleCount, AverageAllocatedMb,
+  AverageAllocatedMb_pct1, …_pct5, …_pct25, …_pct50, …_pct75, …_pct95,
+  …_pct99, …_pct100``.
+
+:func:`write_synthetic_metadata` emits files in the same schemas derived
+from a :class:`~repro.traces.schema.Trace` and a model assignment, so the
+loaders can be exercised end-to-end offline, and so downstream tooling
+written against the real dataset runs unchanged on the synthetic one.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.models.variants import ModelFamily
+from repro.traces.schema import Trace
+
+__all__ = [
+    "AppMemoryRecord",
+    "FunctionDurationRecord",
+    "load_app_memory",
+    "load_function_durations",
+    "write_synthetic_metadata",
+]
+
+_DURATION_PCTS = ("0", "1", "25", "50", "75", "99", "100")
+_MEMORY_PCTS = ("1", "5", "25", "50", "75", "95", "99", "100")
+
+
+@dataclass(frozen=True)
+class FunctionDurationRecord:
+    """One row of the durations schema (milliseconds)."""
+
+    hash_function: str
+    average_ms: float
+    count: int
+    minimum_ms: float
+    maximum_ms: float
+    percentiles_ms: dict[str, float]  # keyed "0","1","25","50","75","99","100"
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"count must be >= 0, got {self.count}")
+        if self.minimum_ms > self.maximum_ms:
+            raise ValueError(
+                f"minimum {self.minimum_ms} exceeds maximum {self.maximum_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class AppMemoryRecord:
+    """One row of the app-memory schema (MB)."""
+
+    hash_app: str
+    sample_count: int
+    average_mb: float
+    percentiles_mb: dict[str, float]  # keyed "1","5",...,"100"
+
+    def __post_init__(self) -> None:
+        if self.sample_count < 0:
+            raise ValueError(f"sample_count must be >= 0, got {self.sample_count}")
+        if self.average_mb < 0:
+            raise ValueError(f"average_mb must be >= 0, got {self.average_mb}")
+
+
+def load_function_durations(path: str | Path) -> dict[str, FunctionDurationRecord]:
+    """Load one durations file keyed by ``HashFunction``."""
+    out: dict[str, FunctionDurationRecord] = {}
+    with Path(path).open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        required = {"HashFunction", "Average", "Count", "Minimum", "Maximum"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise ValueError(
+                f"{path}: not a durations file (columns {reader.fieldnames})"
+            )
+        for row in reader:
+            pcts = {
+                p: float(row[f"percentile_Average_{p}"])
+                for p in _DURATION_PCTS
+                if f"percentile_Average_{p}" in row and row[f"percentile_Average_{p}"]
+            }
+            out[row["HashFunction"]] = FunctionDurationRecord(
+                hash_function=row["HashFunction"],
+                average_ms=float(row["Average"]),
+                count=int(float(row["Count"])),
+                minimum_ms=float(row["Minimum"]),
+                maximum_ms=float(row["Maximum"]),
+                percentiles_ms=pcts,
+            )
+    return out
+
+
+def load_app_memory(path: str | Path) -> dict[str, AppMemoryRecord]:
+    """Load one app-memory file keyed by ``HashApp``."""
+    out: dict[str, AppMemoryRecord] = {}
+    with Path(path).open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        required = {"HashApp", "SampleCount", "AverageAllocatedMb"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise ValueError(
+                f"{path}: not an app-memory file (columns {reader.fieldnames})"
+            )
+        for row in reader:
+            pcts = {
+                p: float(row[f"AverageAllocatedMb_pct{p}"])
+                for p in _MEMORY_PCTS
+                if f"AverageAllocatedMb_pct{p}" in row
+                and row[f"AverageAllocatedMb_pct{p}"]
+            }
+            out[row["HashApp"]] = AppMemoryRecord(
+                hash_app=row["HashApp"],
+                sample_count=int(float(row["SampleCount"])),
+                average_mb=float(row["AverageAllocatedMb"]),
+                percentiles_mb=pcts,
+            )
+    return out
+
+
+def write_synthetic_metadata(
+    trace: Trace,
+    assignment: dict[int, ModelFamily],
+    directory: str | Path,
+) -> tuple[Path, Path]:
+    """Emit durations + app-memory files for a trace/assignment.
+
+    Durations come from the assigned family's variant service times (the
+    highest variant's warm time as the average; lowest/highest variants
+    as min/max); memory from the variants' footprints. Functions map to
+    apps one-to-one (``app{fid:04d}``, matching
+    :func:`repro.traces.azure.write_azure_csv`).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    dur_path = directory / "function_durations_percentiles.anon.d01.csv"
+    mem_path = directory / "app_memory_percentiles.anon.d01.csv"
+
+    with dur_path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["HashOwner", "HashApp", "HashFunction", "Average", "Count",
+             "Minimum", "Maximum"]
+            + [f"percentile_Average_{p}" for p in _DURATION_PCTS]
+        )
+        for spec in trace.functions:
+            fam = assignment[spec.function_id]
+            count = trace.total_invocations(spec.function_id)
+            lo = fam.lowest.warm_service_time_s * 1000.0
+            hi = fam.highest.cold_service_time_s * 1000.0
+            avg = fam.highest.warm_service_time_s * 1000.0
+            pcts = [lo, lo, avg * 0.9, avg, avg * 1.1, hi * 0.95, hi]
+            writer.writerow(
+                [
+                    f"owner{spec.function_id:04d}",
+                    f"app{spec.function_id:04d}",
+                    spec.name,
+                    f"{avg:.2f}",
+                    count,
+                    f"{lo:.2f}",
+                    f"{hi:.2f}",
+                ]
+                + [f"{p:.2f}" for p in pcts]
+            )
+
+    with mem_path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["HashOwner", "HashApp", "SampleCount", "AverageAllocatedMb"]
+            + [f"AverageAllocatedMb_pct{p}" for p in _MEMORY_PCTS]
+        )
+        for spec in trace.functions:
+            fam = assignment[spec.function_id]
+            lo = fam.lowest.memory_mb
+            hi = fam.highest.memory_mb
+            avg = sum(v.memory_mb for v in fam) / fam.n_variants
+            pcts = [lo, lo, (lo + avg) / 2, avg, (avg + hi) / 2, hi * 0.98,
+                    hi * 0.99, hi]
+            writer.writerow(
+                [
+                    f"owner{spec.function_id:04d}",
+                    f"app{spec.function_id:04d}",
+                    trace.total_invocations(spec.function_id),
+                    f"{avg:.2f}",
+                ]
+                + [f"{p:.2f}" for p in pcts]
+            )
+    return dur_path, mem_path

@@ -1,0 +1,134 @@
+"""Per-function workload characterization.
+
+Quantifies the properties the synthetic generator claims to reproduce —
+and that the real Azure trace exhibits — so they can be asserted rather
+than assumed:
+
+- **burstiness** via the Fano factor of per-minute counts (variance over
+  mean; 1 = Poisson, >1 = bursty, <1 = regular/periodic);
+- **periodicity** via the peak of the autocorrelation of the binary
+  arrival indicator at positive lags (near 1 for timers);
+- **day-phase activity** via the fraction of invocations falling inside
+  the function's most active 12-hour half-day;
+- **inter-arrival dispersion** via the coefficient of variation of gaps;
+- **window affinity** — the fraction of inter-arrivals inside the
+  keep-alive window, the quantity PULSE's estimator feeds on.
+
+:func:`classify` maps a profile onto a coarse archetype label, which the
+test-suite uses to verify the generator produces what each archetype
+promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.analysis import interarrival_times
+from repro.traces.schema import MINUTES_PER_DAY, Trace
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "FunctionCharacterization",
+    "characterize_function",
+    "characterize_trace",
+    "classify",
+]
+
+
+@dataclass(frozen=True)
+class FunctionCharacterization:
+    """Measured invocation-pattern statistics for one function."""
+
+    function_id: int
+    name: str
+    n_invocations: int
+    n_arrival_minutes: int
+    fano_factor: float
+    periodicity: float  # max autocorrelation over lags 2..120
+    dominant_period: int  # lag of that maximum (minutes)
+    dayphase_concentration: float  # fraction in the densest half-day
+    gap_cv: float
+    window_affinity: float  # fraction of gaps <= 10 minutes
+
+
+def _autocorrelation_peak(
+    indicator: np.ndarray, max_lag: int = 120
+) -> tuple[float, int]:
+    x = indicator - indicator.mean()
+    denom = float(x @ x)
+    if denom == 0:
+        return 0.0, 0
+    best, best_lag = 0.0, 0
+    for lag in range(2, min(max_lag, len(x) - 1) + 1):
+        r = float(x[:-lag] @ x[lag:]) / denom
+        if r > best:
+            best, best_lag = r, lag
+    return best, best_lag
+
+
+def _dayphase_concentration(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    minute_of_day = np.arange(len(counts)) % MINUTES_PER_DAY
+    by_minute = np.bincount(minute_of_day, weights=counts, minlength=MINUTES_PER_DAY)
+    half = MINUTES_PER_DAY // 2
+    # Best circular 12-hour window.
+    doubled = np.concatenate([by_minute, by_minute])
+    window_sums = np.convolve(doubled, np.ones(half), mode="valid")[:MINUTES_PER_DAY]
+    return float(window_sums.max() / total)
+
+
+def characterize_function(
+    trace: Trace, function_id: int, window: int = 10
+) -> FunctionCharacterization:
+    """Compute all statistics for one function."""
+    check_positive_int("window", window)
+    counts = trace.counts_for(function_id).astype(float)
+    gaps = interarrival_times(trace, function_id).astype(float)
+    mean = counts.mean()
+    fano = float(counts.var() / mean) if mean > 0 else 0.0
+    indicator = (counts > 0).astype(float)
+    periodicity, period = _autocorrelation_peak(indicator)
+    gap_cv = float(gaps.std() / gaps.mean()) if len(gaps) and gaps.mean() > 0 else 0.0
+    affinity = float(np.mean(gaps <= window)) if len(gaps) else 0.0
+    return FunctionCharacterization(
+        function_id=function_id,
+        name=trace.functions[function_id].name,
+        n_invocations=trace.total_invocations(function_id),
+        n_arrival_minutes=len(trace.invocation_minutes(function_id)),
+        fano_factor=fano,
+        periodicity=periodicity,
+        dominant_period=period,
+        dayphase_concentration=_dayphase_concentration(counts),
+        gap_cv=gap_cv,
+        window_affinity=affinity,
+    )
+
+
+def characterize_trace(trace: Trace, window: int = 10) -> list[FunctionCharacterization]:
+    """Characterize every function of a trace."""
+    return [
+        characterize_function(trace, fid, window) for fid in range(trace.n_functions)
+    ]
+
+
+def classify(profile: FunctionCharacterization) -> str:
+    """Coarse archetype label from a characterization.
+
+    Categories (checked in order): ``inactive``, ``dayphase``,
+    ``periodic``, ``bursty``, ``sparse``, ``steady``.
+    """
+    if profile.n_arrival_minutes < 2:
+        return "inactive"
+    if profile.dayphase_concentration > 0.95 and profile.n_invocations > 20:
+        return "dayphase"
+    if profile.periodicity > 0.5 and profile.gap_cv < 0.6:
+        return "periodic"
+    if profile.fano_factor > 2.0:
+        return "bursty"
+    if profile.window_affinity < 0.2:
+        return "sparse"
+    return "steady"

@@ -1,0 +1,168 @@
+"""In-memory trace representation.
+
+A :class:`Trace` is a dense minute-resolution invocation-count matrix for a
+set of serverless functions — the same shape as the public Azure Functions
+dataset the paper uses (per-minute counts, 1440 columns per day). Minute
+resolution is exactly what PULSE consumes: the paper computes inter-arrival
+times "in minutes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["FunctionSpec", "Trace", "MINUTES_PER_DAY"]
+
+MINUTES_PER_DAY = 1440
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """Static metadata for one serverless function in a trace.
+
+    ``archetype`` records the invocation-pattern class the function was
+    generated from (or ``"azure"`` for loaded production functions); it is
+    informational only — no policy may read it (that would be an oracle).
+    """
+
+    function_id: int
+    name: str
+    archetype: str = "azure"
+
+    def __post_init__(self) -> None:
+        if self.function_id < 0:
+            raise ValueError(f"function_id must be >= 0, got {self.function_id}")
+        if not self.name:
+            raise ValueError("name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Trace:
+    """Per-minute invocation counts for ``n_functions`` over ``horizon`` minutes."""
+
+    counts: np.ndarray  # shape (n_functions, horizon), non-negative ints
+    functions: tuple[FunctionSpec, ...]
+    name: str = "trace"
+    _invocation_minutes_cache: dict = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts)
+        if counts.ndim != 2:
+            raise ValueError(f"counts must be 2-D, got shape {counts.shape}")
+        if counts.shape[0] != len(self.functions):
+            raise ValueError(
+                f"counts has {counts.shape[0]} rows but {len(self.functions)} "
+                "function specs were given"
+            )
+        if counts.size and counts.min() < 0:
+            raise ValueError("counts must be non-negative")
+        if not np.issubdtype(counts.dtype, np.integer):
+            if not np.allclose(counts, np.round(counts)):
+                raise ValueError("counts must be integral")
+            counts = counts.astype(np.int64)
+        object.__setattr__(self, "counts", counts)
+        ids = [f.function_id for f in self.functions]
+        if ids != list(range(len(self.functions))):
+            raise ValueError(
+                "function_ids must be 0..n-1 in order, got " + repr(ids)
+            )
+
+    # -- shape -----------------------------------------------------------
+    @property
+    def n_functions(self) -> int:
+        return self.counts.shape[0]
+
+    @property
+    def horizon(self) -> int:
+        """Trace length in minutes."""
+        return self.counts.shape[1]
+
+    @property
+    def n_days(self) -> float:
+        return self.horizon / MINUTES_PER_DAY
+
+    # -- access ----------------------------------------------------------
+    def counts_for(self, function_id: int) -> np.ndarray:
+        """Per-minute counts for one function (a view, do not mutate)."""
+        self._check_fid(function_id)
+        return self.counts[function_id]
+
+    def invocation_minutes(self, function_id: int) -> np.ndarray:
+        """Sorted minutes at which the function has >= 1 invocation."""
+        self._check_fid(function_id)
+        cached = self._invocation_minutes_cache.get(function_id)
+        if cached is None:
+            cached = np.flatnonzero(self.counts[function_id])
+            self._invocation_minutes_cache[function_id] = cached
+        return cached
+
+    def total_per_minute(self) -> np.ndarray:
+        """Cumulative invocation count across all functions per minute."""
+        return self.counts.sum(axis=0)
+
+    def total_invocations(self, function_id: int | None = None) -> int:
+        """Total invocations of one function (or of the whole trace)."""
+        if function_id is None:
+            return int(self.counts.sum())
+        self._check_fid(function_id)
+        return int(self.counts[function_id].sum())
+
+    # -- slicing ---------------------------------------------------------
+    def window(self, start: int, stop: int, name: str | None = None) -> "Trace":
+        """A sub-trace covering minutes ``[start, stop)``."""
+        if not (0 <= start < stop <= self.horizon):
+            raise ValueError(
+                f"invalid window [{start}, {stop}) for horizon {self.horizon}"
+            )
+        return Trace(
+            counts=self.counts[:, start:stop].copy(),
+            functions=self.functions,
+            name=name or f"{self.name}[{start}:{stop}]",
+        )
+
+    def days(self, first_day: int, n_days: int, name: str | None = None) -> "Trace":
+        """A sub-trace covering whole days ``[first_day, first_day + n_days)``."""
+        check_positive_int("n_days", n_days)
+        start = first_day * MINUTES_PER_DAY
+        stop = start + n_days * MINUTES_PER_DAY
+        return self.window(start, stop, name=name)
+
+    def select_functions(
+        self, function_ids: list[int] | np.ndarray, name: str | None = None
+    ) -> "Trace":
+        """A trace restricted to the given functions (re-indexed from 0)."""
+        fids = list(function_ids)
+        for fid in fids:
+            self._check_fid(fid)
+        specs = tuple(
+            FunctionSpec(
+                function_id=i,
+                name=self.functions[fid].name,
+                archetype=self.functions[fid].archetype,
+            )
+            for i, fid in enumerate(fids)
+        )
+        return Trace(
+            counts=self.counts[fids, :].copy(),
+            functions=specs,
+            name=name or f"{self.name}(subset)",
+        )
+
+    def _check_fid(self, function_id: int) -> None:
+        if not 0 <= function_id < self.n_functions:
+            raise IndexError(
+                f"function_id {function_id} out of range "
+                f"(trace has {self.n_functions} functions)"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.name!r}, functions={self.n_functions}, "
+            f"horizon={self.horizon}min, invocations={self.total_invocations()})"
+        )

@@ -1,0 +1,18 @@
+"""Shared utilities: deterministic RNG plumbing, validation, ASCII rendering."""
+
+from repro.utils.rng import spawn_rng, rng_from_seed
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "rng_from_seed",
+    "spawn_rng",
+]

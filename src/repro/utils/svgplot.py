@@ -1,0 +1,243 @@
+"""Minimal dependency-free SVG charts.
+
+The offline environment has no matplotlib, but the paper's figures are
+simple line series, scatter points and bar groups — all easy to emit as
+standalone SVG. This module implements exactly the three chart types the
+reproduction needs:
+
+- :func:`line_chart` — one or more (x, y) series (memory over time,
+  cost-error over time);
+- :func:`bar_chart` — labeled (possibly negative) values (the
+  %-improvement figures);
+- :func:`scatter_chart` — labeled points (the cost/accuracy trade-off).
+
+Output is deliberately plain: a white canvas, axes with tick labels, a
+small legend. Everything returns an SVG string;
+:func:`save` writes it to disk.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["bar_chart", "line_chart", "save", "scatter_chart"]
+
+_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b")
+_W, _H = 640, 400
+_MARGIN = dict(left=70, right=20, top=40, bottom=50)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    if hi == lo:
+        return [lo]
+    raw = np.linspace(lo, hi, n)
+    return [float(v) for v in raw]
+
+
+class _Canvas:
+    """Shared plot scaffolding: frame, scales, axes, legend."""
+
+    def __init__(self, title: str, xlabel: str, ylabel: str):
+        self.parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" '
+            f'height="{_H}" viewBox="0 0 {_W} {_H}">',
+            f'<rect width="{_W}" height="{_H}" fill="white"/>',
+            f'<text x="{_W / 2}" y="22" text-anchor="middle" '
+            f'font-size="15" font-family="sans-serif">{_escape(title)}</text>',
+            f'<text x="{_W / 2}" y="{_H - 8}" text-anchor="middle" '
+            f'font-size="12" font-family="sans-serif">{_escape(xlabel)}</text>',
+            f'<text x="16" y="{_H / 2}" text-anchor="middle" font-size="12" '
+            f'font-family="sans-serif" transform="rotate(-90 16 {_H / 2})">'
+            f"{_escape(ylabel)}</text>",
+        ]
+        self.x0 = _MARGIN["left"]
+        self.x1 = _W - _MARGIN["right"]
+        self.y0 = _H - _MARGIN["bottom"]
+        self.y1 = _MARGIN["top"]
+
+    def set_scales(self, xlo, xhi, ylo, yhi):
+        self.xlo, self.xhi = float(xlo), float(xhi)
+        self.ylo, self.yhi = float(ylo), float(yhi)
+        if self.xhi == self.xlo:
+            self.xhi += 1.0
+        if self.yhi == self.ylo:
+            self.yhi += 1.0
+
+    def sx(self, x: float) -> float:
+        return self.x0 + (x - self.xlo) / (self.xhi - self.xlo) * (self.x1 - self.x0)
+
+    def sy(self, y: float) -> float:
+        return self.y0 - (y - self.ylo) / (self.yhi - self.ylo) * (self.y0 - self.y1)
+
+    def axes(self, x_tick_labels: Sequence[tuple[float, str]] | None = None):
+        p = self.parts
+        p.append(
+            f'<line x1="{self.x0}" y1="{self.y0}" x2="{self.x1}" y2="{self.y0}" '
+            'stroke="black"/>'
+        )
+        p.append(
+            f'<line x1="{self.x0}" y1="{self.y0}" x2="{self.x0}" y2="{self.y1}" '
+            'stroke="black"/>'
+        )
+        for v in _ticks(self.ylo, self.yhi):
+            y = self.sy(v)
+            p.append(
+                f'<line x1="{self.x0 - 4}" y1="{y:.1f}" x2="{self.x0}" '
+                f'y2="{y:.1f}" stroke="black"/>'
+            )
+            p.append(
+                f'<text x="{self.x0 - 8}" y="{y + 4:.1f}" text-anchor="end" '
+                f'font-size="10" font-family="sans-serif">{v:.3g}</text>'
+            )
+        if x_tick_labels is None:
+            x_tick_labels = [(v, f"{v:.3g}") for v in _ticks(self.xlo, self.xhi)]
+        for v, label in x_tick_labels:
+            x = self.sx(v)
+            p.append(
+                f'<line x1="{x:.1f}" y1="{self.y0}" x2="{x:.1f}" '
+                f'y2="{self.y0 + 4}" stroke="black"/>'
+            )
+            p.append(
+                f'<text x="{x:.1f}" y="{self.y0 + 16}" text-anchor="middle" '
+                f'font-size="10" font-family="sans-serif">{_escape(label)}</text>'
+            )
+
+    def legend(self, labels: Sequence[str]):
+        for i, label in enumerate(labels):
+            x = self.x0 + 10
+            y = self.y1 + 14 * i + 4
+            color = _COLORS[i % len(_COLORS)]
+            self.parts.append(
+                f'<rect x="{x}" y="{y - 8}" width="10" height="10" fill="{color}"/>'
+            )
+            self.parts.append(
+                f'<text x="{x + 15}" y="{y}" font-size="11" '
+                f'font-family="sans-serif">{_escape(label)}</text>'
+            )
+
+    def render(self) -> str:
+        return "\n".join(self.parts + ["</svg>"])
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float] | np.ndarray],
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    max_points: int = 800,
+) -> str:
+    """One polyline per named series; long series are bucket-averaged."""
+    if not series:
+        raise ValueError("need at least one series")
+    prepared: dict[str, np.ndarray] = {}
+    for name, values in series.items():
+        y = np.asarray(values, dtype=float)
+        if y.size == 0:
+            raise ValueError(f"series {name!r} is empty")
+        if y.size > max_points:
+            edges = np.linspace(0, y.size, max_points + 1).astype(int)
+            y = np.array([y[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+        prepared[name] = y
+    ylo = min(float(y.min()) for y in prepared.values())
+    yhi = max(float(y.max()) for y in prepared.values())
+    xhi = max(len(y) for y in prepared.values()) - 1
+    canvas = _Canvas(title, xlabel, ylabel)
+    canvas.set_scales(0, max(xhi, 1), min(ylo, 0), yhi)
+    canvas.axes()
+    for i, (name, y) in enumerate(prepared.items()):
+        pts = " ".join(
+            f"{canvas.sx(j):.1f},{canvas.sy(v):.1f}" for j, v in enumerate(y)
+        )
+        canvas.parts.append(
+            f'<polyline points="{pts}" fill="none" '
+            f'stroke="{_COLORS[i % len(_COLORS)]}" stroke-width="1.5"/>'
+        )
+    canvas.legend(list(prepared))
+    return canvas.render()
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    ylabel: str = "",
+) -> str:
+    """Vertical bars; negative values hang below the zero line."""
+    if not values:
+        raise ValueError("need at least one bar")
+    labels = list(values)
+    vals = np.array([values[k] for k in labels], dtype=float)
+    canvas = _Canvas(title, "", ylabel)
+    ylo = min(0.0, float(vals.min()) * 1.1)
+    yhi = max(0.0, float(vals.max()) * 1.1) or 1.0
+    canvas.set_scales(0, len(labels), ylo, yhi)
+    canvas.axes(
+        x_tick_labels=[(i + 0.5, label) for i, label in enumerate(labels)]
+    )
+    zero_y = canvas.sy(0.0)
+    canvas.parts.append(
+        f'<line x1="{canvas.x0}" y1="{zero_y:.1f}" x2="{canvas.x1}" '
+        f'y2="{zero_y:.1f}" stroke="#999" stroke-dasharray="3,3"/>'
+    )
+    width = (canvas.x1 - canvas.x0) / len(labels)
+    for i, v in enumerate(vals):
+        x = canvas.sx(i) + width * 0.15
+        top = canvas.sy(max(v, 0.0))
+        bottom = canvas.sy(min(v, 0.0))
+        canvas.parts.append(
+            f'<rect x="{x:.1f}" y="{top:.1f}" width="{width * 0.7:.1f}" '
+            f'height="{max(bottom - top, 0.5):.1f}" '
+            f'fill="{_COLORS[i % len(_COLORS)]}"/>'
+        )
+        canvas.parts.append(
+            f'<text x="{canvas.sx(i + 0.5):.1f}" '
+            f'y="{(top if v >= 0 else bottom) - 4:.1f}" text-anchor="middle" '
+            f'font-size="10" font-family="sans-serif">{v:+.1f}</text>'
+        )
+    return canvas.render()
+
+
+def scatter_chart(
+    points: Mapping[str, tuple[float, float]],
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Labeled points in the (x, y) plane."""
+    if not points:
+        raise ValueError("need at least one point")
+    xs = np.array([p[0] for p in points.values()], dtype=float)
+    ys = np.array([p[1] for p in points.values()], dtype=float)
+    pad_x = (xs.max() - xs.min()) * 0.15 or 1.0
+    pad_y = (ys.max() - ys.min()) * 0.15 or 1.0
+    canvas = _Canvas(title, xlabel, ylabel)
+    canvas.set_scales(xs.min() - pad_x, xs.max() + pad_x,
+                      ys.min() - pad_y, ys.max() + pad_y)
+    canvas.axes()
+    for i, (label, (x, y)) in enumerate(points.items()):
+        cx, cy = canvas.sx(x), canvas.sy(y)
+        canvas.parts.append(
+            f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="5" '
+            f'fill="{_COLORS[i % len(_COLORS)]}"/>'
+        )
+        canvas.parts.append(
+            f'<text x="{cx + 8:.1f}" y="{cy - 6:.1f}" font-size="11" '
+            f'font-family="sans-serif">{_escape(label)}</text>'
+        )
+    return canvas.render()
+
+
+def save(svg: str, path: str | Path) -> Path:
+    """Write an SVG string to ``path`` (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(svg)
+    return path

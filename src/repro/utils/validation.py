@@ -1,0 +1,48 @@
+"""Small argument-validation helpers used across the package.
+
+These raise ``ValueError`` with consistent messages; keeping them in one
+place makes the checks cheap to write at every public entry point.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_positive_int(name: str, value: int) -> int:
+    """Require an integral ``value > 0``."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ValueError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be a positive int, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float, *, inclusive: bool = True) -> float:
+    """Require ``value`` in [0, 1] (or (0, 1) when ``inclusive=False``)."""
+    if inclusive:
+        if not (0.0 <= value <= 1.0):
+            raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    else:
+        if not (0.0 < value < 1.0):
+            raise ValueError(f"{name} must be in (0, 1), got {value!r}")
+    return value

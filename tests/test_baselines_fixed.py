@@ -1,0 +1,54 @@
+"""Tests for repro.baselines.openwhisk and the fixed-policy family."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.openwhisk import FixedKeepAlivePolicy, OpenWhiskPolicy
+from repro.runtime.simulator import Simulation
+from repro.traces.schema import FunctionSpec, Trace
+
+
+def one_function_trace(counts):
+    counts = np.asarray([counts], dtype=np.int64)
+    return Trace(counts=counts, functions=(FunctionSpec(0, "f0"),))
+
+
+class TestFixedKeepAlive:
+    def test_openwhisk_uses_highest(self, gpt):
+        trace = one_function_trace([1, 0])
+        r = Simulation(trace, {0: gpt}, OpenWhiskPolicy()).run()
+        assert r.mean_accuracy == pytest.approx(gpt.highest.accuracy)
+        assert r.policy_name == "OpenWhisk"
+
+    def test_lowest_level(self, gpt):
+        trace = one_function_trace([1, 0])
+        r = Simulation(trace, {0: gpt}, FixedKeepAlivePolicy("lowest")).run()
+        assert r.mean_accuracy == pytest.approx(gpt.lowest.accuracy)
+
+    def test_explicit_int_level(self, gpt):
+        trace = one_function_trace([1, 0])
+        r = Simulation(trace, {0: gpt}, FixedKeepAlivePolicy(1)).run()
+        assert r.mean_accuracy == pytest.approx(gpt.variant(1).accuracy)
+
+    def test_int_level_clamped_to_family(self, bert):
+        trace = one_function_trace([1, 0])
+        r = Simulation(trace, {0: bert}, FixedKeepAlivePolicy(5)).run()
+        assert r.mean_accuracy == pytest.approx(bert.highest.accuracy)
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ValueError):
+            FixedKeepAlivePolicy("median")
+        with pytest.raises(ValueError):
+            FixedKeepAlivePolicy(-1)
+        with pytest.raises(ValueError):
+            FixedKeepAlivePolicy(True)
+
+    def test_full_window_kept(self, gpt):
+        trace = one_function_trace([1] + [0] * 15)
+        r = Simulation(trace, {0: gpt}, OpenWhiskPolicy()).run()
+        mem = r.memory_series_mb
+        assert all(mem[t] > 0 for t in range(11))
+        assert mem[11] == 0
+
+    def test_not_an_oracle(self):
+        assert OpenWhiskPolicy().is_oracle is False

@@ -1,0 +1,115 @@
+"""Tests for repro.baselines.static and repro.baselines.ideal."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ideal import IdealOraclePolicy
+from repro.baselines.openwhisk import OpenWhiskPolicy
+from repro.baselines.static import (
+    AllLowQualityPolicy,
+    IntelligentOraclePolicy,
+    RandomMixedPolicy,
+)
+from repro.runtime.simulator import Simulation
+from repro.traces.schema import FunctionSpec, Trace
+
+
+def make_trace(counts):
+    counts = np.asarray(counts, dtype=np.int64)
+    specs = tuple(FunctionSpec(i, f"f{i}") for i in range(counts.shape[0]))
+    return Trace(counts=counts, functions=specs)
+
+
+class TestAllLow:
+    def test_serves_lowest(self, gpt):
+        trace = make_trace([[1, 0, 1]])
+        r = Simulation(trace, {0: gpt}, AllLowQualityPolicy()).run()
+        assert r.mean_accuracy == pytest.approx(gpt.lowest.accuracy)
+
+    def test_cheapest_fixed_policy(self, small_trace, assignment):
+        low = Simulation(small_trace, assignment, AllLowQualityPolicy()).run()
+        high = Simulation(small_trace, assignment, OpenWhiskPolicy()).run()
+        assert low.keepalive_cost_usd < high.keepalive_cost_usd
+        assert low.total_service_time_s < high.total_service_time_s
+        assert low.mean_accuracy < high.mean_accuracy
+
+
+class TestRandomMixed:
+    def test_split_is_balanced(self, small_trace, assignment):
+        p = RandomMixedPolicy(seed=3)
+        p.bind(small_trace, assignment, 10)
+        n = small_trace.n_functions
+        assert len(p._high_functions) == (n + 1) // 2
+
+    def test_metrics_between_extremes(self, small_trace, assignment):
+        mixed = Simulation(small_trace, assignment, RandomMixedPolicy(seed=3)).run()
+        low = Simulation(small_trace, assignment, AllLowQualityPolicy()).run()
+        high = Simulation(small_trace, assignment, OpenWhiskPolicy()).run()
+        assert low.keepalive_cost_usd <= mixed.keepalive_cost_usd <= high.keepalive_cost_usd
+        assert low.mean_accuracy <= mixed.mean_accuracy <= high.mean_accuracy
+
+    def test_seed_controls_split(self, small_trace, assignment):
+        a = RandomMixedPolicy(seed=1)
+        b = RandomMixedPolicy(seed=1)
+        c = RandomMixedPolicy(seed=2)
+        for p in (a, b, c):
+            p.bind(small_trace, assignment, 10)
+        assert a._high_functions == b._high_functions
+        assert a._high_functions != c._high_functions
+
+
+class TestIntelligentOracle:
+    def test_is_marked_oracle(self):
+        assert IntelligentOraclePolicy().is_oracle
+
+    def test_high_quality_when_future_is_busy(self, gpt):
+        counts = np.zeros((1, 30), dtype=np.int64)
+        counts[0, [0, 2, 3, 4]] = 1  # busy right after the first invocation
+        trace = make_trace(counts)
+        r = Simulation(
+            trace, {0: gpt}, IntelligentOraclePolicy(high_threshold=1)
+        ).run()
+        assert r.mean_accuracy == pytest.approx(gpt.highest.accuracy)
+
+    def test_low_quality_when_future_is_quiet(self, gpt):
+        counts = np.zeros((1, 40), dtype=np.int64)
+        counts[0, [0, 25]] = 1  # nothing within the window
+        trace = make_trace(counts)
+        r = Simulation(trace, {0: gpt}, IntelligentOraclePolicy()).run()
+        # Both invocations are cold starts of the oracle's chosen (low)
+        # variant: the window never holds a busy future.
+        assert r.mean_accuracy == pytest.approx(gpt.lowest.accuracy)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            IntelligentOraclePolicy(high_threshold=0)
+
+
+class TestIdealOracle:
+    def test_no_idle_memory(self, gpt):
+        counts = np.zeros((1, 30), dtype=np.int64)
+        counts[0, [0, 4, 9]] = 1
+        trace = make_trace(counts)
+        r = Simulation(trace, {0: gpt}, IdealOraclePolicy()).run()
+        mem = r.memory_series_mb
+        np.testing.assert_array_equal(mem > 0, trace.counts[0] > 0)
+
+    def test_all_but_first_warm_when_gaps_small(self, gpt):
+        counts = np.zeros((1, 30), dtype=np.int64)
+        counts[0, [0, 4, 9, 12]] = 1
+        trace = make_trace(counts)
+        r = Simulation(trace, {0: gpt}, IdealOraclePolicy()).run()
+        assert r.n_cold == 1
+        assert r.n_warm == 3
+
+    def test_ideal_cost_matches_engine_ideal_series(self, gpt):
+        counts = np.zeros((1, 30), dtype=np.int64)
+        counts[0, [0, 4, 9]] = 1
+        trace = make_trace(counts)
+        r = Simulation(trace, {0: gpt}, IdealOraclePolicy()).run()
+        np.testing.assert_allclose(r.memory_series_mb, r.ideal_memory_series_mb)
+
+    def test_cheaper_than_any_honest_policy(self, small_trace, assignment):
+        ideal = Simulation(small_trace, assignment, IdealOraclePolicy()).run()
+        ow = Simulation(small_trace, assignment, OpenWhiskPolicy()).run()
+        assert ideal.keepalive_cost_usd < ow.keepalive_cost_usd

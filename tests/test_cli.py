@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces.azure import write_azure_csv
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "pulse", "openwhisk", "--horizon", "100"]
+        )
+        assert args.policies == ["pulse", "openwhisk"]
+        assert args.horizon == 100
+
+    def test_unknown_policy_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "sorcery"])
+
+    def test_reproduce_choices(self):
+        args = build_parser().parse_args(["reproduce", "fig6"])
+        assert args.experiment == "fig6"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "fig99"])
+
+
+class TestCommands:
+    def test_simulate_prints_table(self, capsys):
+        rc = main(["simulate", "pulse", "all-low", "--horizon", "240", "--seed", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PULSE" in out
+        assert "all-low" in out
+        assert "keepalive_cost_usd" in out
+
+    def test_simulate_long_window_policy(self, capsys):
+        rc = main(["simulate", "wild", "--horizon", "240", "--seed", "5"])
+        assert rc == 0
+        assert "Wild" in capsys.readouterr().out
+
+    def test_profile(self, capsys):
+        rc = main(["profile", "--warm-samples", "20", "--cold-samples", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GPT-Large" in out
+
+    def test_trace_summary_and_export(self, capsys, tmp_path):
+        rc = main(["trace", "--horizon", "240", "--export", str(tmp_path / "out")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Per-function activity" in out
+        assert (tmp_path / "out").exists()
+
+    def test_trace_loads_azure_csv(self, capsys, tmp_path):
+        trace = generate_trace(SyntheticTraceConfig(horizon_minutes=200, seed=1))
+        paths = write_azure_csv(trace, tmp_path)
+        rc = main(
+            ["trace", "--azure-csv", *[str(p) for p in paths], "--functions", "4"]
+        )
+        assert rc == 0
+        assert "Per-function activity" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("experiment", ["fig1", "fig2", "tables2-3", "fig5"])
+    def test_reproduce_fast_experiments(self, capsys, experiment):
+        rc = main(
+            ["reproduce", experiment, "--horizon", "480", "--runs", "1", "--seed", "2"]
+        )
+        assert rc == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_reproduce_fig6(self, capsys):
+        rc = main(["reproduce", "fig6", "--horizon", "360", "--runs", "1"])
+        assert rc == 0
+        assert "keepalive_cost" in capsys.readouterr().out

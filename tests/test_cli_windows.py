@@ -1,0 +1,23 @@
+"""Regression test: mixed-policy `simulate` must not stretch the fixed
+policies' keep-alive window to the long-horizon predictors' capacity."""
+
+from repro.cli import main
+
+
+class TestPerPolicyWindows:
+    def test_openwhisk_unchanged_by_wild_presence(self, capsys):
+        # Run OpenWhisk alone, then together with Wild; its cost line
+        # must be identical (same 10-minute keep-alive either way).
+        main(["simulate", "openwhisk", "--horizon", "300", "--seed", "4"])
+        alone = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("OpenWhisk")
+        ][0]
+        main(["simulate", "openwhisk", "wild", "--horizon", "300", "--seed", "4"])
+        mixed = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("OpenWhisk")
+        ][0]
+        assert alone == mixed

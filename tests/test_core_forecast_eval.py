@@ -1,0 +1,66 @@
+"""Tests for repro.core.forecast_eval."""
+
+import numpy as np
+import pytest
+
+from repro.core.forecast_eval import evaluate_estimator
+from repro.traces.schema import FunctionSpec, Trace
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+
+def trace_of(counts_row):
+    counts = np.asarray([counts_row], dtype=np.int64)
+    return Trace(counts=counts, functions=(FunctionSpec(0, "f0"),))
+
+
+def timer_trace(period, horizon=600):
+    counts = np.zeros(horizon, dtype=np.int64)
+    counts[::period] = 1
+    return trace_of(counts)
+
+
+class TestEvaluateEstimator:
+    def test_perfect_timer_is_near_perfectly_calibrated(self):
+        report = evaluate_estimator(timer_trace(5))
+        assert report.brier_score < 0.01
+        assert report.skill > 0.9
+        assert report.top_band_hit_rate > 0.95
+
+    def test_random_arrivals_have_low_skill(self):
+        rng = np.random.default_rng(0)
+        counts = (rng.random(3000) < 0.15).astype(np.int64)
+        report = evaluate_estimator(trace_of(counts))
+        # An exact-minute forecaster cannot beat the base rate by much on
+        # a memoryless process.
+        assert report.skill < 0.3
+        assert report.top_band_hit_rate < 0.2
+
+    def test_timer_beats_poisson_in_skill(self):
+        rng = np.random.default_rng(1)
+        poisson = trace_of((rng.random(2000) < 0.2).astype(np.int64))
+        timer = timer_trace(5, horizon=2000)
+        assert (
+            evaluate_estimator(timer).skill > evaluate_estimator(poisson).skill
+        )
+
+    def test_reliability_bins_are_calibrated_for_timer(self):
+        report = evaluate_estimator(timer_trace(7, horizon=1400))
+        for mean_pred, observed, n in report.reliability:
+            if n > 30:
+                assert abs(mean_pred - observed) < 0.15
+
+    def test_default_mix_is_informative(self):
+        trace = generate_trace(SyntheticTraceConfig(horizon_minutes=1440, seed=17))
+        report = evaluate_estimator(trace)
+        assert report.skill > 0.1  # clearly better than base rate overall
+        assert report.n_predictions > 500
+
+    def test_too_sparse_rejected(self):
+        counts = np.zeros(50, dtype=np.int64)
+        counts[10] = 1
+        with pytest.raises(ValueError, match="warm-up"):
+            evaluate_estimator(trace_of(counts))
+
+    def test_bins_validated(self):
+        with pytest.raises(ValueError):
+            evaluate_estimator(timer_trace(5), n_bins=0)

@@ -1,0 +1,85 @@
+"""Tests for repro.core.function_optimizer."""
+
+import pytest
+
+from repro.core.function_optimizer import FunctionCentricOptimizer
+from repro.core.interarrival import InterArrivalEstimator
+from repro.core.thresholds import TechniqueT1
+
+
+def feed(est, fid, minutes):
+    for m in minutes:
+        est.observe(fid, m)
+
+
+@pytest.fixture()
+def optimizer():
+    est = InterArrivalEstimator(2, window=10, local_window=60, mode="exact")
+    return FunctionCentricOptimizer(est, TechniqueT1())
+
+
+class TestPlan:
+    def test_no_history_falls_back_to_highest(self, optimizer, gpt):
+        plan = optimizer.plan(0, 0, gpt)
+        assert len(plan) == 10
+        assert all(v == gpt.highest for v in plan)
+
+    def test_no_history_lowest_fallback(self, gpt):
+        est = InterArrivalEstimator(1)
+        opt = FunctionCentricOptimizer(est, TechniqueT1(), cold_start_fallback="lowest")
+        assert all(v == gpt.lowest for v in opt.plan(0, 0, gpt))
+
+    def test_invalid_fallback_rejected(self, gpt):
+        est = InterArrivalEstimator(1)
+        with pytest.raises(ValueError):
+            FunctionCentricOptimizer(est, TechniqueT1(), cold_start_fallback="median")
+
+    def test_timer_gets_highest_at_modal_minute(self, optimizer, gpt):
+        feed(optimizer.estimator, 0, range(0, 100, 5))
+        plan = optimizer.plan(0, 95, gpt)
+        assert plan[4] == gpt.highest  # offset 5: P = 1
+        assert plan[0] == gpt.lowest  # offset 1: P = 0 -> lowest kept alive
+
+    def test_t1_always_keeps_something_alive(self, optimizer, gpt):
+        feed(optimizer.estimator, 0, range(0, 100, 5))
+        plan = optimizer.plan(0, 95, gpt)
+        assert all(v is not None for v in plan)
+
+    def test_two_variant_family(self, optimizer, bert):
+        feed(optimizer.estimator, 0, range(0, 60, 3))
+        plan = optimizer.plan(0, 57, bert)
+        assert plan[2] == bert.highest  # offset 3
+        assert plan[0] == bert.lowest
+
+    def test_survival_mode_gives_contiguous_durations(self, gpt):
+        est = InterArrivalEstimator(1, mode="survival")
+        opt = FunctionCentricOptimizer(est, TechniqueT1())
+        feed(est, 0, range(0, 120, 6))
+        plan = opt.plan(0, 114, gpt)
+        levels = [v.level for v in plan]
+        # survival probabilities are non-increasing -> levels non-increasing
+        assert all(a >= b for a, b in zip(levels, levels[1:]))
+        assert plan[0] == gpt.highest
+
+
+class TestProbabilityQueries:
+    def test_invocation_probability_passthrough(self, optimizer):
+        feed(optimizer.estimator, 0, range(0, 100, 5))
+        assert optimizer.invocation_probability(0, 100) == pytest.approx(1.0)
+
+    def test_max_remaining_probability_sees_future_mode(self, optimizer):
+        feed(optimizer.estimator, 0, range(0, 100, 7))
+        # At offset 2 the exact probability is 0 but the mode at 7 remains.
+        assert optimizer.invocation_probability(0, 100) == 0.0
+        assert optimizer.max_remaining_probability(0, 100) == pytest.approx(1.0)
+
+    def test_max_remaining_zero_beyond_window(self, optimizer):
+        feed(optimizer.estimator, 0, [0, 7, 14])
+        assert optimizer.max_remaining_probability(0, 40) == 0.0
+
+    def test_max_remaining_unseen_function(self, optimizer):
+        assert optimizer.max_remaining_probability(1, 50) == 0.0
+
+    def test_max_remaining_at_arrival_minute(self, optimizer):
+        feed(optimizer.estimator, 0, [0, 7])
+        assert optimizer.max_remaining_probability(0, 7) == pytest.approx(1.0)

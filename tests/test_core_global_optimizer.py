@@ -1,0 +1,118 @@
+"""Tests for repro.core.global_optimizer — Algorithm 2."""
+
+import pytest
+
+from repro.core.function_optimizer import FunctionCentricOptimizer
+from repro.core.global_optimizer import GlobalOptimizer
+from repro.core.interarrival import InterArrivalEstimator
+from repro.core.peak import PeakDetector
+from repro.core.priority import PriorityStructure
+from repro.core.thresholds import TechniqueT1
+from repro.runtime.schedule import KeepAliveSchedule
+
+
+def make_gopt(n_functions=3, threshold=0.10, window=10):
+    est = InterArrivalEstimator(n_functions, window=window, mode="exact")
+    fopt = FunctionCentricOptimizer(est, TechniqueT1())
+    return GlobalOptimizer(
+        detector=PeakDetector(memory_threshold=threshold),
+        priority=PriorityStructure(n_functions),
+        function_optimizer=fopt,
+    )
+
+
+class TestReview:
+    def test_no_peak_no_downgrades(self, gpt, bert):
+        gopt = make_gopt()
+        sched = KeepAliveSchedule(3)
+        assignment = {0: gpt, 1: bert, 2: gpt}
+        sched.set_plan(0, 0, [gpt.lowest] * 10)
+        gopt.detector.observe(sched.memory_at(1))
+        assert gopt.review(2, sched, assignment) == 0
+        assert gopt.n_peak_minutes == 0
+
+    def test_peak_triggers_downgrades(self, gpt, bert):
+        gopt = make_gopt()
+        sched = KeepAliveSchedule(3)
+        assignment = {0: gpt, 1: bert, 2: gpt}
+        # Establish a small prior, then spike with two GPT-Large plans.
+        sched.set_plan(1, 0, [bert.lowest] * 10)
+        gopt.detector.observe(sched.memory_at(1))
+        sched.set_plan(0, 1, [gpt.highest] * 10)
+        sched.set_plan(2, 1, [gpt.highest] * 10)
+        n = gopt.review(2, sched, assignment)
+        assert n > 0
+        assert gopt.n_peak_minutes == 1
+        # Memory must have been brought down toward the target.
+        target = gopt.detector.flatten_target(
+            bert.lowest.memory_mb
+        )
+        assert sched.memory_at(2) <= target or n > 0
+
+    def test_victim_is_lowest_utility(self, gpt, bert):
+        gopt = make_gopt(n_functions=2)
+        sched = KeepAliveSchedule(2)
+        assignment = {0: gpt, 1: bert}
+        # Give fn1 (BERT) high priority so fn0 (GPT) is the victim.
+        for _ in range(3):
+            gopt.priority.record_downgrade(1)
+        sched.set_plan(0, 0, [gpt.highest] * 10)
+        sched.set_plan(1, 0, [bert.highest] * 10)
+        gopt.detector.observe(100.0)  # tiny prior: everything is a peak
+        gopt.review(1, sched, assignment)
+        assert gopt.priority.count(0) > 0
+
+    def test_downgraded_model_gets_priority_point(self, gpt, bert):
+        gopt = make_gopt(n_functions=2)
+        sched = KeepAliveSchedule(2)
+        assignment = {0: gpt, 1: bert}
+        sched.set_plan(0, 0, [gpt.highest] * 10)
+        gopt.detector.observe(10.0)
+        before = gopt.priority.counts.sum()
+        n = gopt.review(1, sched, assignment)
+        assert gopt.priority.counts.sum() == before + n
+
+    def test_protected_lowest_variants_not_dropped(self, gpt, bert):
+        gopt = make_gopt(n_functions=2)
+        sched = KeepAliveSchedule(2)
+        assignment = {0: gpt, 1: bert}
+        # Both functions have arrival history giving nonzero window mass
+        # (interleaved: the estimator requires global time order).
+        for m in range(0, 50, 5):
+            gopt.function_optimizer.estimator.observe(0, m)
+            gopt.function_optimizer.estimator.observe(1, m)
+        sched.set_plan(0, 45, [gpt.lowest] * 10)
+        sched.set_plan(1, 45, [bert.lowest] * 10)
+        gopt.detector.observe(1.0)  # absurdly low prior: unreachable target
+        gopt.review(46, sched, assignment)
+        # Peak cannot be flattened, but nothing was shredded.
+        assert sched.alive_variant(0, 46) == gpt.lowest
+        assert sched.alive_variant(1, 46) == bert.lowest
+
+    def test_droppable_zero_probability_model_is_dropped(self, gpt, bert):
+        gopt = make_gopt(n_functions=2)
+        sched = KeepAliveSchedule(2)
+        assignment = {0: gpt, 1: bert}
+        # fn0 never observed: zero probability everywhere -> droppable.
+        sched.set_plan(0, 0, [gpt.lowest] * 10)
+        gopt.detector.observe(1.0)
+        gopt.review(1, sched, assignment)
+        assert sched.alive_variant(0, 1) is None
+
+    def test_detector_fed_every_minute(self, gpt):
+        gopt = make_gopt(n_functions=1)
+        sched = KeepAliveSchedule(1)
+        for t in range(5):
+            gopt.review(t, sched, {0: gpt})
+        assert gopt.detector.minutes_observed == 5
+
+    def test_flatten_loop_terminates_on_unreachable_target(self, gpt):
+        gopt = make_gopt(n_functions=1)
+        sched = KeepAliveSchedule(1)
+        # History so the model is protected (cannot flatten to target).
+        for m in range(0, 30, 3):
+            gopt.function_optimizer.estimator.observe(0, m)
+        sched.set_plan(0, 27, [gpt.highest] * 10)
+        gopt.detector.observe(0.5)
+        gopt.review(28, sched, {0: gpt})  # must return, not spin
+        assert sched.alive_variant(0, 28) == gpt.lowest

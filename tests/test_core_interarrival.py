@@ -1,0 +1,160 @@
+"""Tests for repro.core.interarrival."""
+
+import numpy as np
+import pytest
+
+from repro.core.interarrival import InterArrivalEstimator
+
+
+def feed(est, fid, minutes):
+    for m in minutes:
+        est.observe(fid, m)
+
+
+class TestObservation:
+    def test_no_history_gives_zeros(self):
+        est = InterArrivalEstimator(1)
+        np.testing.assert_array_equal(est.probabilities(0, 10), np.zeros(10))
+
+    def test_single_arrival_no_gap(self):
+        est = InterArrivalEstimator(1)
+        est.observe(0, 5)
+        assert est.n_gaps(0) == (0, 0)
+        assert est.last_arrival(0) == 5
+
+    def test_same_minute_not_a_new_arrival(self):
+        est = InterArrivalEstimator(1)
+        est.observe(0, 5)
+        est.observe(0, 5)
+        assert est.n_gaps(0) == (0, 0)
+
+    def test_out_of_order_rejected(self):
+        est = InterArrivalEstimator(1)
+        est.observe(0, 10)
+        with pytest.raises(ValueError, match="time order"):
+            est.observe(0, 9)
+
+    def test_bad_fid(self):
+        est = InterArrivalEstimator(2)
+        with pytest.raises(IndexError):
+            est.observe(2, 0)
+
+
+class TestExactProbabilities:
+    def test_deterministic_timer(self):
+        est = InterArrivalEstimator(1, mode="exact")
+        feed(est, 0, range(0, 100, 5))
+        p = est.probabilities(0, 99)
+        assert p[4] == pytest.approx(1.0)  # gap 5
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_paper_formula_all_normalization(self):
+        # Paper: "inter-arrival time of 2 appears 10 times, probability of
+        # 2 is 10 divided by the total number of inter-arrival times".
+        est = InterArrivalEstimator(1, local_window=10_000, mode="exact",
+                                    normalization="all")
+        minutes = []
+        t = 0
+        for _ in range(10):
+            t += 2
+            minutes.append(t)
+        for _ in range(10):
+            t += 30  # outside the window
+            minutes.append(t)
+        feed(est, 0, [0] + minutes)
+        p = est.probabilities(0, t)
+        assert p[1] == pytest.approx(10 / 20)
+
+    def test_window_normalization_conditions_on_window(self):
+        est = InterArrivalEstimator(1, local_window=10_000, mode="exact",
+                                    normalization="window")
+        t = 0
+        minutes = [0]
+        for _ in range(10):
+            t += 2
+            minutes.append(t)
+        for _ in range(10):
+            t += 30
+            minutes.append(t)
+        feed(est, 0, minutes)
+        p = est.probabilities(0, t)
+        assert p[1] == pytest.approx(1.0)  # all in-window gaps equal 2
+
+    def test_average_of_two_periods(self):
+        # Lifetime says mostly gap 2, the recent local window says gap 4.
+        est = InterArrivalEstimator(1, local_window=20, mode="exact")
+        t = 0
+        minutes = [0]
+        for _ in range(30):
+            t += 2
+            minutes.append(t)
+        for _ in range(10):  # 40 minutes of gap-4 arrivals: fills the window
+            t += 4
+            minutes.append(t)
+        feed(est, 0, minutes)
+        p = est.probabilities(0, t)
+        # Recent window holds only gap-4 arrivals; lifetime favours gap 2.
+        # The average of the two periods must rank gap 4 above gap 2.
+        assert p[3] > p[1]
+        assert p[1] > 0  # lifetime still contributes gap-2 mass
+
+    def test_local_window_eviction(self):
+        est = InterArrivalEstimator(1, local_window=10, mode="exact")
+        feed(est, 0, [0, 2, 4])
+        est.probabilities(0, 100)  # far in the future: recent evicted
+        assert est.n_gaps(0) == (2, 0)
+
+
+class TestModes:
+    @pytest.fixture()
+    def est_pair(self):
+        out = {}
+        for mode in ("exact", "survival", "cumulative"):
+            e = InterArrivalEstimator(1, mode=mode)
+            feed(e, 0, [0, 3, 6, 9, 12])
+            out[mode] = e
+        return out
+
+    def test_survival_monotone_nonincreasing(self, est_pair):
+        p = est_pair["survival"].probabilities(0, 12)
+        assert all(a >= b for a, b in zip(p, p[1:]))
+        assert p[0] == pytest.approx(1.0)
+
+    def test_cumulative_monotone_nondecreasing(self, est_pair):
+        p = est_pair["cumulative"].probabilities(0, 12)
+        assert all(a <= b for a, b in zip(p, p[1:]))
+
+    def test_modes_agree_at_mass_location(self, est_pair):
+        for mode, est in est_pair.items():
+            p = est.probabilities(0, 12)
+            assert p[2] > 0, mode  # gap 3
+
+    def test_all_probabilities_in_unit_interval(self, est_pair):
+        for est in est_pair.values():
+            p = est.probabilities(0, 12)
+            assert np.all(p >= 0) and np.all(p <= 1)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            InterArrivalEstimator(1, mode="bayes")
+
+    def test_invalid_normalization_rejected(self):
+        with pytest.raises(ValueError, match="normalization"):
+            InterArrivalEstimator(1, normalization="l2")
+
+
+class TestInvocationProbability:
+    def test_ip_uses_exact_minute(self):
+        est = InterArrivalEstimator(1, mode="survival")
+        feed(est, 0, range(0, 50, 5))
+        # Current offset 5 from last arrival at 45: exact P(gap=5)=1.
+        assert est.invocation_probability(0, 50) == pytest.approx(1.0)
+        # Offset 3: exact probability is 0 even though survival is 1.
+        assert est.invocation_probability(0, 48) == 0.0
+
+    def test_ip_boundaries(self):
+        est = InterArrivalEstimator(1)
+        assert est.invocation_probability(0, 100) == 0.0  # never seen
+        est.observe(0, 100)
+        assert est.invocation_probability(0, 100) == 1.0  # arriving now
+        assert est.invocation_probability(0, 150) == 0.0  # beyond window

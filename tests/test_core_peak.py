@@ -1,0 +1,109 @@
+"""Tests for repro.core.peak — Algorithm 1."""
+
+import math
+
+import pytest
+
+from repro.core.peak import PeakDetector
+
+
+class TestIsPeak:
+    def test_growth_beyond_threshold_is_peak(self):
+        d = PeakDetector(memory_threshold=0.10)
+        d.observe(1000.0)
+        assert d.is_peak(1101.0)
+        assert not d.is_peak(1100.0)
+
+    def test_no_history_never_peak(self):
+        d = PeakDetector()
+        assert d.prior_memory() == math.inf
+        assert not d.is_peak(1e9)
+
+    def test_negative_memory_rejected(self):
+        d = PeakDetector()
+        with pytest.raises(ValueError):
+            d.is_peak(-1.0)
+        with pytest.raises(ValueError):
+            d.observe(-1.0)
+
+
+class TestPriorMemory:
+    def test_continuous_activity_uses_previous_minute(self):
+        d = PeakDetector(local_window=5)
+        for m in (100.0, 200.0, 300.0):
+            d.observe(m)
+        # prev=300 beats the window average (200).
+        assert d.prior_memory() == pytest.approx(300.0)
+
+    def test_window_average_floors_the_prior(self):
+        # Committed memory dropped after flattening; the demand average
+        # keeps the prior anchored (no ratchet).
+        d = PeakDetector(local_window=4)
+        for _ in range(4):
+            d.observe(1000.0)
+        d.observe(demand_mb=1000.0, committed_mb=10.0)
+        assert d.prior_memory() == pytest.approx(1000.0)
+
+    def test_inactivity_uses_window_average_when_mature(self):
+        d = PeakDetector(local_window=3)
+        for m in (300.0, 300.0, 300.0, 300.0, 150.0, 0.0):
+            d.observe(m)
+        # prev == 0; system ran >= 2*l_window; window avg = (150+0+300)/3.
+        assert d.prior_memory() == pytest.approx((300.0 + 150.0 + 0.0) / 3)
+
+    def test_inactivity_falls_back_to_last_nonzero(self):
+        d = PeakDetector(local_window=10)
+        d.observe(500.0)
+        d.observe(0.0)
+        d.observe(0.0)
+        # Not mature (< 2 * local_window): use last non-zero value.
+        assert d.prior_memory() == pytest.approx(500.0)
+
+    def test_all_zero_history_gives_infinity(self):
+        d = PeakDetector()
+        d.observe(0.0)
+        d.observe(0.0)
+        assert d.prior_memory() == math.inf
+        assert not d.is_peak(1e6)
+
+    def test_long_inactivity_with_zero_average(self):
+        d = PeakDetector(local_window=2)
+        d.observe(800.0)
+        for _ in range(6):
+            d.observe(0.0)
+        # Window average is 0 -> fall through to last non-zero.
+        assert d.prior_memory() == pytest.approx(800.0)
+
+
+class TestFlattenTarget:
+    def test_target_is_threshold_above_prior(self):
+        d = PeakDetector(memory_threshold=0.15)
+        d.observe(200.0)
+        assert d.flatten_target() == pytest.approx(230.0)
+
+    def test_target_infinite_without_history(self):
+        assert PeakDetector().flatten_target() == math.inf
+
+    @pytest.mark.parametrize("threshold", [0.05, 0.10, 0.15])
+    def test_threshold_parameter(self, threshold):
+        d = PeakDetector(memory_threshold=threshold)
+        d.observe(1000.0)
+        boundary = 1000.0 * (1 + threshold)
+        assert not d.is_peak(boundary)
+        assert d.is_peak(boundary + 1.0)
+
+
+class TestConstruction:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            PeakDetector(memory_threshold=0.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            PeakDetector(local_window=0)
+
+    def test_minutes_observed(self):
+        d = PeakDetector()
+        d.observe(1.0)
+        d.observe(2.0)
+        assert d.minutes_observed == 2

@@ -1,0 +1,121 @@
+"""Tests for repro.core.thresholds — T1/T2 band mapping."""
+
+import pytest
+
+from repro.core.thresholds import (
+    MonotoneScheme,
+    TechniqueT1,
+    TechniqueT2,
+    get_scheme,
+)
+
+
+class TestT1:
+    @pytest.fixture()
+    def t1(self):
+        return TechniqueT1()
+
+    def test_zero_probability_keeps_lowest(self, t1):
+        # §V: at least the low-quality container stays alive.
+        assert t1.select_level(0.0, 3) == 0
+
+    def test_bands_for_three_variants(self, t1):
+        assert t1.select_level(0.2, 3) == 0
+        assert t1.select_level(0.5, 3) == 1
+        assert t1.select_level(0.9, 3) == 2
+
+    def test_thresholds_at_i_over_n(self, t1):
+        # p in [i/N, (i+1)/N) selects level i.
+        assert t1.select_level(1 / 3, 3) == 1
+        assert t1.select_level(2 / 3, 3) == 2
+
+    def test_probability_one_selects_highest(self, t1):
+        assert t1.select_level(1.0, 3) == 2
+        assert t1.select_level(1.0, 2) == 1
+
+    def test_single_variant(self, t1):
+        assert t1.select_level(0.0, 1) == 0
+        assert t1.select_level(1.0, 1) == 0
+
+    def test_out_of_range_probability(self, t1):
+        with pytest.raises(ValueError):
+            t1.select_level(1.1, 3)
+        with pytest.raises(ValueError):
+            t1.select_level(-0.1, 3)
+
+    def test_bad_variant_count(self, t1):
+        with pytest.raises(ValueError):
+            t1.select_level(0.5, 0)
+
+
+class TestT2:
+    @pytest.fixture()
+    def t2(self):
+        return TechniqueT2()
+
+    def test_zero_reserved_for_lowest(self, t2):
+        assert t2.select_level(0.0, 3) == 0
+
+    def test_positive_probability_skips_lowest(self, t2):
+        # (0, 1] is split among the N-1 upper variants.
+        assert t2.select_level(0.01, 3) == 1
+        assert t2.select_level(0.4, 3) == 1
+        assert t2.select_level(0.6, 3) == 2
+        assert t2.select_level(1.0, 3) == 2
+
+    def test_two_variants(self, t2):
+        assert t2.select_level(0.0, 2) == 0
+        assert t2.select_level(0.3, 2) == 1
+        assert t2.select_level(1.0, 2) == 1
+
+    def test_single_variant(self, t2):
+        assert t2.select_level(0.7, 1) == 0
+
+
+class TestMonotoneScheme:
+    def test_custom_cuts(self):
+        s = MonotoneScheme([0.1, 0.8])
+        assert s.select_level(0.05, 3) == 0
+        assert s.select_level(0.5, 3) == 1
+        assert s.select_level(0.9, 3) == 2
+
+    def test_clamped_to_family_size(self):
+        s = MonotoneScheme([0.1, 0.2, 0.3])
+        assert s.select_level(0.9, 2) == 1
+
+    def test_rejects_unsorted_cuts(self):
+        with pytest.raises(ValueError, match="increasing"):
+            MonotoneScheme([0.5, 0.2])
+
+    def test_rejects_out_of_range_cuts(self):
+        with pytest.raises(ValueError):
+            MonotoneScheme([0.0, 0.5])
+
+
+class TestGetScheme:
+    def test_by_name(self):
+        assert isinstance(get_scheme("T1"), TechniqueT1)
+        assert isinstance(get_scheme("T2"), TechniqueT2)
+
+    def test_instance_passthrough(self):
+        s = MonotoneScheme([0.5])
+        assert get_scheme(s) is s
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown"):
+            get_scheme("T3")
+
+
+class TestGeneralPrinciple:
+    """The paper's robustness claim: any scheme works as long as higher
+    probability maps to (weakly) higher accuracy."""
+
+    @pytest.mark.parametrize(
+        "scheme", [TechniqueT1(), TechniqueT2(), MonotoneScheme([0.05, 0.6])]
+    )
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_monotone_in_probability(self, scheme, n):
+        probs = [i / 100 for i in range(101)]
+        levels = [scheme.select_level(p, n) for p in probs]
+        assert all(a <= b for a, b in zip(levels, levels[1:]))
+        assert all(0 <= lv < n for lv in levels)

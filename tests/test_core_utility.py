@@ -1,0 +1,52 @@
+"""Tests for repro.core.utility — Eq. 2."""
+
+import pytest
+
+from repro.core.utility import UtilityComponents, components_for, utility_value
+
+
+class TestUtilityValue:
+    def test_equal_weighting(self):
+        assert utility_value(0.1, 0.2, 0.3) == pytest.approx(0.6)
+
+    def test_range(self):
+        assert utility_value(0.0, 0.0, 0.0) == 0.0
+        assert utility_value(1.0, 1.0, 1.0) == 3.0
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    @pytest.mark.parametrize("slot", range(3))
+    def test_component_bounds_enforced(self, bad, slot):
+        args = [0.5, 0.5, 0.5]
+        args[slot] = bad
+        with pytest.raises(ValueError):
+            utility_value(*args)
+
+
+class TestComponentsFor:
+    def test_higher_variant_uses_delta(self, gpt):
+        comp = components_for(gpt, gpt.highest, priority=0.0,
+                              invocation_probability=0.0)
+        assert comp.accuracy_improvement == pytest.approx(
+            (93.45 - 92.35) / 100.0
+        )
+
+    def test_lowest_variant_uses_full_accuracy(self, gpt):
+        # The paper's anti-drop weighting: the lowest variant's Ai is its
+        # accuracy in decimal, which dwarfs the deltas of higher variants.
+        comp = components_for(gpt, gpt.lowest, priority=0.0,
+                              invocation_probability=0.0)
+        assert comp.accuracy_improvement == pytest.approx(0.8765)
+
+    def test_value_sums_components(self, bert):
+        comp = components_for(bert, bert.highest, priority=0.25,
+                              invocation_probability=0.5)
+        assert comp.value == pytest.approx(
+            comp.accuracy_improvement + 0.25 + 0.5
+        )
+
+    def test_lowest_variant_outranks_high_delta_variant(self, gpt):
+        """The built-in protection: with equal Pr/Ip, downgrading prefers
+        shaving a high variant over dropping a lowest-variant model."""
+        high = components_for(gpt, gpt.highest, 0.0, 0.0)
+        low = components_for(gpt, gpt.lowest, 0.0, 0.0)
+        assert low.value > high.value

@@ -1,0 +1,47 @@
+"""Tests for UtilityWeights and the weighted global optimizer."""
+
+import pytest
+
+from repro.core.utility import UtilityComponents, UtilityWeights
+from repro.core.pulse import PulseConfig, PulsePolicy
+from repro.runtime.simulator import Simulation
+
+
+class TestUtilityWeights:
+    def test_default_is_equal_weighting(self):
+        w = UtilityWeights()
+        comp = UtilityComponents(0.2, 0.3, 0.4)
+        assert w.apply(comp) == pytest.approx(comp.value)
+
+    def test_zeroing_a_component(self):
+        w = UtilityWeights(priority=0.0)
+        comp = UtilityComponents(0.2, 0.9, 0.4)
+        assert w.apply(comp) == pytest.approx(0.6)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            UtilityWeights(accuracy_improvement=-0.5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            UtilityWeights().priority = 2.0
+
+
+class TestWeightedPulse:
+    def test_weights_reach_the_optimizer(self, small_trace, assignment):
+        p = PulsePolicy(
+            PulseConfig(utility_weights=UtilityWeights(priority=0.0))
+        )
+        Simulation(small_trace, assignment, p).run()
+        assert p._gopt is not None
+        assert p._gopt.weights.priority == 0.0
+
+    def test_no_priority_term_concentrates_downgrades(self, small_trace, assignment):
+        full = PulsePolicy()
+        no_pr = PulsePolicy(PulseConfig(utility_weights=UtilityWeights(priority=0.0)))
+        Simulation(small_trace, assignment, full).run()
+        Simulation(small_trace, assignment, no_pr).run()
+        if full.n_downgrades > 20 and no_pr.n_downgrades > 20:
+            conc_full = full.priority_counts.max() / full.priority_counts.sum()
+            conc_nopr = no_pr.priority_counts.max() / no_pr.priority_counts.sum()
+            assert conc_nopr >= conc_full

@@ -1,0 +1,147 @@
+"""Property-based and failure-injection tests for the simulation engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.openwhisk import OpenWhiskPolicy
+from repro.core.pulse import PulsePolicy
+from repro.models.zoo import default_zoo
+from repro.runtime.costmodel import CostModel
+from repro.runtime.policy import KeepAlivePolicy
+from repro.runtime.simulator import Simulation, SimulationConfig
+from repro.traces.schema import FunctionSpec, Trace
+
+ZOO = default_zoo()
+FAMILIES = list(ZOO)
+
+
+def trace_from_matrix(matrix: list[list[int]]) -> Trace:
+    counts = np.asarray(matrix, dtype=np.int64)
+    specs = tuple(FunctionSpec(i, f"f{i}") for i in range(counts.shape[0]))
+    return Trace(counts=counts, functions=specs)
+
+
+small_traces = st.integers(min_value=1, max_value=4).flatmap(
+    lambda n_fn: st.lists(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=30, max_size=30),
+        min_size=n_fn,
+        max_size=n_fn,
+    )
+)
+
+
+class TestEngineConservation:
+    @given(matrix=small_traces, policy_idx=st.integers(min_value=0, max_value=1))
+    @settings(max_examples=40, deadline=None)
+    def test_invocation_conservation(self, matrix, policy_idx):
+        trace = trace_from_matrix(matrix)
+        assignment = {f: FAMILIES[f % len(FAMILIES)] for f in range(trace.n_functions)}
+        policy = [OpenWhiskPolicy, PulsePolicy][policy_idx]()
+        r = Simulation(trace, assignment, policy).run()
+        assert r.n_warm + r.n_cold == r.n_invocations == trace.total_invocations()
+
+    @given(matrix=small_traces)
+    @settings(max_examples=40, deadline=None)
+    def test_cost_equals_memory_series_cost(self, matrix):
+        trace = trace_from_matrix(matrix)
+        assignment = {f: FAMILIES[f % len(FAMILIES)] for f in range(trace.n_functions)}
+        cm = CostModel(usd_per_mb_minute=1e-4)
+        cfg = SimulationConfig(cost_model=cm)
+        r = Simulation(trace, assignment, OpenWhiskPolicy(), cfg).run()
+        assert r.keepalive_cost_usd == pytest.approx(
+            cm.series_cost(r.memory_series_mb), rel=1e-9
+        )
+
+    @given(matrix=small_traces)
+    @settings(max_examples=40, deadline=None)
+    def test_memory_bounded_by_sum_of_highest(self, matrix):
+        trace = trace_from_matrix(matrix)
+        assignment = {f: FAMILIES[f % len(FAMILIES)] for f in range(trace.n_functions)}
+        r = Simulation(trace, assignment, PulsePolicy()).run()
+        bound = sum(assignment[f].highest.memory_mb for f in assignment)
+        assert r.memory_series_mb.max() <= bound + 1e-9
+
+    @given(matrix=small_traces)
+    @settings(max_examples=40, deadline=None)
+    def test_accuracy_within_assigned_family_range(self, matrix):
+        trace = trace_from_matrix(matrix)
+        if trace.total_invocations() == 0:
+            return
+        assignment = {f: FAMILIES[f % len(FAMILIES)] for f in range(trace.n_functions)}
+        r = Simulation(trace, assignment, PulsePolicy()).run()
+        lo = min(f.lowest.accuracy for f in assignment.values())
+        hi = max(f.highest.accuracy for f in assignment.values())
+        assert lo - 1e-9 <= r.mean_accuracy <= hi + 1e-9
+
+    @given(matrix=small_traces)
+    @settings(max_examples=30, deadline=None)
+    def test_pulse_cost_never_exceeds_openwhisk(self, matrix):
+        # PULSE only ever plans variants <= the fixed policy's highest, for
+        # windows no longer than the fixed policy's, so its memory-minutes
+        # are bounded by OpenWhisk's.
+        trace = trace_from_matrix(matrix)
+        assignment = {f: FAMILIES[f % len(FAMILIES)] for f in range(trace.n_functions)}
+        pulse = Simulation(trace, assignment, PulsePolicy()).run()
+        ow = Simulation(trace, assignment, OpenWhiskPolicy()).run()
+        assert pulse.keepalive_cost_usd <= ow.keepalive_cost_usd + 1e-9
+
+
+class _OverlongPlanPolicy(KeepAlivePolicy):
+    """Misbehaving policy: returns a plan longer than the window."""
+
+    name = "overlong"
+
+    def cold_variant(self, function_id, minute):
+        return self.family(function_id).highest
+
+    def plan(self, function_id, minute):
+        return [self.family(function_id).highest] * (self.keep_alive_window + 5)
+
+
+class _ForeignVariantPolicy(KeepAlivePolicy):
+    """Misbehaving policy: plans a variant from the wrong family."""
+
+    name = "foreign"
+
+    def cold_variant(self, function_id, minute):
+        return self.family(function_id).highest
+
+    def plan(self, function_id, minute):
+        other = next(f for f in FAMILIES if f.name != self.family(function_id).name)
+        return self._full_window_plan(other.highest)
+
+
+class TestFailureInjection:
+    def test_overlong_plan_rejected(self, gpt):
+        trace = trace_from_matrix([[1] + [0] * 10])
+        with pytest.raises(ValueError, match="exceeds"):
+            Simulation(trace, {0: gpt}, _OverlongPlanPolicy()).run()
+
+    def test_foreign_variant_is_engine_visible(self, gpt):
+        # The engine serves whatever variant is planned; a policy planning
+        # foreign variants is legal at the schedule level (the schedule is
+        # family-agnostic) but the downgrade path requires the right
+        # family. This documents the contract boundary.
+        trace = trace_from_matrix([[1, 0, 1] + [0] * 10])
+        r = Simulation(trace, {0: gpt}, _ForeignVariantPolicy()).run()
+        assert r.n_invocations == 2
+
+    def test_unbound_policy_queries_fail_loudly(self):
+        p = OpenWhiskPolicy()
+        with pytest.raises(RuntimeError, match="not bound"):
+            p.family(0)
+        with pytest.raises(RuntimeError, match="not bound"):
+            p.n_functions
+
+    def test_bind_rejects_wrong_assignment_size(self, gpt, small_trace):
+        p = OpenWhiskPolicy()
+        with pytest.raises(ValueError, match="assignment"):
+            p.bind(small_trace, {0: gpt}, 10)
+
+    def test_bind_rejects_gappy_assignment(self, gpt, small_trace):
+        p = OpenWhiskPolicy()
+        bad = {fid + 100: gpt for fid in range(small_trace.n_functions)}
+        with pytest.raises(ValueError):
+            p.bind(small_trace, bad, 10)

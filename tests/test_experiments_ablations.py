@@ -1,0 +1,77 @@
+"""Tests for repro.experiments.ablations."""
+
+import pytest
+
+from repro.core.peak import PeakDetector
+from repro.experiments.ablations import (
+    dayphase_trace,
+    peak_detector_ablation,
+    scalability_study,
+    utility_component_ablation,
+)
+from repro.experiments.runner import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(n_runs=1, horizon_minutes=720, seed=4)
+
+
+class TestNaivePriorRule:
+    def test_naive_rule_flags_resumptions(self):
+        d = PeakDetector(prior_rule="previous_minute")
+        d.observe(500.0)
+        d.observe(0.0)
+        # Naive prior is the previous (zero) minute: any memory is a peak.
+        assert d.prior_memory() == 0.0
+        assert d.is_peak(100.0)
+        # Algorithm 1 is robust to the same situation.
+        d2 = PeakDetector(prior_rule="algorithm1")
+        d2.observe(500.0)
+        d2.observe(0.0)
+        assert not d2.is_peak(100.0)
+
+    def test_invalid_rule_rejected(self):
+        with pytest.raises(ValueError, match="prior_rule"):
+            PeakDetector(prior_rule="oracle")
+
+
+class TestUtilityComponentAblation:
+    def test_rows_and_concentration_field(self, config):
+        rows = utility_component_ablation(config)
+        assert [r.label for r in rows] == [
+            "full (Ai+Pr+Ip)", "no Ai", "no Pr", "no Ip",
+        ]
+        for r in rows:
+            assert 0.0 <= r.extra["downgrade_concentration"] <= 1.0
+
+
+class TestPeakDetectorAblation:
+    def test_dayphase_trace_has_inactivity(self):
+        trace = dayphase_trace(1440, seed=4)
+        totals = trace.total_per_minute()
+        assert (totals == 0).mean() > 0.1  # real idle stretches
+
+    def test_naive_rule_flags_more_peaks(self, config):
+        rows = {r.label: r for r in peak_detector_ablation(config)}
+        assert (
+            rows["previous-minute"].extra["peak_minutes"]
+            > rows["Algorithm 1"].extra["peak_minutes"]
+        )
+        assert (
+            rows["previous-minute"].extra["downgrades"]
+            > rows["Algorithm 1"].extra["downgrades"]
+        )
+
+
+class TestScalabilityStudy:
+    def test_overhead_stays_bounded(self):
+        rows = scalability_study((12, 24), horizon_minutes=240, seed=4)
+        assert len(rows) == 2
+        small, big = rows
+        assert big.extra["n_decisions"] > small.extra["n_decisions"]
+        # Per-decision overhead must not explode with concurrency.
+        assert (
+            big.extra["overhead_per_decision_us"]
+            < 50 * max(small.extra["overhead_per_decision_us"], 1.0)
+        )

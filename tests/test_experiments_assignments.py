@@ -1,0 +1,56 @@
+"""Tests for repro.experiments.assignments."""
+
+import pytest
+
+from repro.experiments.assignments import sample_assignment, sample_assignments
+
+
+class TestSampleAssignment:
+    def test_covers_all_functions(self, zoo):
+        a = sample_assignment(12, zoo, seed=0)
+        assert set(a) == set(range(12))
+
+    def test_balanced_families(self, zoo):
+        a = sample_assignment(10, zoo, seed=0)
+        counts = {}
+        for fam in a.values():
+            counts[fam.name] = counts.get(fam.name, 0) + 1
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_balanced_when_not_divisible(self, zoo):
+        a = sample_assignment(7, zoo, seed=1)
+        counts = {}
+        for fam in a.values():
+            counts[fam.name] = counts.get(fam.name, 0) + 1
+        assert max(counts.values()) <= 2
+
+    def test_deterministic(self, zoo):
+        a = sample_assignment(12, zoo, seed=5)
+        b = sample_assignment(12, zoo, seed=5)
+        assert {k: v.name for k, v in a.items()} == {k: v.name for k, v in b.items()}
+
+    def test_default_zoo_used(self):
+        a = sample_assignment(5, seed=0)
+        assert len(a) == 5
+
+    def test_rejects_zero_functions(self, zoo):
+        with pytest.raises(ValueError):
+            sample_assignment(0, zoo)
+
+
+class TestSampleAssignments:
+    def test_unique_combinations_across_runs(self, zoo):
+        runs = sample_assignments(12, 10, zoo, seed=0)
+        signatures = {tuple(a[f].name for f in range(12)) for a in runs}
+        assert len(signatures) > 1  # paper: each run a unique combination
+
+    def test_count(self, zoo):
+        assert len(sample_assignments(6, 4, zoo, seed=0)) == 4
+
+    def test_reproducible(self, zoo):
+        a = sample_assignments(6, 3, zoo, seed=9)
+        b = sample_assignments(6, 3, zoo, seed=9)
+        for x, y in zip(a, b):
+            assert {k: v.name for k, v in x.items()} == {
+                k: v.name for k, v in y.items()
+            }

@@ -1,0 +1,115 @@
+"""End-to-end tests of the per-figure experiment functions (small scale).
+
+Each test exercises one paper element's reproduction function and checks
+the *shape* the paper reports (who wins, direction of change) rather than
+absolute magnitudes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    default_trace,
+    figure1_histograms,
+    figure2_drift,
+    figure4_and_7_memory,
+    figure5_tradeoff,
+    figure6_headline,
+    figure9_overhead,
+    figure10_threshold_schemes,
+    table1_characterization,
+)
+from repro.experiments.motivation import histogram_divergence
+from repro.experiments.runner import run_policies
+from repro.baselines.openwhisk import OpenWhiskPolicy
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(n_runs=2, horizon_minutes=1440, seed=3)
+
+
+@pytest.fixture(scope="module")
+def trace(config):
+    return default_trace(config)
+
+
+class TestRunner:
+    def test_run_policies_paired_assignments(self, config, trace):
+        results = run_policies(trace, {"a": OpenWhiskPolicy, "b": OpenWhiskPolicy}, config)
+        # Identical policies over identical paired assignments -> identical metrics.
+        for ra, rb in zip(results["a"], results["b"]):
+            assert ra.keepalive_cost_usd == rb.keepalive_cost_usd
+
+    def test_n_runs_respected(self, config, trace):
+        results = run_policies(trace, {"a": OpenWhiskPolicy}, config)
+        assert len(results["a"]) == config.n_runs
+
+
+class TestTable1:
+    def test_rows_cover_zoo(self, zoo):
+        report, rows = table1_characterization(zoo, n_warm_samples=50, n_cold_samples=5)
+        assert len(rows) == 14
+        service = {r["model"]: r["service_time_s"] for r in rows}
+        # Published ordering: larger GPT variants are slower.
+        assert service["GPT-Small"] < service["GPT-Medium"] < service["GPT-Large"]
+
+
+class TestMotivationFigures:
+    def test_figure1_shapes_diverse(self, trace):
+        hists = figure1_histograms(trace)
+        assert len(hists) == 5
+        values = list(hists.values())
+        assert histogram_divergence(values) > 50.0  # clearly different shapes
+
+    def test_figure2_function_drifts(self, trace):
+        panels = figure2_drift(trace)
+        assert len(panels) == 3
+        assert histogram_divergence(list(panels.values())) > 20.0
+
+
+class TestHeadlineFigures:
+    def test_figure6_directions(self, config, trace):
+        res = figure6_headline(config, trace)
+        assert res.improvements["keepalive_cost"] > 0
+        assert res.improvements["service_time"] > 0
+        assert -5.0 < res.improvements["accuracy"] <= 0.5
+        # Panel b: OpenWhisk's mean cost error above PULSE's.
+        assert res.openwhisk_cost_error.mean() > res.pulse_cost_error.mean()
+
+    def test_figure5_pulse_dominates(self, config, trace):
+        pts = {p.label: p for p in figure5_tradeoff(config, trace)}
+        low, high, pulse = (
+            pts["lowest quality"],
+            pts["highest quality"],
+            pts["PULSE"],
+        )
+        assert low.keepalive_cost_usd < high.keepalive_cost_usd
+        assert pulse.keepalive_cost_usd < high.keepalive_cost_usd
+        assert pulse.accuracy_percent > low.accuracy_percent
+
+    def test_figure4_7_memory_reduced(self, config):
+        cfg = ExperimentConfig(n_runs=1, horizon_minutes=2880, seed=3)
+        res = figure4_and_7_memory(cfg)
+        assert res["pulse"].mean_memory_mb < res["openwhisk"].mean_memory_mb
+        assert res["individual_only"].mean_memory_mb < res["openwhisk"].mean_memory_mb
+        acc_drop = res["openwhisk"].accuracy_percent - res["pulse"].accuracy_percent
+        assert 0 <= acc_drop < 5.0
+
+
+class TestOverheadAndSensitivity:
+    def test_figure9_milp_overhead_dominates(self, trace):
+        cfg = ExperimentConfig(n_runs=1, horizon_minutes=1440, seed=3)
+        res = figure9_overhead(cfg, trace)
+        assert np.median(res.milp_overhead_ratio) > np.median(res.pulse_overhead_ratio)
+        assert res.milp_accuracy <= res.pulse_accuracy + 0.5
+
+    def test_figure10_t1_t2_comparable(self, trace):
+        cfg = ExperimentConfig(n_runs=1, horizon_minutes=1440, seed=3)
+        points = {p.label: p for p in figure10_threshold_schemes(cfg, trace)}
+        assert set(points) == {"T1", "T2"}
+        # Both schemes must deliver cost improvements of the same sign and
+        # broadly similar magnitude (the robustness claim).
+        assert points["T1"].keepalive_cost > 0
+        assert points["T2"].keepalive_cost > 0

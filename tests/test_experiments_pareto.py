@@ -1,0 +1,64 @@
+"""Tests for repro.experiments.pareto."""
+
+import pytest
+
+from repro.experiments.pareto import (
+    ParetoPoint,
+    pareto_frontier,
+    pulse_configuration_sweep,
+)
+from repro.experiments.runner import ExperimentConfig
+
+
+def point(label, cost, acc, frontier=False):
+    return ParetoPoint(label, cost, acc, service_time_s=0.0, on_frontier=frontier)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert point("a", 1.0, 90.0).dominates(point("b", 2.0, 80.0))
+
+    def test_equal_points_do_not_dominate(self):
+        a, b = point("a", 1.0, 90.0), point("b", 1.0, 90.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_tradeoff_points_do_not_dominate(self):
+        cheap = point("cheap", 1.0, 70.0)
+        accurate = point("accurate", 5.0, 90.0)
+        assert not cheap.dominates(accurate)
+        assert not accurate.dominates(cheap)
+
+
+class TestFrontier:
+    def test_dominated_point_marked(self):
+        pts = [
+            point("good", 1.0, 90.0),
+            point("bad", 2.0, 80.0),
+            point("tradeoff", 0.5, 85.0),
+        ]
+        marked = {p.label: p.on_frontier for p in pareto_frontier(pts)}
+        assert marked == {"good": True, "bad": False, "tradeoff": True}
+
+    def test_single_point_is_frontier(self):
+        assert pareto_frontier([point("only", 1.0, 50.0)])[0].on_frontier
+
+    def test_all_equal_points_are_frontier(self):
+        pts = [point("a", 1.0, 50.0), point("b", 1.0, 50.0)]
+        assert all(p.on_frontier for p in pareto_frontier(pts))
+
+
+class TestSweep:
+    def test_small_sweep(self):
+        cfg = ExperimentConfig(n_runs=1, horizon_minutes=480, seed=14)
+        points = pulse_configuration_sweep(
+            cfg, schemes=("T1",), modes=("exact", "survival")
+        )
+        labels = {p.label for p in points}
+        assert "all-highest" in labels and "all-lowest" in labels
+        assert "T1/exact/KM_T=0.10" in labels
+        assert any(p.on_frontier for p in points)
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            pulse_configuration_sweep(schemes=())

@@ -1,0 +1,95 @@
+"""Tests for repro.experiments.peaks — Tables II & III semantics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.peaks import (
+    STRATEGIES,
+    evaluate_peak_window,
+    tables2_3_peak_strategies,
+)
+from repro.traces.schema import FunctionSpec, Trace
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def peak_trace():
+    return generate_trace(
+        SyntheticTraceConfig(horizon_minutes=1440, seed=12, peak_intensity=8.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def peak_assignment(peak_trace, zoo):
+    fams = list(zoo)
+    return {fid: fams[fid % len(fams)] for fid in range(peak_trace.n_functions)}
+
+
+def by_strategy(rows):
+    return {r.strategy: r for r in rows}
+
+
+class TestEvaluatePeakWindow:
+    def test_all_strategies_present(self, peak_trace, peak_assignment):
+        rows = evaluate_peak_window(peak_trace, peak_assignment, 200)
+        assert {r.strategy for r in rows} == set(STRATEGIES)
+
+    def test_paper_orderings(self, peak_trace, peak_assignment):
+        from repro.traces.analysis import invocation_peaks
+
+        peak = invocation_peaks(peak_trace, 1)[0]
+        rows = by_strategy(evaluate_peak_window(peak_trace, peak_assignment, peak))
+        high, low = rows["all_high"], rows["all_low"]
+        mixed, intel = rows["random_mixed"], rows["intelligent"]
+        # Tables II/III orderings: high has max cost/accuracy/service,
+        # low has min; mixing lands in between.
+        assert high.keepalive_cost_usd > mixed.keepalive_cost_usd > low.keepalive_cost_usd
+        assert high.accuracy_percent > low.accuracy_percent
+        assert low.accuracy_percent <= intel.accuracy_percent <= high.accuracy_percent
+        assert low.service_time_s < high.service_time_s
+        assert intel.keepalive_cost_usd < high.keepalive_cost_usd
+
+    def test_equal_warm_starts_by_construction(self, peak_trace, peak_assignment):
+        rows = evaluate_peak_window(peak_trace, peak_assignment, 200)
+        assert len({r.n_invocations for r in rows}) == 1
+        assert len({r.n_functions for r in rows}) == 1
+
+    def test_intelligent_beats_random_on_accuracy(self, zoo):
+        # Construct a case where busy functions are identifiable: two
+        # functions invoke at the peak; only one re-invokes afterwards.
+        counts = np.zeros((2, 40), dtype=np.int64)
+        counts[:, 10] = 5
+        counts[0, [12, 14, 16]] = 3  # function 0 stays busy
+        trace = Trace(
+            counts=counts,
+            functions=(FunctionSpec(0, "busy"), FunctionSpec(1, "quiet")),
+        )
+        fams = list(zoo)
+        assignment = {0: fams[0], 1: fams[0]}
+        rows = by_strategy(evaluate_peak_window(trace, assignment, 10, seed=4))
+        # The intelligent oracle keeps high quality on the busy function,
+        # which serves most window invocations.
+        assert rows["intelligent"].accuracy_percent >= rows["random_mixed"].accuracy_percent
+
+    def test_no_invocation_at_minute_rejected(self, peak_trace, peak_assignment):
+        quiet = int(np.flatnonzero(peak_trace.total_per_minute() == 0)[0])
+        with pytest.raises(ValueError, match="no function"):
+            evaluate_peak_window(peak_trace, peak_assignment, quiet)
+
+
+class TestTables23:
+    def test_both_tables_produced(self, peak_trace, peak_assignment):
+        tables = tables2_3_peak_strategies(peak_trace, peak_assignment)
+        assert set(tables) == {"table2_peak1", "table3_peak2"}
+        for rows in tables.values():
+            assert len(rows) == 4
+
+    def test_two_peaks_are_distinct(self, peak_trace, peak_assignment):
+        tables = tables2_3_peak_strategies(peak_trace, peak_assignment)
+        t2 = tables["table2_peak1"][0]
+        t3 = tables["table3_peak2"][0]
+        # Different peaks -> different function sets or invocation counts.
+        assert (t2.n_invocations, t2.n_functions) != (
+            t3.n_invocations,
+            t3.n_functions,
+        ) or t2.service_time_s != t3.service_time_s

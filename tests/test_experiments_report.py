@@ -1,0 +1,42 @@
+"""Tests for the full-report generator (quick mode)."""
+
+import pytest
+
+from repro.experiments.report import generate_report
+from repro.experiments.runner import ExperimentConfig, default_trace
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    config = ExperimentConfig(n_runs=1, horizon_minutes=480, seed=19)
+    trace = default_trace(config)
+    return generate_report(config, trace, quick=True)
+
+
+class TestGenerateReport:
+    def test_every_paper_element_has_a_section(self, report_text):
+        for heading in (
+            "Table I",
+            "Figures 1 & 2",
+            "Tables II & III",
+            "Figures 4 & 7",
+            "Figure 5",
+            "Figure 6",
+            "Figure 8",
+            "Figure 9",
+            "Figures 10-12",
+            "Extensions",
+        ):
+            assert heading in report_text, heading
+
+    def test_metadata_header(self, report_text):
+        assert "1 runs x 480 minutes" in report_text
+        assert "seed 19" in report_text
+
+    def test_contains_published_models(self, report_text):
+        assert "GPT-Large" in report_text
+        assert "BERT-Small" in report_text
+
+    def test_is_nonempty_markdown(self, report_text):
+        assert report_text.startswith("# PULSE reproduction report")
+        assert len(report_text.splitlines()) > 80

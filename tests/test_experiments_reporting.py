@@ -1,0 +1,63 @@
+"""Tests for repro.experiments.reporting."""
+
+import numpy as np
+
+from repro.experiments.reporting import format_bar_chart, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        rows = [{"model": "GPT-Small", "acc": 87.65}, {"model": "GPT-Large", "acc": 93.45}]
+        out = format_table(rows, title="Table I")
+        assert "Table I" in out
+        assert "GPT-Small" in out
+        assert "93.45" in out
+
+    def test_column_subset_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        out = format_table(rows, columns=["c", "a"])
+        header = out.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_large_numbers_have_separators(self):
+        out = format_table([{"x": 123456.789}])
+        assert "123,456.8" in out
+
+
+class TestFormatSeries:
+    def test_contains_range(self):
+        out = format_series(np.array([0.0, 5.0, 10.0]), label="mem")
+        assert out.startswith("mem:")
+        assert "0" in out and "10" in out
+
+    def test_long_series_bucketed(self):
+        out = format_series(np.arange(10_000), width=50)
+        # label-free output: bracketed range + 50 blocks
+        assert len(out.split("] ")[-1]) == 50
+
+    def test_constant_series(self):
+        out = format_series(np.full(10, 3.0))
+        assert "[3..3]" in out
+
+    def test_empty(self):
+        assert "(empty)" in format_series([], label="x")
+
+
+class TestFormatBarChart:
+    def test_positive_and_negative(self):
+        out = format_bar_chart({"cost": 39.5, "accuracy": -0.6}, unit="%")
+        lines = out.splitlines()
+        assert "#" in lines[0]
+        assert "-" in lines[1]
+        assert "+39.50%" in lines[0]
+
+    def test_empty(self):
+        assert format_bar_chart({}) == "(no entries)"
+
+    def test_zero_values_safe(self):
+        out = format_bar_chart({"a": 0.0})
+        assert "+0.00" in out

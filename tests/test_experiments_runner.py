@@ -1,0 +1,68 @@
+"""Tests for repro.experiments.runner configuration and orchestration."""
+
+import pytest
+
+from repro.baselines.openwhisk import OpenWhiskPolicy
+from repro.experiments.runner import (
+    ExperimentConfig,
+    default_trace,
+    run_policies,
+    run_policy,
+)
+from repro.experiments.assignments import sample_assignment
+from repro.traces.schema import MINUTES_PER_DAY
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        cfg = ExperimentConfig()
+        assert cfg.n_runs == 20
+        assert cfg.horizon_minutes == 2 * MINUTES_PER_DAY
+        assert cfg.n_jobs == 1
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("n_runs", 0), ("horizon_minutes", 0), ("n_jobs", 0)],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            ExperimentConfig(**{field: value})
+
+    def test_default_trace_matches_horizon(self):
+        cfg = ExperimentConfig(n_runs=1, horizon_minutes=333, seed=5)
+        trace = default_trace(cfg)
+        assert trace.horizon == 333
+        assert trace.n_functions == 12
+
+    def test_default_trace_deterministic(self):
+        cfg = ExperimentConfig(n_runs=1, horizon_minutes=200, seed=5)
+        import numpy as np
+
+        np.testing.assert_array_equal(
+            default_trace(cfg).counts, default_trace(cfg).counts
+        )
+
+
+class TestRunPolicy:
+    def test_single_run_wrapper(self, small_trace, zoo):
+        assignment = sample_assignment(small_trace.n_functions, zoo, seed=0)
+        r = run_policy(small_trace, assignment, OpenWhiskPolicy())
+        assert r.policy_name == "OpenWhisk"
+        assert r.n_invocations == small_trace.total_invocations()
+
+
+class TestRunPolicies:
+    def test_distinct_assignments_across_runs(self):
+        cfg = ExperimentConfig(n_runs=3, horizon_minutes=240, seed=7)
+        trace = default_trace(cfg)
+        results = run_policies(trace, {"ow": OpenWhiskPolicy}, cfg)
+        costs = {round(r.keepalive_cost_usd, 6) for r in results["ow"]}
+        assert len(costs) > 1  # different assignments change the metrics
+
+    def test_seed_reproducibility(self):
+        cfg = ExperimentConfig(n_runs=2, horizon_minutes=240, seed=7)
+        trace = default_trace(cfg)
+        a = run_policies(trace, {"ow": OpenWhiskPolicy}, cfg)
+        b = run_policies(trace, {"ow": OpenWhiskPolicy}, cfg)
+        for ra, rb in zip(a["ow"], b["ow"]):
+            assert ra.keepalive_cost_usd == rb.keepalive_cost_usd

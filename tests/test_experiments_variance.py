@@ -1,0 +1,73 @@
+"""Tests for repro.experiments.variance (and the parallel runner path)."""
+
+import pytest
+
+from repro.baselines.openwhisk import OpenWhiskPolicy
+from repro.core.pulse import PulsePolicy
+from repro.experiments.runner import ExperimentConfig, default_trace, run_policies
+from repro.experiments.variance import paired_deltas, variance_report
+
+
+@pytest.fixture(scope="module")
+def results():
+    config = ExperimentConfig(n_runs=4, horizon_minutes=720, seed=8)
+    trace = default_trace(config)
+    return run_policies(
+        trace, {"OpenWhisk": OpenWhiskPolicy, "PULSE": PulsePolicy}, config
+    )
+
+
+class TestVarianceReport:
+    def test_covers_all_policy_metric_pairs(self, results):
+        report = variance_report(results)
+        assert len(report) == 2 * 4
+        assert {v.policy for v in report} == {"OpenWhisk", "PULSE"}
+
+    def test_stats_are_consistent(self, results):
+        for v in variance_report(results):
+            assert v.stats.minimum <= v.stats.mean <= v.stats.maximum
+            assert v.relative_spread >= 0.0
+
+    def test_assignments_create_spread(self, results):
+        # Different model-to-function assignments must move the metrics.
+        cost = next(
+            v
+            for v in variance_report(results)
+            if v.policy == "OpenWhisk" and v.metric == "keepalive_cost_usd"
+        )
+        assert cost.stats.std > 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            variance_report({})
+        with pytest.raises(ValueError):
+            variance_report({"x": []})
+
+
+class TestPairedDeltas:
+    def test_pulse_beats_openwhisk_on_every_paired_run(self, results):
+        delta = paired_deltas(results, "OpenWhisk", "PULSE", "keepalive_cost_usd")
+        # baseline - candidate > 0 <=> PULSE cheaper, run by run.
+        assert delta.minimum > 0.0
+
+    def test_unknown_metric(self, results):
+        with pytest.raises(KeyError, match="unknown metric"):
+            paired_deltas(results, "OpenWhisk", "PULSE", "latency_p99")
+
+    def test_missing_policy(self, results):
+        with pytest.raises(KeyError):
+            paired_deltas(results, "OpenWhisk", "Wild")
+
+
+class TestParallelRunner:
+    def test_n_jobs_matches_serial(self):
+        config_serial = ExperimentConfig(n_runs=2, horizon_minutes=360, seed=9)
+        config_parallel = ExperimentConfig(
+            n_runs=2, horizon_minutes=360, seed=9, n_jobs=2
+        )
+        trace = default_trace(config_serial)
+        serial = run_policies(trace, {"OpenWhisk": OpenWhiskPolicy}, config_serial)
+        parallel = run_policies(trace, {"OpenWhisk": OpenWhiskPolicy}, config_parallel)
+        for a, b in zip(serial["OpenWhisk"], parallel["OpenWhisk"]):
+            assert a.keepalive_cost_usd == b.keepalive_cost_usd
+            assert a.total_service_time_s == b.total_service_time_s

@@ -1,0 +1,92 @@
+"""Tests for repro.models.datasets."""
+
+import numpy as np
+import pytest
+
+from repro.models.datasets import (
+    DATASETS,
+    Cifar10Like,
+    CocoLike,
+    Sst2Like,
+    SyntheticInput,
+    WikitextLike,
+    dataset_for,
+)
+
+
+class TestSyntheticInput:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticInput(0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            SyntheticInput(0, 1.0, 0.0)
+
+
+class TestRegistry:
+    def test_table4_dataset_names(self):
+        assert set(DATASETS) == {"sst2", "wikitext", "COCO", "CIFAR-10"}
+
+    def test_lookup(self):
+        assert dataset_for("sst2").task == "sentiment analysis"
+        with pytest.raises(KeyError, match="unknown dataset"):
+            dataset_for("imagenet")
+
+    def test_every_family_dataset_is_covered(self, zoo):
+        for fam in zoo:
+            assert fam.dataset in DATASETS
+
+
+class TestSampling:
+    @pytest.mark.parametrize("cls", [Sst2Like, WikitextLike, CocoLike, Cifar10Like])
+    def test_mean_complexity_is_one(self, cls):
+        inputs = cls().sample(2000, seed=0)
+        mean = np.mean([i.complexity for i in inputs])
+        assert mean == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("cls", [Sst2Like, WikitextLike, CocoLike, Cifar10Like])
+    def test_deterministic(self, cls):
+        a = cls().sample(20, seed=7)
+        b = cls().sample(20, seed=7)
+        assert [i.complexity for i in a] == [i.complexity for i in b]
+
+    def test_wikitext_has_heavier_variation_than_sst2(self):
+        wiki = np.array([i.complexity for i in WikitextLike().sample(3000, seed=1)])
+        sst = np.array([i.complexity for i in Sst2Like().sample(3000, seed=1)])
+        assert wiki.std() > sst.std()
+
+    def test_cifar_is_constant(self):
+        inputs = Cifar10Like().sample(100, seed=3)
+        assert all(i.complexity == pytest.approx(1.0) for i in inputs)
+
+    def test_coco_sizes_are_object_counts(self):
+        inputs = CocoLike().sample(500, seed=2)
+        sizes = np.array([i.size for i in inputs])
+        assert sizes.max() <= 60
+        assert 4 < sizes.mean() < 10  # COCO-like object density
+
+    def test_n_validation(self):
+        with pytest.raises(ValueError):
+            Sst2Like().sample(0)
+
+
+class TestProfilerIntegration:
+    def test_warm_means_still_match_table1(self, zoo):
+        from repro.models.profiler import LambdaProfiler
+
+        report = LambdaProfiler(zoo, n_warm_samples=600, n_cold_samples=5, seed=4).run()
+        for p in report:
+            assert p.warm_mean_s == pytest.approx(
+                p.variant.warm_service_time_s, rel=0.08
+            )
+
+    def test_gpt_latency_spread_exceeds_densenet(self, zoo):
+        # wikitext's heavy-tailed prompts must show up as a wider warm
+        # latency distribution for GPT than CIFAR-10 gives DenseNet.
+        from repro.models.profiler import LambdaProfiler
+
+        report = LambdaProfiler(zoo, n_warm_samples=600, n_cold_samples=5, seed=4).run()
+        gpt = report.profile_for("GPT-Small")
+        dn = report.profile_for("DenseNet-121")
+        gpt_rel_spread = (gpt.warm_p99_s - gpt.warm_p50_s) / gpt.warm_mean_s
+        dn_rel_spread = (dn.warm_p99_s - dn.warm_p50_s) / dn.warm_mean_s
+        assert gpt_rel_spread > dn_rel_spread

@@ -1,0 +1,48 @@
+"""Tests for repro.models.latency."""
+
+import numpy as np
+import pytest
+
+from repro.models.latency import LatencyModel
+
+
+class TestLatencyModel:
+    def test_zero_cv_is_deterministic(self, gpt):
+        lm = LatencyModel(warm_cv=0.0, cold_cv=0.0, seed=0)
+        v = gpt.lowest
+        assert lm.warm(v) == v.warm_service_time_s
+        assert lm.cold(v) == v.cold_service_time_s
+
+    def test_mean_close_to_variant_scalar(self, gpt):
+        lm = LatencyModel(seed=0)
+        v = gpt.highest
+        samples = lm.warm(v, n=20000)
+        assert samples.mean() == pytest.approx(v.warm_service_time_s, rel=0.02)
+
+    def test_samples_positive(self, bert):
+        lm = LatencyModel(warm_cv=0.3, cold_cv=0.5, seed=1)
+        assert np.all(lm.cold(bert.lowest, n=1000) > 0)
+
+    def test_cold_noisier_than_warm(self, gpt):
+        lm = LatencyModel(warm_cv=0.05, cold_cv=0.15, seed=2)
+        v = gpt.lowest
+        warm_cv = np.std(lm.warm(v, n=5000)) / v.warm_service_time_s
+        cold_cv = np.std(lm.cold(v, n=5000)) / v.cold_service_time_s
+        assert cold_cv > warm_cv
+
+    def test_reproducible_with_seed(self, gpt):
+        a = LatencyModel(seed=5).warm(gpt.lowest, n=10)
+        b = LatencyModel(seed=5).warm(gpt.lowest, n=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_scalar_vs_vector_shapes(self, gpt):
+        lm = LatencyModel(seed=0)
+        assert np.isscalar(lm.warm(gpt.lowest)) or isinstance(
+            lm.warm(gpt.lowest), float
+        )
+        assert lm.warm(gpt.lowest, n=7).shape == (7,)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rejects_bad_cv(self, bad):
+        with pytest.raises(ValueError):
+            LatencyModel(warm_cv=bad)

@@ -1,0 +1,85 @@
+"""Tests for repro.models.profiler — the simulated Lambda campaign."""
+
+import pytest
+
+from repro.models.profiler import LambdaProfiler, _SimulatedLambda
+from repro.models.latency import LatencyModel
+
+
+class TestSimulatedLambda:
+    def test_first_invocation_is_cold(self, gpt):
+        fn = _SimulatedLambda(gpt.lowest, LatencyModel(seed=0))
+        _, cold = fn.invoke()
+        assert cold
+
+    def test_second_invocation_is_warm(self, gpt):
+        fn = _SimulatedLambda(gpt.lowest, LatencyModel(seed=0))
+        fn.invoke()
+        _, cold = fn.invoke()
+        assert not cold
+
+    def test_memory_change_forces_cold(self, gpt):
+        fn = _SimulatedLambda(gpt.lowest, LatencyModel(seed=0))
+        fn.invoke()
+        original = fn.memory_size
+        fn.set_memory_size(original + 64)
+        fn.invoke()
+        fn.set_memory_size(original)
+        _, cold = fn.invoke()
+        assert cold
+
+    def test_rejects_bad_memory(self, gpt):
+        fn = _SimulatedLambda(gpt.lowest, LatencyModel(seed=0))
+        with pytest.raises(ValueError):
+            fn.set_memory_size(0)
+
+
+class TestLambdaProfiler:
+    @pytest.fixture(scope="class")
+    def report(self, zoo):
+        return LambdaProfiler(
+            zoo, n_warm_samples=200, n_cold_samples=10, seed=3
+        ).run()
+
+    def test_profiles_every_variant(self, zoo, report):
+        assert len(report) == len(zoo.all_variants())
+
+    def test_measured_warm_mean_close_to_truth(self, zoo, report):
+        for p in report:
+            assert p.warm_mean_s == pytest.approx(
+                p.variant.warm_service_time_s, rel=0.05
+            )
+
+    def test_measured_cold_mean_close_to_truth(self, report):
+        for p in report:
+            assert p.cold_mean_s == pytest.approx(
+                p.variant.cold_service_time_s, rel=0.20
+            )
+
+    def test_cold_penalty_positive(self, report):
+        for p in report:
+            assert p.cold_start_penalty_s > 0
+
+    def test_keepalive_cost_matches_published(self, report):
+        gpt_large = report.profile_for("GPT-Large")
+        assert gpt_large.keepalive_cost_cents_per_hour == pytest.approx(
+            41.71, rel=0.02
+        )
+
+    def test_rows_have_table1_columns(self, report):
+        rows = report.as_rows()
+        assert {"model", "service_time_s", "keepalive_cost_cents_per_hour",
+                "accuracy_percent"} <= set(rows[0])
+
+    def test_profile_for_unknown_raises(self, report):
+        with pytest.raises(KeyError):
+            report.profile_for("GPT-XL")
+
+    def test_percentiles_ordered(self, report):
+        for p in report:
+            assert p.warm_p50_s <= p.warm_p99_s
+
+    def test_deterministic_given_seed(self, zoo):
+        a = LambdaProfiler(zoo, n_warm_samples=50, n_cold_samples=5, seed=9).run()
+        b = LambdaProfiler(zoo, n_warm_samples=50, n_cold_samples=5, seed=9).run()
+        assert [p.warm_mean_s for p in a] == [p.warm_mean_s for p in b]

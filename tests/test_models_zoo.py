@@ -1,0 +1,107 @@
+"""Tests for repro.models.zoo — the paper's Table I / Table IV data."""
+
+import pytest
+
+from repro.models.variants import ModelFamily
+from repro.models.zoo import (
+    IMPLIED_PRICE_CENTS_PER_MB_HOUR,
+    ModelZoo,
+    default_zoo,
+)
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return default_zoo()
+
+
+class TestDefaultZooContents:
+    def test_table4_families_present(self, zoo):
+        assert set(zoo.family_names) == {"BERT", "YOLO", "GPT", "ResNet", "DenseNet"}
+
+    @pytest.mark.parametrize(
+        "family,n", [("BERT", 2), ("YOLO", 3), ("GPT", 3), ("ResNet", 3), ("DenseNet", 3)]
+    )
+    def test_variant_counts_match_table4(self, zoo, family, n):
+        assert zoo.family(family).n_variants == n
+
+    @pytest.mark.parametrize(
+        "name,service,cost,acc",
+        [
+            ("GPT-Small", 12.90, 11.7, 87.65),
+            ("GPT-Medium", 22.50, 22.57, 92.35),
+            ("GPT-Large", 23.66, 41.71, 93.45),
+            ("BERT-Small", 1.09, 4.392, 79.6),
+            ("BERT-Large", 2.21, 6.12, 82.1),
+            ("DenseNet-121", 1.09, 3.46, 74.98),
+            ("DenseNet-169", 1.38, 3.53, 76.2),
+            ("DenseNet-201", 1.65, 4.07, 77.42),
+        ],
+    )
+    def test_table1_published_scalars(self, zoo, name, service, cost, acc):
+        family = name.split("-")[0]
+        variant = next(v for v in zoo.family(family) if v.name == name)
+        assert variant.warm_service_time_s == pytest.approx(service)
+        assert variant.keepalive_cost_cents_per_hour == pytest.approx(cost)
+        assert variant.accuracy == pytest.approx(acc)
+
+    def test_yolo_lowest_accuracy_from_paper_text(self, zoo):
+        # §III-B: "YOLO's lowest accuracy variant has an accuracy of 56.8%"
+        assert zoo.family("YOLO").lowest.accuracy == pytest.approx(56.8)
+
+    def test_memory_within_papers_stated_range(self, zoo):
+        for v in zoo.all_variants():
+            assert 200.0 <= v.memory_mb <= 3501.0
+
+    def test_gpt_large_anchored_at_3500mb(self, zoo):
+        assert zoo.family("GPT").highest.memory_mb == pytest.approx(3500.0, rel=1e-3)
+
+    def test_cost_memory_consistency(self, zoo):
+        for v in zoo.all_variants():
+            assert v.keepalive_cost_cents_per_hour == pytest.approx(
+                v.memory_mb * IMPLIED_PRICE_CENTS_PER_MB_HOUR, rel=1e-2
+            )
+
+    def test_cold_exceeds_warm_everywhere(self, zoo):
+        for v in zoo.all_variants():
+            assert v.cold_service_time_s > v.warm_service_time_s
+
+    def test_bigger_variant_costs_more_within_family(self, zoo):
+        for fam in zoo:
+            costs = [v.keepalive_cost_cents_per_hour for v in fam]
+            assert costs == sorted(costs)
+
+
+class TestModelZooApi:
+    def test_len_and_iter(self, zoo):
+        assert len(zoo) == 5
+        assert all(isinstance(f, ModelFamily) for f in zoo)
+
+    def test_contains(self, zoo):
+        assert "GPT" in zoo
+        assert "LLaMA" not in zoo
+
+    def test_unknown_family_raises(self, zoo):
+        with pytest.raises(KeyError, match="unknown family"):
+            zoo.family("LLaMA")
+
+    def test_family_of(self, zoo):
+        v = zoo.family("BERT").lowest
+        assert zoo.family_of(v).name == "BERT"
+
+    def test_all_variants_count(self, zoo):
+        assert len(zoo.all_variants()) == 14
+
+    def test_duplicate_family_rejected(self, zoo):
+        fam = zoo.family("GPT")
+        with pytest.raises(ValueError, match="duplicate"):
+            ModelZoo([fam, fam])
+
+    def test_empty_zoo_rejected(self):
+        with pytest.raises(ValueError):
+            ModelZoo([])
+
+    def test_table1_rows_shape(self, zoo):
+        rows = zoo.table1_rows()
+        assert len(rows) == 14
+        assert {"model", "service_time_s", "accuracy_percent"} <= set(rows[0])

@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.interarrival import InterArrivalEstimator
+from repro.core.priority import PriorityStructure, normalize
+from repro.core.thresholds import MonotoneScheme, TechniqueT1, TechniqueT2
+from repro.core.peak import PeakDetector
+from repro.models.zoo import default_zoo
+from repro.runtime.costmodel import CostModel
+from repro.runtime.schedule import KeepAliveSchedule
+from repro.sota.icebreaker import fft_extrapolate
+
+ZOO = default_zoo()
+GPT = ZOO.family("GPT")
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+variant_counts = st.integers(min_value=1, max_value=6)
+
+
+class TestThresholdProperties:
+    @given(p=probabilities, n=variant_counts)
+    def test_t1_level_always_valid(self, p, n):
+        level = TechniqueT1().select_level(p, n)
+        assert 0 <= level < n
+
+    @given(p=probabilities, n=variant_counts)
+    def test_t2_level_always_valid(self, p, n):
+        level = TechniqueT2().select_level(p, n)
+        assert 0 <= level < n
+
+    @given(
+        ps=st.lists(probabilities, min_size=2, max_size=20),
+        n=variant_counts,
+    )
+    def test_t1_monotone(self, ps, n):
+        scheme = TechniqueT1()
+        ordered = sorted(ps)
+        levels = [scheme.select_level(p, n) for p in ordered]
+        assert levels == sorted(levels)
+
+    @given(
+        cuts=st.lists(
+            st.floats(min_value=0.01, max_value=0.99), min_size=1, max_size=5, unique=True
+        ),
+        p=probabilities,
+        n=variant_counts,
+    )
+    def test_monotone_scheme_valid_for_any_cuts(self, cuts, p, n):
+        scheme = MonotoneScheme(sorted(cuts))
+        level = scheme.select_level(p, n)
+        assert 0 <= level < n
+
+
+class TestNormalizeProperties:
+    @given(
+        x=arrays(
+            np.int64,
+            st.integers(min_value=1, max_value=30),
+            elements=st.integers(min_value=0, max_value=10_000),
+        )
+    )
+    def test_output_in_unit_interval(self, x):
+        out = normalize(x)
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+    @given(
+        x=arrays(
+            np.int64,
+            st.integers(min_value=2, max_value=30),
+            elements=st.integers(min_value=0, max_value=10_000),
+        )
+    )
+    def test_order_preserved(self, x):
+        out = normalize(x)
+        order_in = np.argsort(x, kind="stable")
+        assert np.all(np.diff(out[order_in]) >= -1e-12)
+
+    @given(
+        x=arrays(
+            np.int64,
+            st.integers(min_value=2, max_value=30),
+            elements=st.integers(min_value=0, max_value=10_000),
+        )
+    )
+    def test_extremes_hit_bounds_when_distinct(self, x):
+        out = normalize(x)
+        if x.max() != x.min():
+            assert out.max() == pytest.approx(1.0)
+            assert out.min() == pytest.approx(0.0)
+
+
+class TestEstimatorProperties:
+    @given(
+        gaps=st.lists(st.integers(min_value=1, max_value=40), min_size=1, max_size=80),
+        mode=st.sampled_from(["exact", "survival", "cumulative", "hazard"]),
+    )
+    @settings(max_examples=60)
+    def test_probabilities_always_in_unit_interval(self, gaps, mode):
+        est = InterArrivalEstimator(1, window=10, mode=mode)
+        t = 0
+        est.observe(0, 0)
+        for g in gaps:
+            t += g
+            est.observe(0, t)
+        p = est.probabilities(0, t)
+        assert p.shape == (10,)
+        assert np.all(p >= 0.0) and np.all(p <= 1.0)
+
+    @given(
+        gaps=st.lists(st.integers(min_value=1, max_value=40), min_size=1, max_size=80)
+    )
+    @settings(max_examples=60)
+    def test_exact_window_mass_at_most_one(self, gaps):
+        est = InterArrivalEstimator(1, window=10, mode="exact")
+        t = 0
+        est.observe(0, 0)
+        for g in gaps:
+            t += g
+            est.observe(0, t)
+        assert est.probabilities(0, t).sum() <= 1.0 + 1e-9
+
+    @given(
+        gaps=st.lists(st.integers(min_value=1, max_value=12), min_size=2, max_size=60)
+    )
+    @settings(max_examples=60)
+    def test_survival_non_increasing(self, gaps):
+        est = InterArrivalEstimator(1, window=10, mode="survival")
+        t = 0
+        est.observe(0, 0)
+        for g in gaps:
+            t += g
+            est.observe(0, t)
+        p = est.probabilities(0, t)
+        assert np.all(np.diff(p) <= 1e-12)
+
+
+class TestScheduleProperties:
+    @given(
+        levels=st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=10),
+        n_downgrades=st.integers(min_value=0, max_value=8),
+    )
+    @settings(max_examples=60)
+    def test_downgrades_never_increase_memory(self, levels, n_downgrades):
+        sched = KeepAliveSchedule(1, keep_alive_window=10)
+        plan = [GPT.variant(lv) for lv in levels]
+        sched.set_plan(0, 0, plan)
+        for minute in range(1, len(levels) + 1):
+            before = sched.memory_at(minute)
+            for _ in range(n_downgrades):
+                sched.downgrade(0, minute, GPT)
+                after = sched.memory_at(minute)
+                assert after <= before + 1e-9
+                before = after
+
+    @given(
+        levels=st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=10)
+    )
+    @settings(max_examples=60)
+    def test_downgrade_without_drop_preserves_aliveness(self, levels):
+        sched = KeepAliveSchedule(1, keep_alive_window=10)
+        sched.set_plan(0, 0, [GPT.variant(lv) for lv in levels])
+        for _ in range(5):
+            sched.downgrade(0, 1, GPT, allow_drop=False)
+        for minute in range(1, len(levels) + 1):
+            assert sched.alive_variant(0, minute) is not None
+
+
+class TestCostModelProperties:
+    @given(
+        series=arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=50),
+            elements=st.floats(min_value=0.0, max_value=1e6),
+        ),
+        price=st.floats(min_value=1e-9, max_value=1.0),
+    )
+    def test_series_cost_is_additive(self, series, price):
+        cm = CostModel(usd_per_mb_minute=price)
+        half = len(series) // 2
+        total = cm.series_cost(series)
+        split = cm.series_cost(series[:half]) + cm.series_cost(series[half:])
+        assert total == pytest.approx(split, rel=1e-9, abs=1e-12)
+
+
+class TestPeakDetectorProperties:
+    @given(
+        memories=st.lists(
+            st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=100
+        ),
+        threshold=st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=60)
+    def test_flatten_target_never_flags_itself(self, memories, threshold):
+        d = PeakDetector(memory_threshold=threshold)
+        for m in memories:
+            target = d.flatten_target()
+            if np.isfinite(target):
+                assert not d.is_peak(target)
+            d.observe(m)
+
+    @given(
+        memories=st.lists(
+            st.floats(min_value=1.0, max_value=1e6), min_size=2, max_size=60
+        )
+    )
+    @settings(max_examples=60)
+    def test_prior_is_positive_once_activity_seen(self, memories):
+        d = PeakDetector()
+        for m in memories:
+            d.observe(m)
+        assert d.prior_memory() > 0
+
+
+class TestFftProperties:
+    @given(
+        period=st.integers(min_value=2, max_value=16),
+        reps=st.integers(min_value=4, max_value=12),
+    )
+    @settings(max_examples=40)
+    def test_extrapolation_bounded_for_binary_signals(self, period, reps):
+        x = np.zeros(period * reps)
+        x[::period] = 1.0
+        pred = fft_extrapolate(x, 10, top_k=8)
+        assert np.all(np.isfinite(pred))
+        assert np.all(np.abs(pred) <= 2.0)

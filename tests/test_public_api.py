@@ -1,0 +1,61 @@
+"""Public API surface tests: everything __all__ promises must exist."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.models",
+    "repro.traces",
+    "repro.runtime",
+    "repro.baselines",
+    "repro.sota",
+    "repro.milp",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+class TestAllExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_members_resolve(self, package):
+        mod = importlib.import_module(package)
+        assert hasattr(mod, "__all__"), f"{package} has no __all__"
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{package}.{name} missing"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_main_module_importable(self):
+        # `python -m repro` resolves through repro.__main__.
+        spec = importlib.util.find_spec("repro.__main__")
+        assert spec is not None
+
+
+class TestConvenienceImports:
+    def test_quickstart_imports(self):
+        # The exact imports the README's quickstart uses.
+        from repro import (  # noqa: F401
+            PulseConfig,
+            PulsePolicy,
+            Simulation,
+            SimulationConfig,
+            SyntheticTraceConfig,
+            Trace,
+            default_zoo,
+            generate_trace,
+        )
+        from repro.baselines import OpenWhiskPolicy  # noqa: F401
+        from repro.experiments.assignments import sample_assignment  # noqa: F401
+
+    def test_policy_registry_in_cli_is_complete(self):
+        from repro.cli import _POLICIES
+
+        for name, factory in _POLICIES.items():
+            policy = factory()
+            assert policy.name, name

@@ -1,0 +1,110 @@
+"""Tests for repro.runtime.container — lifecycle and pool statistics."""
+
+import pytest
+
+from repro.runtime.container import ContainerPool, ContainerState
+
+
+class TestReconcile:
+    def test_creates_on_demand(self, gpt):
+        pool = ContainerPool()
+        c = pool.reconcile(0, gpt.highest, 0)
+        assert c is not None
+        assert c.state is ContainerState.WARM
+        assert pool.stats.prewarms == 1
+
+    def test_noop_when_variant_matches(self, gpt):
+        pool = ContainerPool()
+        c1 = pool.reconcile(0, gpt.highest, 0)
+        c2 = pool.reconcile(0, gpt.highest, 1)
+        assert c1 is c2
+        assert pool.stats.containers_created == 1
+
+    def test_variant_switch_evicts_and_prewarms(self, gpt):
+        pool = ContainerPool()
+        c1 = pool.reconcile(0, gpt.highest, 0)
+        c2 = pool.reconcile(0, gpt.lowest, 1)
+        assert c1.state is ContainerState.EVICTED
+        assert c1.evicted_minute == 1
+        assert c2.variant == gpt.lowest
+        assert pool.stats.evictions == 1
+        assert pool.stats.prewarms == 2
+
+    def test_none_desired_evicts(self, gpt):
+        pool = ContainerPool()
+        pool.reconcile(0, gpt.highest, 0)
+        assert pool.reconcile(0, None, 3) is None
+        assert pool.n_live == 0
+        assert pool.stats.evictions == 1
+
+    def test_time_must_not_go_backwards(self, gpt):
+        pool = ContainerPool()
+        pool.reconcile(0, gpt.highest, 5)
+        with pytest.raises(ValueError, match="backwards"):
+            pool.reconcile(0, gpt.highest, 4)
+
+
+class TestColdStart:
+    def test_cold_start_counts(self, gpt):
+        pool = ContainerPool()
+        c = pool.cold_start(0, gpt.highest, 2)
+        assert pool.stats.cold_creates == 1
+        assert c.created_minute == 2
+
+    def test_cold_start_with_live_container_is_error(self, gpt):
+        pool = ContainerPool()
+        pool.reconcile(0, gpt.highest, 0)
+        with pytest.raises(RuntimeError, match="live"):
+            pool.cold_start(0, gpt.highest, 1)
+
+    def test_double_evict_is_error(self, gpt):
+        pool = ContainerPool()
+        c = pool.reconcile(0, gpt.highest, 0)
+        pool.reconcile(0, None, 1)
+        with pytest.raises(RuntimeError, match="already evicted"):
+            c.evict(2)
+
+
+class TestServingAndTicks:
+    def test_record_served(self, gpt):
+        pool = ContainerPool()
+        pool.cold_start(0, gpt.highest, 0)
+        pool.record_served(0, 3)
+        assert pool.live_container(0).served_invocations == 3
+
+    def test_record_served_without_container(self):
+        pool = ContainerPool()
+        with pytest.raises(RuntimeError, match="no live container"):
+            pool.record_served(0, 1)
+
+    def test_tick_all_accumulates_memory_minutes(self, gpt, bert):
+        pool = ContainerPool()
+        pool.reconcile(0, gpt.highest, 0)
+        pool.reconcile(1, bert.lowest, 0)
+        pool.tick_all()
+        pool.tick_all()
+        expected = 2 * (gpt.highest.memory_mb + bert.lowest.memory_mb)
+        assert pool.stats.warm_mb_minutes == pytest.approx(expected)
+
+    def test_warm_minutes_by_level(self, gpt):
+        pool = ContainerPool()
+        pool.reconcile(0, gpt.highest, 0)
+        pool.tick_all()
+        pool.reconcile(0, gpt.lowest, 1)
+        pool.tick_all()
+        assert pool.stats.warm_minutes_by_level == {
+            gpt.highest.level: 1,
+            gpt.lowest.level: 1,
+        }
+
+    def test_lifetime_minutes(self, gpt):
+        pool = ContainerPool()
+        c = pool.reconcile(0, gpt.highest, 10)
+        pool.reconcile(0, None, 14)
+        assert c.lifetime_minutes == 4
+
+    def test_history_keeps_evicted(self, gpt):
+        pool = ContainerPool()
+        pool.reconcile(0, gpt.highest, 0)
+        pool.reconcile(0, gpt.lowest, 1)
+        assert len(pool.history()) == 2

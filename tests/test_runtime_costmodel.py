@@ -1,0 +1,47 @@
+"""Tests for repro.runtime.costmodel."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.costmodel import DEFAULT_USD_PER_MB_MINUTE, CostModel
+
+
+class TestCostModel:
+    def test_minute_cost_linear(self):
+        cm = CostModel(usd_per_mb_minute=2.0)
+        assert cm.minute_cost(3.0) == pytest.approx(6.0)
+        assert cm.minute_cost(0.0) == 0.0
+
+    def test_rejects_negative_memory(self):
+        with pytest.raises(ValueError):
+            CostModel().minute_cost(-1.0)
+
+    def test_rejects_non_positive_price(self):
+        with pytest.raises(ValueError):
+            CostModel(usd_per_mb_minute=0.0)
+
+    def test_series_cost_equals_sum_of_minutes(self):
+        cm = CostModel(usd_per_mb_minute=0.5)
+        series = np.array([1.0, 2.0, 3.0])
+        assert cm.series_cost(series) == pytest.approx(
+            sum(cm.minute_cost(m) for m in series)
+        )
+
+    def test_series_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostModel().series_cost(np.array([1.0, -2.0]))
+
+    def test_cost_series_shape(self):
+        cm = CostModel()
+        out = cm.cost_series(np.ones(5))
+        assert out.shape == (5,)
+        np.testing.assert_allclose(out, DEFAULT_USD_PER_MB_MINUTE)
+
+    def test_cents_per_hour(self):
+        cm = CostModel(usd_per_mb_minute=1e-6)
+        # 1000 MB * 1e-6 $/MB-min * 60 min * 100 cents = 6 cents/hour
+        assert cm.cents_per_hour(1000.0) == pytest.approx(6.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CostModel().usd_per_mb_minute = 1.0

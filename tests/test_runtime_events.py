@@ -1,0 +1,87 @@
+"""Tests for repro.runtime.events and engine event recording."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.openwhisk import OpenWhiskPolicy
+from repro.core.pulse import PulsePolicy
+from repro.runtime.events import Event, EventKind, EventLog
+from repro.runtime.simulator import Simulation, SimulationConfig
+from repro.traces.schema import FunctionSpec, Trace
+
+
+def one_function_trace(counts):
+    counts = np.asarray([counts], dtype=np.int64)
+    return Trace(counts=counts, functions=(FunctionSpec(0, "f0"),))
+
+
+class TestEventLog:
+    def test_record_and_query(self):
+        log = EventLog()
+        log.emit(0, EventKind.COLD_START, 1, "GPT-Large", 1)
+        log.emit(0, EventKind.MEMORY_COMMIT, value=500.0)
+        log.emit(3, EventKind.WARM_START, 1, "GPT-Large", 2)
+        assert len(log) == 3
+        assert log.count(EventKind.COLD_START) == 1
+        assert len(log.for_function(1)) == 2
+        assert len(log.between(0, 1)) == 2
+        assert log.cold_start_minutes(1) == [0]
+
+    def test_time_order_enforced(self):
+        log = EventLog()
+        log.emit(5, EventKind.MEMORY_COMMIT)
+        with pytest.raises(ValueError, match="time order"):
+            log.emit(4, EventKind.MEMORY_COMMIT)
+
+    def test_negative_minute_rejected(self):
+        with pytest.raises(ValueError):
+            Event(-1, EventKind.COLD_START)
+
+    def test_iteration_and_indexing(self):
+        log = EventLog()
+        log.emit(0, EventKind.PREWARM, 0, "BERT-Small")
+        assert list(log)[0] is log[0]
+
+
+class TestEngineEventRecording:
+    def test_disabled_by_default(self, gpt):
+        r = Simulation(one_function_trace([1, 0]), {0: gpt}, OpenWhiskPolicy()).run()
+        assert r.events is None
+
+    def test_cold_and_warm_starts_recorded(self, gpt):
+        trace = one_function_trace([2, 0, 1, 0])
+        cfg = SimulationConfig(record_events=True)
+        r = Simulation(trace, {0: gpt}, OpenWhiskPolicy(), cfg).run()
+        log = r.events
+        assert log is not None
+        assert log.count(EventKind.COLD_START) == r.n_cold == 1
+        warm_served = sum(e.value for e in log.of_kind(EventKind.WARM_START))
+        assert warm_served == r.n_warm == 2
+
+    def test_memory_commits_match_series(self, gpt):
+        trace = one_function_trace([1, 0, 0, 0])
+        cfg = SimulationConfig(record_events=True)
+        r = Simulation(trace, {0: gpt}, OpenWhiskPolicy(), cfg).run()
+        commits = [e.value for e in r.events.of_kind(EventKind.MEMORY_COMMIT)]
+        np.testing.assert_allclose(commits, r.memory_series_mb)
+
+    def test_prewarm_and_eviction_on_window_end(self, gpt):
+        trace = one_function_trace([1] + [0] * 14)
+        cfg = SimulationConfig(record_events=True)
+        r = Simulation(trace, {0: gpt}, OpenWhiskPolicy(), cfg).run()
+        evictions = r.events.of_kind(EventKind.EVICTION)
+        # The container comes down when the 10-minute window expires.
+        assert evictions and evictions[0].minute == 11
+
+    def test_variant_switch_emits_prewarm(self, small_trace, assignment):
+        cfg = SimulationConfig(record_events=True)
+        r = Simulation(small_trace, assignment, PulsePolicy(), cfg).run()
+        # PULSE switches variants inside windows: pre-warms must appear.
+        assert r.events.count(EventKind.PREWARM) > 0
+
+    def test_events_imply_pool(self, gpt):
+        trace = one_function_trace([1, 0])
+        cfg = SimulationConfig(record_events=True, track_containers=False)
+        r = Simulation(trace, {0: gpt}, OpenWhiskPolicy(), cfg).run()
+        assert r.events is not None
+        assert r.pool_stats is not None  # pool forced on for event capture

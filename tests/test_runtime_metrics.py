@@ -1,0 +1,97 @@
+"""Tests for repro.runtime.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.costmodel import CostModel
+from repro.runtime.metrics import RunResult, aggregate_results, percent_improvement
+
+
+def make_result(**kw):
+    defaults = dict(
+        policy_name="p",
+        n_invocations=10,
+        n_warm=8,
+        n_cold=2,
+        total_service_time_s=100.0,
+        keepalive_cost_usd=5.0,
+        mean_accuracy=80.0,
+        policy_overhead_s=0.5,
+        n_policy_decisions=50,
+    )
+    defaults.update(kw)
+    return RunResult(**defaults)
+
+
+class TestRunResult:
+    def test_warm_fraction(self):
+        assert make_result().warm_fraction == pytest.approx(0.8)
+
+    def test_zero_invocations(self):
+        r = make_result(n_invocations=0, n_warm=0, n_cold=0)
+        assert r.warm_fraction == 0.0
+
+    def test_warm_cold_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            make_result(n_warm=5, n_cold=2, n_invocations=10)
+
+    def test_overhead_per_decision(self):
+        assert make_result().overhead_per_decision_s == pytest.approx(0.01)
+        assert make_result(n_policy_decisions=0).overhead_per_decision_s == 0.0
+
+    def test_overhead_over_service_time(self):
+        assert make_result().overhead_over_service_time == pytest.approx(0.005)
+
+    def test_summary_keys(self):
+        s = make_result().summary()
+        assert {"policy", "service_time_s", "keepalive_cost_usd",
+                "accuracy_percent"} <= set(s)
+
+
+class TestCostErrorSeries:
+    def test_requires_series(self):
+        with pytest.raises(ValueError, match="without series"):
+            make_result().cost_error_series(CostModel())
+
+    def test_error_values(self):
+        r = make_result(
+            memory_series_mb=np.array([100.0, 200.0, 0.0, 50.0]),
+            ideal_memory_series_mb=np.array([100.0, 100.0, 0.0, 0.0]),
+        )
+        err = r.cost_error_series(CostModel())
+        assert err[0] == pytest.approx(0.0)
+        assert err[1] == pytest.approx(100.0)
+        assert err[2] == pytest.approx(0.0)  # both zero
+        assert err[3] == pytest.approx(200.0)  # waste with no ideal: capped
+
+    def test_clipped_to_plot_range(self):
+        r = make_result(
+            memory_series_mb=np.array([1000.0]),
+            ideal_memory_series_mb=np.array([1.0]),
+        )
+        assert r.cost_error_series(CostModel())[0] == 200.0
+
+
+class TestAggregation:
+    def test_aggregate_means(self):
+        rs = [make_result(keepalive_cost_usd=c) for c in (1.0, 3.0)]
+        agg = aggregate_results(rs)
+        assert agg["keepalive_cost_usd"] == pytest.approx(2.0)
+        assert agg["n_runs"] == 2.0
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_results([])
+
+
+class TestPercentImprovement:
+    def test_lower_is_better(self):
+        assert percent_improvement(100.0, 60.0, higher_is_better=False) == pytest.approx(40.0)
+        assert percent_improvement(100.0, 120.0, higher_is_better=False) == pytest.approx(-20.0)
+
+    def test_higher_is_better(self):
+        assert percent_improvement(80.0, 79.2, higher_is_better=True) == pytest.approx(-1.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            percent_improvement(0.0, 1.0, higher_is_better=True)

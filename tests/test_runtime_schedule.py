@@ -1,0 +1,118 @@
+"""Tests for repro.runtime.schedule — the keep-alive ledger."""
+
+import pytest
+
+from repro.runtime.schedule import KeepAliveSchedule
+
+
+@pytest.fixture()
+def sched():
+    return KeepAliveSchedule(n_functions=3, keep_alive_window=10)
+
+
+class TestPlans:
+    def test_set_plan_covers_offsets(self, sched, gpt):
+        plan = [gpt.highest] * 3 + [None] * 7
+        sched.set_plan(0, 100, plan)
+        assert sched.alive_variant(0, 101) == gpt.highest
+        assert sched.alive_variant(0, 103) == gpt.highest
+        assert sched.alive_variant(0, 104) is None
+        assert sched.alive_variant(0, 100) is None  # plan starts at +1
+
+    def test_plan_overwrites_previous(self, sched, gpt):
+        sched.set_plan(0, 100, [gpt.highest] * 10)
+        sched.set_plan(0, 103, [None] * 10)
+        # minutes 104..113 cleared; 101..103 still from the first plan
+        assert sched.alive_variant(0, 103) == gpt.highest
+        assert sched.alive_variant(0, 107) is None
+
+    def test_plan_too_long_rejected(self, sched, gpt):
+        with pytest.raises(ValueError, match="exceeds"):
+            sched.set_plan(0, 0, [gpt.highest] * 11)
+
+    def test_short_plan_allowed(self, sched, gpt):
+        sched.set_plan(0, 0, [gpt.lowest])
+        assert sched.alive_variant(0, 1) == gpt.lowest
+
+    def test_mark_alive_same_minute(self, sched, gpt):
+        sched.mark_alive(1, 50, gpt.lowest)
+        assert sched.alive_variant(1, 50) == gpt.lowest
+
+    def test_bad_fid(self, sched, gpt):
+        with pytest.raises(IndexError):
+            sched.set_plan(3, 0, [gpt.highest])
+
+
+class TestMemoryAccounting:
+    def test_memory_at_sums_variants(self, sched, gpt, bert):
+        sched.mark_alive(0, 5, gpt.highest)
+        sched.mark_alive(1, 5, bert.lowest)
+        expected = gpt.highest.memory_mb + bert.lowest.memory_mb
+        assert sched.memory_at(5) == pytest.approx(expected)
+
+    def test_empty_minute_is_zero(self, sched):
+        assert sched.memory_at(0) == 0.0
+
+    def test_alive_at(self, sched, gpt):
+        sched.mark_alive(2, 7, gpt.lowest)
+        assert sched.alive_at(7) == {2: gpt.lowest}
+
+
+class TestDowngrade:
+    def test_downgrade_steps_one_level(self, sched, gpt):
+        sched.set_plan(0, 0, [gpt.highest] * 10)
+        freed = sched.downgrade(0, 1, gpt)
+        assert sched.alive_variant(0, 1).level == gpt.highest.level - 1
+        assert freed == pytest.approx(
+            gpt.highest.memory_mb - gpt.variant(gpt.highest.level - 1).memory_mb
+        )
+
+    def test_downgrade_applies_to_future_entries(self, sched, gpt):
+        sched.set_plan(0, 0, [gpt.highest] * 10)
+        sched.downgrade(0, 5, gpt)
+        assert sched.alive_variant(0, 3).level == 2  # before from_minute
+        assert sched.alive_variant(0, 9).level == 1
+
+    def test_lowest_dropped_when_allowed(self, sched, gpt):
+        sched.set_plan(0, 0, [gpt.lowest] * 10)
+        freed = sched.downgrade(0, 1, gpt, allow_drop=True)
+        assert sched.alive_variant(0, 1) is None
+        assert freed == pytest.approx(gpt.lowest.memory_mb)
+
+    def test_lowest_kept_when_drop_forbidden(self, sched, gpt):
+        sched.set_plan(0, 0, [gpt.lowest] * 10)
+        freed = sched.downgrade(0, 1, gpt, allow_drop=False)
+        assert sched.alive_variant(0, 1) == gpt.lowest
+        assert freed == 0.0
+
+    def test_mixed_levels_downgraded_entrywise(self, sched, gpt):
+        plan = [gpt.lowest, gpt.highest, gpt.variant(1)]
+        sched.set_plan(0, 0, plan)
+        sched.downgrade(0, 1, gpt, allow_drop=False)
+        assert sched.alive_variant(0, 1) == gpt.lowest  # was lowest, kept
+        assert sched.alive_variant(0, 2).level == 1
+        assert sched.alive_variant(0, 3).level == 0
+
+    def test_memory_never_increases(self, sched, gpt):
+        sched.set_plan(0, 0, [gpt.highest] * 10)
+        before = sched.memory_at(4)
+        for _ in range(5):
+            sched.downgrade(0, 4, gpt)
+            after = sched.memory_at(4)
+            assert after <= before
+            before = after
+
+
+class TestAdvance:
+    def test_advance_drops_past(self, sched, gpt):
+        sched.set_plan(0, 0, [gpt.highest] * 10)
+        sched.advance(5)
+        assert sched.alive_variant(0, 4) is None
+        assert sched.alive_variant(0, 5) == gpt.highest
+        assert sched.planned_minutes(0) == [5, 6, 7, 8, 9, 10]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            KeepAliveSchedule(0, 10)
+        with pytest.raises(ValueError):
+            KeepAliveSchedule(1, 0)

@@ -1,0 +1,51 @@
+"""Tests for repro.sota.arima."""
+
+import numpy as np
+import pytest
+
+from repro.sota.arima import ARForecaster
+
+
+class TestARForecaster:
+    def test_constant_series(self):
+        f = ARForecaster()
+        assert f.forecast([5.0] * 20) == pytest.approx(5.0, abs=1e-6)
+
+    def test_linear_trend_extrapolated(self):
+        f = ARForecaster(order=2)
+        series = np.arange(1.0, 30.0)
+        assert f.forecast(series) == pytest.approx(30.0, rel=0.05)
+
+    def test_ar1_process_learned(self):
+        rng = np.random.default_rng(0)
+        phi, n = 0.8, 400
+        x = np.zeros(n)
+        for t in range(1, n):
+            x[t] = phi * x[t - 1] + rng.normal(0, 0.1)
+        f = ARForecaster(order=1)
+        pred = f.forecast(x)
+        assert pred == pytest.approx(phi * x[-1], abs=0.3)
+
+    def test_alternating_series(self):
+        f = ARForecaster(order=2)
+        series = np.array([2.0, 8.0] * 20)
+        assert f.forecast(series) == pytest.approx(2.0, abs=1.0)
+
+    def test_single_value(self):
+        assert ARForecaster().forecast([7.0]) == 7.0
+
+    def test_short_series_uses_mean(self):
+        assert ARForecaster(order=3).forecast([2.0, 4.0]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ARForecaster().forecast([])
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            ARForecaster(order=0)
+
+    def test_finite_on_degenerate_input(self):
+        # A constant-with-one-outlier series should never produce NaN/inf.
+        series = [1.0] * 30 + [1e9] + [1.0] * 30
+        assert np.isfinite(ARForecaster().forecast(series))

@@ -1,0 +1,103 @@
+"""Tests for repro.sota.integration — PULSE layered on Wild/IceBreaker."""
+
+import numpy as np
+import pytest
+
+from repro.core.pulse import PulseConfig, PulsePolicy
+from repro.runtime.simulator import Simulation, SimulationConfig
+from repro.sota.icebreaker import IceBreakerPolicy
+from repro.sota.integration import PulseIntegratedPolicy
+from repro.sota.wild import WildPolicy
+from repro.traces.schema import FunctionSpec, Trace
+
+
+def one_function_trace(counts):
+    counts = np.asarray([counts], dtype=np.int64)
+    return Trace(counts=counts, functions=(FunctionSpec(0, "f0"),))
+
+
+class TestConstruction:
+    def test_name_reflects_base(self):
+        assert PulseIntegratedPolicy(WildPolicy()).name == "Wild+PULSE"
+        assert (
+            PulseIntegratedPolicy(IceBreakerPolicy()).name == "IceBreaker+PULSE"
+        )
+
+    def test_rejects_pulse_as_base(self):
+        with pytest.raises(TypeError):
+            PulseIntegratedPolicy(PulsePolicy())
+        with pytest.raises(TypeError):
+            PulseIntegratedPolicy(PulseIntegratedPolicy(WildPolicy()))
+
+    def test_pulse_window_pinned_to_ten(self):
+        p = PulseIntegratedPolicy(WildPolicy())
+        assert p.pulse.config.window == 10
+
+    def test_explicit_pulse_config_respected(self):
+        p = PulseIntegratedPolicy(WildPolicy(), PulseConfig(window=5))
+        assert p.pulse.config.window == 5
+
+
+class TestPlanComposition:
+    def test_base_gates_pulse_variants(self, gpt):
+        trace = one_function_trace(np.zeros(600, dtype=np.int64))
+        p = PulseIntegratedPolicy(WildPolicy(min_samples=3, margin=0.0))
+        p.bind(trace, {0: gpt}, 240)
+        # Teach both layers a 4-minute timer.
+        for m in range(0, 60, 4):
+            p.observe_invocation(0, m, 1)
+        plan = p.plan(0, 56)
+        base_plan = p.base.plan(0, 56)
+        for combined, base in zip(plan, base_plan):
+            if base is None:
+                assert combined is None  # base predicts nothing there
+        # The base's concurrency gates the combined plan: Wild with zero
+        # margin keeps only the timer's firing minute, so the combined
+        # plan keeps strictly fewer minutes than PULSE alone would.
+        kept = [v for v in plan if v is not None]
+        assert kept
+        assert len(kept) < sum(v is not None for v in p.pulse.plan(0, 56))
+
+    def test_beyond_pulse_window_released(self, gpt):
+        trace = one_function_trace(np.zeros(4000, dtype=np.int64))
+        p = PulseIntegratedPolicy(WildPolicy(min_samples=3))
+        p.bind(trace, {0: gpt}, 240)
+        t = 0
+        for _ in range(10):  # 60-minute idle times
+            t += 60
+            p.observe_invocation(0, t, 1)
+        plan = p.plan(0, t)
+        assert all(v is None for v in plan[10:])  # cut at PULSE's window
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def runs(self, small_trace, zoo):
+        fams = list(zoo)
+        assignment = {
+            fid: fams[fid % len(fams)] for fid in range(small_trace.n_functions)
+        }
+        cfg = SimulationConfig(keep_alive_window=240)
+        out = {}
+        for name, factory in [
+            ("wild", WildPolicy),
+            ("wild+pulse", lambda: PulseIntegratedPolicy(WildPolicy())),
+            ("ice", IceBreakerPolicy),
+            ("ice+pulse", lambda: PulseIntegratedPolicy(IceBreakerPolicy())),
+        ]:
+            out[name] = Simulation(small_trace, assignment, factory(), cfg).run()
+        return out
+
+    def test_integration_cuts_wild_cost(self, runs):
+        assert runs["wild+pulse"].keepalive_cost_usd < runs["wild"].keepalive_cost_usd
+
+    def test_integration_cuts_icebreaker_cost(self, runs):
+        assert runs["ice+pulse"].keepalive_cost_usd < runs["ice"].keepalive_cost_usd
+
+    def test_accuracy_drop_is_small(self, runs):
+        for base, integ in [("wild", "wild+pulse"), ("ice", "ice+pulse")]:
+            drop = runs[base].mean_accuracy - runs[integ].mean_accuracy
+            assert 0.0 <= drop < 5.0
+
+    def test_names_propagate(self, runs):
+        assert runs["wild+pulse"].policy_name == "Wild+PULSE"

@@ -1,0 +1,84 @@
+"""Tests for repro.traces.analysis."""
+
+import numpy as np
+import pytest
+
+from repro.traces.analysis import (
+    activity_summary,
+    interarrival_times,
+    invocation_peaks,
+    window_interarrival_histogram,
+)
+from repro.traces.schema import FunctionSpec, Trace
+
+
+def make_trace(counts):
+    counts = np.asarray(counts, dtype=np.int64)
+    specs = tuple(FunctionSpec(i, f"f{i}") for i in range(counts.shape[0]))
+    return Trace(counts=counts, functions=specs)
+
+
+class TestInterarrivalTimes:
+    def test_simple_gaps(self):
+        t = make_trace([[1, 0, 1, 0, 0, 1]])
+        np.testing.assert_array_equal(interarrival_times(t, 0), [2, 3])
+
+    def test_multiple_invocations_one_minute_count_once(self):
+        t = make_trace([[3, 0, 2]])
+        np.testing.assert_array_equal(interarrival_times(t, 0), [2])
+
+    def test_fewer_than_two_arrivals(self):
+        t = make_trace([[0, 1, 0]])
+        assert interarrival_times(t, 0).size == 0
+
+
+class TestWindowHistogram:
+    def test_percentages_sum_to_in_window_mass(self):
+        # gaps: 2, 2, 12 -> 2/3 of mass at gap 2, nothing else in window.
+        counts = np.zeros((1, 20), dtype=np.int64)
+        counts[0, [0, 2, 4, 16]] = 1
+        t = make_trace(counts)
+        h = window_interarrival_histogram(t, 0, window=10)
+        assert h[1] == pytest.approx(100 * 2 / 3)
+        assert h.sum() == pytest.approx(100 * 2 / 3)
+
+    def test_empty_function(self):
+        t = make_trace([[0, 0, 0]])
+        assert window_interarrival_histogram(t, 0).sum() == 0
+
+    def test_length_matches_window(self):
+        t = make_trace([[1, 1, 1, 1]])
+        assert len(window_interarrival_histogram(t, 0, window=7)) == 7
+
+
+class TestInvocationPeaks:
+    def test_finds_two_separated_peaks(self):
+        counts = np.zeros((2, 200), dtype=np.int64)
+        counts[:, 50] = 30
+        counts[:, 150] = 25
+        counts[0, ::7] += 1
+        t = make_trace(counts)
+        assert invocation_peaks(t, n_peaks=2) == [50, 150]
+
+    def test_min_separation_enforced(self):
+        counts = np.zeros((1, 100), dtype=np.int64)
+        counts[0, 50] = 30
+        counts[0, 52] = 29  # too close to the top peak
+        counts[0, 90] = 20
+        t = make_trace(counts)
+        assert invocation_peaks(t, n_peaks=2, min_separation=20) == [50, 90]
+
+    def test_fewer_peaks_than_requested(self):
+        counts = np.zeros((1, 50), dtype=np.int64)
+        counts[0, 10] = 5
+        t = make_trace(counts)
+        assert invocation_peaks(t, n_peaks=3) == [10]
+
+
+class TestActivitySummary:
+    def test_summary_rows(self, small_trace):
+        rows = activity_summary(small_trace)
+        assert len(rows) == small_trace.n_functions
+        for row in rows:
+            assert row["invocations"] >= 0
+            assert 0.0 <= row["frac_gaps_in_10min"] <= 1.0

@@ -1,0 +1,90 @@
+"""Tests for repro.traces.azure — the Azure CSV loader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.traces.azure import load_azure_csv, top_functions, write_azure_csv
+from repro.traces.schema import MINUTES_PER_DAY
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture()
+def trace():
+    return generate_trace(SyntheticTraceConfig(horizon_minutes=2 * MINUTES_PER_DAY, seed=8))
+
+
+class TestRoundTrip:
+    def test_write_then_load_preserves_counts(self, trace, tmp_path):
+        paths = write_azure_csv(trace, tmp_path)
+        assert len(paths) == 2
+        loaded = load_azure_csv(paths, function_ids=[f.name for f in trace.functions])
+        np.testing.assert_array_equal(loaded.counts, trace.counts)
+
+    def test_default_ordering_is_by_volume(self, trace, tmp_path):
+        paths = write_azure_csv(trace, tmp_path)
+        loaded = load_azure_csv(paths)
+        totals = loaded.counts.sum(axis=1)
+        assert list(totals) == sorted(totals, reverse=True)
+
+    def test_partial_day_trace(self, trace, tmp_path):
+        partial = trace.window(0, 100)
+        paths = write_azure_csv(partial, tmp_path, prefix="p")
+        loaded = load_azure_csv(paths, function_ids=[f.name for f in partial.functions])
+        assert loaded.horizon == 100
+        np.testing.assert_array_equal(loaded.counts, partial.counts)
+
+
+class TestLoader:
+    def test_missing_function_raises(self, trace, tmp_path):
+        paths = write_azure_csv(trace, tmp_path)
+        with pytest.raises(KeyError, match="not present"):
+            load_azure_csv(paths, function_ids=["no-such-function"])
+
+    def test_empty_path_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            load_azure_csv([])
+
+    def test_missing_header_column(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("A,B,1,2\nx,y,1,2\n")
+        with pytest.raises(ValueError, match="HashFunction"):
+            load_azure_csv([bad])
+
+    def test_single_path_accepted(self, trace, tmp_path):
+        paths = write_azure_csv(trace.window(0, MINUTES_PER_DAY), tmp_path)
+        loaded = load_azure_csv(paths[0])
+        assert loaded.horizon == MINUTES_PER_DAY
+
+    def test_function_absent_on_one_day_padded_with_zeros(self, tmp_path):
+        day1 = tmp_path / "d1.csv"
+        day2 = tmp_path / "d2.csv"
+        header = "HashOwner,HashApp,HashFunction,Trigger,1,2,3\n"
+        day1.write_text(header + "o,a,fnA,http,1,0,2\n")
+        day2.write_text(header + "o,a,fnB,http,0,1,0\n")
+        loaded = load_azure_csv([day1, day2])
+        assert loaded.n_functions == 2
+        by_name = {f.name: f.function_id for f in loaded.functions}
+        np.testing.assert_array_equal(
+            loaded.counts[by_name["fnA"]], [1, 0, 2, 0, 0, 0]
+        )
+        np.testing.assert_array_equal(
+            loaded.counts[by_name["fnB"]], [0, 0, 0, 0, 1, 0]
+        )
+
+
+class TestTopFunctions:
+    def test_selects_most_invoked(self, trace):
+        top = top_functions(trace, 3)
+        assert top.n_functions == 3
+        totals = sorted(
+            (trace.total_invocations(f) for f in range(trace.n_functions)),
+            reverse=True,
+        )
+        assert top.total_invocations() == sum(totals[:3])
+
+    def test_k_larger_than_population(self, trace):
+        assert top_functions(trace, 99).n_functions == trace.n_functions
+
+    def test_k_must_be_positive(self, trace):
+        with pytest.raises(ValueError):
+            top_functions(trace, 0)

@@ -1,0 +1,85 @@
+"""Tests for repro.traces.azure_metadata."""
+
+import pytest
+
+from repro.experiments.assignments import sample_assignment
+from repro.traces.azure_metadata import (
+    AppMemoryRecord,
+    FunctionDurationRecord,
+    load_app_memory,
+    load_function_durations,
+    write_synthetic_metadata,
+)
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(SyntheticTraceConfig(horizon_minutes=480, seed=2))
+
+
+@pytest.fixture(scope="module")
+def assignment(trace, zoo):
+    return sample_assignment(trace.n_functions, zoo, seed=2)
+
+
+@pytest.fixture()
+def metadata_files(trace, assignment, tmp_path):
+    return write_synthetic_metadata(trace, assignment, tmp_path)
+
+
+class TestRoundTrip:
+    def test_durations_load(self, trace, assignment, metadata_files):
+        dur_path, _ = metadata_files
+        records = load_function_durations(dur_path)
+        assert len(records) == trace.n_functions
+        for spec in trace.functions:
+            rec = records[spec.name]
+            assert rec.count == trace.total_invocations(spec.function_id)
+            fam = assignment[spec.function_id]
+            assert rec.average_ms == pytest.approx(
+                fam.highest.warm_service_time_s * 1000.0, rel=1e-3
+            )
+            assert rec.minimum_ms <= rec.percentiles_ms["50"] <= rec.maximum_ms
+
+    def test_app_memory_loads(self, trace, assignment, metadata_files):
+        _, mem_path = metadata_files
+        records = load_app_memory(mem_path)
+        assert len(records) == trace.n_functions
+        rec = records["app0000"]
+        fam = assignment[0]
+        assert rec.percentiles_mb["100"] == pytest.approx(
+            fam.highest.memory_mb, rel=1e-3
+        )
+        assert rec.percentiles_mb["1"] == pytest.approx(
+            fam.lowest.memory_mb, rel=1e-3
+        )
+
+    def test_percentiles_monotone(self, metadata_files):
+        dur_path, mem_path = metadata_files
+        for rec in load_function_durations(dur_path).values():
+            vals = [rec.percentiles_ms[p] for p in ("0", "1", "25", "50", "75", "99", "100")]
+            assert vals == sorted(vals)
+        for rec in load_app_memory(mem_path).values():
+            vals = [rec.percentiles_mb[p] for p in ("1", "5", "25", "50", "75", "95", "99", "100")]
+            assert vals == sorted(vals)
+
+
+class TestValidation:
+    def test_wrong_schema_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("A,B\n1,2\n")
+        with pytest.raises(ValueError, match="durations"):
+            load_function_durations(bad)
+        with pytest.raises(ValueError, match="app-memory"):
+            load_app_memory(bad)
+
+    def test_record_invariants(self):
+        with pytest.raises(ValueError):
+            FunctionDurationRecord("f", 1.0, -1, 0.0, 1.0, {})
+        with pytest.raises(ValueError):
+            FunctionDurationRecord("f", 1.0, 1, 5.0, 1.0, {})
+        with pytest.raises(ValueError):
+            AppMemoryRecord("a", -1, 10.0, {})
+        with pytest.raises(ValueError):
+            AppMemoryRecord("a", 1, -10.0, {})

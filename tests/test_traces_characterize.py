@@ -1,0 +1,91 @@
+"""Tests for repro.traces.characterize — and, through it, validation
+that the synthetic generator produces the patterns each archetype claims."""
+
+import numpy as np
+import pytest
+
+from repro.traces.characterize import (
+    characterize_function,
+    characterize_trace,
+    classify,
+)
+from repro.traces.schema import FunctionSpec, Trace
+from repro.traces.synthetic import (
+    FunctionArchetype,
+    SyntheticTraceConfig,
+    generate_function,
+    generate_trace,
+)
+
+
+def trace_of(counts_row):
+    counts = np.asarray([counts_row], dtype=np.int64)
+    return Trace(counts=counts, functions=(FunctionSpec(0, "f0"),))
+
+
+def archetype_trace(kind, params=None, horizon=2880, seed=3):
+    counts = generate_function(FunctionArchetype(kind, params or {}), horizon, seed)
+    return trace_of(counts)
+
+
+class TestStatistics:
+    def test_exact_timer_statistics(self):
+        counts = np.zeros(600, dtype=np.int64)
+        counts[::5] = 1
+        c = characterize_function(trace_of(counts), 0)
+        assert c.periodicity > 0.9
+        assert c.dominant_period == 5
+        assert c.gap_cv == pytest.approx(0.0)
+        assert c.window_affinity == pytest.approx(1.0)
+        assert c.fano_factor < 1.0  # more regular than Poisson
+
+    def test_poisson_fano_near_one(self):
+        rng = np.random.default_rng(0)
+        counts = rng.poisson(0.4, size=5000)
+        c = characterize_function(trace_of(counts), 0)
+        assert 0.7 < c.fano_factor < 1.3
+
+    def test_bursty_fano_above_one(self):
+        c = characterize_function(archetype_trace("bursty"), 0)
+        assert c.fano_factor > 2.0
+
+    def test_dayphase_concentration(self):
+        c = characterize_function(archetype_trace("nocturnal", {"period": 6}), 0)
+        assert c.dayphase_concentration > 0.95
+
+    def test_inactive_function(self):
+        c = characterize_function(trace_of(np.zeros(100, dtype=np.int64)), 0)
+        assert c.n_invocations == 0
+        assert c.fano_factor == 0.0
+        assert classify(c) == "inactive"
+
+    def test_characterize_trace_covers_all(self, small_trace):
+        profiles = characterize_trace(small_trace)
+        assert len(profiles) == small_trace.n_functions
+
+
+class TestGeneratorHonesty:
+    """The generator must produce what each archetype's name promises."""
+
+    @pytest.mark.parametrize(
+        "kind,params,expected",
+        [
+            ("periodic", {"period": 5, "jitter": 0}, "periodic"),
+            ("bursty", {}, "bursty"),
+            ("diurnal", {"period": 4}, "dayphase"),
+            ("nocturnal", {"period": 6}, "dayphase"),
+            ("sparse", {"mean_gap": 420.0}, "sparse"),
+        ],
+    )
+    def test_archetypes_classify_as_themselves(self, kind, params, expected):
+        c = characterize_function(archetype_trace(kind, params), 0)
+        assert classify(c) == expected
+
+    def test_default_mix_is_diverse(self):
+        trace = generate_trace(SyntheticTraceConfig(horizon_minutes=2880, seed=9))
+        labels = {classify(c) for c in characterize_trace(trace)}
+        assert len(labels) >= 3  # several distinct behaviour classes
+
+    def test_front_loaded_has_high_window_affinity(self):
+        c = characterize_function(archetype_trace("front_loaded"), 0)
+        assert c.window_affinity > 0.6

@@ -1,0 +1,150 @@
+"""Tests for repro.traces.synthetic — the calibrated trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.traces.analysis import (
+    interarrival_times,
+    invocation_peaks,
+    window_interarrival_histogram,
+)
+from repro.traces.schema import MINUTES_PER_DAY
+from repro.traces.synthetic import (
+    ARCHETYPES,
+    DEFAULT_FUNCTION_MIX,
+    FunctionArchetype,
+    SyntheticTraceConfig,
+    generate_function,
+    generate_trace,
+)
+
+
+class TestArchetypes:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown archetype"):
+            FunctionArchetype("fractal")
+
+    def test_registry_exposes_all_kinds(self):
+        assert "periodic" in ARCHETYPES and "bursty" in ARCHETYPES
+
+    @pytest.mark.parametrize("kind", ARCHETYPES)
+    def test_every_archetype_generates(self, kind):
+        counts = generate_function(FunctionArchetype(kind), 2000, seed=3)
+        assert counts.shape == (2000,)
+        assert counts.min() >= 0
+        assert counts.sum() > 0
+
+    def test_exact_periodic_gaps(self):
+        counts = generate_function(
+            FunctionArchetype("periodic", {"period": 5, "jitter": 0}), 500, seed=0
+        )
+        gaps = np.diff(np.flatnonzero(counts))
+        assert set(gaps.tolist()) == {5}
+
+    def test_dayphase_respects_active_window(self):
+        counts = generate_function(
+            FunctionArchetype("diurnal", {"period": 4}), 2 * MINUTES_PER_DAY, seed=1
+        )
+        minute_of_day = np.arange(len(counts)) % MINUTES_PER_DAY
+        night = (minute_of_day < 8 * 60) | (minute_of_day >= 20 * 60)
+        assert counts[night].sum() == 0
+        assert counts[~night].sum() > 0
+
+    def test_nocturnal_wraps_midnight(self):
+        counts = generate_function(
+            FunctionArchetype("nocturnal", {"period": 6}), 2 * MINUTES_PER_DAY, seed=1
+        )
+        minute_of_day = np.arange(len(counts)) % MINUTES_PER_DAY
+        day = (minute_of_day >= 6 * 60) & (minute_of_day < 22 * 60)
+        assert counts[day].sum() == 0
+        assert counts.sum() > 0
+
+    def test_drifting_changes_regime(self):
+        counts = generate_function(FunctionArchetype("drifting"), 3000, seed=2)
+        thirds = np.array_split(counts, 3)
+        g1 = np.diff(np.flatnonzero(thirds[0]))
+        g2 = np.diff(np.flatnonzero(thirds[1]))
+        assert np.median(g1) != np.median(g2)
+
+    def test_deterministic_given_seed(self):
+        a = generate_function(FunctionArchetype("bursty"), 1000, seed=11)
+        b = generate_function(FunctionArchetype("bursty"), 1000, seed=11)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSyntheticTraceConfig:
+    def test_defaults_are_paper_scale(self):
+        cfg = SyntheticTraceConfig()
+        assert cfg.horizon_minutes == 14 * MINUTES_PER_DAY
+        assert len(cfg.functions) == 12
+
+    def test_with_horizon(self):
+        cfg = SyntheticTraceConfig().with_horizon(100)
+        assert cfg.horizon_minutes == 100
+        assert cfg.functions == DEFAULT_FUNCTION_MIX
+
+    def test_rejects_peak_outside_horizon(self):
+        cfg = SyntheticTraceConfig(horizon_minutes=100, peak_minutes=(500,))
+        with pytest.raises(ValueError, match="outside horizon"):
+            generate_trace(cfg)
+
+    def test_rejects_bad_participation(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(peak_participation=1.5)
+
+
+class TestGenerateTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(SyntheticTraceConfig(horizon_minutes=2880, seed=5))
+
+    def test_shape_and_metadata(self, trace):
+        assert trace.n_functions == 12
+        assert trace.horizon == 2880
+        assert trace.functions[0].archetype == DEFAULT_FUNCTION_MIX[0].kind
+
+    def test_every_function_active(self, trace):
+        for fid in range(trace.n_functions):
+            assert trace.total_invocations(fid) > 0
+
+    def test_peaks_are_prominent(self, trace):
+        # The two designated peaks must dwarf the typical minute.
+        totals = trace.total_per_minute()
+        peaks = invocation_peaks(trace, n_peaks=2)
+        typical = np.median(totals[totals > 0])
+        for p in peaks:
+            assert totals[p] > 5 * typical
+
+    def test_interarrival_shapes_differ_across_functions(self, trace):
+        # Figure 1's premise: the window histograms are diverse.
+        h_front = window_interarrival_histogram(trace, 7)  # front_loaded
+        h_late = window_interarrival_histogram(trace, 8)  # late_rebound
+        assert np.argmax(h_front) < np.argmax(h_late)
+
+    def test_reproducible(self):
+        cfg = SyntheticTraceConfig(horizon_minutes=600, seed=9)
+        np.testing.assert_array_equal(
+            generate_trace(cfg).counts, generate_trace(cfg).counts
+        )
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(SyntheticTraceConfig(horizon_minutes=600, seed=1))
+        b = generate_trace(SyntheticTraceConfig(horizon_minutes=600, seed=2))
+        assert not np.array_equal(a.counts, b.counts)
+
+    def test_explicit_peak_minutes_respected(self):
+        cfg = SyntheticTraceConfig(
+            horizon_minutes=600,
+            peak_minutes=(300,),
+            peak_participation=1.0,
+            peak_intensity=10.0,
+            seed=3,
+        )
+        t = generate_trace(cfg)
+        totals = t.total_per_minute()
+        assert totals[300] >= totals.mean() * 3
+
+    def test_no_peaks_option(self):
+        cfg = SyntheticTraceConfig(horizon_minutes=600, n_peaks=0, seed=3)
+        t = generate_trace(cfg)  # should not raise
+        assert t.horizon == 600

@@ -1,0 +1,44 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import rng_from_seed, spawn_rng
+
+
+class TestRngFromSeed:
+    def test_int_seed_deterministic(self):
+        a = rng_from_seed(7).random(5)
+        b = rng_from_seed(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert rng_from_seed(1).random() != rng_from_seed(2).random()
+
+    def test_none_is_deterministic(self):
+        assert rng_from_seed(None).random() == rng_from_seed(None).random()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(3)
+        assert rng_from_seed(g) is g
+
+
+class TestSpawnRng:
+    def test_children_independent_of_call_order(self):
+        parent = rng_from_seed(11)
+        c2_first = spawn_rng(parent, 2).random(4)
+        parent2 = rng_from_seed(11)
+        spawn_rng(parent2, 0)  # spawn others first
+        spawn_rng(parent2, 1)
+        c2_second = spawn_rng(parent2, 2).random(4)
+        np.testing.assert_array_equal(c2_first, c2_second)
+
+    def test_children_distinct(self):
+        parent = rng_from_seed(11)
+        a = spawn_rng(parent, 0).random(8)
+        b = spawn_rng(parent, 1).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rng(rng_from_seed(0), -1)

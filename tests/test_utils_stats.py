@@ -1,0 +1,71 @@
+"""Tests for repro.utils.stats."""
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import SummaryStats, ascii_histogram, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.ci_low < s.mean < s.ci_high
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+        assert s.ci_low == s.ci_high == 5.0
+
+    def test_ci_tightens_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = summarize(rng.normal(0, 1, 10))
+        large = summarize(rng.normal(0, 1, 1000))
+        assert (large.ci_high - large.ci_low) < (small.ci_high - small.ci_low)
+
+    def test_ci_coverage_approximate(self):
+        # ~95% of 95% CIs over repeated samples should cover the truth.
+        rng = np.random.default_rng(1)
+        covered = 0
+        trials = 200
+        for _ in range(trials):
+            s = summarize(rng.normal(10.0, 2.0, 30))
+            if s.ci_low <= 10.0 <= s.ci_high:
+                covered += 1
+        assert covered / trials > 0.85
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, 2.0], confidence=1.0)
+
+    def test_str_format(self):
+        assert "95% CI" in str(summarize([1.0, 2.0, 3.0]))
+
+
+class TestAsciiHistogram:
+    def test_rows_and_counts(self):
+        out = ascii_histogram([1, 1, 1, 2, 9], bins=4)
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "#" in lines[0]
+
+    def test_constant_values(self):
+        out = ascii_histogram([3.0, 3.0], bins=5)
+        assert "(2)" in out
+
+    def test_log_bins(self):
+        out = ascii_histogram([1e-5, 1e-4, 1e-3], bins=3, log_bins=True)
+        assert len(out.splitlines()) == 3
+
+    def test_log_bins_reject_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([0.0, 1.0], log_bins=True)
+
+    def test_empty(self):
+        assert ascii_histogram([]) == "(no samples)"

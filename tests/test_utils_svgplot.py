@@ -1,0 +1,108 @@
+"""Tests for the dependency-free SVG plot writer."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.utils.svgplot import bar_chart, line_chart, save, scatter_chart
+
+
+def parse(svg: str) -> ET.Element:
+    """Well-formedness check: every chart must be valid XML."""
+    return ET.fromstring(svg)
+
+
+class TestLineChart:
+    def test_valid_svg_with_polyline_per_series(self):
+        svg = line_chart({"a": [1, 2, 3], "b": [3, 2, 1]}, title="t")
+        root = parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        assert len(root.findall(f".//{ns}polyline")) == 2
+
+    def test_title_and_labels_present(self):
+        svg = line_chart({"s": [0, 1]}, title="My Title", xlabel="X", ylabel="Y")
+        assert "My Title" in svg and ">X<" in svg and ">Y<" in svg
+
+    def test_long_series_downsampled(self):
+        svg = line_chart({"s": np.arange(100_000)}, max_points=100)
+        pts = svg.split('points="')[1].split('"')[0]
+        assert len(pts.split()) == 100
+
+    def test_constant_series_safe(self):
+        parse(line_chart({"s": [5.0, 5.0, 5.0]}))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"s": []})
+
+    def test_escapes_markup_in_labels(self):
+        svg = line_chart({"<s>": [1, 2]}, title="a < b & c")
+        parse(svg)  # would fail if unescaped
+        assert "&lt;s&gt;" in svg
+
+
+class TestBarChart:
+    def test_bar_per_value(self):
+        svg = bar_chart({"cost": 39.5, "svc": 8.8, "acc": -0.6})
+        root = parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        # one background rect + 3 bars + legend-free
+        rects = root.findall(f".//{ns}rect")
+        assert len(rects) == 4
+
+    def test_negative_values_render(self):
+        svg = bar_chart({"down": -5.0})
+        parse(svg)
+        assert "-5.0" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+
+class TestScatterChart:
+    def test_circle_per_point(self):
+        svg = scatter_chart({"a": (1.0, 2.0), "b": (3.0, 4.0)})
+        root = parse(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        assert len(root.findall(f".//{ns}circle")) == 2
+
+    def test_single_point_safe(self):
+        parse(scatter_chart({"only": (1.0, 1.0)}))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_chart({})
+
+
+class TestSave:
+    def test_writes_file_and_creates_dirs(self, tmp_path):
+        svg = bar_chart({"x": 1.0})
+        out = save(svg, tmp_path / "nested" / "chart.svg")
+        assert out.exists()
+        assert out.read_text() == svg
+
+
+class TestRenderAll:
+    def test_full_figure_set(self, tmp_path):
+        from repro.experiments.figures import render_all
+        from repro.experiments.runner import ExperimentConfig
+
+        cfg = ExperimentConfig(n_runs=1, horizon_minutes=480, seed=23)
+        paths = render_all(tmp_path, cfg)
+        names = {p.name for p in paths}
+        assert {
+            "fig1_interarrival_histograms.svg",
+            "fig2_interarrival_drift.svg",
+            "fig4_individual_memory.svg",
+            "fig5_tradeoff.svg",
+            "fig6a_improvements.svg",
+            "fig6b_cost_error.svg",
+            "fig7_pulse_memory.svg",
+            "fig11_memory_thresholds.svg",
+        } == names
+        for p in paths:
+            parse(p.read_text())  # all well-formed

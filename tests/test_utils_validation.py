@@ -1,0 +1,62 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_non_negative("x", -1e-9)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int("n", 3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            check_positive_int("n", bad)
+
+    @pytest.mark.parametrize("bad", [1.5, "3", True])
+    def test_rejects_non_int_types(self, bad):
+        with pytest.raises(ValueError):
+            check_positive_int("n", bad)
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_inclusive_bounds(self, ok):
+        assert check_fraction("f", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_out_of_range(self, bad):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_fraction("f", bad)
+
+    def test_exclusive_rejects_bounds(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0, inclusive=False)
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.0, inclusive=False)
+        assert check_fraction("f", 0.5, inclusive=False) == 0.5
