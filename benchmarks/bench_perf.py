@@ -1,0 +1,60 @@
+"""Engine throughput — reference minute loop vs event-driven fast path.
+
+Unlike the figure/table benches this one measures the *engine*, not the
+paper: one lean run (no series, no container pool, no events) per engine
+per policy on the bench trace. The fast path must not be slower than the
+reference for the fixed policy — by construction it does strictly less
+work there. ``scripts/bench_perf.py`` is the heavier, JSON-emitting
+version with the interleaved best-of-N methodology; this bench is the
+in-harness smoke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.core.pulse import PulsePolicy
+from repro.baselines.openwhisk import OpenWhiskPolicy
+from repro.runtime.simulator import Simulation, SimulationConfig
+from repro.utils.profiling import interleaved_best_of
+
+LEAN = SimulationConfig(
+    record_series=False, track_containers=False, record_events=False
+)
+
+
+def _run(trace, assignment, factory, fast: bool):
+    cfg = replace(LEAN, fast=fast)
+    return Simulation(trace, assignment, factory(), cfg).run()
+
+
+def test_reference_engine_fixed(benchmark, bench_trace, bench_assignment):
+    r = run_once(benchmark, _run, bench_trace, bench_assignment, OpenWhiskPolicy, False)
+    assert r.n_invocations == bench_trace.total_invocations()
+
+
+def test_fast_engine_fixed(benchmark, bench_trace, bench_assignment):
+    r = run_once(benchmark, _run, bench_trace, bench_assignment, OpenWhiskPolicy, True)
+    assert r.n_invocations == bench_trace.total_invocations()
+
+
+def test_fast_engine_pulse(benchmark, bench_trace, bench_assignment):
+    r = run_once(benchmark, _run, bench_trace, bench_assignment, PulsePolicy, True)
+    assert r.n_invocations == bench_trace.total_invocations()
+
+
+def test_fast_not_slower_than_reference(bench_trace, bench_assignment):
+    """Paired interleaved timing: the fast path strictly reduces the work
+    of a fixed-policy lean run, so its best-of-N must win."""
+    ref_t, fast_t = interleaved_best_of(
+        [
+            lambda: _run(bench_trace, bench_assignment, OpenWhiskPolicy, False),
+            lambda: _run(bench_trace, bench_assignment, OpenWhiskPolicy, True),
+        ],
+        repeats=5,
+    )
+    speedup = ref_t.best / fast_t.best
+    print(f"\nfast-path speedup (fixed policy, lean run): x{speedup:.2f}")
+    assert fast_t.best <= ref_t.best

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Engine performance benchmark: reference loop vs event-driven fast path.
+
+Times single runs of representative policies (fixed highest / fixed
+lowest / PULSE) on the default 2-day synthetic trace in the lean engine
+configuration (``record_series=False, track_containers=False,
+record_events=False``), plus sweep throughput through
+``run_policies`` at ``n_jobs`` in {1, 4}. Writes ``BENCH_perf.json``.
+
+Methodology
+-----------
+Wall-clock noise on runs this short (~10-50 ms) is large, so each
+(reference, fast) pair is timed *interleaved* (ref fast ref fast ...)
+with the GC suspended around each sample, and both best-of-N (min) and
+median are reported; the speedup headline uses the min, the
+least-noise-contaminated estimate (see ``repro.utils.profiling``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_perf.py            # full, ~1 min
+    PYTHONPATH=src python scripts/bench_perf.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+from dataclasses import replace
+
+from repro.core.pulse import PulsePolicy
+from repro.baselines.openwhisk import OpenWhiskPolicy
+from repro.baselines.static import AllLowQualityPolicy
+from repro.experiments.assignments import sample_assignment
+from repro.experiments.runner import ExperimentConfig, run_policies
+from repro.runtime.simulator import Simulation, SimulationConfig
+from repro.traces.schema import MINUTES_PER_DAY
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+from repro.utils.profiling import interleaved_best_of
+
+SEED = 2024
+
+POLICIES = {
+    "fixed-highest": OpenWhiskPolicy,
+    "fixed-lowest": AllLowQualityPolicy,
+    "pulse": PulsePolicy,
+}
+
+
+def bench_single_runs(trace, assignment, repeats: int) -> dict:
+    """Interleaved ref-vs-fast timing of one lean run per policy."""
+    lean = SimulationConfig(
+        record_series=False, track_containers=False, record_events=False
+    )
+    out = {}
+    for name, factory in POLICIES.items():
+
+        def run(fast: bool) -> None:
+            cfg = replace(lean, fast=fast)
+            Simulation(trace, assignment, factory(), cfg).run()
+
+        ref_t, fast_t = interleaved_best_of(
+            [lambda: run(False), lambda: run(True)], repeats=repeats
+        )
+        out[name] = {
+            "reference": ref_t.as_dict(),
+            "fast": fast_t.as_dict(),
+            "speedup_best": ref_t.best / fast_t.best,
+            "speedup_median": ref_t.median / fast_t.median,
+            "fast_runs_per_s": 1.0 / fast_t.best,
+            "fast_minutes_per_s": trace.horizon / fast_t.best,
+            "reference_runs_per_s": 1.0 / ref_t.best,
+            "reference_minutes_per_s": trace.horizon / ref_t.best,
+        }
+        print(
+            f"{name:14s} ref {ref_t.best * 1e3:7.2f} ms   "
+            f"fast {fast_t.best * 1e3:7.2f} ms   "
+            f"speedup x{out[name]['speedup_best']:.2f} (min) "
+            f"x{out[name]['speedup_median']:.2f} (med)"
+        )
+    return out
+
+
+def bench_sweep(trace, n_runs: int, repeats: int) -> dict:
+    """Sweep throughput (runs/s) through run_policies at n_jobs 1 and 4."""
+    out = {}
+    for n_jobs in (1, 4):
+        cfg = ExperimentConfig(
+            n_runs=n_runs,
+            horizon_minutes=trace.horizon,
+            seed=SEED,
+            n_jobs=n_jobs,
+            sim=SimulationConfig(
+                record_series=False, track_containers=False, fast=True
+            ),
+        )
+
+        def sweep() -> None:
+            run_policies(trace, dict(POLICIES), cfg)
+
+        (t,) = interleaved_best_of([sweep], repeats=repeats, warmup=0)
+        total_runs = n_runs * len(POLICIES)
+        out[f"n_jobs={n_jobs}"] = {
+            **t.as_dict(),
+            "total_runs": total_runs,
+            "runs_per_s": total_runs / t.best,
+        }
+        print(
+            f"sweep n_jobs={n_jobs}: {total_runs} runs in {t.best:.2f} s "
+            f"({total_runs / t.best:.1f} runs/s)"
+        )
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: fewer repeats, shorter trace, skip the sweep",
+    )
+    parser.add_argument("--out", default="BENCH_perf.json")
+    args = parser.parse_args()
+
+    horizon = (MINUTES_PER_DAY // 2) if args.quick else 2 * MINUTES_PER_DAY
+    repeats = 3 if args.quick else 7
+    trace = generate_trace(
+        SyntheticTraceConfig(horizon_minutes=horizon, seed=SEED)
+    )
+    assignment = sample_assignment(trace.n_functions, seed=SEED)
+    print(
+        f"trace: {trace.n_functions} functions x {trace.horizon} minutes, "
+        f"{trace.total_invocations()} invocations"
+    )
+
+    report = {
+        "config": {
+            "horizon_minutes": horizon,
+            "seed": SEED,
+            "repeats": repeats,
+            "quick": args.quick,
+            "engine": "record_series=False track_containers=False "
+            "record_events=False",
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            # Interpret the sweep scaling against this: n_jobs > cpus
+            # cannot beat serial.
+            "cpus": os.cpu_count(),
+        },
+        "methodology": (
+            "per-policy interleaved reference/fast timing, GC suspended "
+            "around each sample, best-of-N (min) and median reported; "
+            "headline speedup uses the min"
+        ),
+        "single_run": bench_single_runs(trace, assignment, repeats),
+        "sweep": (
+            {} if args.quick else bench_sweep(trace, n_runs=24, repeats=2)
+        ),
+    }
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"wrote {args.out}")
+
+    if not args.quick:
+        fixed = report["single_run"]["fixed-highest"]["speedup_best"]
+        if fixed < 3.0:
+            raise SystemExit(
+                f"fixed-policy speedup x{fixed:.2f} below the x3 target"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,16 @@ class FixedKeepAlivePolicy(KeepAlivePolicy):
             raise ValueError(f"integer level must be >= 0, got {level!r}")
         self.level = level
         self.name = name or f"fixed-{level}"
+        self._plans: list[list[ModelVariant | None]] = []
+
+    def on_bind(self) -> None:
+        # The decision is per-function and fixed for the whole run, so the
+        # variants and full-window plan lists are resolved once here; the
+        # engine never mutates a plan, so plan() can hand out the same list.
+        self._plans = [
+            self._full_window_plan(self._variant_for(fid))
+            for fid in range(self.n_functions)
+        ]
 
     def _variant_for(self, function_id: int) -> ModelVariant:
         family = self.family(function_id)
@@ -45,9 +55,15 @@ class FixedKeepAlivePolicy(KeepAlivePolicy):
         return family.variant(min(self.level, family.n_variants - 1))
 
     def cold_variant(self, function_id: int, minute: int) -> ModelVariant:
+        if self._plans:
+            variant = self._plans[function_id][0]
+            assert variant is not None
+            return variant
         return self._variant_for(function_id)
 
     def plan(self, function_id: int, minute: int) -> list[ModelVariant | None]:
+        if self._plans:
+            return self._plans[function_id]
         return self._full_window_plan(self._variant_for(function_id))
 
 

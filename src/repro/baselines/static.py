@@ -50,6 +50,11 @@ class RandomMixedPolicy(KeepAlivePolicy):
         n = self.n_functions
         order = self._rng.permutation(n)
         self._high_functions = set(int(f) for f in order[: (n + 1) // 2])
+        # Per-function decisions are fixed once the split is drawn — cache
+        # the variants and window plans (plan() hands out the same list;
+        # the engine never mutates plans).
+        self._variants = [self._variant_for(fid) for fid in range(n)]
+        self._cached_plans = [self._full_window_plan(v) for v in self._variants]
 
     def _variant_for(self, function_id: int) -> ModelVariant:
         family = self.family(function_id)
@@ -58,10 +63,10 @@ class RandomMixedPolicy(KeepAlivePolicy):
         )
 
     def cold_variant(self, function_id: int, minute: int) -> ModelVariant:
-        return self._variant_for(function_id)
+        return self._variants[function_id]
 
     def plan(self, function_id: int, minute: int) -> list[ModelVariant | None]:
-        return self._full_window_plan(self._variant_for(function_id))
+        return self._cached_plans[function_id]
 
 
 class IntelligentOraclePolicy(KeepAlivePolicy):

@@ -54,10 +54,16 @@ class FunctionCentricOptimizer:
                 else family.lowest
             )
             return [fallback] * self.estimator.window
+        # tolist() hands back Python floats: cheaper to iterate and compare
+        # than numpy scalars, and value-identical (float64 round trip).
+        select_level = self.scheme.select_level
+        variant = family.variant
+        n_variants = family.n_variants
         plan: list[ModelVariant | None] = []
-        for p in probs:
-            level = self.scheme.select_level(float(min(p, 1.0)), family.n_variants)
-            plan.append(None if level is None else family.variant(level))
+        append = plan.append
+        for p in probs.tolist():
+            level = select_level(p if p < 1.0 else 1.0, n_variants)
+            append(None if level is None else variant(level))
         return plan
 
     def invocation_probability(self, function_id: int, minute: int) -> float:

@@ -25,7 +25,14 @@ __all__ = ["InterArrivalEstimator"]
 
 
 class _FunctionHistory:
-    """Arrival bookkeeping for one function."""
+    """Arrival bookkeeping for one function.
+
+    ``version`` increments on every mutation (new gap recorded, old gap
+    evicted); the probability queries cache their result against it, so
+    repeated queries between mutations — e.g. the plan, the utility *Ip*
+    and the drop-protection check all within one review minute — reuse
+    one computation instead of re-normalizing the histograms each time.
+    """
 
     __slots__ = (
         "last_arrival",
@@ -34,6 +41,11 @@ class _FunctionHistory:
         "recent",
         "recent_counts",
         "recent_total",
+        "version",
+        "exact_version",
+        "exact_cache",
+        "mode_version",
+        "mode_cache",
     )
 
     def __init__(self, window: int):
@@ -45,6 +57,11 @@ class _FunctionHistory:
         self.recent: deque[tuple[int, int]] = deque()  # (arrival minute, gap)
         self.recent_counts = np.zeros(window, dtype=np.int64)
         self.recent_total = 0
+        self.version = 0
+        self.exact_version = -1  # version the caches were computed at
+        self.exact_cache: np.ndarray | None = None
+        self.mode_version = -1
+        self.mode_cache: np.ndarray | None = None
 
 
 class InterArrivalEstimator:
@@ -143,30 +160,49 @@ class InterArrivalEstimator:
         if gap <= self.window:
             h.lifetime_counts[gap - 1] += 1
             h.recent_counts[gap - 1] += 1
+        h.version += 1
 
     def _evict(self, h: _FunctionHistory, now: int) -> None:
         cutoff = now - self.local_window
+        evicted = False
         while h.recent and h.recent[0][0] < cutoff:
             _, gap = h.recent.popleft()
             h.recent_total -= 1
             if gap <= self.window:
                 h.recent_counts[gap - 1] -= 1
+            evicted = True
+        if evicted:
+            h.version += 1
 
     # -- queries -----------------------------------------------------------
+    # Both query paths cache against the history's version counter. Eviction
+    # runs *before* the cache check, so the cached vector is always the one
+    # a fresh computation at ``now`` would produce. Returned arrays are
+    # shared with the cache: callers must treat them as read-only (all
+    # in-repo consumers only read element values).
     def probabilities(self, function_id: int, now: int) -> np.ndarray:
         """Per-offset probabilities in the configured ``mode``, d=1..window."""
-        exact = self.exact_probabilities(function_id, now)
         if self.mode == "exact":
-            return exact
+            return self.exact_probabilities(function_id, now)
+        h = self._history(function_id)
+        self._evict(h, now)
+        if h.mode_version == h.version and h.mode_cache is not None:
+            return h.mode_cache
+        exact = self._exact(h)
         if self.mode == "cumulative":
-            return np.minimum(np.cumsum(exact), 1.0)
-        survival = np.minimum(np.cumsum(exact[::-1])[::-1], 1.0)
-        if self.mode == "survival":
-            return survival
-        # hazard: P(gap = d | gap >= d); 0 where no mass remains.
-        with np.errstate(divide="ignore", invalid="ignore"):
-            hazard = np.where(survival > 0, exact / survival, 0.0)
-        return np.minimum(hazard, 1.0)
+            out = np.minimum(np.cumsum(exact), 1.0)
+        else:
+            survival = np.minimum(np.cumsum(exact[::-1])[::-1], 1.0)
+            if self.mode == "survival":
+                out = survival
+            else:
+                # hazard: P(gap = d | gap >= d); 0 where no mass remains.
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    hazard = np.where(survival > 0, exact / survival, 0.0)
+                out = np.minimum(hazard, 1.0)
+        h.mode_version = h.version
+        h.mode_cache = out
+        return out
 
     def exact_probabilities(self, function_id: int, now: int) -> np.ndarray:
         """P(next arrival exactly ``d`` minutes after an arrival), d=1..window.
@@ -177,6 +213,11 @@ class InterArrivalEstimator:
         """
         h = self._history(function_id)
         self._evict(h, now)
+        return self._exact(h)
+
+    def _exact(self, h: _FunctionHistory) -> np.ndarray:
+        if h.exact_version == h.version and h.exact_cache is not None:
+            return h.exact_cache
         if self.normalization == "window":
             lifetime_denom = int(h.lifetime_counts.sum())
             recent_denom = int(h.recent_counts.sum())
@@ -194,10 +235,15 @@ class InterArrivalEstimator:
             else np.zeros(self.window)
         )
         if lifetime_denom and recent_denom:
-            return (lifetime + recent) / 2.0
-        # Only one period has data (e.g. right after start): use it alone
-        # rather than averaging against an uninformative zero vector.
-        return lifetime if lifetime_denom else recent
+            out = (lifetime + recent) / 2.0
+        else:
+            # Only one period has data (e.g. right after start): use it
+            # alone rather than averaging against an uninformative zero
+            # vector.
+            out = lifetime if lifetime_denom else recent
+        h.exact_version = h.version
+        h.exact_cache = out
+        return out
 
     def invocation_probability(self, function_id: int, now: int) -> float:
         """The paper's *Ip*: probability of an invocation at the current

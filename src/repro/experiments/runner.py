@@ -82,6 +82,26 @@ def _one_run(
     return Simulation(trace, assignment, factory(), sim).run()
 
 
+# The trace dominates the pickled payload of a sweep task (counts is an
+# (n_functions x horizon) array; assignments and configs are tiny). Workers
+# therefore receive it once, at pool start, through the initializer below,
+# and per-task payloads carry only the per-run pieces.
+_worker_trace: Trace | None = None
+
+
+def _init_worker(trace: Trace) -> None:
+    global _worker_trace
+    _worker_trace = trace
+
+
+def _one_worker_run(
+    args: tuple[dict[int, ModelFamily], PolicyFactory, SimulationConfig],
+) -> RunResult:
+    assignment, factory, sim = args
+    assert _worker_trace is not None, "pool initializer did not run"
+    return Simulation(_worker_trace, assignment, factory(), sim).run()
+
+
 def run_policies(
     trace: Trace,
     policies: dict[str, PolicyFactory],
@@ -92,17 +112,29 @@ def run_policies(
 
     All policies see identical assignments run-for-run, so per-run metric
     differences are attributable to the policy alone (paired design).
+
+    With ``n_jobs > 1`` a single process pool is shared across *all*
+    policies (one worker spawn + one trace transfer per sweep, not per
+    policy), and the trace ships to each worker exactly once via the pool
+    initializer rather than inside every task.
     """
     zoo = zoo or default_zoo()
     assignments = sample_assignments(
         trace.n_functions, config.n_runs, zoo, seed=config.seed
     )
     out: dict[str, list[RunResult]] = {}
-    for name, factory in policies.items():
-        tasks = [(trace, a, factory, config.sim) for a in assignments]
-        if config.n_jobs > 1:
-            with ProcessPoolExecutor(max_workers=config.n_jobs) as pool:
-                out[name] = list(pool.map(_one_run, tasks))
-        else:
-            out[name] = [_one_run(t) for t in tasks]
+    if config.n_jobs > 1:
+        with ProcessPoolExecutor(
+            max_workers=config.n_jobs,
+            initializer=_init_worker,
+            initargs=(trace,),
+        ) as pool:
+            for name, factory in policies.items():
+                tasks = [(a, factory, config.sim) for a in assignments]
+                out[name] = list(pool.map(_one_worker_run, tasks))
+    else:
+        for name, factory in policies.items():
+            out[name] = [
+                _one_run((trace, a, factory, config.sim)) for a in assignments
+            ]
     return out

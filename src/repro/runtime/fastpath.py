@@ -1,0 +1,270 @@
+"""Event-driven fast path through the simulation engine.
+
+The reference loop (:meth:`repro.runtime.simulator.Simulation._run_reference`)
+walks every minute of the horizon and, per minute, reconciles the
+container pool, runs the policy review and queries the schedule — even on
+minutes where nothing invokes. On realistic traces most of that work is
+idle overhead: the schedule can only change at minutes with invocations
+(plans), during a policy review that actually flattens a peak, or under
+the capacity pressure valve.
+
+This module exploits that. ``run_fast``:
+
+- extracts the *event minutes* (minutes with >= 1 invocation) from the
+  trace once, as flat numpy arrays, instead of scanning every minute;
+- serves/plans only at event minutes, reading the schedule's entry maps
+  directly;
+- accounts the idle spans between events analytically from the schedule's
+  incremental per-minute memory ledger (``KeepAliveSchedule.memory_slice``)
+  — the ledger between two events is already fully determined by the
+  plans installed at or before the earlier event;
+- keeps per-minute work only where semantics demand it: the container
+  pool charges warm minutes each minute, policies with a review stage
+  (PULSE, MILP) feed their peak detector each minute via the O(1)
+  :meth:`~repro.runtime.policy.KeepAlivePolicy.idle_review` hook (falling
+  back to the full review exactly on peak minutes), and the capacity
+  valve checks the ledger each minute (O(1) per check);
+- never prunes the schedule mid-run: the reference loop pays an
+  ``advance()`` per minute to forget past entries, but the fast loop's
+  reads are all keyed by exact minute, so stale entries are simply left
+  in place (memory stays bounded by the total number of planned entries,
+  ~invocations x window).
+
+Metric equivalence with the reference loop is bit-exact — the floating
+point accumulations happen in the same order over the same values — and
+pinned by the golden test in ``tests/test_engine_fastpath.py`` across all
+bundled policies with events/capacity on and off. The only excluded
+fields are ``policy_overhead_s`` / ``n_policy_decisions`` (wall-clock
+measurements; ``measure_overhead=True`` runs never dispatch here) and
+``wall_clock_s``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.container import ContainerPool
+from repro.runtime.events import EventKind, EventLog
+from repro.runtime.metrics import RunResult
+from repro.runtime.policy import KeepAlivePolicy
+from repro.runtime.schedule import KeepAliveSchedule
+from repro.runtime.simulator import apply_capacity_valve
+from repro.utils.rng import rng_from_seed
+
+__all__ = ["run_fast"]
+
+
+def _policy_has_review(policy: KeepAlivePolicy) -> bool:
+    """True when the policy overrides review_minute (needs the per-minute
+    review cadence); the no-op base implementation can be skipped wholesale."""
+    return type(policy).review_minute is not KeepAlivePolicy.review_minute
+
+
+def run_fast(sim) -> RunResult:
+    """Execute ``sim`` (a :class:`~repro.runtime.simulator.Simulation`)
+    through the event-driven loop. Same contract as the reference loop."""
+    trace, cfg, policy = sim.trace, sim.config, sim.policy
+    horizon = trace.horizon
+    n_fn = trace.n_functions
+    counts = trace.counts
+
+    policy.bind(trace, sim.assignment, cfg.keep_alive_window)
+    schedule = KeepAliveSchedule(n_fn, cfg.keep_alive_window, horizon_hint=horizon)
+    events = EventLog() if cfg.record_events else None
+    pool = (
+        ContainerPool(events)
+        if (cfg.track_containers or cfg.record_events)
+        else None
+    )
+
+    highest_mb = np.array(
+        [sim.assignment[fid].highest.memory_mb for fid in range(n_fn)]
+    )
+
+    service_time = 0.0
+    accuracy_sum = 0.0
+    n_invocations = 0
+    n_warm = 0
+    n_cold = 0
+    total_mb_minutes = 0.0
+    mem_series = np.zeros(horizon) if cfg.record_series else None
+    ideal_series = np.zeros(horizon) if cfg.record_series else None
+
+    capacity = cfg.memory_capacity_mb
+    capacity_rng = rng_from_seed(cfg.capacity_seed)
+    n_forced = 0
+    has_review = _policy_has_review(policy)
+
+    # Sparse event extraction: (minute, fid, count) triples in minute-major,
+    # fid-ascending order — the exact order the reference loop serves in.
+    # Groups (one per event minute) are delimited up front so the serving
+    # loop never re-tests the minute column.
+    ev_t_arr, ev_fid_arr = np.nonzero(counts.T)
+    ev_fid = ev_fid_arr.tolist()
+    ev_count = counts.T[ev_t_arr, ev_fid_arr].tolist()
+    n_events = len(ev_fid)
+    group_ends = np.append(np.flatnonzero(np.diff(ev_t_arr)) + 1, n_events).tolist()
+    group_minutes = (
+        ev_t_arr[np.append(0, group_ends[:-1])].tolist() if n_events else []
+    )
+
+    entries = schedule._entries  # direct read access on the hot path
+    assignment = sim.assignment
+    observe_invocation = policy.observe_invocation
+    has_observe = (
+        type(policy).observe_invocation is not KeepAlivePolicy.observe_invocation
+    )
+    plan_fn = policy.plan
+    set_plan = schedule.set_plan
+    memory_at = schedule.memory_at
+    # The bulk idle-span accounting below is valid only when nothing can
+    # touch the schedule or need per-minute callbacks between events.
+    per_minute_idle = (
+        pool is not None or has_review or capacity is not None or events is not None
+    )
+    # In the same configuration, the event-minute commit collapses to a
+    # single ledger read (every event minute's set_plan already sized the
+    # ledger past ``t``, so direct indexing is safe).
+    simple_commit = not per_minute_idle
+    mem_list = schedule._mem
+
+    def commit_minute(t: int) -> None:
+        """Review/valve/commit for one minute (t already served, plans in)."""
+        nonlocal n_forced, total_mb_minutes
+        if has_review:
+            policy.review_minute(t, schedule)
+        if capacity is not None:
+            n_forced += apply_capacity_valve(
+                schedule, t, capacity, capacity_rng, assignment
+            )
+        if pool is not None:
+            for fid in range(n_fn):
+                pool.reconcile(fid, entries[fid].get(t), t)
+            pool.tick_all()
+        mem_t = memory_at(t)
+        total_mb_minutes += mem_t
+        if events is not None:
+            events.emit(t, EventKind.MEMORY_COMMIT, value=mem_t)
+        if mem_series is not None:
+            mem_series[t] = mem_t
+
+    def idle_span(start: int, stop: int) -> None:
+        """Account minutes ``start .. stop-1`` (no invocations there)."""
+        nonlocal n_forced, total_mb_minutes
+        if start >= stop:
+            return
+        if not per_minute_idle:
+            # Pure accounting: the ledger for the span is already final.
+            values = schedule.memory_slice(start, stop)
+            acc = total_mb_minutes
+            for v in values:
+                acc += v
+            total_mb_minutes = acc
+            if mem_series is not None:
+                mem_series[start:stop] = values
+            return
+        for t in range(start, stop):
+            if pool is not None:
+                for fid in range(n_fn):
+                    pool.reconcile(fid, entries[fid].get(t), t)
+            if has_review and policy.idle_review(t, schedule):
+                policy.review_minute(t, schedule)
+            if capacity is not None:
+                n_forced += apply_capacity_valve(
+                    schedule, t, capacity, capacity_rng, assignment
+                )
+            if pool is not None:
+                if has_review or capacity is not None:
+                    # review/valve may have rewritten this minute's entries
+                    for fid in range(n_fn):
+                        pool.reconcile(fid, entries[fid].get(t), t)
+                pool.tick_all()
+            mem_t = memory_at(t)
+            total_mb_minutes += mem_t
+            if events is not None:
+                events.emit(t, EventKind.MEMORY_COMMIT, value=mem_t)
+            if mem_series is not None:
+                mem_series[t] = mem_t
+
+    i = 0
+    prev_t = -1
+    for g, t in enumerate(group_minutes):
+        if prev_t + 1 < t:
+            idle_span(prev_t + 1, t)
+
+        if pool is not None:  # pre-warm pass before invocations arrive
+            for fid in range(n_fn):
+                pool.reconcile(fid, entries[fid].get(t), t)
+
+        group_start = i
+        group_end = group_ends[g]
+        while i < group_end:
+            fid = ev_fid[i]
+            count = ev_count[i]
+            alive = entries[fid].get(t)
+            if alive is None:
+                variant = policy.cold_variant(fid, t)
+                service_time += (
+                    variant.cold_service_time_s
+                    + (count - 1) * variant.warm_service_time_s
+                )
+                n_cold += 1
+                n_warm += count - 1
+                accuracy_sum += count * variant.accuracy
+                schedule.mark_alive(fid, t, variant)
+                if pool is not None:
+                    pool.cold_start(fid, variant, t)
+                    pool.record_served(fid, count)
+                if events is not None:
+                    events.emit(t, EventKind.COLD_START, fid, variant.name, 1)
+                    if count > 1:
+                        events.emit(
+                            t, EventKind.WARM_START, fid, variant.name, count - 1
+                        )
+            else:
+                service_time += count * alive.warm_service_time_s
+                n_warm += count
+                accuracy_sum += count * alive.accuracy
+                if pool is not None:
+                    pool.record_served(fid, count)
+                if events is not None:
+                    events.emit(t, EventKind.WARM_START, fid, alive.name, count)
+
+            if has_observe:
+                observe_invocation(fid, t, count)
+            set_plan(fid, t, plan_fn(fid, t))
+            i += 1
+
+        if simple_commit:
+            mem_t = mem_list[t]
+            total_mb_minutes += mem_t
+            if mem_series is not None:
+                mem_series[t] = mem_t
+        else:
+            commit_minute(t)
+        if ideal_series is not None:
+            ideal_series[t] = highest_mb[ev_fid_arr[group_start:i]].sum()
+        prev_t = t
+
+    idle_span(prev_t + 1, horizon)
+
+    # Integer total, so summing once is exact (the reference accumulates
+    # per event; float metrics above keep the reference's exact order).
+    n_invocations = sum(ev_count)
+    mean_accuracy = accuracy_sum / n_invocations if n_invocations else 0.0
+    return RunResult(
+        policy_name=policy.name,
+        n_invocations=n_invocations,
+        n_warm=n_warm,
+        n_cold=n_cold,
+        total_service_time_s=service_time,
+        keepalive_cost_usd=cfg.cost_model.minute_cost(total_mb_minutes),
+        mean_accuracy=mean_accuracy,
+        policy_overhead_s=0.0,
+        n_policy_decisions=0,
+        memory_series_mb=mem_series,
+        ideal_memory_series_mb=ideal_series,
+        pool_stats=pool.stats if pool is not None else None,
+        events=events,
+        n_forced_downgrades=n_forced,
+    )

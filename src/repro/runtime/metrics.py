@@ -44,6 +44,10 @@ class RunResult:
     #: Random platform downgrades forced by a memory capacity cap (0 when
     #: uncapped or when the policy kept memory within capacity).
     n_forced_downgrades: int = 0
+    #: Engine wall-clock seconds for this run (set by ``Simulation.run``;
+    #: excluded from engine-equivalence comparisons — it measures the
+    #: machine, not the simulated system).
+    wall_clock_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_warm + self.n_cold != self.n_invocations:

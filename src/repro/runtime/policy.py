@@ -114,6 +114,23 @@ class KeepAlivePolicy(abc.ABC):
         entries for ``minute`` (and later) here. Default: do nothing.
         """
 
+    def idle_review(self, minute: int, schedule: KeepAliveSchedule) -> bool:
+        """Fast-path replacement for :meth:`review_minute` on minutes with
+        no invocations.
+
+        The event-driven engine calls this instead of the full review on
+        idle minutes. A policy that overrides :meth:`review_minute` may
+        override this to do its cheap per-minute bookkeeping (e.g. feed a
+        peak detector) and return ``False`` — a guarantee that the full
+        review would not have modified the schedule this minute. Returning
+        ``True`` makes the engine run :meth:`review_minute` as usual, so
+        the default is always safe for policies with a review stage.
+
+        Policies that do not override :meth:`review_minute` are never
+        asked: the engine skips the review entirely on every minute.
+        """
+        return True
+
     # -- helpers -----------------------------------------------------------
     def _full_window_plan(self, variant: ModelVariant | None) -> list[ModelVariant | None]:
         """A plan holding one decision for the whole keep-alive window."""

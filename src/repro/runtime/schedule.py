@@ -10,11 +10,33 @@ rewrites schedule entries during peaks via :meth:`downgrade`.
 Later plans overwrite earlier ones minute-by-minute, which reproduces the
 fixed policy's "extend on re-invocation" behaviour and lets adaptive
 policies shorten or upgrade earlier decisions.
+
+Memory accounting is *incremental*: alongside the per-function entry maps
+the schedule maintains a per-minute memory vector (total keep-alive MB),
+updated on every write. :meth:`memory_at` is therefore O(1) instead of an
+O(n_functions) scan — it is the single hottest read of the simulation
+engine (the peak detector, the capacity pressure valve and the per-minute
+commit all call it). The vector is kept as a plain Python list because
+the updates are scalar (a numpy setitem is ~3x slower than a list store);
+:attr:`memory_vector` exposes it as a numpy array for bulk consumers (the
+fast engine's idle-span accounting, tests).
+
+Two invariants the incremental ledger maintains (property-tested in
+``tests/test_runtime_schedule.py``):
+
+- ``memory_vector[m]`` equals the from-scratch sum of the entries at
+  minute ``m`` (up to float rounding of the incremental updates);
+- a minute whose last entry is removed reads exactly ``0.0`` — when a
+  removal leaves less than any real footprint behind, the entry maps
+  decide emptiness, so incremental rounding can never leave a phantom
+  residue (negative or positive) on an empty minute.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+
+import numpy as np
 
 from repro.models.variants import ModelFamily, ModelVariant
 from repro.utils.validation import check_positive_int
@@ -23,9 +45,19 @@ __all__ = ["KeepAliveSchedule"]
 
 
 class KeepAliveSchedule:
-    """Minute-indexed keep-alive decisions for every function."""
+    """Minute-indexed keep-alive decisions for every function.
 
-    def __init__(self, n_functions: int, keep_alive_window: int = 10):
+    ``horizon_hint`` pre-sizes the memory vector (the engine passes
+    ``trace.horizon + window``); the vector grows on demand when plans
+    reach beyond it, so the hint is purely an allocation optimization.
+    """
+
+    def __init__(
+        self,
+        n_functions: int,
+        keep_alive_window: int = 10,
+        horizon_hint: int | None = None,
+    ):
         check_positive_int("n_functions", n_functions)
         check_positive_int("keep_alive_window", keep_alive_window)
         self.n_functions = n_functions
@@ -34,6 +66,52 @@ class KeepAliveSchedule:
         self._entries: list[dict[int, ModelVariant]] = [
             {} for _ in range(n_functions)
         ]
+        # Per function: (plan_object, invocation_minute, is_uniform) of the
+        # last set_plan, or None. When a policy re-installs the *same*
+        # uniform plan object (fixed policies cache theirs), the minutes
+        # covered by the previous install already hold its variant, so
+        # set_plan only needs to write the net-new tail. Any other write
+        # path (downgrade/clear/mark_alive) invalidates the record.
+        self._last_plan: list[tuple | None] = [None] * n_functions
+        size = max(horizon_hint or 0, 0) + keep_alive_window + 2
+        self._mem: list[float] = [0.0] * size
+        # Minutes strictly below the frontier have been forgotten by
+        # advance(); used to pop them in O(1) per minute instead of
+        # rescanning every entry map.
+        self._frontier = 0
+
+    # Removal results below this are either rounding residue of an empty
+    # minute or genuinely negligible; real model footprints are >= 0.01 MB.
+    _ZERO_EPS = 1e-9
+
+    # -- incremental ledger internals ---------------------------------------
+    def _ensure(self, minute: int) -> None:
+        """Grow the per-minute vector to cover ``minute``."""
+        need = minute + 1 - len(self._mem)
+        if need > 0:
+            grow = max(need, len(self._mem))  # at least double
+            self._mem.extend([0.0] * grow)
+
+    def _add(self, minute: int, memory_mb: float) -> None:
+        self._mem[minute] += memory_mb
+
+    def _remove(self, minute: int, memory_mb: float) -> None:
+        """Subtract one entry's footprint; the caller has already deleted
+        (or is about to replace) the corresponding map entry.
+
+        When the result is smaller than any real footprint it is either
+        the rounding residue of a now-empty minute or a sub-epsilon
+        footprint sum; the entry maps are consulted (O(n_functions), but
+        only on this rare path) so an empty minute reads exactly 0.0 and
+        the value is never left negative.
+        """
+        v = self._mem[minute] - memory_mb
+        if v > self._ZERO_EPS:
+            self._mem[minute] = v
+        elif any(minute in entries for entries in self._entries):
+            self._mem[minute] = v if v > 0.0 else 0.0
+        else:
+            self._mem[minute] = 0.0
 
     # -- writes -------------------------------------------------------------
     def mark_alive(self, function_id: int, minute: int, variant: ModelVariant) -> None:
@@ -43,7 +121,19 @@ class KeepAliveSchedule:
         consumes keep-alive memory for the remainder of that minute.
         """
         self._check_fid(function_id)
-        self._entries[function_id][minute] = variant
+        if minute < 0:
+            raise ValueError(f"minute must be >= 0, got {minute}")
+        self._ensure(minute)
+        self._last_plan[function_id] = None
+        entries = self._entries[function_id]
+        old = entries.get(minute)
+        if old is not None:
+            if old is variant or old == variant:
+                return
+            del entries[minute]  # before _remove, so emptiness is exact
+            self._remove(minute, old.memory_mb)
+        entries[minute] = variant
+        self._add(minute, variant.memory_mb)
 
     def set_plan(
         self,
@@ -56,24 +146,89 @@ class KeepAliveSchedule:
         ``plan[d-1]`` is the decision for offset ``d``; ``None`` entries
         clear any previously planned keep-alive for that minute.
         """
-        self._check_fid(function_id)
-        if len(plan) > self.keep_alive_window:
+        # Validation is inlined (no helper calls) — this is the single
+        # hottest write of the engine, called once per served invocation.
+        if not 0 <= function_id < self.n_functions:
+            self._check_fid(function_id)
+        n = len(plan)
+        if n > self.keep_alive_window:
             raise ValueError(
-                f"plan of length {len(plan)} exceeds keep-alive window "
+                f"plan of length {n} exceeds keep-alive window "
                 f"{self.keep_alive_window}"
             )
+        if invocation_minute < -1:
+            raise ValueError(
+                f"invocation_minute must be >= -1, got {invocation_minute}"
+            )
+        mem = self._mem
+        if invocation_minute + n >= len(mem):
+            self._ensure(invocation_minute + n)
         entries = self._entries[function_id]
-        for d, variant in enumerate(plan, start=1):
-            m = invocation_minute + d
+        get = entries.get
+
+        last = self._last_plan[function_id]
+        if (
+            last is not None
+            and last[0] is plan
+            and last[2]  # uniform: offsets are interchangeable
+            and invocation_minute >= last[1]
+            # advance() may have pruned minutes <= frontier - 1; the reused
+            # span [invocation_minute + 1, last[1] + n] is intact as long
+            # as the frontier never moved past the current minute.
+            and self._frontier <= invocation_minute + 1
+        ):
+            # Same uniform plan object re-installed at a later minute:
+            # minutes up to last[1] + n already hold its variant (no other
+            # write path touched them, or the record would be None), so
+            # only the net-new tail needs the generic treatment.
+            start = last[1] + n + 1
+            self._last_plan[function_id] = (plan, invocation_minute, True)
+            if start > invocation_minute + n:
+                return
+            variant = plan[0]
+            for m in range(start, invocation_minute + n + 1):
+                old = get(m)
+                if old is None:
+                    entries[m] = variant
+                    mem[m] += variant.memory_mb
+                elif old is not variant and old != variant:
+                    entries[m] = variant
+                    v = mem[m] - old.memory_mb + variant.memory_mb
+                    mem[m] = v if v > 0.0 else 0.0
+            return
+
+        uniform = True
+        v0 = plan[0] if n else None
+        m = invocation_minute
+        for variant in plan:
+            m += 1
+            if variant is not v0:
+                uniform = False
+            old = get(m)
             if variant is None:
-                entries.pop(m, None)
-            else:
+                if old is not None:
+                    del entries[m]
+                    self._remove(m, old.memory_mb)
+            elif old is None:
                 entries[m] = variant
+                mem[m] += variant.memory_mb
+            elif old is not variant and old != variant:
+                entries[m] = variant
+                v = mem[m] - old.memory_mb + variant.memory_mb
+                mem[m] = v if v > 0.0 else 0.0
+        self._last_plan[function_id] = (
+            plan,
+            invocation_minute,
+            uniform and v0 is not None,  # all-None plans stay on the generic path
+        )
 
     def clear(self, function_id: int, minute: int) -> None:
         """Remove any keep-alive decision for one minute."""
         self._check_fid(function_id)
-        self._entries[function_id].pop(minute, None)
+        self._last_plan[function_id] = None
+        old = self._entries[function_id].pop(minute, None)
+        if old is not None:
+            self._remove(minute, old.memory_mb)
 
     def downgrade(
         self,
@@ -92,31 +247,55 @@ class KeepAliveSchedule:
         have a chance of invocation), so it must not be implied per entry.
         Returns the memory in MB freed **at ``from_minute``** — the
         quantity the peak-flattening loop iterates on.
+
+        Entries can only exist within one keep-alive window of the most
+        recent write, so the walk covers ``from_minute .. from_minute + K``
+        — O(K) regardless of how many stale past entries remain.
         """
         self._check_fid(function_id)
+        self._last_plan[function_id] = None
         entries = self._entries[function_id]
         freed_now = 0.0
-        for m in [m for m in entries if m >= from_minute]:
-            old = entries[m]
+        for m in range(from_minute, from_minute + self.keep_alive_window + 1):
+            old = entries.get(m)
+            if old is None:
+                continue
             new = family.downgrade(old)
             if new is None:
                 if not allow_drop:
                     continue
                 del entries[m]
+                self._remove(m, old.memory_mb)
                 if m == from_minute:
                     freed_now += old.memory_mb
             else:
                 entries[m] = new
+                v = self._mem[m] - old.memory_mb + new.memory_mb
+                self._mem[m] = v if v > 0.0 else 0.0
                 if m == from_minute:
                     freed_now += old.memory_mb - new.memory_mb
         return freed_now
 
     def advance(self, minute: int) -> None:
         """Forget entries strictly before ``minute`` (bounds memory use)."""
+        start = self._frontier
+        if minute <= start:
+            return
+        self._frontier = minute
+        span = minute - start
         for entries in self._entries:
-            stale = [m for m in entries if m < minute]
-            for m in stale:
-                del entries[m]
+            if not entries:
+                continue
+            if span <= 4 * len(entries):
+                for m in range(start, minute):
+                    old = entries.pop(m, None)
+                    if old is not None:
+                        self._remove(m, old.memory_mb)
+            else:
+                # Huge jump (e.g. advance(10**9) from a cold schedule):
+                # scanning the few live entries beats walking the range.
+                for m in [m for m in entries if m < minute]:
+                    self._remove(m, entries.pop(m).memory_mb)
 
     # -- reads --------------------------------------------------------------
     def alive_variant(self, function_id: int, minute: int) -> ModelVariant | None:
@@ -133,7 +312,32 @@ class KeepAliveSchedule:
         }
 
     def memory_at(self, minute: int) -> float:
-        """Total keep-alive memory (MB) at ``minute``."""
+        """Total keep-alive memory (MB) at ``minute`` — O(1)."""
+        if 0 <= minute < len(self._mem):
+            return self._mem[minute]
+        return 0.0
+
+    @property
+    def memory_vector(self) -> np.ndarray:
+        """The incrementally maintained per-minute memory ledger (MB).
+
+        Index ``m`` is absolute minute ``m``; minutes beyond the last
+        written plan are 0. Returns a copy — the live ledger only changes
+        through the write methods.
+        """
+        return np.asarray(self._mem, dtype=np.float64)
+
+    def memory_slice(self, start: int, stop: int) -> list[float]:
+        """Per-minute memory for ``start <= m < stop`` (bulk O(1)-per-minute
+        read used by the fast engine's idle-span accounting)."""
+        if start >= stop:
+            return []
+        self._ensure(stop - 1)
+        return self._mem[start:stop]
+
+    def recompute_memory_at(self, minute: int) -> float:
+        """From-scratch O(n_functions) recomputation of :meth:`memory_at`
+        (the reference the incremental ledger is property-tested against)."""
         return sum(
             entries[minute].memory_mb
             for entries in self._entries

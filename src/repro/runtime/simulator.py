@@ -24,7 +24,7 @@ invocation minutes.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -39,7 +39,37 @@ from repro.traces.schema import Trace
 from repro.utils.rng import rng_from_seed
 from repro.utils.validation import check_positive_int
 
-__all__ = ["Simulation", "SimulationConfig"]
+__all__ = ["Simulation", "SimulationConfig", "apply_capacity_valve"]
+
+
+def apply_capacity_valve(
+    schedule: KeepAliveSchedule,
+    minute: int,
+    capacity_mb: float,
+    rng,
+    assignment: dict[int, ModelFamily],
+) -> int:
+    """§III-A's provider pressure valve: randomly downgrade kept-alive
+    models until the minute's keep-alive memory fits ``capacity_mb``.
+
+    Shared by the reference and fast engine loops so both consume the
+    capacity RNG identically. The candidate array is built once and
+    maintained incrementally (victims are removed only when their
+    keep-alive is dropped entirely), instead of rebuilding it from the
+    alive map on every iteration; it stays fid-sorted throughout, which
+    keeps victim selection deterministic under ``capacity_seed``.
+    """
+    if schedule.memory_at(minute) <= capacity_mb:
+        return 0
+    alive_fids = np.fromiter(schedule.alive_at(minute), dtype=np.int64)
+    n_forced = 0
+    while schedule.memory_at(minute) > capacity_mb and alive_fids.size:
+        victim = int(rng.choice(alive_fids))
+        schedule.downgrade(victim, minute, assignment[victim], allow_drop=True)
+        n_forced += 1
+        if schedule.alive_variant(victim, minute) is None:
+            alive_fids = alive_fids[alive_fids != victim]
+    return n_forced
 
 
 @dataclass(frozen=True)
@@ -62,6 +92,16 @@ class SimulationConfig:
     models until it fits — the paper's "random functions/models are
     downgraded" pressure valve that PULSE's utility-guided flattening is
     designed to preempt. ``None`` (default) disables the cap.
+
+    ``fast`` selects the event-driven engine loop
+    (:mod:`repro.runtime.fastpath`): it iterates only over minutes where
+    something can happen (invocations) and accounts the idle spans in
+    between analytically from the schedule's incremental memory ledger.
+    It produces metrics identical to the reference loop (the golden
+    equivalence test in ``tests/test_engine_fastpath.py`` pins this), with
+    one exception: ``measure_overhead=True`` falls back to the reference
+    loop, because Figure 9's overhead metric is defined over the
+    per-minute decision cadence the fast path elides.
     """
 
     keep_alive_window: int = 10
@@ -72,6 +112,7 @@ class SimulationConfig:
     record_events: bool = False
     memory_capacity_mb: float | None = None
     capacity_seed: int = 0
+    fast: bool = False
 
     def __post_init__(self) -> None:
         check_positive_int("keep_alive_window", self.keep_alive_window)
@@ -105,14 +146,34 @@ class Simulation:
             )
 
     def run(self) -> RunResult:
-        """Execute the run and return its metrics."""
+        """Execute the run and return its metrics.
+
+        Dispatches to the event-driven fast loop when ``config.fast`` is
+        set (and overhead measurement, which needs the per-minute decision
+        cadence, is off); otherwise runs the reference minute loop. Both
+        produce identical metrics; ``wall_clock_s`` records the elapsed
+        engine time either way.
+        """
+        t0 = time.perf_counter()
+        if self.config.fast and not self.config.measure_overhead:
+            from repro.runtime.fastpath import run_fast
+
+            result = run_fast(self)
+        else:
+            result = self._run_reference()
+        return replace(result, wall_clock_s=time.perf_counter() - t0)
+
+    def _run_reference(self) -> RunResult:
+        """The reference minute-by-minute loop (walks every minute)."""
         trace, cfg, policy = self.trace, self.config, self.policy
         horizon = trace.horizon
         n_fn = trace.n_functions
         counts = trace.counts
 
         policy.bind(trace, self.assignment, cfg.keep_alive_window)
-        schedule = KeepAliveSchedule(n_fn, cfg.keep_alive_window)
+        schedule = KeepAliveSchedule(
+            n_fn, cfg.keep_alive_window, horizon_hint=horizon
+        )
         events = EventLog() if cfg.record_events else None
         pool = (
             ContainerPool(events)
@@ -216,17 +277,9 @@ class Simulation:
             # 3b: provider pressure valve — random downgrades when the
             # minute's keep-alive memory exceeds the platform capacity.
             if capacity is not None:
-                while schedule.memory_at(t) > capacity:
-                    alive = schedule.alive_at(t)
-                    if not alive:
-                        break
-                    victim = int(
-                        capacity_rng.choice(np.fromiter(alive, dtype=np.int64))
-                    )
-                    schedule.downgrade(
-                        victim, t, self.assignment[victim], allow_drop=True
-                    )
-                    n_forced += 1
+                n_forced += apply_capacity_valve(
+                    schedule, t, capacity, capacity_rng, self.assignment
+                )
 
             # 4: commit the minute — settle containers on the post-review
             # variants, then charge warm minutes.

@@ -1,0 +1,80 @@
+"""Wall-clock measurement helpers for the perf benchmark harness.
+
+Single-shot timings of a ~10-50 ms simulation run are dominated by
+scheduler and allocator noise (observed spread on the same code: ~2x).
+The helpers here implement the methodology the perf bench documents:
+
+- **best-of-N** (the min over repeats) estimates the noise-free cost —
+  noise on a wall clock is strictly additive, so the minimum is the
+  least-contaminated observation (the ``timeit`` rationale);
+- **interleaving** the contenders (A B A B ...) instead of timing all
+  of A then all of B spreads slow drift (thermal, frequency scaling,
+  background load) evenly across both;
+- the garbage collector is suspended around each sample so collection
+  pauses land between, not inside, measurements.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from statistics import median
+
+__all__ = ["Timing", "time_call", "interleaved_best_of"]
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Summary of repeated wall-clock samples for one callable (seconds)."""
+
+    samples: tuple[float, ...]
+
+    @property
+    def best(self) -> float:
+        return min(self.samples)
+
+    @property
+    def median(self) -> float:
+        return median(self.samples)
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "best_s": self.best,
+            "median_s": self.median,
+            "n_samples": len(self.samples),
+        }
+
+
+def time_call(fn: Callable[[], object]) -> float:
+    """One wall-clock sample of ``fn`` with the GC suspended around it."""
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        fn()
+        return time.perf_counter() - t0
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def interleaved_best_of(
+    fns: Sequence[Callable[[], object]],
+    repeats: int = 5,
+    warmup: int = 1,
+) -> list[Timing]:
+    """Time the callables round-robin (A B ... A B ...), ``repeats`` samples
+    each after ``warmup`` unmeasured rounds. Returns one :class:`Timing`
+    per callable, in input order."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        for fn in fns:
+            fn()
+    samples: list[list[float]] = [[] for _ in fns]
+    for _ in range(repeats):
+        for i, fn in enumerate(fns):
+            samples[i].append(time_call(fn))
+    return [Timing(tuple(s)) for s in samples]

@@ -158,3 +158,59 @@ class TestInvocationProbability:
         est.observe(0, 100)
         assert est.invocation_probability(0, 100) == 1.0  # arriving now
         assert est.invocation_probability(0, 150) == 0.0  # beyond window
+
+
+class TestQueryCaching:
+    """The version-dirty caches must be invisible except in identity."""
+
+    def test_repeated_query_returns_cached_array(self):
+        est = InterArrivalEstimator(1, mode="survival")
+        feed(est, 0, range(0, 30, 3))
+        a = est.probabilities(0, 30)
+        b = est.probabilities(0, 30)
+        assert a is b
+        ea = est.exact_probabilities(0, 30)
+        eb = est.exact_probabilities(0, 30)
+        assert ea is eb
+
+    def test_new_arrival_invalidates(self):
+        est = InterArrivalEstimator(1, mode="survival")
+        feed(est, 0, range(0, 30, 3))
+        before = est.probabilities(0, 30).copy()
+        est.observe(0, 35)  # gap of 5 shifts the distribution
+        after = est.probabilities(0, 35)
+        assert not np.array_equal(before, after)
+
+    def test_eviction_invalidates(self):
+        est = InterArrivalEstimator(1, local_window=10, mode="exact")
+        feed(est, 0, [0, 2, 4, 9])
+        with_recent = est.probabilities(0, 9).copy()
+        # By minute 30 every recent gap has aged out of the local window;
+        # the estimate falls back to the lifetime distribution alone.
+        aged = est.probabilities(0, 30)
+        np.testing.assert_allclose(aged, with_recent)  # same data source here
+        est2 = InterArrivalEstimator(1, local_window=10, mode="exact")
+        feed(est2, 0, [0, 2, 4, 9])
+        assert est2.n_gaps(0)[1] == 3
+        est2.probabilities(0, 30)
+        assert est2.n_gaps(0)[1] == 0  # eviction ran despite warm cache
+
+    def test_cached_matches_fresh_estimator(self):
+        # Query-heavy usage must give the same numbers as a fresh estimator
+        # queried once (caching changes work done, never values).
+        rng = np.random.default_rng(7)
+        minutes = np.cumsum(rng.integers(1, 8, size=40))
+        hot = InterArrivalEstimator(1, mode="hazard")
+        cold = InterArrivalEstimator(1, mode="hazard")
+        for m in minutes:
+            hot.observe(0, int(m))
+            cold.observe(0, int(m))
+            hot.probabilities(0, int(m))  # extra queries warm the cache
+            hot.exact_probabilities(0, int(m))
+        now = int(minutes[-1]) + 1
+        np.testing.assert_array_equal(
+            hot.probabilities(0, now), cold.probabilities(0, now)
+        )
+        np.testing.assert_array_equal(
+            hot.exact_probabilities(0, now), cold.exact_probabilities(0, now)
+        )

@@ -66,3 +66,39 @@ class TestRunPolicies:
         b = run_policies(trace, {"ow": OpenWhiskPolicy}, cfg)
         for ra, rb in zip(a["ow"], b["ow"]):
             assert ra.keepalive_cost_usd == rb.keepalive_cost_usd
+
+    def test_parallel_matches_serial(self):
+        # The shared-executor path (trace shipped once via the pool
+        # initializer) must give the same per-run metrics as in-process.
+        from dataclasses import replace
+
+        from repro.baselines.static import AllLowQualityPolicy
+        from repro.runtime.simulator import SimulationConfig
+
+        cfg = ExperimentConfig(
+            n_runs=3,
+            horizon_minutes=240,
+            seed=7,
+            sim=SimulationConfig(record_series=False, track_containers=False),
+        )
+        trace = default_trace(cfg)
+        policies = {"ow": OpenWhiskPolicy, "low": AllLowQualityPolicy}
+        serial = run_policies(trace, policies, cfg)
+        parallel = run_policies(trace, policies, replace(cfg, n_jobs=2))
+        for name in policies:
+            for rs, rp in zip(serial[name], parallel[name]):
+                assert rs.keepalive_cost_usd == rp.keepalive_cost_usd
+                assert rs.total_service_time_s == rp.total_service_time_s
+                assert rs.n_invocations == rp.n_invocations
+
+    def test_parallel_single_policy(self):
+        from dataclasses import replace
+
+        cfg = ExperimentConfig(n_runs=2, horizon_minutes=240, seed=3)
+        trace = default_trace(cfg)
+        serial = run_policies(trace, {"ow": OpenWhiskPolicy}, cfg)
+        parallel = run_policies(
+            trace, {"ow": OpenWhiskPolicy}, replace(cfg, n_jobs=2)
+        )
+        for rs, rp in zip(serial["ow"], parallel["ow"]):
+            assert rs.keepalive_cost_usd == rp.keepalive_cost_usd
