@@ -82,6 +82,42 @@ def bench_single_runs(trace, assignment, repeats: int) -> dict:
     return out
 
 
+def bench_observability(trace, assignment, repeats: int) -> dict:
+    """Observed vs unobserved PULSE runs on the fast path.
+
+    The disabled path must be free (``observe=None`` leaves only
+    ``is not None`` tests in the hot loops), so ``unobserved`` here is
+    directly comparable to the lean single-run numbers above; the
+    ``overhead_enabled`` ratio is the full price of recording every
+    decision, metric and span.
+    """
+    lean = SimulationConfig(
+        record_series=False, track_containers=False, record_events=False,
+        fast=True,
+    )
+
+    def run(observe: bool) -> None:
+        cfg = replace(lean, observe=observe)
+        Simulation(trace, assignment, PulsePolicy(), cfg).run()
+
+    off_t, on_t = interleaved_best_of(
+        [lambda: run(False), lambda: run(True)], repeats=repeats
+    )
+    out = {
+        "unobserved": off_t.as_dict(),
+        "observed": on_t.as_dict(),
+        "overhead_enabled_best": on_t.best / off_t.best - 1.0,
+        "overhead_enabled_median": on_t.median / off_t.median - 1.0,
+    }
+    print(
+        f"observability    off {off_t.best * 1e3:7.2f} ms   "
+        f"on {on_t.best * 1e3:7.2f} ms   "
+        f"enabled overhead {out['overhead_enabled_best'] * 100:+.1f}% (min) "
+        f"{out['overhead_enabled_median'] * 100:+.1f}% (med)"
+    )
+    return out
+
+
 def bench_sweep(trace, n_runs: int, repeats: int) -> dict:
     """Sweep throughput (runs/s) through run_policies at n_jobs 1 and 4."""
     out = {}
@@ -154,6 +190,7 @@ def main() -> None:
             "headline speedup uses the min"
         ),
         "single_run": bench_single_runs(trace, assignment, repeats),
+        "observability": bench_observability(trace, assignment, repeats),
         "sweep": (
             {} if args.quick else bench_sweep(trace, n_runs=24, repeats=2)
         ),

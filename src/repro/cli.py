@@ -87,6 +87,17 @@ def _load_trace(args: argparse.Namespace) -> Trace:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     trace = _load_trace(args)
     assignment = sample_assignment(trace.n_functions, seed=args.seed)
+    observe = bool(
+        getattr(args, "observe", False)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "report_out", None)
+    )
+    if (args.trace_out or args.report_out) and len(args.policies) != 1:
+        print(
+            "--trace-out/--report-out dump one run; pass exactly one policy",
+            file=sys.stderr,
+        )
+        return 2
     rows = []
     for name in args.policies:
         try:
@@ -102,10 +113,68 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         # predictors — sharing one capacity would silently change the
         # fixed policies' keep-alive duration.
         window = 240 if name in _LONG_WINDOW_POLICIES else 10
-        sim = SimulationConfig(keep_alive_window=window)
+        sim = SimulationConfig(keep_alive_window=window, observe=observe)
         result = Simulation(trace, assignment, factory(), sim).run()
-        rows.append(result.summary())
+        row = result.summary()
+        # Machine wall time, not a workload metric — printing it would
+        # make the table nondeterministic across identical runs.
+        row.pop("wall_clock_s", None)
+        rows.append(row)
+        if args.trace_out:
+            from repro.obs.export import write_trace_jsonl
+
+            n = write_trace_jsonl(result, args.trace_out)
+            print(f"wrote {n} trace records to {args.trace_out}")
+        if args.report_out:
+            from repro.obs.report import save_run_report
+
+            save_run_report(result, args.report_out)
+            print(f"wrote run report to {args.report_out}")
     print(format_table(rows, title=f"{trace!r}"))
+    return 0
+
+
+def _parse_fid_minute(spec: str, flag: str) -> tuple[int, int]:
+    try:
+        fid_s, minute_s = spec.split(":", 1)
+        return int(fid_s), int(minute_s)
+    except ValueError:
+        raise SystemExit(f"{flag} expects FID:MINUTE, got {spec!r}")
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.obs.inspect import TraceIndex
+
+    try:
+        index = TraceIndex.from_jsonl(args.trace)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    queried = False
+    if args.cold:
+        fid, minute = _parse_fid_minute(args.cold, "--cold")
+        print(index.explain_cold(fid, minute))
+        queried = True
+    if args.plan:
+        if queried:
+            print()
+        fid, minute = _parse_fid_minute(args.plan, "--plan")
+        print(index.explain_plan(fid, minute))
+        queried = True
+    if args.downgrades is not None:
+        if queried:
+            print()
+        fid = minute = None
+        if args.downgrades:
+            spec = args.downgrades
+            if ":" in spec:
+                fid, minute = _parse_fid_minute(spec, "--downgrades")
+            else:
+                fid = int(spec)
+        print(index.explain_downgrades(fid, minute))
+        queried = True
+    if not queried:
+        print(index.summary())
     return 0
 
 
@@ -294,7 +363,29 @@ def build_parser() -> argparse.ArgumentParser:
         "policies", nargs="+", choices=sorted(_POLICIES), metavar="POLICY",
         help=f"one or more of: {', '.join(sorted(_POLICIES))}",
     )
+    p_sim.add_argument("--observe", action="store_true",
+                       help="record metrics/spans/decision traces")
+    p_sim.add_argument("--trace-out", metavar="JSONL",
+                       help="dump the decision trace (implies --observe; "
+                            "exactly one policy)")
+    p_sim.add_argument("--report-out", metavar="HTML",
+                       help="write an HTML run report (implies --observe; "
+                            "exactly one policy)")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_ins = sub.add_parser(
+        "inspect", help="answer why-questions against a JSONL decision trace"
+    )
+    p_ins.add_argument("trace", metavar="TRACE.jsonl",
+                       help="trace written by simulate --trace-out")
+    p_ins.add_argument("--cold", metavar="FID:MINUTE",
+                       help="explain why the invocation was a cold start")
+    p_ins.add_argument("--plan", metavar="FID:MINUTE",
+                       help="show the band→variant plan covering that minute")
+    p_ins.add_argument("--downgrades", nargs="?", const="",
+                       metavar="FID[:MINUTE]",
+                       help="explain Algorithm-2 / valve downgrades")
+    p_ins.set_defaults(func=_cmd_inspect)
 
     p_prof = sub.add_parser("profile", help="Table I profiling campaign")
     p_prof.add_argument("--warm-samples", type=int, default=1000)

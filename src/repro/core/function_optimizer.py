@@ -15,15 +15,22 @@ before it has data to act on.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from repro.core.interarrival import InterArrivalEstimator
 from repro.core.thresholds import ThresholdScheme
 from repro.models.variants import ModelFamily, ModelVariant
+from repro.obs.session import NULL_OBS
 
 __all__ = ["FunctionCentricOptimizer"]
 
 
 class FunctionCentricOptimizer:
     """Greedy per-function variant scheduling over the keep-alive window."""
+
+    #: Observability session; the owning policy replaces this at bind
+    #: time when the run is observed (see ``PulsePolicy.on_bind``).
+    obs = NULL_OBS
 
     def __init__(
         self,
@@ -44,7 +51,13 @@ class FunctionCentricOptimizer:
         self, function_id: int, minute: int, family: ModelFamily
     ) -> list[ModelVariant | None]:
         """The keep-alive plan for offsets 1..K after an arrival at ``minute``."""
-        probs = self.estimator.probabilities(function_id, minute)
+        obs = self.obs
+        if obs.spans_enabled:
+            t0 = perf_counter()
+            probs = self.estimator.probabilities(function_id, minute)
+            obs.spans.add("estimate", perf_counter() - t0)
+        else:
+            probs = self.estimator.probabilities(function_id, minute)
         lifetime, recent = self.estimator.n_gaps(function_id)
         if lifetime == 0 and recent == 0:
             # No history: behave like the fixed policy until data exists.
@@ -54,6 +67,9 @@ class FunctionCentricOptimizer:
                 else family.lowest
             )
             return [fallback] * self.estimator.window
+        if obs.decisions_enabled:
+            # The engine's plan record claims this snapshot after set_plan.
+            obs.stage_probs(function_id, minute, probs)
         # tolist() hands back Python floats: cheaper to iterate and compare
         # than numpy scalars, and value-identical (float64 round trip).
         select_level = self.scheme.select_level
@@ -61,9 +77,12 @@ class FunctionCentricOptimizer:
         n_variants = family.n_variants
         plan: list[ModelVariant | None] = []
         append = plan.append
+        t0 = perf_counter() if obs.spans_enabled else 0.0
         for p in probs.tolist():
             level = select_level(p if p < 1.0 else 1.0, n_variants)
             append(None if level is None else variant(level))
+        if obs.spans_enabled:
+            obs.spans.add("band-mapping", perf_counter() - t0)
         return plan
 
     def invocation_probability(self, function_id: int, minute: int) -> float:

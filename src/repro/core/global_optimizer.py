@@ -17,11 +17,15 @@ its lowest variant drops the keep-alive entirely ("or even cold starts").
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from repro.core.function_optimizer import FunctionCentricOptimizer
 from repro.core.peak import PeakDetector
 from repro.core.priority import PriorityStructure
 from repro.core.utility import UtilityWeights, components_for
 from repro.models.variants import ModelFamily
+from repro.obs.session import NULL_OBS
+from repro.runtime.events import EventKind
 from repro.runtime.schedule import KeepAliveSchedule
 
 __all__ = ["GlobalOptimizer"]
@@ -34,6 +38,11 @@ class GlobalOptimizer:
     ``weights`` defaults to the paper's equal weighting of the three
     utility components; the ablation harness zeroes individual terms.
     """
+
+    #: Observability session / event log; the owning policy replaces
+    #: these at bind time when the run is observed (``PulsePolicy.on_bind``).
+    obs = NULL_OBS
+    event_sink = None
 
     def __init__(
         self,
@@ -60,17 +69,30 @@ class GlobalOptimizer:
         Returns the number of downgrades performed this minute, and always
         commits the (post-flattening) memory into the detector's history.
         """
-        demand = schedule.memory_at(minute)
-        prior = self.detector.prior_memory()
+        obs = self.obs
+        if obs.spans_enabled:
+            t0 = perf_counter()
+            demand = schedule.memory_at(minute)
+            prior = self.detector.prior_memory()
+            is_peak = self.detector.is_peak(demand, prior)
+            obs.spans.add("peak-detect", perf_counter() - t0)
+        else:
+            demand = schedule.memory_at(minute)
+            prior = self.detector.prior_memory()
+            is_peak = self.detector.is_peak(demand, prior)
         current = demand
         downgrades = 0
-        if self.detector.is_peak(current, prior):
+        if is_peak:
             self.n_peak_minutes += 1
             target = self.detector.flatten_target(prior)
+            if obs.decisions_enabled:
+                obs.record_peak(minute, demand, prior, target)
+            t0 = perf_counter() if obs.spans_enabled else 0.0
+            record = obs.decisions_enabled or self.event_sink is not None
             while current > target:
-                victim = self._lowest_utility(
-                    schedule.alive_at(minute), minute, assignment
-                )
+                alive = schedule.alive_at(minute)
+                collect = [] if obs.decisions_enabled else None
+                victim = self._lowest_utility(alive, minute, assignment, collect)
                 if victim is None:
                     break  # nothing downgradable remains; as flat as it gets
                 allow_drop = (
@@ -83,6 +105,19 @@ class GlobalOptimizer:
                 self.priority.record_downgrade(victim)
                 downgrades += 1
                 current = schedule.memory_at(minute)
+                if record:
+                    new = schedule.alive_variant(victim, minute)
+                    new_name = new.name if new is not None else None
+                    if self.event_sink is not None:
+                        self.event_sink.emit(
+                            minute, EventKind.DOWNGRADE, victim, new_name
+                        )
+                    if obs.decisions_enabled:
+                        obs.record_downgrade(
+                            minute, victim, alive[victim].name, new_name, collect
+                        )
+            if obs.spans_enabled:
+                obs.spans.add("downgrade-select", perf_counter() - t0)
         self.detector.observe(demand, current)
         self.n_downgrades += downgrades
         return downgrades
@@ -92,6 +127,7 @@ class GlobalOptimizer:
         alive: dict,
         minute: int,
         assignment: dict[int, ModelFamily],
+        collect: list[dict] | None = None,
     ) -> int | None:
         """Alg. 2 lines 4–9: normalize priorities, score every kept-alive
         model, pick the minimum (ties: lowest function id, deterministic).
@@ -104,6 +140,10 @@ class GlobalOptimizer:
         starts") and the guarantee of §V ("PULSE ensures that at least
         the container with low-quality model is kept alive"). Returns
         ``None`` when no model is eligible.
+
+        ``collect``, when given, receives one dict per kept-alive model —
+        the scored ``Ai``/``Pr``/``Ip``/``Uv`` terms, or a ``protected``
+        marker — purely for the decision trace; it never affects scoring.
         """
         normalized = self.priority.normalized()
         best_fid: int | None = None
@@ -114,6 +154,10 @@ class GlobalOptimizer:
             if variant.level == 0 and (
                 self.function_optimizer.max_remaining_probability(fid, minute) > 0.0
             ):
+                if collect is not None:
+                    collect.append(
+                        {"fid": fid, "variant": variant.name, "protected": True}
+                    )
                 continue  # protected: dropping would risk a likely cold start
             comp = components_for(
                 family=assignment[fid],
@@ -122,6 +166,15 @@ class GlobalOptimizer:
                 invocation_probability=min(ip, 1.0),
             )
             value = self.weights.apply(comp)
+            if collect is not None:
+                collect.append({
+                    "fid": fid,
+                    "variant": variant.name,
+                    "Ai": comp.accuracy_improvement,
+                    "Pr": comp.priority,
+                    "Ip": comp.invocation_probability,
+                    "Uv": value,
+                })
             if value < best_uv:
                 best_uv = value
                 best_fid = fid

@@ -130,6 +130,14 @@ class PulsePolicy(KeepAlivePolicy):
             function_optimizer=self._fopt,
             weights=self.config.utility_weights,
         )
+        # Propagate the run's telemetry (attach_observability precedes
+        # bind, so these are final). Instance attributes shadow the
+        # NULL_OBS class defaults only on observed runs.
+        if self.obs.enabled:
+            self._fopt.obs = self.obs
+            self._gopt.obs = self.obs
+        if self.event_sink is not None:
+            self._gopt.event_sink = self.event_sink
 
     # -- engine interface ---------------------------------------------------
     def observe_invocation(self, function_id: int, minute: int, count: int) -> None:

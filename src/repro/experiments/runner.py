@@ -30,6 +30,7 @@ __all__ = [
     "ExperimentConfig",
     "PolicyFactory",
     "default_trace",
+    "merged_telemetry",
     "run_policies",
     "run_policy",
 ]
@@ -137,4 +138,25 @@ def run_policies(
             out[name] = [
                 _one_run((trace, a, factory, config.sim)) for a in assignments
             ]
+    return out
+
+
+def merged_telemetry(results: dict[str, list[RunResult]]):
+    """Merge each policy's per-run observability sessions into one.
+
+    Returns ``{policy_name: ObsSession}`` with counters summed, span
+    timings pooled and ``n_runs`` counting the contributing runs —
+    per-run decision records are dropped (they only make sense against a
+    single run's timeline). Sessions travel back from pool workers by
+    pickling, so this works identically for ``n_jobs > 1`` sweeps.
+    Policies whose runs were unobserved are omitted; an all-unobserved
+    sweep yields an empty dict.
+    """
+    from repro.obs.export import merge_sessions
+
+    out = {}
+    for name, runs in results.items():
+        merged = merge_sessions(r.obs for r in runs)
+        if merged is not None:
+            out[name] = merged
     return out

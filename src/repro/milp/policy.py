@@ -17,12 +17,15 @@ greedy stops downgrading the moment the peak flattens.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 from scipy.optimize import LinearConstraint, milp
 from scipy.sparse import csr_matrix
 
 from repro.core.pulse import PulseConfig, PulsePolicy
 from repro.milp.formulation import MilpProblem, build_peak_milp
+from repro.runtime.events import EventKind
 from repro.runtime.schedule import KeepAliveSchedule
 
 __all__ = ["MilpPolicy", "solve_milp"]
@@ -103,14 +106,26 @@ class MilpPolicy(PulsePolicy):
         if not self.config.enable_global:
             gopt.detector.observe(schedule.memory_at(minute))
             return
-        demand = schedule.memory_at(minute)
-        prior = gopt.detector.prior_memory()
+        obs = self.obs
+        if obs.spans_enabled:
+            t0 = perf_counter()
+            demand = schedule.memory_at(minute)
+            prior = gopt.detector.prior_memory()
+            is_peak = gopt.detector.is_peak(demand, prior)
+            obs.spans.add("peak-detect", perf_counter() - t0)
+        else:
+            demand = schedule.memory_at(minute)
+            prior = gopt.detector.prior_memory()
+            is_peak = gopt.detector.is_peak(demand, prior)
         current = demand
-        if gopt.detector.is_peak(current, prior):
+        if is_peak:
             gopt.n_peak_minutes += 1
             alive = schedule.alive_at(minute)
             if alive:
                 target = gopt.detector.flatten_target(prior)
+                if obs.decisions_enabled:
+                    obs.record_peak(minute, demand, prior, target)
+                t0 = perf_counter() if obs.spans_enabled else 0.0
                 normalized = gopt.priority.normalized()
                 problem = build_peak_milp(
                     alive=alive,
@@ -130,6 +145,10 @@ class MilpPolicy(PulsePolicy):
                 self.n_solves += 1
                 self._apply(chosen, alive, minute, schedule)
                 current = schedule.memory_at(minute)
+                if obs.spans_enabled:
+                    # MILP build + solve + apply is the analogue of the
+                    # greedy's downgrade selection (Figure 9's comparison).
+                    obs.spans.add("downgrade-select", perf_counter() - t0)
         gopt.detector.observe(demand, current)
 
     def _apply(
@@ -141,6 +160,8 @@ class MilpPolicy(PulsePolicy):
     ) -> None:
         """Realize the solver's selection as schedule downgrades."""
         assert self._gopt is not None
+        obs = self.obs
+        record = obs.decisions_enabled or self.event_sink is not None
         for fid, level in chosen.items():
             current_level = alive[fid].level
             family = self.assignment[fid]
@@ -152,3 +173,20 @@ class MilpPolicy(PulsePolicy):
                 schedule.downgrade(fid, minute, family, allow_drop=(level is None))
                 self._gopt.priority.record_downgrade(fid)
                 self._gopt.n_downgrades += 1
+                if record:
+                    frm = schedule.alive_variant(fid, minute)
+                    # The entry at ``minute`` now holds the post-step
+                    # variant; reconstruct the pre-step name from it
+                    # (one level up, or the dropped variant's name).
+                    if frm is not None:
+                        new_name = frm.name
+                        from_name = family.variant(frm.level + 1).name
+                    else:
+                        new_name = None
+                        from_name = family.lowest.name
+                    if self.event_sink is not None:
+                        self.event_sink.emit(
+                            minute, EventKind.DOWNGRADE, fid, new_name
+                        )
+                    if obs.decisions_enabled:
+                        obs.record_downgrade(minute, fid, from_name, new_name)

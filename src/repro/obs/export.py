@@ -1,0 +1,123 @@
+"""Exporters: JSONL decision traces and cross-run session merging.
+
+The JSONL trace is the durable form of a run's telemetry — one JSON
+object per line, streamable and greppable:
+
+- line 1: a ``header`` record (schema version, policy name, headline
+  ``RunResult`` numbers) so a trace is self-describing;
+- then every decision record, in simulation order (``plan`` / ``cold`` /
+  ``peak`` / ``downgrade`` — see :mod:`repro.obs.session`);
+- then one ``metrics`` record (the registry as a flat dict) and one
+  ``spans`` record (phase timings), when those layers were enabled.
+
+This module deliberately imports nothing from ``repro.runtime`` —
+``runtime.metrics`` imports :mod:`repro.obs`, so the dependency edge
+must stay one-directional. ``RunResult`` is consumed duck-typed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+
+from repro.obs.session import ObsSession
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "merge_sessions",
+    "read_trace_jsonl",
+    "trace_records",
+    "write_trace_jsonl",
+]
+
+#: Bumped whenever a record shape changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+
+def _header(result) -> dict:
+    """The self-describing first line of a trace (duck-typed RunResult)."""
+    return {
+        "kind": "header",
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "policy": result.policy_name,
+        "n_invocations": result.n_invocations,
+        "n_warm": result.n_warm,
+        "n_cold": result.n_cold,
+        "n_forced_downgrades": result.n_forced_downgrades,
+        "keepalive_cost_usd": result.keepalive_cost_usd,
+        "total_service_time_s": result.total_service_time_s,
+        "mean_accuracy": result.mean_accuracy,
+        "wall_clock_s": result.wall_clock_s,
+    }
+
+
+def trace_records(result) -> Iterable[dict]:
+    """Yield every JSONL record for ``result`` (header, decisions,
+    metrics, spans) without touching the filesystem."""
+    obs = result.obs
+    if obs is None or not obs.enabled:
+        raise ValueError(
+            "run has no observability session; re-run with "
+            "SimulationConfig(observe=True) (CLI: --trace-out implies it)"
+        )
+    yield _header(result)
+    yield from obs.records
+    if obs.metrics_enabled:
+        yield {"kind": "metrics", "values": obs.metrics.as_flat_dict()}
+    if obs.spans_enabled:
+        yield {"kind": "spans", "phases": obs.spans.as_dict()}
+
+
+def write_trace_jsonl(result, path) -> int:
+    """Dump ``result``'s decision trace to ``path``; returns the number
+    of records written."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in trace_records(result):
+            fh.write(json.dumps(rec, separators=(",", ":")))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def read_trace_jsonl(path) -> list[dict]:
+    """Load a JSONL trace back into a list of record dicts (blank lines
+    are skipped, so hand-edited traces still load)."""
+    records: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def merge_sessions(sessions: Iterable[ObsSession]) -> ObsSession | None:
+    """Fold many runs' sessions into one aggregate (sweep telemetry).
+
+    Counters and histograms accumulate, gauges keep the last run's
+    value, spans sum. Per-run decision records are dropped — they only
+    make sense against their own run's timeline. Returns ``None`` when
+    no input session is enabled (e.g. the sweep ran unobserved).
+    """
+    merged: ObsSession | None = None
+    for s in sessions:
+        if s is None or not s.enabled:
+            continue
+        if merged is None:
+            merged = ObsSession(s.config)
+            merged.n_runs = 0
+        merged.merge(s)
+    if merged is not None:
+        merged.records = []
+    return merged
+
+
+def merged_flat_metrics(sessions_by_policy: Mapping[str, ObsSession | None]) -> dict[str, dict[str, float]]:
+    """Convenience for sweep reports: ``{policy: flat metrics dict}`` for
+    every policy whose merged session carried a metrics registry."""
+    out: dict[str, dict[str, float]] = {}
+    for name, session in sessions_by_policy.items():
+        if session is not None and session.metrics_enabled:
+            out[name] = session.metrics.as_flat_dict()
+    return out

@@ -1,0 +1,280 @@
+"""Trace inspection: answer "why?" questions against a JSONL decision trace.
+
+:class:`TraceIndex` loads the records dumped by
+:func:`repro.obs.export.write_trace_jsonl` and reconstructs enough of the
+policy's timeline to explain, without re-running the simulation:
+
+- **why an invocation was cold** (``explain_cold``) — first arrival ever,
+  a planned gap (the policy's band mapping chose no variant for that
+  offset), an expired keep-alive window, or a keep-alive dropped by an
+  Algorithm-2 / capacity-valve downgrade;
+- **how a plan was chosen** (``explain_plan``) — the per-offset
+  probability → level → variant table of the closest plan record;
+- **why a function was downgraded** (``explain_downgrades``) — each
+  downgrade with its ``Uv = Ai + Pr + Ip`` candidate scores.
+
+All explain methods return plain multi-line strings: the CLI prints them
+verbatim, and tests assert on substrings.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.obs.export import read_trace_jsonl
+
+__all__ = ["TraceIndex"]
+
+
+def _fmt_num(v) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+class TraceIndex:
+    """An in-memory index over one run's decision records."""
+
+    def __init__(self, records: list[dict]):
+        self.header: dict = {}
+        self.metrics: dict[str, float] = {}
+        self.spans: dict[str, dict[str, float]] = {}
+        self.peaks: list[dict] = []
+        self.downgrades: list[dict] = []
+        # per function: time-sorted record lists (records arrive in
+        # simulation order, so appends preserve sortedness).
+        self._plans: dict[int, list[dict]] = {}
+        self._colds: dict[int, list[dict]] = {}
+        self._downgrades_by_fid: dict[int, list[dict]] = {}
+        for rec in records:
+            kind = rec.get("kind")
+            if kind == "plan":
+                self._plans.setdefault(rec["fid"], []).append(rec)
+            elif kind == "cold":
+                self._colds.setdefault(rec["fid"], []).append(rec)
+            elif kind == "downgrade":
+                self.downgrades.append(rec)
+                self._downgrades_by_fid.setdefault(rec["fid"], []).append(rec)
+            elif kind == "peak":
+                self.peaks.append(rec)
+            elif kind == "header":
+                self.header = rec
+            elif kind == "metrics":
+                self.metrics = rec.get("values", {})
+            elif kind == "spans":
+                self.spans = rec.get("phases", {})
+
+    @classmethod
+    def from_jsonl(cls, path) -> "TraceIndex":
+        return cls(read_trace_jsonl(path))
+
+    # -- overview ------------------------------------------------------------
+    def summary(self) -> str:
+        h = self.header
+        lines = []
+        if h:
+            lines.append(
+                f"policy={h.get('policy')}  invocations={h.get('n_invocations')}  "
+                f"warm={h.get('n_warm')}  cold={h.get('n_cold')}  "
+                f"forced_downgrades={h.get('n_forced_downgrades')}"
+            )
+            lines.append(
+                f"keepalive_cost_usd={_fmt_num(h.get('keepalive_cost_usd'))}  "
+                f"mean_accuracy={_fmt_num(h.get('mean_accuracy'))}  "
+                f"wall_clock_s={_fmt_num(h.get('wall_clock_s'))}"
+            )
+        n_plans = sum(len(v) for v in self._plans.values())
+        n_colds = sum(len(v) for v in self._colds.values())
+        lines.append(
+            f"records: {n_plans} plans, {n_colds} cold starts, "
+            f"{len(self.peaks)} peaks, {len(self.downgrades)} downgrades "
+            f"({sum(1 for d in self.downgrades if d.get('forced'))} forced)"
+        )
+        if self.spans:
+            lines.append(
+                "phases: "
+                + "  ".join(
+                    f"{name}={p['seconds'] * 1e3:.2f}ms/{int(p['count'])}"
+                    for name, p in self.spans.items()
+                )
+            )
+        if self.metrics:
+            lines.append(f"metrics: {len(self.metrics)} series")
+        lines.append(
+            "queries: --cold FID:MINUTE  --plan FID:MINUTE  "
+            "--downgrades [FID[:MINUTE]]"
+        )
+        return "\n".join(lines)
+
+    # -- lookups -------------------------------------------------------------
+    def _latest_before(self, recs: list[dict], minute: int) -> dict | None:
+        """The last record with ``t`` strictly before ``minute``."""
+        i = bisect.bisect_left([r["t"] for r in recs], minute)
+        return recs[i - 1] if i else None
+
+    def _cold_at(self, function_id: int, minute: int) -> dict | None:
+        for rec in self._colds.get(function_id, ()):
+            if rec["t"] == minute:
+                return rec
+        return None
+
+    # -- explanations --------------------------------------------------------
+    def explain_cold(self, function_id: int, minute: int) -> str:
+        """Why was function ``function_id``'s invocation at ``minute`` cold?"""
+        cold = self._cold_at(function_id, minute)
+        if cold is None:
+            return (
+                f"no cold start recorded for function {function_id} at "
+                f"minute {minute} (it was warm, or did not invoke; see "
+                f"--plan {function_id}:{minute})"
+            )
+        head = (
+            f"function {function_id} cold-started at minute {minute} "
+            f"on variant {cold['variant']!r} ({cold['count']} invocation(s) "
+            "that minute)"
+        )
+        prev_plan = self._latest_before(self._plans.get(function_id, []), minute)
+        if prev_plan is None:
+            return (
+                f"{head}\ncause: first recorded arrival — no prior plan "
+                "existed, so nothing could be warm"
+            )
+        t0 = prev_plan["t"]
+        window = len(prev_plan["levels"])
+        offset = minute - t0
+        lines = [head, f"previous plan: installed at minute {t0} "
+                       f"(covers minutes {t0 + 1}..{t0 + window})"]
+        # A downgrade between the plan install and this minute may have
+        # dropped the keep-alive the plan promised.
+        drops = [
+            d for d in self._downgrades_by_fid.get(function_id, ())
+            if t0 < d["t"] <= minute and d["to"] is None
+        ]
+        if offset > window:
+            lines.append(
+                f"cause: keep-alive window expired — the last invocation "
+                f"was {offset} minutes earlier, beyond the {window}-minute "
+                "plan horizon"
+            )
+        elif drops:
+            d = drops[-1]
+            via = "capacity pressure valve" if d.get("forced") else "Algorithm 2"
+            lines.append(
+                f"cause: keep-alive dropped at minute {d['t']} by {via} "
+                f"(was {d['from']!r}; see --downgrades "
+                f"{function_id}:{d['t']})"
+            )
+        else:
+            level = prev_plan["levels"][offset - 1]
+            if level is None:
+                prob = None
+                probs = prev_plan.get("probs")
+                if probs is not None and offset - 1 < len(probs):
+                    prob = probs[offset - 1]
+                why = (
+                    f"P(arrival)={_fmt_num(prob)} at that offset mapped "
+                    "below every keep-alive band"
+                    if prob is not None
+                    else "the policy assigned no variant to that offset"
+                )
+                lines.append(
+                    f"cause: planned gap — the plan left offset {offset} "
+                    f"empty ({why})"
+                )
+            else:
+                lines.append(
+                    f"cause: unclear from the trace — the plan held "
+                    f"{prev_plan['variants'][offset - 1]!r} at offset "
+                    f"{offset}, but nothing was warm; a later write "
+                    "(e.g. a partial downgrade) may have rewritten it"
+                )
+        return "\n".join(lines)
+
+    def explain_plan(self, function_id: int, minute: int) -> str:
+        """How did the policy plan for ``function_id`` at/just before
+        ``minute``? Prints the offset → probability → level → variant
+        band-mapping table."""
+        recs = self._plans.get(function_id, [])
+        # The plan *at* minute counts too — search strictly-after boundary.
+        plan = self._latest_before(recs, minute + 1)
+        if plan is None:
+            return (
+                f"no plan recorded for function {function_id} at or before "
+                f"minute {minute}"
+            )
+        t0 = plan["t"]
+        probs = plan.get("probs")
+        lines = [
+            f"function {function_id}: plan installed at minute {t0} "
+            f"(after the invocation served there)"
+        ]
+        if probs is None:
+            lines.append(
+                "no probability snapshot (fixed/baseline policy, or a "
+                "no-history fallback plan)"
+            )
+        header = f"{'offset':>6} {'minute':>6} {'P(arrival)':>11} {'level':>5}  variant"
+        lines.append(header)
+        for i, (level, variant) in enumerate(zip(plan["levels"], plan["variants"])):
+            p = probs[i] if probs is not None and i < len(probs) else None
+            lines.append(
+                f"{i + 1:>6} {t0 + 1 + i:>6} {_fmt_num(p):>11} "
+                f"{_fmt_num(level):>5}  {variant if variant is not None else '-'}"
+            )
+        return "\n".join(lines)
+
+    def explain_downgrades(
+        self, function_id: int | None = None, minute: int | None = None
+    ) -> str:
+        """Every downgrade (optionally filtered to one function and/or
+        minute), with the greedy's ``Uv = Ai + Pr + Ip`` candidate table
+        when it was recorded."""
+        hits = [
+            d for d in self.downgrades
+            if (function_id is None or d["fid"] == function_id)
+            and (minute is None or d["t"] == minute)
+        ]
+        if not hits:
+            scope = ""
+            if function_id is not None:
+                scope += f" for function {function_id}"
+            if minute is not None:
+                scope += f" at minute {minute}"
+            return f"no downgrades recorded{scope}"
+        lines = []
+        for d in hits:
+            via = "capacity valve (forced)" if d.get("forced") else "Algorithm 2"
+            to = d["to"] if d["to"] is not None else "dropped (no keep-alive)"
+            lines.append(
+                f"minute {d['t']}: function {d['fid']} downgraded "
+                f"{d['from']!r} -> {to} via {via}"
+            )
+            peak = next((p for p in self.peaks if p["t"] == d["t"]), None)
+            if peak is not None:
+                lines.append(
+                    f"  peak context: demand={_fmt_num(peak['demand_mb'])} MB, "
+                    f"prior={_fmt_num(peak['prior_mb'])} MB, "
+                    f"flatten target={_fmt_num(peak['target_mb'])} MB"
+                )
+            cands = d.get("candidates")
+            if cands:
+                lines.append(
+                    f"  {'fid':>5} {'variant':<14} {'Ai':>9} {'Pr':>9} "
+                    f"{'Ip':>9} {'Uv':>9}"
+                )
+                for c in cands:
+                    if c.get("protected"):
+                        lines.append(
+                            f"  {c['fid']:>5} {c['variant']:<14} "
+                            "protected (lowest variant, P(arrival) > 0)"
+                        )
+                    else:
+                        marker = " <- min Uv" if c["fid"] == d["fid"] else ""
+                        lines.append(
+                            f"  {c['fid']:>5} {c['variant']:<14} "
+                            f"{c['Ai']:>9.4f} {c['Pr']:>9.4f} "
+                            f"{c['Ip']:>9.4f} {c['Uv']:>9.4f}{marker}"
+                        )
+        return "\n".join(lines)

@@ -1,0 +1,270 @@
+"""The per-run observability session and its zero-cost disabled stand-in.
+
+One :class:`ObsSession` lives for exactly one simulated run. The engine
+creates it when ``SimulationConfig.observe`` is set, hands it to the
+policy via :meth:`~repro.runtime.policy.KeepAlivePolicy.attach_observability`
+*before* ``bind()`` (so policy sub-components can be wired during
+``on_bind``), and attaches it to the returned ``RunResult``.
+
+Design rules:
+
+- **Disabled is free.** Everything that records first checks one of the
+  ``*_enabled`` booleans, which on :data:`NULL_OBS` are class-level
+  ``False`` constants. No session, registry, list or per-minute object is
+  allocated for an unobserved run; the only residual cost in the engine
+  hot loops is an ``is not None`` test on a local.
+- **Recording never perturbs the run.** Record methods only *read* their
+  arguments (copying arrays to plain lists); they draw no randomness and
+  change no accumulation order, which is what makes the on/off golden
+  equivalence (``tests/test_obs_equivalence.py``) hold bit-exactly.
+- **Picklable.** Sessions ride ``RunResult`` across the sweep runner's
+  process pool; every attribute is a plain container.
+
+Decision records are dicts with a ``kind`` discriminator — the JSONL
+schema (documented in ``docs/architecture.md``) is exactly one record per
+line:
+
+``plan``       — a band→variant assignment: the plan installed after an
+                 invocation, with per-offset variant levels/names and,
+                 for probability-driven policies, the probability vector
+                 snapshot that produced it;
+``cold``       — a cold start, with the serving variant, the minute's
+                 invocation count and the function's previous arrival;
+``peak``       — a peak-detector transition: demand, prior, flatten
+                 target at a flagged minute;
+``downgrade``  — one Algorithm-2 / MILP / capacity-valve downgrade, with
+                 the victim's from/to variants, a ``forced`` flag, and
+                 (greedy only) the full candidate table of
+                 ``Uv = Ai + Pr + Ip`` terms.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTimer
+
+__all__ = ["NULL_OBS", "ObservabilityConfig", "ObsSession"]
+
+
+def _finite(value: float) -> float | None:
+    """JSON has no ``inf`` — the peak detector's cold-start prior maps to
+    ``None`` (meaning "no prior yet; nothing can be flagged")."""
+    return None if math.isinf(value) else float(value)
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Which telemetry layers to enable (all on by default).
+
+    - ``metrics``   — the counter/gauge/histogram registry;
+    - ``spans``     — named wall-clock phase timers;
+    - ``decisions`` — the decision-trace recorder (JSONL source).
+    """
+
+    metrics: bool = True
+    spans: bool = True
+    decisions: bool = True
+
+    def __post_init__(self) -> None:
+        if not (self.metrics or self.spans or self.decisions):
+            raise ValueError(
+                "observability config enables nothing; use "
+                "SimulationConfig(observe=None) to disable observability"
+            )
+
+
+class ObsSession:
+    """Live telemetry for one run: registry + spans + decision records."""
+
+    __slots__ = ("config", "metrics_enabled", "spans_enabled",
+                 "decisions_enabled", "metrics", "spans", "records",
+                 "_staged_probs", "n_runs")
+
+    #: Distinguishes a real session from :data:`NULL_OBS` without isinstance.
+    enabled = True
+
+    def __init__(self, config: ObservabilityConfig | None = None):
+        cfg = config if config is not None else ObservabilityConfig()
+        self.config = cfg
+        self.metrics_enabled = cfg.metrics
+        self.spans_enabled = cfg.spans
+        self.decisions_enabled = cfg.decisions
+        self.metrics = MetricsRegistry()
+        self.spans = SpanTimer()
+        self.records: list[dict] = []
+        # (fid, minute, probs) left by the function-centric optimizer for
+        # the engine's plan record to claim (see stage_probs).
+        self._staged_probs: tuple[int, int, list[float]] | None = None
+        #: Number of runs folded into this session (1; grows on merge).
+        self.n_runs = 1
+
+    # -- decision recording --------------------------------------------------
+    def stage_probs(self, function_id: int, minute: int, probs) -> None:
+        """Stage a probability vector snapshot for the next plan record.
+
+        The probability vector lives inside the policy (the estimator),
+        but the plan record is written by the engine after ``set_plan``.
+        Staging lets both contribute to **one** record without widening
+        the ``KeepAlivePolicy.plan`` interface: the policy stages, the
+        engine's :meth:`record_plan` claims the snapshot when the
+        (function, minute) keys match.
+        """
+        self._staged_probs = (function_id, minute, [float(p) for p in probs])
+
+    def record_plan(self, minute: int, function_id: int, plan: Sequence) -> None:
+        """One installed keep-alive plan (the band→variant assignment)."""
+        rec = {
+            "kind": "plan",
+            "t": minute,
+            "fid": function_id,
+            "levels": [None if v is None else v.level for v in plan],
+            "variants": [None if v is None else v.name for v in plan],
+        }
+        staged = self._staged_probs
+        if staged is not None and staged[0] == function_id and staged[1] == minute:
+            rec["probs"] = staged[2]
+            self._staged_probs = None
+        self.records.append(rec)
+
+    def record_cold(
+        self,
+        minute: int,
+        function_id: int,
+        variant_name: str,
+        count: int,
+        last_arrival: int | None,
+    ) -> None:
+        self.records.append({
+            "kind": "cold",
+            "t": minute,
+            "fid": function_id,
+            "variant": variant_name,
+            "count": count,
+            "last_arrival": last_arrival,
+        })
+
+    def record_peak(
+        self, minute: int, demand_mb: float, prior_mb: float, target_mb: float
+    ) -> None:
+        self.records.append({
+            "kind": "peak",
+            "t": minute,
+            "demand_mb": float(demand_mb),
+            "prior_mb": _finite(prior_mb),
+            "target_mb": _finite(target_mb),
+        })
+
+    def record_downgrade(
+        self,
+        minute: int,
+        function_id: int,
+        from_variant: str,
+        to_variant: str | None,
+        candidates: list[dict] | None = None,
+        forced: bool = False,
+    ) -> None:
+        """One downgrade: Algorithm 2 / MILP (``forced=False``) or the
+        capacity pressure valve (``forced=True``). ``to_variant=None``
+        means the keep-alive was dropped entirely. ``candidates`` is the
+        greedy's full scored table (one dict per kept-alive model with
+        ``Ai``/``Pr``/``Ip``/``Uv``, or ``protected: True``)."""
+        rec = {
+            "kind": "downgrade",
+            "t": minute,
+            "fid": function_id,
+            "from": from_variant,
+            "to": to_variant,
+            "forced": forced,
+        }
+        if candidates is not None:
+            rec["candidates"] = candidates
+        self.records.append(rec)
+
+    # -- lifecycle -----------------------------------------------------------
+    def merge(self, other: "ObsSession") -> None:
+        """Fold another run's telemetry in (metrics/spans accumulate;
+        decision records are per-run artifacts and are not concatenated —
+        dump each run's trace separately if you need them)."""
+        self.metrics.merge(other.metrics)
+        self.spans.merge(other.spans)
+        self.n_runs += other.n_runs
+
+    def __repr__(self) -> str:
+        return (
+            f"ObsSession(metrics_series={len(self.metrics)}, "
+            f"spans={len(self.spans)}, records={len(self.records)}, "
+            f"runs={self.n_runs})"
+        )
+
+    def __getstate__(self):
+        return {
+            "config": self.config,
+            "metrics": self.metrics,
+            "spans": self.spans,
+            "records": self.records,
+            "n_runs": self.n_runs,
+        }
+
+    def __setstate__(self, state):
+        self.config = state["config"]
+        self.metrics_enabled = self.config.metrics
+        self.spans_enabled = self.config.spans
+        self.decisions_enabled = self.config.decisions
+        self.metrics = state["metrics"]
+        self.spans = state["spans"]
+        self.records = state["records"]
+        self._staged_probs = None
+        self.n_runs = state["n_runs"]
+
+
+class _NullSession:
+    """The disabled session: every flag is ``False``, every method a no-op.
+
+    Policies hold this by default (``KeepAlivePolicy.obs``), so their
+    instrumentation guards — ``if self.obs.spans_enabled:`` — cost one
+    attribute load and a branch, and nothing is ever allocated. The
+    no-op record methods exist so a policy that skips the guard is still
+    safe, just not free.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    metrics_enabled = False
+    spans_enabled = False
+    decisions_enabled = False
+    #: Immutable empties: any accidental recording attempt fails loudly
+    #: rather than silently accumulating on a shared singleton.
+    records: tuple = ()
+    metrics = None
+    spans = None
+
+    def stage_probs(self, function_id, minute, probs) -> None:
+        pass
+
+    def record_plan(self, minute, function_id, plan) -> None:
+        pass
+
+    def record_cold(self, minute, function_id, variant_name, count, last_arrival) -> None:
+        pass
+
+    def record_peak(self, minute, demand_mb, prior_mb, target_mb) -> None:
+        pass
+
+    def record_downgrade(
+        self, minute, function_id, from_variant, to_variant,
+        candidates=None, forced=False,
+    ) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NULL_OBS"
+
+
+#: The process-wide disabled session. Stateless and shared by every
+#: unobserved policy instance.
+NULL_OBS = _NullSession()

@@ -144,6 +144,16 @@ class ContainerPool:
             self._evict(current, function_id, minute)
         new = self._create(function_id, desired, minute, cold=False)
         self.stats.prewarms += 1
+        if current is not None and self._events is not None:
+            # First-class switch event alongside the evict/prewarm pair,
+            # so Algorithm-2 realizations are directly queryable.
+            self._events.emit(
+                minute,
+                EventKind.VARIANT_SWITCH,
+                function_id,
+                desired.name,
+                float(current.variant.level),
+            )
         return new
 
     def _evict(self, container: Container, function_id: int, minute: int) -> None:

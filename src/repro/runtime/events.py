@@ -28,6 +28,8 @@ class EventKind(enum.Enum):
     PREWARM = "prewarm"  # platform brought a container up in the background
     EVICTION = "eviction"  # container released
     MEMORY_COMMIT = "memory_commit"  # minute's keep-alive memory settled
+    DOWNGRADE = "downgrade"  # a keep-alive moved to a lower variant / dropped
+    VARIANT_SWITCH = "variant_switch"  # pool replaced a container's variant
 
 
 @dataclass(frozen=True)
@@ -40,7 +42,13 @@ class Event:
     - COLD_START / WARM_START: the serving variant; ``value`` is the
       number of invocations served in that minute by that path;
     - PREWARM / EVICTION: the variant brought up / released;
-    - MEMORY_COMMIT: ``value`` is the committed keep-alive memory in MB.
+    - MEMORY_COMMIT: ``value`` is the committed keep-alive memory in MB;
+    - DOWNGRADE: the variant downgraded *to* (``None`` when the
+      keep-alive was dropped entirely); ``value`` is 1.0 when the
+      capacity pressure valve forced it, 0.0 for a policy decision
+      (Algorithm 2 / MILP);
+    - VARIANT_SWITCH: the new variant the pool brought up; ``value`` is
+      the level of the variant it replaced.
     """
 
     minute: int
@@ -92,6 +100,11 @@ class EventLog:
 
     def of_kind(self, kind: EventKind) -> list[Event]:
         return [e for e in self._events if e.kind is kind]
+
+    def of_kinds(self, *kinds: EventKind) -> list[Event]:
+        """Events matching any of ``kinds``, in time order."""
+        wanted = set(kinds)
+        return [e for e in self._events if e.kind in wanted]
 
     def for_function(self, function_id: int) -> list[Event]:
         return [e for e in self._events if e.function_id == function_id]

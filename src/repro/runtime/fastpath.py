@@ -41,8 +41,11 @@ measurements; ``measure_overhead=True`` runs never dispatch here) and
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
+from repro.obs.session import ObsSession
 from repro.runtime.container import ContainerPool
 from repro.runtime.events import EventKind, EventLog
 from repro.runtime.metrics import RunResult
@@ -68,14 +71,38 @@ def run_fast(sim) -> RunResult:
     n_fn = trace.n_functions
     counts = trace.counts
 
+    events = EventLog() if cfg.record_events else None
+    obs = ObsSession(cfg.observe) if cfg.observe is not None else None
+    if obs is not None or events is not None:
+        # Before bind, so on_bind can wire policy sub-components.
+        policy.attach_observability(obs, events)
     policy.bind(trace, sim.assignment, cfg.keep_alive_window)
     schedule = KeepAliveSchedule(n_fn, cfg.keep_alive_window, horizon_hint=horizon)
-    events = EventLog() if cfg.record_events else None
     pool = (
         ContainerPool(events)
         if (cfg.track_containers or cfg.record_events)
         else None
     )
+
+    # Hot-loop telemetry handles (each None when its layer is off); the
+    # instrumentation mirrors the reference loop exactly — same counters,
+    # same record points — so traces are engine-independent.
+    rec = obs if obs is not None and obs.decisions_enabled else None
+    met = obs.metrics if obs is not None and obs.metrics_enabled else None
+    spans = obs.spans if obs is not None and obs.spans_enabled else None
+    if met is not None:
+        _inv = met.counter("invocations_total", "invocations served")
+        _cold = met.counter("cold_starts_total", "user-visible cold starts")
+        inv_counters = [_inv.labels(function=f) for f in range(n_fn)]
+        cold_counters = [_cold.labels(function=f) for f in range(n_fn)]
+        warm_counter = met.counter(
+            "warm_starts_total", "invocations served warm"
+        ).labels()
+        mem_metric = met.histogram(
+            "keepalive_mb", "per-minute committed keep-alive memory"
+        )
+        mem_hist = mem_metric.summary()
+    last_arrival: list[int | None] = [None] * n_fn if rec is not None else []
 
     highest_mb = np.array(
         [sim.assignment[fid].highest.memory_mb for fid in range(n_fn)]
@@ -135,16 +162,24 @@ def run_fast(sim) -> RunResult:
             policy.review_minute(t, schedule)
         if capacity is not None:
             n_forced += apply_capacity_valve(
-                schedule, t, capacity, capacity_rng, assignment
+                schedule, t, capacity, capacity_rng, assignment, events, rec
             )
         if pool is not None:
-            for fid in range(n_fn):
-                pool.reconcile(fid, entries[fid].get(t), t)
+            if spans is None:
+                for fid in range(n_fn):
+                    pool.reconcile(fid, entries[fid].get(t), t)
+            else:
+                s0 = perf_counter()
+                for fid in range(n_fn):
+                    pool.reconcile(fid, entries[fid].get(t), t)
+                spans.add("pool-reconcile", perf_counter() - s0)
             pool.tick_all()
         mem_t = memory_at(t)
         total_mb_minutes += mem_t
         if events is not None:
             events.emit(t, EventKind.MEMORY_COMMIT, value=mem_t)
+        if met is not None:
+            mem_hist.observe(mem_t)
         if mem_series is not None:
             mem_series[t] = mem_t
 
@@ -160,6 +195,10 @@ def run_fast(sim) -> RunResult:
             for v in values:
                 acc += v
             total_mb_minutes = acc
+            if met is not None:
+                # Same per-minute observations the reference loop makes,
+                # in the same order — summaries merge identically.
+                mem_metric.observe_many(values)
             if mem_series is not None:
                 mem_series[start:stop] = values
             return
@@ -171,7 +210,7 @@ def run_fast(sim) -> RunResult:
                 policy.review_minute(t, schedule)
             if capacity is not None:
                 n_forced += apply_capacity_valve(
-                    schedule, t, capacity, capacity_rng, assignment
+                    schedule, t, capacity, capacity_rng, assignment, events, rec
                 )
             if pool is not None:
                 if has_review or capacity is not None:
@@ -183,6 +222,8 @@ def run_fast(sim) -> RunResult:
             total_mb_minutes += mem_t
             if events is not None:
                 events.emit(t, EventKind.MEMORY_COMMIT, value=mem_t)
+            if met is not None:
+                mem_hist.observe(mem_t)
             if mem_series is not None:
                 mem_series[t] = mem_t
 
@@ -193,8 +234,14 @@ def run_fast(sim) -> RunResult:
             idle_span(prev_t + 1, t)
 
         if pool is not None:  # pre-warm pass before invocations arrive
-            for fid in range(n_fn):
-                pool.reconcile(fid, entries[fid].get(t), t)
+            if spans is None:
+                for fid in range(n_fn):
+                    pool.reconcile(fid, entries[fid].get(t), t)
+            else:
+                s0 = perf_counter()
+                for fid in range(n_fn):
+                    pool.reconcile(fid, entries[fid].get(t), t)
+                spans.add("pool-reconcile", perf_counter() - s0)
 
         group_start = i
         group_end = group_ends[g]
@@ -221,6 +268,12 @@ def run_fast(sim) -> RunResult:
                         events.emit(
                             t, EventKind.WARM_START, fid, variant.name, count - 1
                         )
+                if rec is not None:
+                    rec.record_cold(t, fid, variant.name, count, last_arrival[fid])
+                if met is not None:
+                    cold_counters[fid].inc()
+                    if count > 1:
+                        warm_counter.inc(count - 1)
             else:
                 service_time += count * alive.warm_service_time_s
                 n_warm += count
@@ -229,15 +282,27 @@ def run_fast(sim) -> RunResult:
                     pool.record_served(fid, count)
                 if events is not None:
                     events.emit(t, EventKind.WARM_START, fid, alive.name, count)
+                if met is not None:
+                    warm_counter.inc(count)
+            if met is not None:
+                inv_counters[fid].inc(count)
 
             if has_observe:
                 observe_invocation(fid, t, count)
-            set_plan(fid, t, plan_fn(fid, t))
+            if rec is None:
+                set_plan(fid, t, plan_fn(fid, t))
+            else:
+                plan = plan_fn(fid, t)
+                set_plan(fid, t, plan)
+                rec.record_plan(t, fid, plan)
+                last_arrival[fid] = t
             i += 1
 
         if simple_commit:
             mem_t = mem_list[t]
             total_mb_minutes += mem_t
+            if met is not None:
+                mem_hist.observe(mem_t)
             if mem_series is not None:
                 mem_series[t] = mem_t
         else:
@@ -252,6 +317,13 @@ def run_fast(sim) -> RunResult:
     # per event; float metrics above keep the reference's exact order).
     n_invocations = sum(ev_count)
     mean_accuracy = accuracy_sum / n_invocations if n_invocations else 0.0
+    if met is not None:
+        met.counter(
+            "forced_downgrades_total", "capacity-valve downgrades"
+        ).inc(n_forced)
+        met.gauge("horizon_minutes").set(horizon)
+        met.gauge("n_functions").set(n_fn)
+        met.gauge("keepalive_mb_minutes").set(total_mb_minutes)
     return RunResult(
         policy_name=policy.name,
         n_invocations=n_invocations,
@@ -267,4 +339,5 @@ def run_fast(sim) -> RunResult:
         pool_stats=pool.stats if pool is not None else None,
         events=events,
         n_forced_downgrades=n_forced,
+        obs=obs,
     )

@@ -17,6 +17,7 @@ from statistics import fmean
 
 import numpy as np
 
+from repro.obs.session import ObsSession
 from repro.runtime.container import PoolStats
 from repro.runtime.costmodel import CostModel
 from repro.runtime.events import EventLog
@@ -48,6 +49,10 @@ class RunResult:
     #: excluded from engine-equivalence comparisons — it measures the
     #: machine, not the simulated system).
     wall_clock_s: float = 0.0
+    #: The run's observability session (metrics registry, span timings,
+    #: decision records) when ``SimulationConfig.observe`` was set;
+    #: ``None`` for unobserved runs. Never part of headline metrics.
+    obs: ObsSession | None = None
 
     def __post_init__(self) -> None:
         if self.n_warm + self.n_cold != self.n_invocations:
@@ -107,7 +112,16 @@ class RunResult:
             "keepalive_cost_usd": self.keepalive_cost_usd,
             "accuracy_percent": self.mean_accuracy,
             "overhead_s": self.policy_overhead_s,
+            "n_forced_downgrades": float(self.n_forced_downgrades),
+            "wall_clock_s": self.wall_clock_s,
         }
+
+    def flat_metrics(self) -> dict[str, float]:
+        """The observability registry as a flat ``{series: value}`` dict
+        (empty when the run was unobserved or metrics were off)."""
+        if self.obs is None or not self.obs.metrics_enabled:
+            return {}
+        return self.obs.metrics.as_flat_dict()
 
 
 def aggregate_results(results: list[RunResult]) -> dict[str, float]:
@@ -120,6 +134,10 @@ def aggregate_results(results: list[RunResult]) -> dict[str, float]:
         "accuracy_percent": fmean(r.mean_accuracy for r in results),
         "warm_fraction": fmean(r.warm_fraction for r in results),
         "overhead_s": fmean(r.policy_overhead_s for r in results),
+        "n_warm": fmean(r.n_warm for r in results),
+        "n_cold": fmean(r.n_cold for r in results),
+        "n_forced_downgrades": fmean(r.n_forced_downgrades for r in results),
+        "wall_clock_s": fmean(r.wall_clock_s for r in results),
         "n_runs": float(len(results)),
     }
 

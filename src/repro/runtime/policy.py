@@ -23,6 +23,7 @@ from __future__ import annotations
 import abc
 
 from repro.models.variants import ModelFamily, ModelVariant
+from repro.obs.session import NULL_OBS
 from repro.runtime.schedule import KeepAliveSchedule
 from repro.traces.schema import Trace
 
@@ -42,8 +43,29 @@ class KeepAlivePolicy(abc.ABC):
         self._assignment: dict[int, ModelFamily] | None = None
         self._keep_alive_window: int = 10
         self._trace: Trace | None = None
+        #: The run's observability session (:data:`~repro.obs.session.NULL_OBS`
+        #: unless the engine attached a live one). Policy instrumentation
+        #: guards on its ``*_enabled`` flags, so unobserved runs pay one
+        #: attribute load + branch per guarded site.
+        self.obs = NULL_OBS
+        #: The run's event log, when ``record_events`` is on — lets the
+        #: policy layer emit first-class events (DOWNGRADE) itself.
+        self.event_sink = None
 
     # -- lifecycle -----------------------------------------------------------
+    def attach_observability(self, obs=None, event_sink=None) -> None:
+        """Engine hook: wire the run's telemetry before :meth:`bind`.
+
+        Called (when observability or event recording is on) before
+        ``bind``, so ``on_bind`` can propagate ``self.obs`` /
+        ``self.event_sink`` into policy sub-components. Wrapper policies
+        forward this to their inner policies.
+        """
+        if obs is not None:
+            self.obs = obs
+        if event_sink is not None:
+            self.event_sink = event_sink
+
     def bind(
         self,
         trace: Trace,

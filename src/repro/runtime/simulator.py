@@ -29,6 +29,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.models.variants import ModelFamily
+from repro.obs.session import ObservabilityConfig, ObsSession
 from repro.runtime.container import ContainerPool
 from repro.runtime.costmodel import CostModel
 from repro.runtime.events import EventKind, EventLog
@@ -48,6 +49,8 @@ def apply_capacity_valve(
     capacity_mb: float,
     rng,
     assignment: dict[int, ModelFamily],
+    events: EventLog | None = None,
+    obs: ObsSession | None = None,
 ) -> int:
     """§III-A's provider pressure valve: randomly downgrade kept-alive
     models until the minute's keep-alive memory fits ``capacity_mb``.
@@ -58,16 +61,32 @@ def apply_capacity_valve(
     keep-alive is dropped entirely), instead of rebuilding it from the
     alive map on every iteration; it stays fid-sorted throughout, which
     keeps victim selection deterministic under ``capacity_seed``.
+
+    ``events``/``obs`` only *record* each forced downgrade (DOWNGRADE
+    events with ``value=1.0``; ``forced=True`` trace records) — victim
+    selection and the RNG stream are unaffected.
     """
     if schedule.memory_at(minute) <= capacity_mb:
         return 0
     alive_fids = np.fromiter(schedule.alive_at(minute), dtype=np.int64)
     n_forced = 0
+    record = events is not None or obs is not None
     while schedule.memory_at(minute) > capacity_mb and alive_fids.size:
         victim = int(rng.choice(alive_fids))
+        if record:
+            frm = schedule.alive_variant(victim, minute)
         schedule.downgrade(victim, minute, assignment[victim], allow_drop=True)
         n_forced += 1
-        if schedule.alive_variant(victim, minute) is None:
+        new = schedule.alive_variant(victim, minute)
+        if record:
+            new_name = new.name if new is not None else None
+            if events is not None:
+                events.emit(minute, EventKind.DOWNGRADE, victim, new_name, 1.0)
+            if obs is not None:
+                obs.record_downgrade(
+                    minute, victim, frm.name, new_name, forced=True
+                )
+        if new is None:
             alive_fids = alive_fids[alive_fids != victim]
     return n_forced
 
@@ -113,12 +132,29 @@ class SimulationConfig:
     memory_capacity_mb: float | None = None
     capacity_seed: int = 0
     fast: bool = False
+    #: Observability (:mod:`repro.obs`): ``None``/``False`` disables the
+    #: layer entirely (no recorder, no allocations); ``True`` enables all
+    #: of it; an :class:`~repro.obs.session.ObservabilityConfig` picks
+    #: layers. Enabling it never changes headline metrics (the golden
+    #: test in ``tests/test_obs_equivalence.py`` pins bit-identity).
+    observe: ObservabilityConfig | bool | None = None
 
     def __post_init__(self) -> None:
         check_positive_int("keep_alive_window", self.keep_alive_window)
         if self.memory_capacity_mb is not None and self.memory_capacity_mb <= 0:
             raise ValueError(
                 f"memory_capacity_mb must be positive, got {self.memory_capacity_mb}"
+            )
+        if self.observe is True:
+            object.__setattr__(self, "observe", ObservabilityConfig())
+        elif self.observe is False:
+            object.__setattr__(self, "observe", None)
+        elif self.observe is not None and not isinstance(
+            self.observe, ObservabilityConfig
+        ):
+            raise TypeError(
+                "observe must be an ObservabilityConfig, a bool or None, "
+                f"got {self.observe!r}"
             )
 
 
@@ -161,7 +197,10 @@ class Simulation:
             result = run_fast(self)
         else:
             result = self._run_reference()
-        return replace(result, wall_clock_s=time.perf_counter() - t0)
+        wall = time.perf_counter() - t0
+        if result.obs is not None and result.obs.spans_enabled:
+            result.obs.spans.add("engine-total", wall)
+        return replace(result, wall_clock_s=wall)
 
     def _run_reference(self) -> RunResult:
         """The reference minute-by-minute loop (walks every minute)."""
@@ -170,16 +209,37 @@ class Simulation:
         n_fn = trace.n_functions
         counts = trace.counts
 
+        events = EventLog() if cfg.record_events else None
+        obs = ObsSession(cfg.observe) if cfg.observe is not None else None
+        if obs is not None or events is not None:
+            # Before bind, so on_bind can wire policy sub-components.
+            policy.attach_observability(obs, events)
         policy.bind(trace, self.assignment, cfg.keep_alive_window)
         schedule = KeepAliveSchedule(
             n_fn, cfg.keep_alive_window, horizon_hint=horizon
         )
-        events = EventLog() if cfg.record_events else None
         pool = (
             ContainerPool(events)
             if (cfg.track_containers or cfg.record_events)
             else None
         )
+
+        # Hot-loop telemetry handles (each None when its layer is off).
+        rec = obs if obs is not None and obs.decisions_enabled else None
+        met = obs.metrics if obs is not None and obs.metrics_enabled else None
+        spans = obs.spans if obs is not None and obs.spans_enabled else None
+        if met is not None:
+            _inv = met.counter("invocations_total", "invocations served")
+            _cold = met.counter("cold_starts_total", "user-visible cold starts")
+            inv_counters = [_inv.labels(function=f) for f in range(n_fn)]
+            cold_counters = [_cold.labels(function=f) for f in range(n_fn)]
+            warm_counter = met.counter(
+                "warm_starts_total", "invocations served warm"
+            ).labels()
+            mem_hist = met.histogram(
+                "keepalive_mb", "per-minute committed keep-alive memory"
+            ).summary()
+        last_arrival: list[int | None] = [None] * n_fn if rec is not None else []
 
         highest_mb = np.array(
             [self.assignment[fid].highest.memory_mb for fid in range(n_fn)]
@@ -212,8 +272,14 @@ class Simulation:
             # Pre-warm pass: realize the schedule's decisions for this
             # minute before invocations arrive.
             if pool is not None:
-                for fid in range(n_fn):
-                    pool.reconcile(fid, schedule.alive_variant(fid, t), t)
+                if spans is None:
+                    for fid in range(n_fn):
+                        pool.reconcile(fid, schedule.alive_variant(fid, t), t)
+                else:
+                    s0 = clock()
+                    for fid in range(n_fn):
+                        pool.reconcile(fid, schedule.alive_variant(fid, t), t)
+                    spans.add("pool-reconcile", clock() - s0)
 
             # 1 + 2: serve invocations, then plan.
             for fid in invoking_by_minute[t]:
@@ -245,6 +311,14 @@ class Simulation:
                             events.emit(
                                 t, EventKind.WARM_START, fid, variant.name, count - 1
                             )
+                    if rec is not None:
+                        rec.record_cold(
+                            t, fid, variant.name, count, last_arrival[fid]
+                        )
+                    if met is not None:
+                        cold_counters[fid].inc()
+                        if count > 1:
+                            warm_counter.inc(count - 1)
                 else:
                     service_time += count * alive.warm_service_time_s
                     n_warm += count
@@ -253,7 +327,11 @@ class Simulation:
                         pool.record_served(fid, count)
                     if events is not None:
                         events.emit(t, EventKind.WARM_START, fid, alive.name, count)
+                    if met is not None:
+                        warm_counter.inc(count)
                 n_invocations += count
+                if met is not None:
+                    inv_counters[fid].inc(count)
 
                 policy.observe_invocation(fid, t, count)
                 if measure:
@@ -264,6 +342,9 @@ class Simulation:
                 else:
                     plan = policy.plan(fid, t)
                 schedule.set_plan(fid, t, plan)
+                if rec is not None:
+                    rec.record_plan(t, fid, plan)
+                    last_arrival[fid] = t
 
             # 3: cross-function review (peak flattening).
             if measure:
@@ -278,20 +359,29 @@ class Simulation:
             # minute's keep-alive memory exceeds the platform capacity.
             if capacity is not None:
                 n_forced += apply_capacity_valve(
-                    schedule, t, capacity, capacity_rng, self.assignment
+                    schedule, t, capacity, capacity_rng, self.assignment,
+                    events, rec,
                 )
 
             # 4: commit the minute — settle containers on the post-review
             # variants, then charge warm minutes.
             if pool is not None:
-                for fid in range(n_fn):
-                    pool.reconcile(fid, schedule.alive_variant(fid, t), t)
+                if spans is None:
+                    for fid in range(n_fn):
+                        pool.reconcile(fid, schedule.alive_variant(fid, t), t)
+                else:
+                    s0 = clock()
+                    for fid in range(n_fn):
+                        pool.reconcile(fid, schedule.alive_variant(fid, t), t)
+                    spans.add("pool-reconcile", clock() - s0)
                 pool.tick_all()
 
             mem_t = schedule.memory_at(t)
             total_mb_minutes += mem_t
             if events is not None:
                 events.emit(t, EventKind.MEMORY_COMMIT, value=mem_t)
+            if met is not None:
+                mem_hist.observe(mem_t)
             if mem_series is not None:
                 mem_series[t] = mem_t
             if ideal_series is not None and len(invoking_by_minute[t]):
@@ -300,6 +390,13 @@ class Simulation:
             schedule.advance(t + 1)
 
         mean_accuracy = accuracy_sum / n_invocations if n_invocations else 0.0
+        if met is not None:
+            met.counter(
+                "forced_downgrades_total", "capacity-valve downgrades"
+            ).inc(n_forced)
+            met.gauge("horizon_minutes").set(horizon)
+            met.gauge("n_functions").set(n_fn)
+            met.gauge("keepalive_mb_minutes").set(total_mb_minutes)
         return RunResult(
             policy_name=policy.name,
             n_invocations=n_invocations,
@@ -315,4 +412,5 @@ class Simulation:
             pool_stats=pool.stats if pool is not None else None,
             events=events,
             n_forced_downgrades=n_forced,
+            obs=obs,
         )

@@ -1,0 +1,143 @@
+"""Tests for repro.obs.inspect and the simulate/inspect CLI surface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.pulse import PulsePolicy
+from repro.experiments.assignments import sample_assignment
+from repro.models.zoo import default_zoo
+from repro.obs.export import write_trace_jsonl
+from repro.obs.inspect import TraceIndex
+from repro.runtime.simulator import Simulation, SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def observed(small_trace):
+    assignment = sample_assignment(small_trace.n_functions, default_zoo(), seed=1)
+    cfg = SimulationConfig(observe=True)
+    return Simulation(small_trace, assignment, PulsePolicy(), cfg).run()
+
+
+@pytest.fixture(scope="module")
+def index(observed, tmp_path_factory):
+    path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+    write_trace_jsonl(observed, path)
+    return TraceIndex.from_jsonl(path)
+
+
+def _first_cold_with_history(index):
+    for fid, colds in index._colds.items():
+        for rec in colds:
+            if rec["last_arrival"] is not None:
+                return rec
+    pytest.skip("trace has no repeat cold start")
+
+
+class TestTraceIndex:
+    def test_summary_lines(self, index, observed):
+        text = index.summary()
+        assert f"policy={observed.policy_name}" in text
+        assert f"cold={observed.n_cold}" in text
+        assert "plans" in text and "downgrades" in text
+        assert "phases:" in text
+
+    def test_explain_first_arrival(self, index):
+        # The very first cold start of any function has no prior plan.
+        first = min(
+            (recs[0] for recs in index._colds.values()), key=lambda r: r["t"]
+        )
+        text = index.explain_cold(first["fid"], first["t"])
+        assert "first recorded arrival" in text
+
+    def test_explain_cold_names_a_cause(self, index):
+        rec = _first_cold_with_history(index)
+        text = index.explain_cold(rec["fid"], rec["t"])
+        assert "cold-started" in text
+        assert "cause:" in text
+
+    def test_explain_cold_no_record(self, index):
+        text = index.explain_cold(0, 10**6)
+        assert "no cold start recorded" in text
+
+    def test_explain_plan_table(self, index):
+        fid, recs = next(iter(index._plans.items()))
+        plan = recs[0]
+        text = index.explain_plan(fid, plan["t"])
+        assert f"installed at minute {plan['t']}" in text
+        assert "P(arrival)" in text
+        # One table row per plan offset.
+        assert text.count("\n") >= len(plan["levels"])
+
+    def test_explain_plan_missing(self, index):
+        assert "no plan recorded" in index.explain_plan(0, -1)
+
+    def test_explain_downgrade_terms(self, index):
+        scored = next(
+            (d for d in index.downgrades if d.get("candidates")), None
+        )
+        assert scored is not None, "PULSE run produced no scored downgrade"
+        text = index.explain_downgrades(scored["fid"], scored["t"])
+        assert "via Algorithm 2" in text
+        for term in ("Ai", "Pr", "Ip", "Uv"):
+            assert term in text
+        assert "<- min Uv" in text
+
+    def test_explain_downgrades_empty_filter(self, index):
+        assert "no downgrades recorded" in index.explain_downgrades(10**6)
+
+
+class TestCli:
+    def _simulate(self, tmp_path, *extra):
+        return main([
+            "simulate", "pulse", "--horizon", "240", "--seed", "7", *extra,
+        ])
+
+    def test_trace_out_and_inspect(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert self._simulate(tmp_path, "--trace-out", str(trace)) == 0
+        out = capsys.readouterr().out
+        assert "trace records" in out
+        assert trace.exists()
+
+        assert main(["inspect", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "policy=PULSE" in out
+        assert "records:" in out
+
+    def test_inspect_queries(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        self._simulate(tmp_path, "--trace-out", str(trace))
+        capsys.readouterr()
+        index = TraceIndex.from_jsonl(trace)
+        rec = _first_cold_with_history(index)
+        spec = f"{rec['fid']}:{rec['t']}"
+        assert main(["inspect", str(trace), "--cold", spec,
+                     "--plan", spec, "--downgrades"]) == 0
+        out = capsys.readouterr().out
+        assert "cold-started" in out or "no cold start" in out
+        assert "P(arrival)" in out
+
+    def test_report_out(self, tmp_path, capsys):
+        report = tmp_path / "run.html"
+        assert self._simulate(tmp_path, "--report-out", str(report)) == 0
+        capsys.readouterr()
+        assert report.exists()
+        assert "<svg" in report.read_text()
+
+    def test_trace_out_needs_single_policy(self, tmp_path, capsys):
+        code = main([
+            "simulate", "pulse", "openwhisk", "--horizon", "120",
+            "--trace-out", str(tmp_path / "x.jsonl"),
+        ])
+        assert code == 2
+        assert "exactly one policy" in capsys.readouterr().err
+
+    def test_inspect_missing_file(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_table_has_no_wall_clock_column(self, capsys):
+        assert main(["simulate", "openwhisk", "--horizon", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "wall_clock" not in out
+        assert "n_forced_downgrades" in out

@@ -1,0 +1,191 @@
+"""Tests for repro.obs.metrics and repro.obs.spans."""
+
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    HistogramSummary,
+    MetricsRegistry,
+)
+from repro.obs.spans import SpanTimer
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(2.0)
+        assert c.value() == 3.0
+        assert c.total() == 3.0
+
+    def test_labeled_series_are_independent(self):
+        c = Counter("hits")
+        c.inc(function=0)
+        c.inc(5.0, function=1)
+        assert c.value(function=0) == 1.0
+        assert c.value(function=1) == 5.0
+        assert c.value(function=2) == 0.0
+        assert c.total() == 6.0
+
+    def test_label_order_canonicalized(self):
+        c = Counter("hits")
+        c.inc(a=1, b=2)
+        c.inc(b=2, a=1)
+        assert c.value(a=1, b=2) == 2.0
+        assert len(c.series) == 1
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("hits").inc(-1.0)
+
+    def test_bound_handle_hits_same_series(self):
+        c = Counter("hits")
+        bound = c.labels(function=7)
+        bound.inc()
+        bound.inc(3.0)
+        assert c.value(function=7) == 4.0
+
+
+class TestGaugeAndHistogram:
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("mem")
+        g.set(10.0)
+        g.set(20.0)
+        assert g.value() == 20.0
+
+    def test_histogram_summary_moments(self):
+        h = Histogram("mb")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        s = h.summary()
+        assert (s.count, s.total, s.min, s.max) == (3, 6.0, 1.0, 3.0)
+        assert s.mean == pytest.approx(2.0)
+
+    def test_observe_many_matches_observe(self):
+        a, b = Histogram("x"), Histogram("x")
+        values = [5.0, 0.0, 2.5]
+        a.observe_many(values)
+        for v in values:
+            b.observe(v)
+        assert a.summary() == b.summary()
+
+    def test_empty_summary_as_dict(self):
+        assert HistogramSummary().as_dict() == {
+            "count": 0.0, "sum": 0.0, "min": 0.0, "max": 0.0,
+        }
+
+    def test_summary_merge(self):
+        a, b = HistogramSummary(), HistogramSummary()
+        a.observe(1.0)
+        b.observe(9.0)
+        a.merge(b)
+        assert (a.count, a.total, a.min, a.max) == (2, 10.0, 1.0, 9.0)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+
+    def test_len_counts_series_not_metrics(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        c.inc(function=0)
+        c.inc(function=1)
+        reg.gauge("b").set(1.0)
+        assert len(reg) == 3
+
+    def test_as_flat_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(2.0, function=3)
+        reg.gauge("mem").set(100.0)
+        reg.histogram("mb").observe(5.0)
+        flat = reg.as_flat_dict()
+        assert flat["hits{function=3}"] == 2.0
+        assert flat["mem"] == 100.0
+        assert flat["mb_count"] == 1.0
+        assert flat["mb_sum"] == 5.0
+
+    def test_merge_accumulates_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("hits").inc(1.0)
+        b.counter("hits").inc(2.0)
+        a.histogram("mb").observe(1.0)
+        b.histogram("mb").observe(3.0)
+        a.gauge("g").set(5.0)
+        b.gauge("g").set(7.0)
+        a.merge(b)
+        assert a.counter("hits").value() == 3.0
+        assert a.histogram("mb").summary().count == 2
+        assert a.gauge("g").value() == 7.0  # last write wins
+
+    def test_merge_into_empty(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("hits").inc(4.0, function=1)
+        a.merge(b)
+        assert a.counter("hits").value(function=1) == 4.0
+
+    def test_picklable(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(2.0, function=0)
+        reg.histogram("mb").observe(1.5)
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.as_flat_dict() == reg.as_flat_dict()
+
+
+class TestSpanTimer:
+    def test_add_accumulates(self):
+        t = SpanTimer()
+        t.add("estimate", 0.5)
+        t.add("estimate", 0.25)
+        assert t.seconds("estimate") == pytest.approx(0.75)
+        assert t.count("estimate") == 2
+        assert t.seconds("missing") == 0.0 and t.count("missing") == 0
+
+    def test_span_context_manager(self):
+        t = SpanTimer()
+        with t.span("work"):
+            pass
+        assert t.count("work") == 1
+        assert t.seconds("work") >= 0.0
+
+    def test_total_excludes_engine_total(self):
+        t = SpanTimer()
+        t.add("estimate", 1.0)
+        t.add("band-mapping", 2.0)
+        t.add("engine-total", 10.0)
+        assert t.total_seconds == pytest.approx(3.0)
+        assert sorted(t.phases) == ["band-mapping", "engine-total", "estimate"]
+
+    def test_merge(self):
+        a, b = SpanTimer(), SpanTimer()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.seconds("x") == pytest.approx(3.0)
+        assert a.count("x") == 2
+        assert a.seconds("y") == pytest.approx(3.0)
+
+    def test_as_dict_and_pickle(self):
+        t = SpanTimer()
+        t.add("x", 1.5)
+        assert t.as_dict() == {"x": {"seconds": 1.5, "count": 1.0}}
+        clone = pickle.loads(pickle.dumps(t))
+        assert clone.as_dict() == t.as_dict()
+
+    def test_bool_and_len(self):
+        t = SpanTimer()
+        assert not t and len(t) == 0
+        t.add("x", 0.1)
+        assert t and len(t) == 1

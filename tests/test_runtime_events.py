@@ -42,6 +42,37 @@ class TestEventLog:
         log.emit(0, EventKind.PREWARM, 0, "BERT-Small")
         assert list(log)[0] is log[0]
 
+    def test_empty_log_filters(self):
+        log = EventLog()
+        assert len(log) == 0 and list(log) == []
+        assert log.of_kind(EventKind.COLD_START) == []
+        assert log.of_kinds(EventKind.COLD_START, EventKind.WARM_START) == []
+        assert log.for_function(0) == []
+        assert log.between(0, 100) == []
+        assert log.count(EventKind.DOWNGRADE) == 0
+        assert log.cold_start_minutes(0) == []
+
+    def test_unknown_function_id(self):
+        log = EventLog()
+        log.emit(0, EventKind.COLD_START, 1, "v", 1)
+        assert log.for_function(99) == []
+        assert log.cold_start_minutes(99) == []
+
+    def test_of_kinds_multi_kind_filter(self):
+        log = EventLog()
+        log.emit(0, EventKind.COLD_START, 0, "v", 1)
+        log.emit(1, EventKind.DOWNGRADE, 0, None, 0.0)
+        log.emit(1, EventKind.MEMORY_COMMIT, value=10.0)
+        log.emit(2, EventKind.VARIANT_SWITCH, 0, "v2", 1.0)
+        both = log.of_kinds(EventKind.DOWNGRADE, EventKind.VARIANT_SWITCH)
+        assert [e.kind for e in both] == [
+            EventKind.DOWNGRADE, EventKind.VARIANT_SWITCH,
+        ]
+        assert log.of_kinds() == []  # no kinds requested -> nothing
+        assert log.of_kinds(EventKind.MEMORY_COMMIT) == log.of_kind(
+            EventKind.MEMORY_COMMIT
+        )
+
 
 class TestEngineEventRecording:
     def test_disabled_by_default(self, gpt):
@@ -85,3 +116,31 @@ class TestEngineEventRecording:
         r = Simulation(trace, {0: gpt}, OpenWhiskPolicy(), cfg).run()
         assert r.events is not None
         assert r.pool_stats is not None  # pool forced on for event capture
+
+    def test_policy_downgrades_recorded(self, small_trace, assignment):
+        cfg = SimulationConfig(record_events=True)
+        r = Simulation(small_trace, assignment, PulsePolicy(), cfg).run()
+        downgrades = r.events.of_kind(EventKind.DOWNGRADE)
+        assert downgrades  # PULSE flattens peaks on this trace
+        assert all(e.value == 0.0 for e in downgrades)  # none forced
+        # A downgrade-to is either a lower variant name or None (dropped).
+        assert any(e.variant_name is not None for e in downgrades)
+
+    def test_forced_downgrades_flagged(self, small_trace, assignment):
+        cfg = SimulationConfig(
+            record_events=True, memory_capacity_mb=4000.0, capacity_seed=11
+        )
+        r = Simulation(small_trace, assignment, PulsePolicy(), cfg).run()
+        forced = [
+            e for e in r.events.of_kind(EventKind.DOWNGRADE) if e.value == 1.0
+        ]
+        assert len(forced) == r.n_forced_downgrades > 0
+
+    def test_variant_switch_events(self, small_trace, assignment):
+        cfg = SimulationConfig(record_events=True)
+        r = Simulation(small_trace, assignment, PulsePolicy(), cfg).run()
+        switches = r.events.of_kind(EventKind.VARIANT_SWITCH)
+        assert switches  # PULSE moves containers between variants
+        for e in switches:
+            assert e.variant_name is not None  # the variant switched to
+            assert e.value >= 0.0  # the level it replaced

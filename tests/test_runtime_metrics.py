@@ -45,7 +45,16 @@ class TestRunResult:
     def test_summary_keys(self):
         s = make_result().summary()
         assert {"policy", "service_time_s", "keepalive_cost_usd",
-                "accuracy_percent"} <= set(s)
+                "accuracy_percent", "n_forced_downgrades",
+                "wall_clock_s"} <= set(s)
+
+    def test_summary_forced_downgrades_and_wall_clock(self):
+        s = make_result(n_forced_downgrades=4, wall_clock_s=1.25).summary()
+        assert s["n_forced_downgrades"] == 4.0
+        assert s["wall_clock_s"] == 1.25
+
+    def test_flat_metrics_empty_without_session(self):
+        assert make_result().flat_metrics() == {}
 
 
 class TestCostErrorSeries:
@@ -78,6 +87,19 @@ class TestAggregation:
         agg = aggregate_results(rs)
         assert agg["keepalive_cost_usd"] == pytest.approx(2.0)
         assert agg["n_runs"] == 2.0
+
+    def test_aggregate_includes_counts_and_wall_clock(self):
+        rs = [
+            make_result(n_warm=6, n_cold=4, n_forced_downgrades=2,
+                        wall_clock_s=1.0),
+            make_result(n_warm=8, n_cold=2, n_forced_downgrades=0,
+                        wall_clock_s=3.0),
+        ]
+        agg = aggregate_results(rs)
+        assert agg["n_warm"] == pytest.approx(7.0)
+        assert agg["n_cold"] == pytest.approx(3.0)
+        assert agg["n_forced_downgrades"] == pytest.approx(1.0)
+        assert agg["wall_clock_s"] == pytest.approx(2.0)
 
     def test_aggregate_empty_rejected(self):
         with pytest.raises(ValueError):
