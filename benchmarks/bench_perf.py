@@ -11,8 +11,6 @@ in-harness smoke.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from conftest import run_once
 
 from repro.core.pulse import PulsePolicy
@@ -25,23 +23,29 @@ LEAN = SimulationConfig(
 )
 
 
-def _run(trace, assignment, factory, fast: bool):
-    cfg = replace(LEAN, fast=fast)
-    return Simulation(trace, assignment, factory(), cfg).run()
+def _run(trace, assignment, factory, engine: str):
+    return Simulation(trace, assignment, factory(), LEAN).run(engine=engine)
 
 
 def test_reference_engine_fixed(benchmark, bench_trace, bench_assignment):
-    r = run_once(benchmark, _run, bench_trace, bench_assignment, OpenWhiskPolicy, False)
+    r = run_once(
+        benchmark, _run, bench_trace, bench_assignment, OpenWhiskPolicy,
+        "reference",
+    )
     assert r.n_invocations == bench_trace.total_invocations()
 
 
 def test_fast_engine_fixed(benchmark, bench_trace, bench_assignment):
-    r = run_once(benchmark, _run, bench_trace, bench_assignment, OpenWhiskPolicy, True)
+    r = run_once(
+        benchmark, _run, bench_trace, bench_assignment, OpenWhiskPolicy, "fast"
+    )
     assert r.n_invocations == bench_trace.total_invocations()
 
 
 def test_fast_engine_pulse(benchmark, bench_trace, bench_assignment):
-    r = run_once(benchmark, _run, bench_trace, bench_assignment, PulsePolicy, True)
+    r = run_once(
+        benchmark, _run, bench_trace, bench_assignment, PulsePolicy, "fast"
+    )
     assert r.n_invocations == bench_trace.total_invocations()
 
 
@@ -50,8 +54,10 @@ def test_fast_not_slower_than_reference(bench_trace, bench_assignment):
     of a fixed-policy lean run, so its best-of-N must win."""
     ref_t, fast_t = interleaved_best_of(
         [
-            lambda: _run(bench_trace, bench_assignment, OpenWhiskPolicy, False),
-            lambda: _run(bench_trace, bench_assignment, OpenWhiskPolicy, True),
+            lambda: _run(
+                bench_trace, bench_assignment, OpenWhiskPolicy, "reference"
+            ),
+            lambda: _run(bench_trace, bench_assignment, OpenWhiskPolicy, "fast"),
         ],
         repeats=5,
     )

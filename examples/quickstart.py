@@ -8,8 +8,7 @@ the same workload, and prints the paper's three headline metrics.
 Run:  python examples/quickstart.py
 """
 
-from repro import PulsePolicy, Simulation, SyntheticTraceConfig, generate_trace
-from repro.baselines import OpenWhiskPolicy
+from repro import SyntheticTraceConfig, generate_trace, simulate
 from repro.experiments.assignments import sample_assignment
 from repro.experiments.reporting import format_table
 from repro.runtime.metrics import percent_improvement
@@ -26,8 +25,9 @@ def main() -> None:
 
     rows = []
     results = {}
-    for policy in (OpenWhiskPolicy(), PulsePolicy()):
-        result = Simulation(trace, assignment, policy).run()
+    # Policies resolve by registry name (repro.list_policies() shows all).
+    for name in ("openwhisk", "pulse"):
+        result = simulate(trace, assignment, name)
         results[result.policy_name] = result
         rows.append(result.summary())
 

@@ -56,12 +56,11 @@ def bench_single_runs(trace, assignment, repeats: int) -> dict:
     out = {}
     for name, factory in POLICIES.items():
 
-        def run(fast: bool) -> None:
-            cfg = replace(lean, fast=fast)
-            Simulation(trace, assignment, factory(), cfg).run()
+        def run(engine: str) -> None:
+            Simulation(trace, assignment, factory(), lean).run(engine=engine)
 
         ref_t, fast_t = interleaved_best_of(
-            [lambda: run(False), lambda: run(True)], repeats=repeats
+            [lambda: run("reference"), lambda: run("fast")], repeats=repeats
         )
         out[name] = {
             "reference": ref_t.as_dict(),
@@ -92,13 +91,12 @@ def bench_observability(trace, assignment, repeats: int) -> dict:
     decision, metric and span.
     """
     lean = SimulationConfig(
-        record_series=False, track_containers=False, record_events=False,
-        fast=True,
+        record_series=False, track_containers=False, record_events=False
     )
 
     def run(observe: bool) -> None:
         cfg = replace(lean, observe=observe)
-        Simulation(trace, assignment, PulsePolicy(), cfg).run()
+        Simulation(trace, assignment, PulsePolicy(), cfg).run(engine="fast")
 
     off_t, on_t = interleaved_best_of(
         [lambda: run(False), lambda: run(True)], repeats=repeats
@@ -127,9 +125,8 @@ def bench_sweep(trace, n_runs: int, repeats: int) -> dict:
             horizon_minutes=trace.horizon,
             seed=SEED,
             n_jobs=n_jobs,
-            sim=SimulationConfig(
-                record_series=False, track_containers=False, fast=True
-            ),
+            sim=SimulationConfig(record_series=False, track_containers=False),
+            engine="fast",
         )
 
         def sweep() -> None:

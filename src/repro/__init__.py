@@ -7,6 +7,7 @@ window to cut keep-alive cost while preserving accuracy and service time.
 Top-level convenience re-exports cover the most common entry points; the
 subpackages hold the full system:
 
+- :mod:`repro.api`         — policy registry + ``simulate`` facade (start here)
 - :mod:`repro.models`      — model-variant zoo (BERT/YOLO/GPT/ResNet/DenseNet)
 - :mod:`repro.traces`      — Azure-trace loader + calibrated synthetic generator
 - :mod:`repro.runtime`     — discrete-time serverless platform simulator
@@ -14,9 +15,11 @@ subpackages hold the full system:
 - :mod:`repro.baselines`   — OpenWhisk fixed keep-alive and static strategies
 - :mod:`repro.sota`        — Serverless-in-the-Wild and IceBreaker (+ PULSE shims)
 - :mod:`repro.milp`        — MILP comparator (scipy HiGHS backend)
+- :mod:`repro.faults`      — fault injection + policy crash isolation
 - :mod:`repro.experiments` — per-table / per-figure reproduction harness
 """
 
+from repro.api import list_policies, make_policy, simulate
 from repro.models.zoo import default_zoo, ModelZoo
 from repro.models.variants import ModelFamily, ModelVariant
 from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
@@ -26,11 +29,13 @@ from repro.runtime.costmodel import CostModel
 from repro.runtime.policy import KeepAlivePolicy
 from repro.core.pulse import PulsePolicy, PulseConfig
 from repro.baselines.openwhisk import OpenWhiskPolicy
+from repro.faults import FaultPlan, ResilientPolicy
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CostModel",
+    "FaultPlan",
     "FunctionSpec",
     "KeepAlivePolicy",
     "ModelFamily",
@@ -39,11 +44,15 @@ __all__ = [
     "OpenWhiskPolicy",
     "PulseConfig",
     "PulsePolicy",
+    "ResilientPolicy",
     "Simulation",
     "SimulationConfig",
     "SyntheticTraceConfig",
     "Trace",
     "default_zoo",
     "generate_trace",
+    "list_policies",
+    "make_policy",
+    "simulate",
     "__version__",
 ]

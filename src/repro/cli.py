@@ -4,25 +4,31 @@ Commands
 --------
 ``simulate``   run one or more keep-alive policies over the synthetic
                trace (or loaded Azure CSVs) and print the headline table;
+``inspect``    answer why-questions against a JSONL decision trace;
 ``profile``    run the simulated Lambda profiling campaign (Table I);
 ``trace``      generate / summarize a workload trace, optionally export
                it as Azure-schema CSVs;
 ``reproduce``  run one paper experiment by id (table1, fig1 … fig12,
-               tables2-3, ablations) at a chosen scale and print it.
+               tables2-3, ablations) at a chosen scale and print it;
+``resilience`` sweep fault intensities and compare policy degradation;
+``report``     run every experiment and write a markdown report;
+``figures``    render the paper figures as SVGs.
+
+Policy names resolve through :mod:`repro.api`'s registry; the historical
+module-level ``_POLICIES`` / ``_LONG_WINDOW_POLICIES`` /
+``_parse_fid_minute`` survive as deprecation shims only.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from pathlib import Path
 
 import numpy as np
 
-from repro.baselines.ideal import IdealOraclePolicy
-from repro.baselines.openwhisk import OpenWhiskPolicy
-from repro.baselines.static import AllLowQualityPolicy, RandomMixedPolicy
-from repro.core.pulse import PulseConfig, PulsePolicy
+from repro.api import list_policies, make_policy, policy_spec, simulate
 from repro.experiments import (
     ExperimentConfig,
     figure1_histograms,
@@ -45,34 +51,48 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.assignments import sample_assignment
 from repro.experiments.reporting import format_bar_chart, format_series, format_table
-from repro.milp.policy import MilpPolicy
-from repro.runtime.simulator import Simulation, SimulationConfig
-from repro.sota.icebreaker import IceBreakerPolicy
-from repro.sota.integration import PulseIntegratedPolicy
-from repro.sota.wild import WildPolicy
+from repro.runtime.simulator import SimulationConfig
 from repro.traces.analysis import activity_summary, invocation_peaks
 from repro.traces.azure import load_azure_csv, top_functions, write_azure_csv
 from repro.traces.schema import Trace
 from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+from repro.utils.specs import parse_fid_minute, parse_float_list
 
 __all__ = ["main"]
 
-_POLICIES = {
-    "pulse": lambda: PulsePolicy(),
-    "pulse-t2": lambda: PulsePolicy(PulseConfig(threshold_scheme="T2")),
-    "openwhisk": OpenWhiskPolicy,
-    "all-low": AllLowQualityPolicy,
-    "random-mixed": RandomMixedPolicy,
-    "ideal": IdealOraclePolicy,
-    "wild": WildPolicy,
-    "icebreaker": IceBreakerPolicy,
-    "wild+pulse": lambda: PulseIntegratedPolicy(WildPolicy()),
-    "icebreaker+pulse": lambda: PulseIntegratedPolicy(IceBreakerPolicy()),
-    "milp": MilpPolicy,
-}
+_ENGINES = ("auto", "reference", "fast")
 
-#: Policies whose plans exceed the standard 10-minute schedule capacity.
-_LONG_WINDOW_POLICIES = {"wild", "icebreaker", "wild+pulse", "icebreaker+pulse"}
+
+def __getattr__(name: str):
+    # Deprecation shims for the pre-registry module surface. Real callers
+    # should use repro.api; these keep old imports working with a warning.
+    if name == "_POLICIES":
+        warnings.warn(
+            "repro.cli._POLICIES is deprecated; use repro.api.list_policies()"
+            " and repro.api.make_policy() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {n: policy_spec(n).factory for n in list_policies()}
+    if name == "_LONG_WINDOW_POLICIES":
+        warnings.warn(
+            "repro.cli._LONG_WINDOW_POLICIES is deprecated; use "
+            "repro.api.policy_spec(name).keep_alive_window instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {
+            n for n in list_policies() if policy_spec(n).keep_alive_window > 10
+        }
+    if name == "_parse_fid_minute":
+        warnings.warn(
+            "repro.cli._parse_fid_minute is deprecated; use "
+            "repro.utils.specs.parse_fid_minute instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return parse_fid_minute
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _load_trace(args: argparse.Namespace) -> Trace:
@@ -101,20 +121,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     rows = []
     for name in args.policies:
         try:
-            factory = _POLICIES[name]
-        except KeyError:
-            print(
-                f"unknown policy {name!r}; known: {sorted(_POLICIES)}",
-                file=sys.stderr,
-            )
+            spec = policy_spec(name)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
             return 2
-        # Each policy runs at its own natural schedule capacity: 10 for
+        # Each policy runs at its own natural schedule capacity (10 for
         # the fixed-window policies and PULSE, 240 for the long-horizon
-        # predictors — sharing one capacity would silently change the
+        # predictors) — sharing one capacity would silently change the
         # fixed policies' keep-alive duration.
-        window = 240 if name in _LONG_WINDOW_POLICIES else 10
-        sim = SimulationConfig(keep_alive_window=window, observe=observe)
-        result = Simulation(trace, assignment, factory(), sim).run()
+        sim = SimulationConfig(
+            keep_alive_window=spec.keep_alive_window, observe=observe
+        )
+        policy = make_policy(name, resilient=args.resilient)
+        result = simulate(
+            trace, assignment, policy, sim,
+            engine=args.engine, faults=args.faults,
+        )
         row = result.summary()
         # Machine wall time, not a workload metric — printing it would
         # make the table nondeterministic across identical runs.
@@ -134,14 +156,6 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_fid_minute(spec: str, flag: str) -> tuple[int, int]:
-    try:
-        fid_s, minute_s = spec.split(":", 1)
-        return int(fid_s), int(minute_s)
-    except ValueError:
-        raise SystemExit(f"{flag} expects FID:MINUTE, got {spec!r}")
-
-
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.obs.inspect import TraceIndex
 
@@ -152,13 +166,13 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         return 2
     queried = False
     if args.cold:
-        fid, minute = _parse_fid_minute(args.cold, "--cold")
+        fid, minute = parse_fid_minute(args.cold, "--cold")
         print(index.explain_cold(fid, minute))
         queried = True
     if args.plan:
         if queried:
             print()
-        fid, minute = _parse_fid_minute(args.plan, "--plan")
+        fid, minute = parse_fid_minute(args.plan, "--plan")
         print(index.explain_plan(fid, minute))
         queried = True
     if args.downgrades is not None:
@@ -168,10 +182,16 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         if args.downgrades:
             spec = args.downgrades
             if ":" in spec:
-                fid, minute = _parse_fid_minute(spec, "--downgrades")
+                fid, minute = parse_fid_minute(spec, "--downgrades")
             else:
                 fid = int(spec)
         print(index.explain_downgrades(fid, minute))
+        queried = True
+    if args.faults is not None:
+        if queried:
+            print()
+        fid = int(args.faults) if args.faults else None
+        print(index.explain_faults(fid))
         queried = True
     if not queried:
         print(index.summary())
@@ -317,6 +337,31 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.experiments.resilience import resilience_sweep
+
+    rates = tuple(parse_float_list(args.rates, "--rates"))
+    config = ExperimentConfig(
+        n_runs=args.runs, horizon_minutes=args.horizon, seed=args.seed,
+        engine=args.engine,
+    )
+    points = resilience_sweep(
+        config=config,
+        trace=_load_trace(args),
+        policies=tuple(args.policies),
+        fault_rates=rates,
+        fault_seed=args.fault_seed,
+        pressure_cap_mb=args.pressure_mb,
+    )
+    print(
+        format_table(
+            [p.__dict__ for p in points],
+            title="Resilience sweep (crash-isolated policies under faults)",
+        )
+    )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
@@ -357,11 +402,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--functions", type=int, default=12,
                        help="keep the top-K functions of a loaded trace")
 
+    names = list_policies()
+
     p_sim = sub.add_parser("simulate", help="run policies over a workload")
     add_trace_args(p_sim)
     p_sim.add_argument(
-        "policies", nargs="+", choices=sorted(_POLICIES), metavar="POLICY",
-        help=f"one or more of: {', '.join(sorted(_POLICIES))}",
+        "policies", nargs="+", choices=names, metavar="POLICY",
+        help=f"one or more of: {', '.join(names)}",
     )
     p_sim.add_argument("--observe", action="store_true",
                        help="record metrics/spans/decision traces")
@@ -371,6 +418,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--report-out", metavar="HTML",
                        help="write an HTML run report (implies --observe; "
                             "exactly one policy)")
+    p_sim.add_argument("--engine", choices=_ENGINES, default="auto",
+                       help="simulation engine (both are metric-identical)")
+    p_sim.add_argument("--faults", metavar="SPEC",
+                       help="fault plan, e.g. "
+                            "'spawn=0.1,slow=0.05,drop=0.01,seed=7'")
+    p_sim.add_argument("--resilient", action="store_true",
+                       help="wrap each policy in the crash-isolation "
+                            "ResilientPolicy")
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_ins = sub.add_parser(
@@ -385,6 +440,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_ins.add_argument("--downgrades", nargs="?", const="",
                        metavar="FID[:MINUTE]",
                        help="explain Algorithm-2 / valve downgrades")
+    p_ins.add_argument("--faults", nargs="?", const="", metavar="FID",
+                       help="explain injected faults and policy crashes "
+                            "(why did this function fall back?)")
     p_ins.set_defaults(func=_cmd_inspect)
 
     p_prof = sub.add_parser("profile", help="Table I profiling campaign")
@@ -411,6 +469,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rep.add_argument("--runs", type=int, default=3)
     p_rep.set_defaults(func=_cmd_reproduce)
+
+    p_res = sub.add_parser(
+        "resilience", help="sweep fault intensities and compare policies"
+    )
+    add_trace_args(p_res)
+    p_res.add_argument(
+        "--policies", nargs="+", choices=names, metavar="POLICY",
+        default=["pulse", "openwhisk", "all-low"],
+        help="policies to sweep (default: pulse openwhisk all-low)",
+    )
+    p_res.add_argument("--rates", default="0.0,0.05,0.1,0.2",
+                       help="comma-separated fault intensities in [0, 1]")
+    p_res.add_argument("--runs", type=int, default=3)
+    p_res.add_argument("--fault-seed", type=int, default=0)
+    p_res.add_argument("--pressure-mb", type=float, default=None,
+                       help="also inject memory-pressure spikes capped at "
+                            "this many MB")
+    p_res.add_argument("--engine", choices=_ENGINES, default="auto")
+    p_res.set_defaults(func=_cmd_resilience)
 
     p_report = sub.add_parser(
         "report", help="run every experiment and write a markdown report"

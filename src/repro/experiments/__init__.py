@@ -40,11 +40,14 @@ from repro.experiments.ablations import (
 from repro.experiments.capacity import memory_capacity_study
 from repro.experiments.pareto import pareto_frontier, pulse_configuration_sweep
 from repro.experiments.report import generate_report
+from repro.experiments.resilience import ResiliencePoint, resilience_sweep
 from repro.experiments.variance import paired_deltas, variance_report
 
 __all__ = [
     "generate_report",
     "memory_capacity_study",
+    "ResiliencePoint",
+    "resilience_sweep",
     "paired_deltas",
     "pareto_frontier",
     "pulse_configuration_sweep",

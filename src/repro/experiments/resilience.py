@@ -1,0 +1,118 @@
+"""Resilience sweep: how gracefully do policies degrade under faults?
+
+PULSE's value claim — learned mixed-quality keep-alive beats the fixed
+OpenWhisk policy — is made on a clean simulator. Production platforms
+are not clean: container spawns fail and get retried, cold starts stall
+under contention, co-located load steals keep-alive memory. This
+extension sweeps a :class:`~repro.faults.plan.FaultPlan`'s intensity
+and compares policies under it, answering two questions the paper
+cannot: does PULSE's advantage *survive* platform noise, and does
+either optimizer degrade disproportionately as faults intensify?
+
+At fault intensity ``r`` the plan injects spawn failures and cold-start
+slowdowns at rate ``r`` and drops/duplicates trace entries at ``r / 4``
+(trace noise hurts every policy's predictor equally; the lower rate
+keeps the workload recognizably the same across the sweep). Policies
+run crash-isolated (:func:`repro.api.make_policy` with
+``resilient=True``), so the sweep also exercises the degradation path.
+
+Faults are seeded per sweep point (``fault_seed + point index``), and
+all policies at one point share the same plan — differences within a
+point are attributable to the policy, the paired design the runner
+already uses for assignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import partial
+
+from repro.api import make_policy
+from repro.experiments.runner import ExperimentConfig, default_trace, run_policies
+from repro.faults.plan import FaultPlan
+from repro.runtime.metrics import aggregate_results
+from repro.traces.schema import Trace
+
+__all__ = ["ResiliencePoint", "resilience_sweep"]
+
+DEFAULT_POLICIES = ("pulse", "openwhisk", "all-low")
+DEFAULT_RATES = (0.0, 0.05, 0.1, 0.2)
+
+
+@dataclass(frozen=True)
+class ResiliencePoint:
+    """One policy's mean outcomes at one fault intensity."""
+
+    policy: str
+    fault_rate: float
+    keepalive_cost_usd: float
+    accuracy_percent: float
+    service_time_s: float
+    warm_fraction: float
+    n_spawn_failures: float
+    n_retries: float
+    n_policy_faults: float
+    n_degraded_minutes: float
+    n_forced_downgrades: float
+
+
+def fault_plan_at(
+    rate: float, seed: int, pressure_cap_mb: float | None = None
+) -> FaultPlan:
+    """The sweep's fault plan at one intensity ``rate``."""
+    return FaultPlan(
+        seed=seed,
+        spawn_failure_rate=rate,
+        cold_slowdown_rate=rate,
+        pressure_rate=rate / 4 if pressure_cap_mb is not None else 0.0,
+        pressure_cap_mb=pressure_cap_mb,
+        drop_rate=rate / 4,
+        duplicate_rate=rate / 4,
+    )
+
+
+def resilience_sweep(
+    config: ExperimentConfig | None = None,
+    trace: Trace | None = None,
+    policies: tuple[str, ...] = DEFAULT_POLICIES,
+    fault_rates: tuple[float, ...] = DEFAULT_RATES,
+    fault_seed: int = 0,
+    pressure_cap_mb: float | None = None,
+) -> list[ResiliencePoint]:
+    """Sweep fault intensities; returns one point per (rate, policy)."""
+    if not fault_rates:
+        raise ValueError("need at least one fault rate")
+    for rate in fault_rates:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rates must be in [0, 1], got {rate}")
+    config = config or ExperimentConfig()
+    trace = trace if trace is not None else default_trace(config)
+    factories = {
+        name: partial(make_policy, name, resilient=True) for name in policies
+    }
+    points: list[ResiliencePoint] = []
+    for i, rate in enumerate(fault_rates):
+        plan = fault_plan_at(rate, fault_seed + i, pressure_cap_mb)
+        cfg = replace(
+            config,
+            sim=replace(config.sim, faults=plan, record_series=False),
+        )
+        results = run_policies(trace, factories, cfg)
+        for name in policies:
+            agg = aggregate_results(results[name])
+            points.append(
+                ResiliencePoint(
+                    policy=name,
+                    fault_rate=rate,
+                    keepalive_cost_usd=agg["keepalive_cost_usd"],
+                    accuracy_percent=agg["accuracy_percent"],
+                    service_time_s=agg["service_time_s"],
+                    warm_fraction=agg["warm_fraction"],
+                    n_spawn_failures=agg["n_spawn_failures"],
+                    n_retries=agg["n_retries"],
+                    n_policy_faults=agg["n_policy_faults"],
+                    n_degraded_minutes=agg["n_degraded_minutes"],
+                    n_forced_downgrades=agg["n_forced_downgrades"],
+                )
+            )
+    return points

@@ -2,7 +2,9 @@
 
 Runs one or many (policy, assignment) simulations over a trace and
 aggregates. Policies are passed as zero-argument *factories* because a
-policy instance carries per-run state and must be fresh for every run.
+policy instance carries per-run state and must be fresh for every run;
+build them with ``functools.partial(repro.api.make_policy, name)`` (a
+picklable replacement for the historical zero-arg lambdas).
 
 Multi-run sweeps can fan out over processes (``n_jobs``): each worker
 rebuilds its simulation from picklable inputs, which follows the
@@ -52,11 +54,20 @@ class ExperimentConfig:
     seed: int = 2024
     n_jobs: int = 1
     sim: SimulationConfig = field(default_factory=SimulationConfig)
+    #: Engine every run dispatches on (see ``Simulation.run``): "auto"
+    #: picks the fast loop except where the config needs the reference
+    #: cadence — both loops are metric-identical, so this is speed only.
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         check_positive_int("n_runs", self.n_runs)
         check_positive_int("horizon_minutes", self.horizon_minutes)
         check_positive_int("n_jobs", self.n_jobs)
+        if self.engine not in ("auto", "reference", "fast"):
+            raise ValueError(
+                f"engine must be 'auto', 'reference' or 'fast', "
+                f"got {self.engine!r}"
+            )
 
 
 def default_trace(config: ExperimentConfig) -> Trace:
@@ -71,16 +82,19 @@ def run_policy(
     assignment: dict[int, ModelFamily],
     policy: KeepAlivePolicy,
     sim: SimulationConfig | None = None,
+    engine: str = "auto",
 ) -> RunResult:
     """One simulation run (thin convenience wrapper)."""
-    return Simulation(trace, assignment, policy, sim).run()
+    return Simulation(trace, assignment, policy, sim).run(engine=engine)
 
 
 def _one_run(
-    args: tuple[Trace, dict[int, ModelFamily], PolicyFactory, SimulationConfig],
+    args: tuple[
+        Trace, dict[int, ModelFamily], PolicyFactory, SimulationConfig, str
+    ],
 ) -> RunResult:
-    trace, assignment, factory, sim = args
-    return Simulation(trace, assignment, factory(), sim).run()
+    trace, assignment, factory, sim, engine = args
+    return Simulation(trace, assignment, factory(), sim).run(engine=engine)
 
 
 # The trace dominates the pickled payload of a sweep task (counts is an
@@ -96,11 +110,13 @@ def _init_worker(trace: Trace) -> None:
 
 
 def _one_worker_run(
-    args: tuple[dict[int, ModelFamily], PolicyFactory, SimulationConfig],
+    args: tuple[dict[int, ModelFamily], PolicyFactory, SimulationConfig, str],
 ) -> RunResult:
-    assignment, factory, sim = args
+    assignment, factory, sim, engine = args
     assert _worker_trace is not None, "pool initializer did not run"
-    return Simulation(_worker_trace, assignment, factory(), sim).run()
+    return Simulation(_worker_trace, assignment, factory(), sim).run(
+        engine=engine
+    )
 
 
 def run_policies(
@@ -131,12 +147,16 @@ def run_policies(
             initargs=(trace,),
         ) as pool:
             for name, factory in policies.items():
-                tasks = [(a, factory, config.sim) for a in assignments]
+                tasks = [
+                    (a, factory, config.sim, config.engine)
+                    for a in assignments
+                ]
                 out[name] = list(pool.map(_one_worker_run, tasks))
     else:
         for name, factory in policies.items():
             out[name] = [
-                _one_run((trace, a, factory, config.sim)) for a in assignments
+                _one_run((trace, a, factory, config.sim, config.engine))
+                for a in assignments
             ]
     return out
 

@@ -1,0 +1,215 @@
+"""The fault model: what goes wrong, how often, under which seed.
+
+A :class:`FaultPlan` is a frozen, picklable description of the platform
+failures a run should be subjected to. Production serverless platforms
+see container spawns fail and get retried, cold starts stall under node
+contention, co-located workloads steal memory, and trace/event pipelines
+drop, duplicate and reorder invocations — none of which the clean-room
+simulator exercises by itself. The plan covers four fault axes:
+
+- **container spawn failures** — each cold start's spawn attempt fails
+  with probability ``spawn_failure_rate``; the platform retries up to
+  ``max_spawn_retries`` times with linear backoff (failure *i* adds
+  ``retry_penalty_s * (i + 1)`` seconds of user-visible service time);
+  after the retry budget the fallback spawn always succeeds, so no
+  invocation is ever lost;
+- **cold-start slowdowns** — with probability ``cold_slowdown_rate`` a
+  cold start's penalty (the seconds it adds over a warm invocation) is
+  multiplied by ``cold_slowdown_factor``;
+- **memory-pressure spikes** — each minute is a spike minute with
+  probability ``pressure_rate``; during a spike, co-located load caps
+  the keep-alive memory available to the run at ``pressure_cap_mb``
+  (combined with ``SimulationConfig.memory_capacity_mb`` by ``min`` when
+  both are set), and the platform's random-downgrade pressure valve
+  enforces the transient cap exactly like the standing one;
+- **trace perturbations** — before the run starts, each invocation-
+  carrying (function, minute) cell is independently dropped
+  (``drop_rate``), doubled (``duplicate_rate``) or delivered out of
+  order into the neighbouring minute (``jitter_rate``).
+
+Determinism contract: every draw is keyed on ``seed`` (plus the fault
+axis and, for per-decision faults, the (function, minute) coordinate)
+through the ``SeedSequence`` spawning protocol — never on call order.
+The same plan therefore produces the *same* faults on the reference and
+event-driven engines, which is what lets the golden equivalence tests
+cover faults-on runs bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.traces.schema import Trace
+from repro.utils.specs import parse_kv_spec
+
+__all__ = ["FaultPlan"]
+
+# spawn_key salts: one namespace per fault axis, so adding an axis never
+# shifts another axis's stream.
+SALT_SPAWN = 1
+SALT_PRESSURE = 2
+SALT_TRACE = 3
+
+#: ``--faults`` spec keys -> (FaultPlan field, cast). Shared between the
+#: CLI flag and :meth:`FaultPlan.from_spec`.
+_SPEC_FIELDS = {
+    "seed": ("seed", int),
+    "spawn": ("spawn_failure_rate", float),
+    "retries": ("max_spawn_retries", int),
+    "retry-penalty": ("retry_penalty_s", float),
+    "slow": ("cold_slowdown_rate", float),
+    "slow-factor": ("cold_slowdown_factor", float),
+    "pressure": ("pressure_rate", float),
+    "pressure-mb": ("pressure_cap_mb", float),
+    "drop": ("drop_rate", float),
+    "dup": ("duplicate_rate", float),
+    "jitter": ("jitter_rate", float),
+}
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, picklable description of injected platform faults.
+
+    The all-defaults plan injects nothing; a run with ``faults=None``
+    and one with ``faults=FaultPlan()`` are bit-identical.
+    """
+
+    seed: int = 0
+    spawn_failure_rate: float = 0.0
+    max_spawn_retries: int = 2
+    retry_penalty_s: float = 2.0
+    cold_slowdown_rate: float = 0.0
+    cold_slowdown_factor: float = 3.0
+    pressure_rate: float = 0.0
+    pressure_cap_mb: float | None = None
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    jitter_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "spawn_failure_rate", "cold_slowdown_rate", "pressure_rate",
+            "drop_rate", "duplicate_rate", "jitter_rate",
+        ):
+            _check_rate(name, getattr(self, name))
+        if self.max_spawn_retries < 0:
+            raise ValueError(
+                f"max_spawn_retries must be >= 0, got {self.max_spawn_retries}"
+            )
+        if self.retry_penalty_s < 0.0:
+            raise ValueError(
+                f"retry_penalty_s must be >= 0, got {self.retry_penalty_s}"
+            )
+        if self.cold_slowdown_factor < 1.0:
+            raise ValueError(
+                "cold_slowdown_factor must be >= 1 (1 = no slowdown), "
+                f"got {self.cold_slowdown_factor}"
+            )
+        if self.pressure_cap_mb is not None and self.pressure_cap_mb <= 0:
+            raise ValueError(
+                f"pressure_cap_mb must be positive, got {self.pressure_cap_mb}"
+            )
+        if self.pressure_rate > 0.0 and self.pressure_cap_mb is None:
+            raise ValueError(
+                "pressure_rate > 0 requires pressure_cap_mb (the transient "
+                "memory cap a spike imposes)"
+            )
+
+    # -- which machinery does this plan need? -----------------------------
+    @property
+    def has_pressure(self) -> bool:
+        return self.pressure_rate > 0.0 and self.pressure_cap_mb is not None
+
+    @property
+    def injects_runtime(self) -> bool:
+        """True when the engines must run a live injector (anything beyond
+        pre-run trace perturbation)."""
+        return (
+            self.spawn_failure_rate > 0.0
+            or self.cold_slowdown_rate > 0.0
+            or self.has_pressure
+        )
+
+    @property
+    def perturbs_trace(self) -> bool:
+        return (
+            self.drop_rate > 0.0
+            or self.duplicate_rate > 0.0
+            or self.jitter_rate > 0.0
+        )
+
+    @property
+    def active(self) -> bool:
+        return self.injects_runtime or self.perturbs_trace
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready); inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown FaultPlan fields {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_spec(cls, spec: str, flag: str = "--faults") -> "FaultPlan":
+        """Parse the CLI's compact form, e.g.
+        ``"seed=7,spawn=0.1,retries=2,pressure=0.05,pressure-mb=4000"``.
+
+        Raises :class:`repro.utils.specs.SpecError` (prints and exits in
+        CLI context) on unknown keys or malformed values.
+        """
+        return cls(**parse_kv_spec(spec, flag, _SPEC_FIELDS))
+
+    # -- trace perturbation ------------------------------------------------
+    def perturb_trace(self, trace: Trace) -> Trace:
+        """Apply drop/duplicate/jitter perturbations, deterministically.
+
+        Returns ``trace`` unchanged when no perturbation rate is set.
+        Each axis draws its own full uniform matrix regardless of the
+        other rates, so enabling one axis never shifts another's draws.
+        Jitter moves a cell's whole count into the next minute (the
+        previous minute at the horizon edge), modelling late/out-of-order
+        event delivery; moves are computed against a snapshot mask, so a
+        jittered cell never cascades.
+        """
+        if not self.perturbs_trace:
+            return trace
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self.seed, spawn_key=(SALT_TRACE,))
+        )
+        counts = trace.counts.copy()
+        shape = counts.shape
+        u_drop = rng.random(shape)
+        u_dup = rng.random(shape)
+        u_jit = rng.random(shape)
+        if self.drop_rate > 0.0:
+            counts[(counts > 0) & (u_drop < self.drop_rate)] = 0
+        if self.duplicate_rate > 0.0:
+            dup = (counts > 0) & (u_dup < self.duplicate_rate)
+            counts[dup] *= 2
+        if self.jitter_rate > 0.0 and shape[1] > 1:
+            moved = np.zeros_like(counts)
+            for fid, t in np.argwhere((counts > 0) & (u_jit < self.jitter_rate)):
+                dst = t + 1 if t + 1 < shape[1] else t - 1
+                moved[fid, dst] += counts[fid, t]
+                counts[fid, t] = 0
+            counts += moved
+        return Trace(
+            counts=counts, functions=trace.functions, name=f"{trace.name}+faults"
+        )

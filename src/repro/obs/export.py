@@ -44,6 +44,10 @@ def _header(result) -> dict:
         "n_warm": result.n_warm,
         "n_cold": result.n_cold,
         "n_forced_downgrades": result.n_forced_downgrades,
+        "n_spawn_failures": getattr(result, "n_spawn_failures", 0),
+        "n_retries": getattr(result, "n_retries", 0),
+        "n_policy_faults": getattr(result, "n_policy_faults", 0),
+        "n_degraded_minutes": getattr(result, "n_degraded_minutes", 0),
         "keepalive_cost_usd": result.keepalive_cost_usd,
         "total_service_time_s": result.total_service_time_s,
         "mean_accuracy": result.mean_accuracy,

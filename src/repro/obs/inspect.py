@@ -11,7 +11,11 @@ policy's timeline to explain, without re-running the simulation:
 - **how a plan was chosen** (``explain_plan``) — the per-offset
   probability → level → variant table of the closest plan record;
 - **why a function was downgraded** (``explain_downgrades``) — each
-  downgrade with its ``Uv = Ai + Pr + Ip`` candidate scores.
+  downgrade with its ``Uv = Ai + Pr + Ip`` candidate scores;
+- **why a function fell back / what faults hit it** (``explain_faults``)
+  — every injected spawn-failure burst and every policy exception the
+  crash-isolation wrapper caught, with the hook, the error and the
+  minute the function degraded to the fixed fallback.
 
 All explain methods return plain multi-line strings: the CLI prints them
 verbatim, and tests assert on substrings.
@@ -43,6 +47,8 @@ class TraceIndex:
         self.spans: dict[str, dict[str, float]] = {}
         self.peaks: list[dict] = []
         self.downgrades: list[dict] = []
+        self.spawn_faults: list[dict] = []
+        self.policy_faults: list[dict] = []
         # per function: time-sorted record lists (records arrive in
         # simulation order, so appends preserve sortedness).
         self._plans: dict[int, list[dict]] = {}
@@ -57,6 +63,10 @@ class TraceIndex:
             elif kind == "downgrade":
                 self.downgrades.append(rec)
                 self._downgrades_by_fid.setdefault(rec["fid"], []).append(rec)
+            elif kind == "spawn_fault":
+                self.spawn_faults.append(rec)
+            elif kind == "policy_fault":
+                self.policy_faults.append(rec)
             elif kind == "peak":
                 self.peaks.append(rec)
             elif kind == "header":
@@ -92,6 +102,12 @@ class TraceIndex:
             f"{len(self.peaks)} peaks, {len(self.downgrades)} downgrades "
             f"({sum(1 for d in self.downgrades if d.get('forced'))} forced)"
         )
+        if self.spawn_faults or self.policy_faults:
+            lines.append(
+                f"faults: {len(self.spawn_faults)} spawn-failure bursts, "
+                f"{len(self.policy_faults)} policy faults "
+                "(see --faults [FID])"
+            )
         if self.spans:
             lines.append(
                 "phases: "
@@ -104,7 +120,7 @@ class TraceIndex:
             lines.append(f"metrics: {len(self.metrics)} series")
         lines.append(
             "queries: --cold FID:MINUTE  --plan FID:MINUTE  "
-            "--downgrades [FID[:MINUTE]]"
+            "--downgrades [FID[:MINUTE]]  --faults [FID]"
         )
         return "\n".join(lines)
 
@@ -277,4 +293,50 @@ class TraceIndex:
                             f"{c['Ai']:>9.4f} {c['Pr']:>9.4f} "
                             f"{c['Ip']:>9.4f} {c['Uv']:>9.4f}{marker}"
                         )
+        return "\n".join(lines)
+
+    def explain_faults(self, function_id: int | None = None) -> str:
+        """Every fault that hit the run (optionally one function): injected
+        spawn-failure bursts, and policy exceptions the crash-isolation
+        wrapper caught — i.e. *why did this function fall back* to the
+        fixed keep-alive."""
+        spawn = [
+            r for r in self.spawn_faults
+            if function_id is None or r["fid"] == function_id
+        ]
+        policy = [
+            r for r in self.policy_faults
+            if function_id is None or r["fid"] == function_id
+        ]
+        if not spawn and not policy:
+            scope = (
+                f" for function {function_id}" if function_id is not None else ""
+            )
+            return (
+                f"no faults recorded{scope} (run had no fault plan, no "
+                "crash-isolated policy, or nothing went wrong)"
+            )
+        lines = []
+        for r in sorted(spawn + policy, key=lambda r: r["t"]):
+            if r["kind"] == "spawn_fault":
+                lines.append(
+                    f"minute {r['t']}: function {r['fid']} spawn of "
+                    f"{r['variant']!r} failed {r['failures']} time(s) — "
+                    f"+{_fmt_num(r['penalty_s'])}s retry/backoff latency"
+                )
+            else:
+                who = (
+                    f"function {r['fid']}"
+                    if r["fid"] >= 0
+                    else "the run (cross-function stage)"
+                )
+                fallback = (
+                    " — degraded to the fixed 10-minute fallback from here on"
+                    if r["hook"] in ("plan", "cold_variant", "observe_invocation", "bind")
+                    else " — review stage disabled from here on"
+                )
+                lines.append(
+                    f"minute {r['t']}: policy crashed in {r['hook']!r} for "
+                    f"{who}: {r['error']}{fallback}"
+                )
         return "\n".join(lines)

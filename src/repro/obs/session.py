@@ -35,7 +35,12 @@ line:
 ``downgrade``  — one Algorithm-2 / MILP / capacity-valve downgrade, with
                  the victim's from/to variants, a ``forced`` flag, and
                  (greedy only) the full candidate table of
-                 ``Uv = Ai + Pr + Ip`` terms.
+                 ``Uv = Ai + Pr + Ip`` terms;
+``spawn_fault``— an injected container-spawn failure burst: the variant
+                 whose spawn failed, how many attempts failed, and the
+                 retry latency charged (see ``repro.faults``);
+``policy_fault``— the crash-isolation wrapper caught a policy exception:
+                 the failing hook, the error, and the fallback engaged.
 """
 
 from __future__ import annotations
@@ -184,6 +189,41 @@ class ObsSession:
             rec["candidates"] = candidates
         self.records.append(rec)
 
+    def record_spawn_fault(
+        self,
+        minute: int,
+        function_id: int,
+        variant_name: str,
+        n_failures: int,
+        penalty_s: float,
+    ) -> None:
+        """One injected spawn-failure burst at a cold start: ``n_failures``
+        attempts failed before a spawn succeeded, adding ``penalty_s``
+        seconds of retry/backoff latency."""
+        self.records.append({
+            "kind": "spawn_fault",
+            "t": minute,
+            "fid": function_id,
+            "variant": variant_name,
+            "failures": int(n_failures),
+            "penalty_s": float(penalty_s),
+        })
+
+    def record_policy_fault(
+        self, minute: int, function_id: int, hook: str, error: str
+    ) -> None:
+        """The crash-isolation wrapper caught a policy exception in
+        ``hook`` and degraded the function to the fixed fallback.
+        ``function_id`` is -1 for faults not tied to one function
+        (``review_minute``)."""
+        self.records.append({
+            "kind": "policy_fault",
+            "t": minute,
+            "fid": function_id,
+            "hook": hook,
+            "error": error,
+        })
+
     # -- lifecycle -----------------------------------------------------------
     def merge(self, other: "ObsSession") -> None:
         """Fold another run's telemetry in (metrics/spans accumulate;
@@ -259,6 +299,14 @@ class _NullSession:
         self, minute, function_id, from_variant, to_variant,
         candidates=None, forced=False,
     ) -> None:
+        pass
+
+    def record_spawn_fault(
+        self, minute, function_id, variant_name, n_failures, penalty_s
+    ) -> None:
+        pass
+
+    def record_policy_fault(self, minute, function_id, hook, error) -> None:
         pass
 
     def __repr__(self) -> str:

@@ -30,6 +30,8 @@ class EventKind(enum.Enum):
     MEMORY_COMMIT = "memory_commit"  # minute's keep-alive memory settled
     DOWNGRADE = "downgrade"  # a keep-alive moved to a lower variant / dropped
     VARIANT_SWITCH = "variant_switch"  # pool replaced a container's variant
+    SPAWN_FAILURE = "spawn_failure"  # injected container-spawn failure(s)
+    POLICY_FAULT = "policy_fault"  # policy crashed; crash-isolation engaged
 
 
 @dataclass(frozen=True)
@@ -48,7 +50,12 @@ class Event:
       capacity pressure valve forced it, 0.0 for a policy decision
       (Algorithm 2 / MILP);
     - VARIANT_SWITCH: the new variant the pool brought up; ``value`` is
-      the level of the variant it replaced.
+      the level of the variant it replaced;
+    - SPAWN_FAILURE: the variant whose spawn failed; ``value`` is the
+      number of failed attempts before a spawn succeeded;
+    - POLICY_FAULT: recorded when the crash-isolation wrapper catches a
+      policy exception; ``variant_name`` is the failing hook
+      (``"plan"``, ``"cold_variant"``, ...).
     """
 
     minute: int

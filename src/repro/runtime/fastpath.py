@@ -45,13 +45,14 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.faults.injector import FaultInjector
 from repro.obs.session import ObsSession
 from repro.runtime.container import ContainerPool
 from repro.runtime.events import EventKind, EventLog
 from repro.runtime.metrics import RunResult
 from repro.runtime.policy import KeepAlivePolicy
 from repro.runtime.schedule import KeepAliveSchedule
-from repro.runtime.simulator import apply_capacity_valve
+from repro.runtime.simulator import apply_capacity_valve, collect_resilience
 from repro.utils.rng import rng_from_seed
 
 __all__ = ["run_fast"]
@@ -121,6 +122,15 @@ def run_fast(sim) -> RunResult:
     capacity_rng = rng_from_seed(cfg.capacity_seed)
     n_forced = 0
     has_review = _policy_has_review(policy)
+    injector = (
+        FaultInjector(cfg.faults, horizon)
+        if cfg.faults is not None and cfg.faults.injects_runtime
+        else None
+    )
+    has_pressure = injector is not None and injector.pressure_minutes is not None
+    # The valve must check the ledger every minute when a standing cap or
+    # a fault plan's transient pressure spikes are configured.
+    valve_on = capacity is not None or has_pressure
 
     # Sparse event extraction: (minute, fid, count) triples in minute-major,
     # fid-ascending order — the exact order the reference loop serves in.
@@ -147,7 +157,7 @@ def run_fast(sim) -> RunResult:
     # The bulk idle-span accounting below is valid only when nothing can
     # touch the schedule or need per-minute callbacks between events.
     per_minute_idle = (
-        pool is not None or has_review or capacity is not None or events is not None
+        pool is not None or has_review or valve_on or events is not None
     )
     # In the same configuration, the event-minute commit collapses to a
     # single ledger read (every event minute's set_plan already sized the
@@ -160,10 +170,16 @@ def run_fast(sim) -> RunResult:
         nonlocal n_forced, total_mb_minutes
         if has_review:
             policy.review_minute(t, schedule)
-        if capacity is not None:
-            n_forced += apply_capacity_valve(
-                schedule, t, capacity, capacity_rng, assignment, events, rec
+        if valve_on:
+            cap_t = (
+                capacity
+                if injector is None
+                else injector.effective_capacity(t, capacity)
             )
+            if cap_t is not None:
+                n_forced += apply_capacity_valve(
+                    schedule, t, cap_t, capacity_rng, assignment, events, rec
+                )
         if pool is not None:
             if spans is None:
                 for fid in range(n_fn):
@@ -208,12 +224,19 @@ def run_fast(sim) -> RunResult:
                     pool.reconcile(fid, entries[fid].get(t), t)
             if has_review and policy.idle_review(t, schedule):
                 policy.review_minute(t, schedule)
-            if capacity is not None:
-                n_forced += apply_capacity_valve(
-                    schedule, t, capacity, capacity_rng, assignment, events, rec
+            if valve_on:
+                cap_t = (
+                    capacity
+                    if injector is None
+                    else injector.effective_capacity(t, capacity)
                 )
+                if cap_t is not None:
+                    n_forced += apply_capacity_valve(
+                        schedule, t, cap_t, capacity_rng, assignment,
+                        events, rec,
+                    )
             if pool is not None:
-                if has_review or capacity is not None:
+                if has_review or valve_on:
                     # review/valve may have rewritten this minute's entries
                     for fid in range(n_fn):
                         pool.reconcile(fid, entries[fid].get(t), t)
@@ -251,10 +274,17 @@ def run_fast(sim) -> RunResult:
             alive = entries[fid].get(t)
             if alive is None:
                 variant = policy.cold_variant(fid, t)
-                service_time += (
-                    variant.cold_service_time_s
-                    + (count - 1) * variant.warm_service_time_s
-                )
+                if injector is None:
+                    service_time += (
+                        variant.cold_service_time_s
+                        + (count - 1) * variant.warm_service_time_s
+                    )
+                else:
+                    service_time += (
+                        variant.cold_service_time_s
+                        + injector.cold_start_penalty(t, fid, variant, rec, events)
+                        + (count - 1) * variant.warm_service_time_s
+                    )
                 n_cold += 1
                 n_warm += count - 1
                 accuracy_sum += count * variant.accuracy
@@ -324,6 +354,7 @@ def run_fast(sim) -> RunResult:
         met.gauge("horizon_minutes").set(horizon)
         met.gauge("n_functions").set(n_fn)
         met.gauge("keepalive_mb_minutes").set(total_mb_minutes)
+    resilience = collect_resilience(policy, injector, horizon)
     return RunResult(
         policy_name=policy.name,
         n_invocations=n_invocations,
@@ -340,4 +371,5 @@ def run_fast(sim) -> RunResult:
         events=events,
         n_forced_downgrades=n_forced,
         obs=obs,
+        **resilience,
     )

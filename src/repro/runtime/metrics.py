@@ -45,6 +45,15 @@ class RunResult:
     #: Random platform downgrades forced by a memory capacity cap (0 when
     #: uncapped or when the policy kept memory within capacity).
     n_forced_downgrades: int = 0
+    #: Resilience counters (all 0 unless the run injected faults or ran a
+    #: crash-isolated policy — see :mod:`repro.faults`):
+    #: failed container-spawn attempts, retries consumed by them,
+    #: policy exceptions caught by the isolation wrapper, and
+    #: function-minutes spent degraded to the fixed fallback.
+    n_spawn_failures: int = 0
+    n_retries: int = 0
+    n_policy_faults: int = 0
+    n_degraded_minutes: int = 0
     #: Engine wall-clock seconds for this run (set by ``Simulation.run``;
     #: excluded from engine-equivalence comparisons — it measures the
     #: machine, not the simulated system).
@@ -113,6 +122,10 @@ class RunResult:
             "accuracy_percent": self.mean_accuracy,
             "overhead_s": self.policy_overhead_s,
             "n_forced_downgrades": float(self.n_forced_downgrades),
+            "n_spawn_failures": float(self.n_spawn_failures),
+            "n_retries": float(self.n_retries),
+            "n_policy_faults": float(self.n_policy_faults),
+            "n_degraded_minutes": float(self.n_degraded_minutes),
             "wall_clock_s": self.wall_clock_s,
         }
 
@@ -137,6 +150,10 @@ def aggregate_results(results: list[RunResult]) -> dict[str, float]:
         "n_warm": fmean(r.n_warm for r in results),
         "n_cold": fmean(r.n_cold for r in results),
         "n_forced_downgrades": fmean(r.n_forced_downgrades for r in results),
+        "n_spawn_failures": fmean(r.n_spawn_failures for r in results),
+        "n_retries": fmean(r.n_retries for r in results),
+        "n_policy_faults": fmean(r.n_policy_faults for r in results),
+        "n_degraded_minutes": fmean(r.n_degraded_minutes for r in results),
         "wall_clock_s": fmean(r.wall_clock_s for r in results),
         "n_runs": float(len(results)),
     }

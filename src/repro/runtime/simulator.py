@@ -24,10 +24,13 @@ invocation minutes.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.models.variants import ModelFamily
 from repro.obs.session import ObservabilityConfig, ObsSession
 from repro.runtime.container import ContainerPool
@@ -40,7 +43,38 @@ from repro.traces.schema import Trace
 from repro.utils.rng import rng_from_seed
 from repro.utils.validation import check_positive_int
 
-__all__ = ["Simulation", "SimulationConfig", "apply_capacity_valve"]
+__all__ = [
+    "Simulation",
+    "SimulationConfig",
+    "apply_capacity_valve",
+    "collect_resilience",
+]
+
+
+def collect_resilience(
+    policy: KeepAlivePolicy, injector: FaultInjector | None, horizon: int
+) -> dict[str, int]:
+    """The run's resilience counters, as ``RunResult`` kwargs.
+
+    Shared by both engine loops. Spawn counters come from the fault
+    injector; policy-fault counters come from the policy itself when it
+    exposes ``resilience_stats`` (duck-typed — only
+    :class:`~repro.faults.isolation.ResilientPolicy` does, so plain
+    policies pay a single ``getattr``).
+    """
+    out = {
+        "n_spawn_failures": 0,
+        "n_retries": 0,
+        "n_policy_faults": 0,
+        "n_degraded_minutes": 0,
+    }
+    if injector is not None:
+        out["n_spawn_failures"] = injector.n_spawn_failures
+        out["n_retries"] = injector.n_retries
+    stats = getattr(policy, "resilience_stats", None)
+    if stats is not None:
+        out.update(stats(horizon))
+    return out
 
 
 def apply_capacity_valve(
@@ -121,6 +155,18 @@ class SimulationConfig:
     one exception: ``measure_overhead=True`` falls back to the reference
     loop, because Figure 9's overhead metric is defined over the
     per-minute decision cadence the fast path elides.
+
+    .. deprecated::
+        ``fast=True`` is superseded by the ``engine`` argument of
+        :meth:`Simulation.run` / :func:`repro.api.simulate`
+        (``"auto"``/``"reference"``/``"fast"``); relying on the boolean
+        emits a :class:`DeprecationWarning` at run time.
+
+    ``faults`` attaches a :class:`~repro.faults.plan.FaultPlan`: seeded
+    platform faults (spawn failures/retries, cold-start slowdowns,
+    memory-pressure spikes, trace perturbations) injected identically on
+    both engines. ``None`` (default) or an all-zero plan injects nothing
+    and leaves every metric bit-identical to a fault-free build.
     """
 
     keep_alive_window: int = 10
@@ -132,6 +178,7 @@ class SimulationConfig:
     memory_capacity_mb: float | None = None
     capacity_seed: int = 0
     fast: bool = False
+    faults: FaultPlan | None = None
     #: Observability (:mod:`repro.obs`): ``None``/``False`` disables the
     #: layer entirely (no recorder, no allocations); ``True`` enables all
     #: of it; an :class:`~repro.obs.session.ObservabilityConfig` picks
@@ -156,6 +203,10 @@ class SimulationConfig:
                 "observe must be an ObservabilityConfig, a bool or None, "
                 f"got {self.observe!r}"
             )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise TypeError(
+                f"faults must be a FaultPlan or None, got {self.faults!r}"
+            )
 
 
 class Simulation:
@@ -173,6 +224,11 @@ class Simulation:
         self.policy = policy
         self.config = config or SimulationConfig()
         self._validate()
+        faults = self.config.faults
+        if faults is not None and faults.perturbs_trace:
+            # Perturb once, up front: both engines (and the oracle
+            # baselines' bind()) must see the same noisy trace.
+            self.trace = faults.perturb_trace(self.trace)
 
     def _validate(self) -> None:
         if set(self.assignment) != set(range(self.trace.n_functions)):
@@ -181,17 +237,24 @@ class Simulation:
                 f"got keys {sorted(self.assignment)}"
             )
 
-    def run(self) -> RunResult:
+    def run(self, engine: str | None = None) -> RunResult:
         """Execute the run and return its metrics.
 
-        Dispatches to the event-driven fast loop when ``config.fast`` is
-        set (and overhead measurement, which needs the per-minute decision
-        cadence, is off); otherwise runs the reference minute loop. Both
-        produce identical metrics; ``wall_clock_s`` records the elapsed
-        engine time either way.
+        ``engine`` selects the loop:
+
+        - ``"auto"`` — the event-driven fast loop unless the config needs
+          the per-minute decision cadence (``measure_overhead``);
+        - ``"reference"`` — the minute-by-minute reference loop;
+        - ``"fast"`` — the fast loop, erroring if the config demands the
+          reference cadence;
+        - ``None`` (default) — the deprecated legacy behavior: follow
+          ``config.fast`` (warning when it is set).
+
+        Both loops produce identical metrics; ``wall_clock_s`` records
+        the elapsed engine time either way.
         """
         t0 = time.perf_counter()
-        if self.config.fast and not self.config.measure_overhead:
+        if self._resolve_engine(engine):
             from repro.runtime.fastpath import run_fast
 
             result = run_fast(self)
@@ -201,6 +264,36 @@ class Simulation:
         if result.obs is not None and result.obs.spans_enabled:
             result.obs.spans.add("engine-total", wall)
         return replace(result, wall_clock_s=wall)
+
+    def _resolve_engine(self, engine: str | None) -> bool:
+        """Map the ``engine`` argument to "use the fast loop?"."""
+        cfg = self.config
+        if engine is None:
+            if cfg.fast:
+                warnings.warn(
+                    "repro.runtime: SimulationConfig(fast=True) is "
+                    "deprecated; call Simulation.run(engine='fast') (or "
+                    "'auto'), or use repro.api.simulate(..., engine=...)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            return cfg.fast and not cfg.measure_overhead
+        if engine == "auto":
+            return not cfg.measure_overhead
+        if engine == "reference":
+            return False
+        if engine == "fast":
+            if cfg.measure_overhead:
+                raise ValueError(
+                    "engine='fast' cannot honor measure_overhead=True "
+                    "(Figure 9's metric needs the reference loop's "
+                    "per-minute decision cadence); use engine='auto' or "
+                    "'reference'"
+                )
+            return True
+        raise ValueError(
+            f"unknown engine {engine!r}; choose 'auto', 'reference' or 'fast'"
+        )
 
     def _run_reference(self) -> RunResult:
         """The reference minute-by-minute loop (walks every minute)."""
@@ -261,6 +354,13 @@ class Simulation:
         capacity = cfg.memory_capacity_mb
         capacity_rng = rng_from_seed(cfg.capacity_seed)
         n_forced = 0
+        injector = (
+            FaultInjector(cfg.faults, horizon)
+            if cfg.faults is not None and cfg.faults.injects_runtime
+            else None
+        )
+        has_pressure = injector is not None and injector.pressure_minutes is not None
+        valve_on = capacity is not None or has_pressure
 
         # Pre-compute which functions invoke at each minute (hot-loop aid:
         # most minutes touch only a few of the 12 functions).
@@ -294,10 +394,19 @@ class Simulation:
                         n_decisions += 1
                     else:
                         variant = policy.cold_variant(fid, t)
-                    service_time += (
-                        variant.cold_service_time_s
-                        + (count - 1) * variant.warm_service_time_s
-                    )
+                    if injector is None:
+                        service_time += (
+                            variant.cold_service_time_s
+                            + (count - 1) * variant.warm_service_time_s
+                        )
+                    else:
+                        service_time += (
+                            variant.cold_service_time_s
+                            + injector.cold_start_penalty(
+                                t, fid, variant, rec, events
+                            )
+                            + (count - 1) * variant.warm_service_time_s
+                        )
                     n_cold += 1
                     n_warm += count - 1
                     accuracy_sum += count * variant.accuracy
@@ -356,12 +465,19 @@ class Simulation:
                 policy.review_minute(t, schedule)
 
             # 3b: provider pressure valve — random downgrades when the
-            # minute's keep-alive memory exceeds the platform capacity.
-            if capacity is not None:
-                n_forced += apply_capacity_valve(
-                    schedule, t, capacity, capacity_rng, self.assignment,
-                    events, rec,
+            # minute's keep-alive memory exceeds the platform capacity
+            # (the standing cap, or a fault plan's transient spike cap).
+            if valve_on:
+                cap_t = (
+                    capacity
+                    if injector is None
+                    else injector.effective_capacity(t, capacity)
                 )
+                if cap_t is not None:
+                    n_forced += apply_capacity_valve(
+                        schedule, t, cap_t, capacity_rng, self.assignment,
+                        events, rec,
+                    )
 
             # 4: commit the minute — settle containers on the post-review
             # variants, then charge warm minutes.
@@ -397,6 +513,7 @@ class Simulation:
             met.gauge("horizon_minutes").set(horizon)
             met.gauge("n_functions").set(n_fn)
             met.gauge("keepalive_mb_minutes").set(total_mb_minutes)
+        resilience = collect_resilience(policy, injector, horizon)
         return RunResult(
             policy_name=policy.name,
             n_invocations=n_invocations,
@@ -413,4 +530,5 @@ class Simulation:
             events=events,
             n_forced_downgrades=n_forced,
             obs=obs,
+            **resilience,
         )

@@ -1,0 +1,97 @@
+"""Shared parsing for compact CLI specs, with real error messages.
+
+The CLI takes several mini-languages on the command line — ``FID:MINUTE``
+coordinates for ``repro inspect`` queries and ``key=value,key=value``
+bundles for ``--faults`` — and every flag used to hand-roll its own
+parser. This module is the single implementation: helpful messages
+(expected shape, the offending token, the known keys) and one error type.
+
+:class:`SpecError` subclasses :class:`SystemExit`, so an unhandled parse
+failure exits the CLI with the message on stderr (the historical
+behaviour of ``repro inspect``), while library callers and tests can
+still catch it like any exception.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+__all__ = ["SpecError", "parse_fid_minute", "parse_float_list", "parse_kv_spec"]
+
+
+class SpecError(SystemExit):
+    """A malformed CLI spec. Exits the CLI; catchable by libraries."""
+
+
+def parse_fid_minute(spec: str, flag: str) -> tuple[int, int]:
+    """Parse a ``FID:MINUTE`` coordinate (e.g. ``3:120``)."""
+    fid_s, sep, minute_s = spec.partition(":")
+    if not sep:
+        raise SpecError(
+            f"{flag} expects FID:MINUTE (e.g. 3:120), got {spec!r} — missing ':'"
+        )
+    try:
+        return int(fid_s), int(minute_s)
+    except ValueError:
+        raise SpecError(
+            f"{flag} expects FID:MINUTE with integer parts (e.g. 3:120), "
+            f"got {spec!r}"
+        ) from None
+
+
+def parse_float_list(spec: str, flag: str) -> list[float]:
+    """Parse a comma-separated list of floats (e.g. ``0,0.05,0.1``)."""
+    out: list[float] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            out.append(float(token))
+        except ValueError:
+            raise SpecError(
+                f"{flag} expects comma-separated numbers (e.g. 0,0.05,0.1), "
+                f"got {token!r}"
+            ) from None
+    if not out:
+        raise SpecError(f"{flag} expects at least one number, got {spec!r}")
+    return out
+
+
+def parse_kv_spec(
+    spec: str,
+    flag: str,
+    fields: Mapping[str, tuple[str, Callable[[str], object]]],
+) -> dict[str, object]:
+    """Parse ``key=value,key=value`` against a schema.
+
+    ``fields`` maps each accepted spec key to ``(attribute_name, cast)``;
+    the returned dict is keyed by attribute name, ready to splat into a
+    dataclass constructor. Unknown keys, missing ``=`` and uncastable
+    values all raise :class:`SpecError` naming the known keys.
+    """
+    known = ", ".join(sorted(fields))
+    out: dict[str, object] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, raw = part.partition("=")
+        key, raw = key.strip(), raw.strip()
+        if not sep:
+            raise SpecError(
+                f"{flag} expects KEY=VALUE pairs, got {part!r} "
+                f"(known keys: {known})"
+            )
+        if key not in fields:
+            raise SpecError(
+                f"{flag}: unknown key {key!r} (known keys: {known})"
+            )
+        attr, cast = fields[key]
+        try:
+            out[attr] = cast(raw)
+        except (TypeError, ValueError):
+            raise SpecError(
+                f"{flag}: {key} expects a {cast.__name__} value, got {raw!r}"
+            ) from None
+    return out

@@ -1,0 +1,70 @@
+"""The api_redesign deprecation shims: warn once, behave identically."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pulse import PulsePolicy
+from repro.runtime.simulator import Simulation, SimulationConfig
+
+
+class TestFastFlagShim:
+    def test_fast_true_warns_and_uses_fast_engine(self, tiny_trace, tiny_assignment):
+        cfg = SimulationConfig(fast=True)
+        sim = Simulation(tiny_trace, tiny_assignment, PulsePolicy(), cfg)
+        with pytest.warns(DeprecationWarning, match="repro.runtime") as rec:
+            legacy = sim.run()
+        assert len(rec) == 1  # exactly one warning per run() call
+        explicit = Simulation(
+            tiny_trace, tiny_assignment, PulsePolicy(), SimulationConfig()
+        ).run(engine="fast")
+        assert legacy.total_service_time_s == explicit.total_service_time_s
+        assert legacy.keepalive_cost_usd == explicit.keepalive_cost_usd
+
+    def test_fast_false_does_not_warn(self, tiny_trace, tiny_assignment):
+        # No deprecation noise on the default path (filterwarnings turns
+        # repro-internal DeprecationWarnings into errors suite-wide).
+        Simulation(
+            tiny_trace, tiny_assignment, PulsePolicy(), SimulationConfig()
+        ).run()
+
+    def test_explicit_engine_silences_legacy_flag(self, tiny_trace, tiny_assignment):
+        cfg = SimulationConfig(fast=True)
+        Simulation(tiny_trace, tiny_assignment, PulsePolicy(), cfg).run(
+            engine="fast"
+        )
+
+
+class TestCliShims:
+    def test_policies_dict_warns_and_works(self):
+        import repro.cli as cli
+
+        with pytest.warns(DeprecationWarning, match="repro.cli._POLICIES") as rec:
+            policies = cli._POLICIES
+        assert len(rec) == 1
+        assert "pulse" in policies and "openwhisk" in policies
+        assert policies["openwhisk"]().name == "OpenWhisk"
+
+    def test_long_window_set_warns_and_matches_registry(self):
+        import repro.cli as cli
+        from repro.api import list_policies, policy_spec
+
+        with pytest.warns(DeprecationWarning, match="keep_alive_window"):
+            longs = cli._LONG_WINDOW_POLICIES
+        assert longs == {
+            n for n in list_policies()
+            if policy_spec(n).keep_alive_window > 10
+        }
+
+    def test_parse_fid_minute_shim(self):
+        import repro.cli as cli
+
+        with pytest.warns(DeprecationWarning, match="repro.utils.specs"):
+            fn = cli._parse_fid_minute
+        assert fn("3:120", "--cold") == (3, 120)
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.cli as cli
+
+        with pytest.raises(AttributeError):
+            cli._NOT_A_THING

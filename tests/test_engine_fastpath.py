@@ -14,8 +14,6 @@ match a from-scratch recomputation over the entry maps.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -50,8 +48,8 @@ POLICIES = {
 
 
 def both_engines(trace, assignment, factory, cfg):
-    ref = Simulation(trace, assignment, factory(), replace(cfg, fast=False)).run()
-    fast = Simulation(trace, assignment, factory(), replace(cfg, fast=True)).run()
+    ref = Simulation(trace, assignment, factory(), cfg).run(engine="reference")
+    fast = Simulation(trace, assignment, factory(), cfg).run(engine="fast")
     return ref, fast
 
 
@@ -63,6 +61,10 @@ def assert_identical(ref, fast):
     assert fast.n_warm == ref.n_warm
     assert fast.n_cold == ref.n_cold
     assert fast.n_forced_downgrades == ref.n_forced_downgrades
+    assert fast.n_spawn_failures == ref.n_spawn_failures
+    assert fast.n_retries == ref.n_retries
+    assert fast.n_policy_faults == ref.n_policy_faults
+    assert fast.n_degraded_minutes == ref.n_degraded_minutes
     assert fast.total_service_time_s == ref.total_service_time_s
     assert fast.keepalive_cost_usd == ref.keepalive_cost_usd
     assert fast.mean_accuracy == ref.mean_accuracy
@@ -134,11 +136,27 @@ class TestGoldenEquivalence:
             )
 
     def test_measure_overhead_stays_on_reference(self, tiny_trace, tiny_assignment):
-        # Figure 9's overhead metric needs the per-minute cadence; fast=True
-        # must not change its numbers.
+        # Figure 9's overhead metric needs the per-minute cadence: "auto"
+        # must resolve to the reference loop, and asking for "fast"
+        # outright is a contradiction the engine refuses.
         cfg = SimulationConfig(measure_overhead=True)
-        ref, fast = both_engines(tiny_trace, tiny_assignment, PulsePolicy, cfg)
-        assert fast.n_policy_decisions == ref.n_policy_decisions > 0
+        ref = Simulation(
+            tiny_trace, tiny_assignment, PulsePolicy(), cfg
+        ).run(engine="reference")
+        auto = Simulation(
+            tiny_trace, tiny_assignment, PulsePolicy(), cfg
+        ).run(engine="auto")
+        assert auto.n_policy_decisions == ref.n_policy_decisions > 0
+        with pytest.raises(ValueError, match="measure_overhead"):
+            Simulation(
+                tiny_trace, tiny_assignment, PulsePolicy(), cfg
+            ).run(engine="fast")
+
+    def test_unknown_engine_rejected(self, tiny_trace, tiny_assignment):
+        with pytest.raises(ValueError, match="engine"):
+            Simulation(
+                tiny_trace, tiny_assignment, PulsePolicy(), SimulationConfig()
+            ).run(engine="warp")
 
 
 # -- incremental ledger property test ------------------------------------

@@ -1,0 +1,132 @@
+"""FaultPlan: validation, serialization round-trips, spec parsing,
+trace perturbation determinism."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import FaultPlan
+from repro.utils.specs import SpecError
+
+
+class TestValidation:
+    def test_defaults_are_inactive(self):
+        plan = FaultPlan()
+        assert not plan.active
+        assert not plan.injects_runtime
+        assert not plan.perturbs_trace
+        assert not plan.has_pressure
+
+    @pytest.mark.parametrize(
+        "field",
+        ["spawn_failure_rate", "cold_slowdown_rate", "pressure_rate",
+         "drop_rate", "duplicate_rate", "jitter_rate"],
+    )
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_rates_must_be_probabilities(self, field, value):
+        kwargs = {field: value}
+        if field == "pressure_rate":
+            kwargs["pressure_cap_mb"] = 1000.0
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**kwargs)
+
+    def test_pressure_needs_cap(self):
+        with pytest.raises(ValueError, match="pressure_cap_mb"):
+            FaultPlan(pressure_rate=0.1)
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(max_spawn_retries=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(retry_penalty_s=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(cold_slowdown_factor=0.5)
+        with pytest.raises(ValueError):
+            FaultPlan(pressure_cap_mb=0.0)
+
+    def test_axis_properties(self):
+        assert FaultPlan(spawn_failure_rate=0.1).injects_runtime
+        assert FaultPlan(cold_slowdown_rate=0.1).injects_runtime
+        assert FaultPlan(
+            pressure_rate=0.1, pressure_cap_mb=1000.0
+        ).injects_runtime
+        assert FaultPlan(drop_rate=0.1).perturbs_trace
+        assert not FaultPlan(drop_rate=0.1).injects_runtime
+        assert FaultPlan(jitter_rate=0.1).active
+
+
+PLAN = FaultPlan(
+    seed=7, spawn_failure_rate=0.2, max_spawn_retries=3, retry_penalty_s=1.5,
+    cold_slowdown_rate=0.1, cold_slowdown_factor=2.0,
+    pressure_rate=0.05, pressure_cap_mb=4000.0,
+    drop_rate=0.02, duplicate_rate=0.01, jitter_rate=0.03,
+)
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        assert FaultPlan.from_dict(PLAN.to_dict()) == PLAN
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FaultPlan.from_dict({**PLAN.to_dict(), "bogus": 1})
+
+    def test_pickle_round_trip(self):
+        assert pickle.loads(pickle.dumps(PLAN)) == PLAN
+
+    def test_spec_round_trip(self):
+        spec = (
+            "seed=7,spawn=0.2,retries=3,retry-penalty=1.5,slow=0.1,"
+            "slow-factor=2.0,pressure=0.05,pressure-mb=4000,"
+            "drop=0.02,dup=0.01,jitter=0.03"
+        )
+        assert FaultPlan.from_spec(spec) == PLAN
+
+    def test_spec_unknown_key(self):
+        with pytest.raises(SpecError, match="unknown key"):
+            FaultPlan.from_spec("spwan=0.1")
+
+    def test_spec_bad_value(self):
+        with pytest.raises(SpecError, match="spawn"):
+            FaultPlan.from_spec("spawn=lots")
+
+    def test_spec_validation_still_applies(self):
+        with pytest.raises(ValueError, match="pressure_cap_mb"):
+            FaultPlan.from_spec("pressure=0.1")
+
+
+class TestTracePerturbation:
+    def test_deterministic_and_named(self, small_trace):
+        plan = FaultPlan(seed=3, drop_rate=0.2, duplicate_rate=0.1,
+                         jitter_rate=0.1)
+        a = plan.perturb_trace(small_trace)
+        b = plan.perturb_trace(small_trace)
+        np.testing.assert_array_equal(a.counts, b.counts)
+        assert a.name == f"{small_trace.name}+faults"
+        assert a.n_functions == small_trace.n_functions
+        assert a.horizon == small_trace.horizon
+
+    def test_seed_changes_outcome(self, small_trace):
+        a = FaultPlan(seed=1, drop_rate=0.3).perturb_trace(small_trace)
+        b = FaultPlan(seed=2, drop_rate=0.3).perturb_trace(small_trace)
+        assert (a.counts != b.counts).any()
+
+    def test_drop_only_reduces(self, small_trace):
+        perturbed = FaultPlan(seed=5, drop_rate=0.5).perturb_trace(small_trace)
+        assert (perturbed.counts <= small_trace.counts).all()
+        assert perturbed.counts.sum() < small_trace.counts.sum()
+
+    def test_duplicate_only_increases(self, small_trace):
+        perturbed = FaultPlan(
+            seed=5, duplicate_rate=0.5
+        ).perturb_trace(small_trace)
+        assert (perturbed.counts >= small_trace.counts).all()
+        assert perturbed.counts.sum() > small_trace.counts.sum()
+
+    def test_jitter_preserves_totals(self, small_trace):
+        perturbed = FaultPlan(seed=5, jitter_rate=0.5).perturb_trace(small_trace)
+        assert perturbed.counts.sum() == small_trace.counts.sum()
+        assert (perturbed.counts != small_trace.counts).any()

@@ -47,9 +47,13 @@ HEADLINE = (
 )
 
 
-def run_pair(trace, assignment, factory, cfg):
-    off = Simulation(trace, assignment, factory(), replace(cfg, observe=None)).run()
-    on = Simulation(trace, assignment, factory(), replace(cfg, observe=True)).run()
+def run_pair(trace, assignment, factory, cfg, engine="auto"):
+    off = Simulation(
+        trace, assignment, factory(), replace(cfg, observe=None)
+    ).run(engine=engine)
+    on = Simulation(
+        trace, assignment, factory(), replace(cfg, observe=True)
+    ).run(engine=engine)
     return off, on
 
 
@@ -72,31 +76,31 @@ def assert_headline_identical(off, on):
 
 
 class TestObservabilityEquivalence:
-    @pytest.mark.parametrize("fast", [False, True], ids=["reference", "fastpath"])
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
     @pytest.mark.parametrize("name", sorted(POLICIES))
-    def test_all_policies_both_engines(self, small_trace, assignment, name, fast):
-        cfg = SimulationConfig(fast=fast)
+    def test_all_policies_both_engines(self, small_trace, assignment, name, engine):
+        cfg = SimulationConfig()
         assert_headline_identical(
-            *run_pair(small_trace, assignment, POLICIES[name], cfg)
+            *run_pair(small_trace, assignment, POLICIES[name], cfg, engine)
         )
 
-    @pytest.mark.parametrize("fast", [False, True], ids=["reference", "fastpath"])
-    def test_milp(self, tiny_trace, tiny_assignment, fast):
-        cfg = SimulationConfig(fast=fast)
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_milp(self, tiny_trace, tiny_assignment, engine):
+        cfg = SimulationConfig()
         assert_headline_identical(
-            *run_pair(tiny_trace, tiny_assignment, MilpPolicy, cfg)
+            *run_pair(tiny_trace, tiny_assignment, MilpPolicy, cfg, engine)
         )
 
-    @pytest.mark.parametrize("fast", [False, True], ids=["reference", "fastpath"])
-    def test_with_events_and_capacity_valve(self, small_trace, assignment, fast):
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_with_events_and_capacity_valve(self, small_trace, assignment, engine):
         # The valve shares an RNG stream with nothing else, but its draws
         # must stay aligned run-to-run: the recorder must not consume or
         # reseed it.
         cfg = SimulationConfig(
-            fast=fast, record_events=True,
+            record_events=True,
             memory_capacity_mb=4000.0, capacity_seed=11,
         )
-        off, on = run_pair(small_trace, assignment, POLICIES["pulse"], cfg)
+        off, on = run_pair(small_trace, assignment, POLICIES["pulse"], cfg, engine)
         assert off.n_forced_downgrades > 0  # the axis is exercised
         assert_headline_identical(off, on)
 
@@ -105,12 +109,12 @@ class TestObservabilityEquivalence:
         # (the existing engine-equivalence suite runs unobserved).
         ref = Simulation(
             small_trace, assignment, PulsePolicy(),
-            SimulationConfig(fast=False, observe=True),
-        ).run()
+            SimulationConfig(observe=True),
+        ).run(engine="reference")
         fast = Simulation(
             small_trace, assignment, PulsePolicy(),
-            SimulationConfig(fast=True, observe=True),
-        ).run()
+            SimulationConfig(observe=True),
+        ).run(engine="fast")
         for field in HEADLINE:
             assert getattr(ref, field) == getattr(fast, field), field
         # Both engines record the same decisions in the same order.

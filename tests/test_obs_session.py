@@ -129,11 +129,11 @@ def one_function_trace(counts):
 class TestEngineDisabledPath:
     """SimulationConfig.observe=None (default) must allocate nothing."""
 
-    @pytest.mark.parametrize("fast", [False, True])
-    def test_unobserved_run_has_no_session(self, gpt, fast):
-        cfg = SimulationConfig(fast=fast)
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_unobserved_run_has_no_session(self, gpt, engine):
+        cfg = SimulationConfig()
         r = Simulation(one_function_trace([1, 0, 1]), {0: gpt},
-                       OpenWhiskPolicy(), cfg).run()
+                       OpenWhiskPolicy(), cfg).run(engine=engine)
         assert r.obs is None
         assert r.flat_metrics() == {}
 
@@ -156,10 +156,12 @@ class TestEngineDisabledPath:
 
 
 class TestEngineObservedPath:
-    @pytest.mark.parametrize("fast", [False, True])
-    def test_observed_run_populates_session(self, small_trace, assignment, fast):
-        cfg = SimulationConfig(fast=fast, observe=True)
-        r = Simulation(small_trace, assignment, PulsePolicy(), cfg).run()
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_observed_run_populates_session(self, small_trace, assignment, engine):
+        cfg = SimulationConfig(observe=True)
+        r = Simulation(
+            small_trace, assignment, PulsePolicy(), cfg
+        ).run(engine=engine)
         s = r.obs
         assert s is not None and s.enabled
         kinds = {rec["kind"] for rec in s.records}

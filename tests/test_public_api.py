@@ -6,7 +6,9 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.api",
     "repro.core",
+    "repro.faults",
     "repro.models",
     "repro.traces",
     "repro.runtime",
@@ -52,10 +54,11 @@ class TestConvenienceImports:
         )
         from repro.baselines import OpenWhiskPolicy  # noqa: F401
         from repro.experiments.assignments import sample_assignment  # noqa: F401
+        from repro import make_policy, simulate  # noqa: F401
 
-    def test_policy_registry_in_cli_is_complete(self):
-        from repro.cli import _POLICIES
+    def test_policy_registry_is_complete(self):
+        from repro.api import list_policies, make_policy
 
-        for name, factory in _POLICIES.items():
-            policy = factory()
+        for name in list_policies():
+            policy = make_policy(name)
             assert policy.name, name

@@ -1,0 +1,70 @@
+"""Shared CLI spec parsing: shapes, errors, error messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.specs import (
+    SpecError,
+    parse_fid_minute,
+    parse_float_list,
+    parse_kv_spec,
+)
+
+
+class TestParseFidMinute:
+    def test_ok(self):
+        assert parse_fid_minute("3:120", "--cold") == (3, 120)
+
+    def test_missing_colon(self):
+        with pytest.raises(SpecError, match="missing ':'"):
+            parse_fid_minute("3120", "--cold")
+
+    def test_non_integer_parts(self):
+        with pytest.raises(SpecError, match="--plan"):
+            parse_fid_minute("a:b", "--plan")
+
+    def test_is_catchable_and_exits(self):
+        # SystemExit subclass: the CLI exits, libraries can catch it.
+        with pytest.raises(SystemExit):
+            parse_fid_minute("nope", "--cold")
+
+
+class TestParseFloatList:
+    def test_ok(self):
+        assert parse_float_list("0, 0.05 ,0.1", "--rates") == [0.0, 0.05, 0.1]
+
+    def test_bad_token_named_in_error(self):
+        with pytest.raises(SpecError, match="'x'"):
+            parse_float_list("0,x", "--rates")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecError, match="at least one"):
+            parse_float_list(",,", "--rates")
+
+
+FIELDS = {
+    "spawn": ("spawn_failure_rate", float),
+    "retries": ("max_spawn_retries", int),
+}
+
+
+class TestParseKvSpec:
+    def test_maps_spec_keys_to_attributes(self):
+        out = parse_kv_spec("spawn=0.1, retries=3", "--faults", FIELDS)
+        assert out == {"spawn_failure_rate": 0.1, "max_spawn_retries": 3}
+
+    def test_empty_spec_is_empty_dict(self):
+        assert parse_kv_spec("", "--faults", FIELDS) == {}
+
+    def test_unknown_key_lists_known(self):
+        with pytest.raises(SpecError, match="retries"):
+            parse_kv_spec("spwan=0.1", "--faults", FIELDS)
+
+    def test_missing_equals(self):
+        with pytest.raises(SpecError, match="KEY=VALUE"):
+            parse_kv_spec("spawn", "--faults", FIELDS)
+
+    def test_uncastable_value_names_type(self):
+        with pytest.raises(SpecError, match="int"):
+            parse_kv_spec("retries=many", "--faults", FIELDS)
