@@ -1,0 +1,60 @@
+"""Static analysis for the repro codebase: ``repro lint``.
+
+An AST-based lint engine plus a rule pack enforcing this repository's
+reproducibility contracts *at lint time* — determinism of the replay
+harness (RPR001), parity between the reference and event-driven engines
+(RPR002), the policy lifecycle/picklability contract (RPR003), internal
+deprecation hygiene (RPR004) and spec-string hygiene (RPR005). See
+``docs/architecture.md`` ("Static analysis") for the rule catalogue,
+the ``# repro: lint-ok[RULE] reason`` waiver syntax, and how to add a
+rule.
+
+Typical use::
+
+    from pathlib import Path
+    from repro import analysis
+
+    report = analysis.lint_paths([Path("src/repro")])
+    print(analysis.render_text(report))
+    raise SystemExit(report.exit_code)
+"""
+
+from repro.analysis import rules as _rules  # registers the rule pack
+from repro.analysis.engine import (
+    META_RULE_ID,
+    Finding,
+    LintReport,
+    Rule,
+    Severity,
+    SourceModule,
+    Suppression,
+    iter_python_files,
+    lint_paths,
+    make_rules,
+    register_rule,
+    rule_ids,
+    rule_summaries,
+    run_lint,
+)
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "META_RULE_ID",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "SourceModule",
+    "Suppression",
+    "iter_python_files",
+    "lint_paths",
+    "make_rules",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_ids",
+    "rule_summaries",
+    "run_lint",
+]
+
+del _rules

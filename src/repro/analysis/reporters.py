@@ -1,0 +1,57 @@
+"""Render a :class:`~repro.analysis.engine.LintReport` for humans or CI.
+
+Two formats:
+
+- :func:`render_text` — one ``path:line:col: RULE [severity] message``
+  line per finding plus a summary trailer, the shape editors and CI log
+  scrapers already understand;
+- :func:`render_json` — a versioned JSON document (``repro lint --format
+  json``), uploaded as a CI artifact so rule regressions are diffable
+  across runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintReport
+
+__all__ = ["render_json", "render_text"]
+
+#: Bumped when the JSON document shape changes incompatibly.
+JSON_FORMAT_VERSION = 1
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report, one line per finding."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule} [{f.severity.value}] {f.message}"
+        for f in report.findings
+    ]
+    if report.clean:
+        lines.append(
+            f"repro lint: clean — {report.n_files} file(s), "
+            f"rules {', '.join(report.rule_ids)}"
+        )
+    else:
+        by_rule = report.by_rule()
+        breakdown = ", ".join(
+            f"{rid}: {len(found)}" for rid, found in sorted(by_rule.items())
+        )
+        lines.append(
+            f"repro lint: {len(report.findings)} finding(s) in "
+            f"{report.n_files} file(s) ({breakdown})"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (stable key order, trailing newline-free)."""
+    doc = {
+        "version": JSON_FORMAT_VERSION,
+        "clean": report.clean,
+        "n_files": report.n_files,
+        "rules": report.rule_ids,
+        "findings": [f.to_dict() for f in report.findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)

@@ -1,0 +1,95 @@
+"""RPR004 — deprecation hygiene: repro internals must not call their own
+shims.
+
+The deprecation shims exist so *external* callers keep working for one
+release: ``SimulationConfig(fast=True)`` (superseded by the ``engine``
+argument of ``Simulation.run`` / ``repro.api.simulate``) and the
+pre-registry CLI surface (``repro.cli._POLICIES`` /
+``_LONG_WINDOW_POLICIES`` / ``_parse_fid_minute``). The test suite
+already errors on repro-internal ``DeprecationWarning``s at runtime —
+but only on the paths a test happens to execute. This rule closes the
+gap at lint time: any repro-internal reference to a shim is an error,
+regardless of test coverage. (The modules *implementing* a shim
+necessarily mention the underlying field/name; those sites read
+attributes rather than calling the deprecated constructors, so they do
+not trip the rule.)
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.engine import (
+    Finding,
+    Rule,
+    Severity,
+    SourceModule,
+    register_rule,
+)
+
+__all__ = ["DeprecationHygieneRule"]
+
+#: Names shimmed out of repro.cli; importing or attribute-reading them
+#: from anywhere inside the package is a finding.
+SHIMMED_CLI_NAMES = frozenset(
+    {"_POLICIES", "_LONG_WINDOW_POLICIES", "_parse_fid_minute"}
+)
+
+
+@register_rule
+class DeprecationHygieneRule(Rule):
+    """Ban repro-internal use of the repo's own deprecation shims."""
+
+    id = "RPR004"
+    severity = Severity.ERROR
+    summary = (
+        "internals must not use shimmed APIs: SimulationConfig(fast=...), "
+        "repro.cli._POLICIES / _LONG_WINDOW_POLICIES / _parse_fid_minute"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        return list(self._check(module))
+
+    def _check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if name == "SimulationConfig":
+                    for keyword in node.keywords:
+                        if keyword.arg == "fast":
+                            yield self.finding(
+                                module,
+                                keyword,
+                                "SimulationConfig(fast=...) is a deprecated "
+                                "shim; select the loop via "
+                                "Simulation.run(engine=...) or "
+                                "repro.api.simulate(..., engine=...)",
+                            )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[-1] == "cli":
+                    for item in node.names:
+                        if item.name in SHIMMED_CLI_NAMES:
+                            yield self.finding(
+                                module,
+                                node,
+                                f"import of shimmed repro.cli.{item.name}; "
+                                "use repro.api.list_policies/policy_spec or "
+                                "repro.utils.specs.parse_fid_minute",
+                            )
+            elif isinstance(node, ast.Attribute):
+                if node.attr in SHIMMED_CLI_NAMES:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"reference to shimmed {node.attr}; use "
+                        "repro.api.list_policies/policy_spec or "
+                        "repro.utils.specs.parse_fid_minute",
+                    )

@@ -1,0 +1,152 @@
+"""RPR002 — engine parity: the reference and fast loops must speak the
+same surface.
+
+``runtime/simulator.py`` (the reference minute loop) and
+``runtime/fastpath.py`` (the event-driven loop) are contractually
+metric-identical — the golden tests pin bit-equality, but only for the
+configurations they sample. A handler added to one loop and forgotten in
+the other (a new :class:`~repro.runtime.events.EventKind`, a new
+``RunResult`` counter, a new obs record hook or metric instrument) slips
+straight past a golden test that never exercises it. This rule makes the
+asymmetry itself the error: it cross-references the two engine files and
+flags every
+
+- ``EventKind.X`` attribute reference,
+- ``RunResult(...)`` keyword argument,
+- ``record_*`` observability-hook call, and
+- metric instrument name (the string handed to ``counter``/``gauge``/
+  ``histogram``)
+
+that appears in one engine file but not the other. A deliberate
+asymmetry (e.g. an event emitted from a helper that both engines share)
+is waived at the referencing line with a reasoned
+``# repro: lint-ok[RPR002] ...`` comment.
+
+Engine files are recognised by basename (``simulator.py`` /
+``fastpath.py``) and compared per directory, so a fixture copy of the
+pair in a test sandbox is checked exactly like the real one.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.analysis.engine import (
+    Finding,
+    Rule,
+    Severity,
+    SourceModule,
+    register_rule,
+)
+
+__all__ = ["EngineParityRule"]
+
+REFERENCE_BASENAME = "simulator.py"
+FAST_BASENAME = "fastpath.py"
+
+_METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+
+class _EngineSurface(ast.NodeVisitor):
+    """Collect the parity-checked references of one engine file, each
+    with the position of its first occurrence."""
+
+    def __init__(self) -> None:
+        self.event_kinds: dict[str, ast.AST] = {}
+        self.run_result_kwargs: dict[str, ast.AST] = {}
+        self.obs_hooks: dict[str, ast.AST] = {}
+        self.metric_names: dict[str, ast.AST] = {}
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == "EventKind":
+            self.event_kinds.setdefault(node.attr, node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "RunResult":
+            for keyword in node.keywords:
+                if keyword.arg is not None:
+                    self.run_result_kwargs.setdefault(keyword.arg, keyword)
+        if isinstance(func, ast.Attribute):
+            if func.attr.startswith("record_"):
+                self.obs_hooks.setdefault(func.attr, node)
+            if (
+                func.attr in _METRIC_FACTORIES
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                self.metric_names.setdefault(node.args[0].value, node)
+        self.generic_visit(node)
+
+
+def _surface(module: SourceModule) -> _EngineSurface:
+    visitor = _EngineSurface()
+    visitor.visit(module.tree)
+    return visitor
+
+
+@register_rule
+class EngineParityRule(Rule):
+    """Cross-check simulator.py vs fastpath.py for one-sided references."""
+
+    id = "RPR002"
+    severity = Severity.ERROR
+    summary = (
+        "every EventKind / RunResult counter / obs hook / metric name in "
+        "one engine must appear (or be waived) in the other"
+    )
+
+    def finalize(self, modules: Sequence[SourceModule]) -> Iterable[Finding]:
+        pairs: dict[str, dict[str, SourceModule]] = {}
+        for module in modules:
+            name = module.path.name
+            if name in (REFERENCE_BASENAME, FAST_BASENAME):
+                key = str(module.path.resolve().parent)
+                pairs.setdefault(key, {})[name] = module
+        out: list[Finding] = []
+        for pair in pairs.values():
+            if REFERENCE_BASENAME in pair and FAST_BASENAME in pair:
+                out.extend(
+                    self._compare(pair[REFERENCE_BASENAME], pair[FAST_BASENAME])
+                )
+        return out
+
+    def _compare(
+        self, reference: SourceModule, fast: SourceModule
+    ) -> Iterator[Finding]:
+        surf_ref = _surface(reference)
+        surf_fast = _surface(fast)
+        categories: list[tuple[str, dict[str, ast.AST], dict[str, ast.AST]]] = [
+            ("EventKind", surf_ref.event_kinds, surf_fast.event_kinds),
+            (
+                "RunResult kwarg",
+                surf_ref.run_result_kwargs,
+                surf_fast.run_result_kwargs,
+            ),
+            ("obs hook", surf_ref.obs_hooks, surf_fast.obs_hooks),
+            ("metric", surf_ref.metric_names, surf_fast.metric_names),
+        ]
+        for label, in_ref, in_fast in categories:
+            yield from self._one_sided(label, reference, in_ref, fast, in_fast)
+            yield from self._one_sided(label, fast, in_fast, reference, in_ref)
+
+    def _one_sided(
+        self,
+        label: str,
+        present: SourceModule,
+        present_refs: dict[str, ast.AST],
+        missing: SourceModule,
+        missing_refs: dict[str, ast.AST],
+    ) -> Iterator[Finding]:
+        for name in sorted(set(present_refs) - set(missing_refs)):
+            yield self.finding(
+                present,
+                present_refs[name],
+                f"engine parity: {label} {name!r} is referenced in "
+                f"{present.path.name} but not in {missing.path.name} — "
+                "handle it in both engine loops, or waive here with a "
+                "reason if a shared helper covers both",
+            )

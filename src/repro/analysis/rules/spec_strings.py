@@ -1,0 +1,268 @@
+"""RPR005 — spec-string hygiene: every spec literal must actually parse.
+
+The CLI's mini-languages — ``--faults`` ``key=value`` bundles, comma
+float lists for ``--rates``, registry policy names — appear as literals
+in argparse defaults, docstring examples and call sites. A typo'd
+example (``spwan=0.1``) or a default naming a renamed policy only blows
+up when a user pastes it. This rule finds those literals and runs them
+through the real parsers (:mod:`repro.utils.specs`,
+:meth:`repro.faults.plan.FaultPlan.from_spec`, the
+:mod:`repro.api` registry), so the documentation and defaults can never
+drift from the implementation:
+
+- string arguments of ``FaultPlan.from_spec(...)`` and ``faults=``
+  keywords must build a valid :class:`~repro.faults.plan.FaultPlan`;
+- ``add_argument("--faults", default=...)`` / ``("--rates", default=...)``
+  defaults must parse;
+- policy-name literals in ``make_policy(...)`` / ``policy_spec(...)``
+  calls, ``--policies`` defaults, and ``*POLICIES*`` constant tuples
+  must be registered names;
+- fault-spec-shaped fragments *inside any string literal* (docstring and
+  help-text examples like ``'spawn=0.1,slow=0.05,seed=7'``) are
+  validated too, when every key in the fragment is a fault-spec key.
+
+The heavy imports (``repro.api`` pulls the registry, ``FaultPlan`` pulls
+numpy) happen lazily on first use so ``import repro.analysis`` stays
+stdlib-only.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.engine import (
+    Finding,
+    Rule,
+    Severity,
+    SourceModule,
+    register_rule,
+)
+
+__all__ = ["SpecStringRule"]
+
+#: ``key=value(,key=value)+`` runs inside larger text — at least two
+#: pairs, so prose containing a single ``a=b`` is never misread.
+_KV_RUN_RE = re.compile(
+    r"[A-Za-z][\w-]*=[^\s,'\"`]+(?:,[A-Za-z][\w-]*=[^\s,'\"`]+)+"
+)
+
+
+def _str_const(node: ast.expr | None) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+class _Validators:
+    """Lazily-imported handles on the real parsers; ``None`` members mean
+    the corresponding check is skipped (import unavailable)."""
+
+    def __init__(self) -> None:
+        try:
+            from repro.faults.plan import _SPEC_FIELDS, FaultPlan
+
+            self.fault_plan: type | None = FaultPlan
+            self.fault_keys: frozenset[str] = frozenset(_SPEC_FIELDS)
+        except Exception:  # pragma: no cover - numpy always present here
+            self.fault_plan = None
+            self.fault_keys = frozenset()
+        try:
+            from repro.api import list_policies
+
+            self.policy_names: frozenset[str] | None = frozenset(
+                list_policies()
+            )
+        except Exception:  # pragma: no cover
+            self.policy_names = None
+
+    def fault_spec_error(self, spec: str) -> str | None:
+        """Why ``spec`` is not a valid fault plan, or None if it is."""
+        if self.fault_plan is None:
+            return None
+        from repro.utils.specs import SpecError
+
+        try:
+            self.fault_plan.from_spec(spec)
+        except (SpecError, ValueError, TypeError) as exc:
+            return str(exc)
+        return None
+
+    def float_list_error(self, spec: str) -> str | None:
+        from repro.utils.specs import SpecError, parse_float_list
+
+        try:
+            parse_float_list(spec, "--rates")
+        except (SpecError, ValueError) as exc:
+            return str(exc)
+        return None
+
+
+@register_rule
+class SpecStringRule(Rule):
+    """Validate fault-spec, rate-list and policy-name literals with the
+    parsers that will actually consume them."""
+
+    id = "RPR005"
+    severity = Severity.ERROR
+    summary = (
+        "fault/policy/rate spec literals (defaults, examples, registry "
+        "names) must parse via utils.specs / the api registry"
+    )
+
+    def __init__(self) -> None:
+        self._validators: _Validators | None = None
+
+    @property
+    def validators(self) -> _Validators:
+        if self._validators is None:
+            self._validators = _Validators()
+        return self._validators
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        return list(self._check(module))
+
+    def _check(self, module: SourceModule) -> Iterator[Finding]:
+        explicit: set[int] = set()  # id() of Constant nodes already checked
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, explicit)
+            elif isinstance(node, ast.Assign):
+                yield from self._check_policy_constant(module, node, explicit)
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and id(node) not in explicit
+            ):
+                yield from self._check_embedded(module, node)
+
+    # -- explicit spec-bearing call sites ---------------------------------
+    def _check_call(
+        self, module: SourceModule, node: ast.Call, explicit: set[int]
+    ) -> Iterator[Finding]:
+        func = node.func
+        func_name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        if func_name == "from_spec" and node.args:
+            spec = _str_const(node.args[0])
+            if spec is not None:
+                explicit.add(id(node.args[0]))
+                yield from self._fault_finding(module, node.args[0], spec)
+        for keyword in node.keywords:
+            if keyword.arg == "faults":
+                spec = _str_const(keyword.value)
+                if spec is not None:
+                    explicit.add(id(keyword.value))
+                    yield from self._fault_finding(module, keyword.value, spec)
+        if func_name in ("make_policy", "policy_spec") and node.args:
+            name = _str_const(node.args[0])
+            if name is not None:
+                explicit.add(id(node.args[0]))
+                yield from self._policy_finding(module, node.args[0], name)
+        if func_name == "add_argument" and node.args:
+            yield from self._check_add_argument(module, node, explicit)
+
+    def _check_add_argument(
+        self, module: SourceModule, node: ast.Call, explicit: set[int]
+    ) -> Iterator[Finding]:
+        flag = _str_const(node.args[0])
+        if flag is None:
+            return
+        default = next(
+            (kw.value for kw in node.keywords if kw.arg == "default"), None
+        )
+        if default is None:
+            return
+        if flag == "--faults":
+            spec = _str_const(default)
+            if spec is not None:
+                explicit.add(id(default))
+                yield from self._fault_finding(module, default, spec)
+        elif flag == "--rates":
+            spec = _str_const(default)
+            if spec is not None:
+                explicit.add(id(default))
+                error = self.validators.float_list_error(spec)
+                if error is not None:
+                    yield self.finding(
+                        module,
+                        default,
+                        f"--rates default {spec!r} does not parse: {error}",
+                    )
+        elif flag == "--policies" and isinstance(default, (ast.List, ast.Tuple)):
+            for element in default.elts:
+                name = _str_const(element)
+                if name is not None:
+                    explicit.add(id(element))
+                    yield from self._policy_finding(module, element, name)
+
+    def _check_policy_constant(
+        self, module: SourceModule, node: ast.Assign, explicit: set[int]
+    ) -> Iterator[Finding]:
+        """``DEFAULT_POLICIES = ("pulse", ...)``-style name tuples."""
+        if not any(
+            isinstance(t, ast.Name) and "POLICIES" in t.id
+            for t in node.targets
+        ):
+            return
+        if not isinstance(node.value, (ast.List, ast.Tuple)):
+            return
+        for element in node.value.elts:
+            name = _str_const(element)
+            if name is not None:
+                explicit.add(id(element))
+                yield from self._policy_finding(module, element, name)
+
+    # -- embedded examples -------------------------------------------------
+    def _check_embedded(
+        self, module: SourceModule, node: ast.Constant
+    ) -> Iterator[Finding]:
+        fault_keys = self.validators.fault_keys
+        if not fault_keys:
+            return
+        for match in _KV_RUN_RE.finditer(node.value):
+            run = match.group(0)
+            keys = [part.partition("=")[0] for part in run.split(",")]
+            if not all(key in fault_keys for key in keys):
+                continue  # some other mini-language; not ours to judge
+            error = self.validators.fault_spec_error(run)
+            if error is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"embedded fault-spec example {run!r} does not parse: "
+                    f"{error}",
+                )
+
+    # -- shared finding builders ------------------------------------------
+    def _fault_finding(
+        self, module: SourceModule, node: ast.expr, spec: str
+    ) -> Iterator[Finding]:
+        error = self.validators.fault_spec_error(spec)
+        if error is not None:
+            yield self.finding(
+                module,
+                node,
+                f"fault spec {spec!r} does not parse via "
+                f"FaultPlan.from_spec: {error}",
+            )
+
+    def _policy_finding(
+        self, module: SourceModule, node: ast.expr, name: str
+    ) -> Iterator[Finding]:
+        names = self.validators.policy_names
+        if names is None or name in names:
+            return
+        yield self.finding(
+            module,
+            node,
+            f"policy name {name!r} is not in the repro.api registry; "
+            f"known: {', '.join(sorted(names))}",
+        )

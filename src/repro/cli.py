@@ -56,7 +56,14 @@ from repro.traces.analysis import activity_summary, invocation_peaks
 from repro.traces.azure import load_azure_csv, top_functions, write_azure_csv
 from repro.traces.schema import Trace
 from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
-from repro.utils.specs import parse_fid_minute, parse_float_list
+from repro.utils.specs import (
+    parse_choice_list,
+    parse_fid_minute,
+    parse_float_list,
+    parse_optional_int,
+    parse_scoped_fid_minute,
+    resolve_paths,
+)
 
 __all__ = ["main"]
 
@@ -178,24 +185,37 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     if args.downgrades is not None:
         if queried:
             print()
-        fid = minute = None
-        if args.downgrades:
-            spec = args.downgrades
-            if ":" in spec:
-                fid, minute = parse_fid_minute(spec, "--downgrades")
-            else:
-                fid = int(spec)
+        fid, minute = parse_scoped_fid_minute(args.downgrades, "--downgrades")
         print(index.explain_downgrades(fid, minute))
         queried = True
     if args.faults is not None:
         if queried:
             print()
-        fid = int(args.faults) if args.faults else None
-        print(index.explain_faults(fid))
+        print(index.explain_faults(parse_optional_int(args.faults, "--faults")))
         queried = True
     if not queried:
         print(index.summary())
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro import analysis
+
+    default_target = Path(__file__).resolve().parent
+    paths = resolve_paths(args.paths, "repro lint", default=default_target)
+    rules = (
+        parse_choice_list(args.rule, "--rule", analysis.rule_ids())
+        if args.rule
+        else None
+    )
+    report = analysis.run_lint(
+        analysis.iter_python_files(paths), rule_ids=rules
+    )
+    if args.format == "json":
+        print(analysis.render_json(report))
+    else:
+        print(analysis.render_text(report))
+    return report.exit_code
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -444,6 +464,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="explain injected faults and policy crashes "
                             "(why did this function fall back?)")
     p_ins.set_defaults(func=_cmd_inspect)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static reproducibility checks (repro.analysis rule pack)",
+        description=(
+            "AST-lint the codebase against the repro-specific rule pack: "
+            "RPR001 determinism, RPR002 engine parity, RPR003 policy "
+            "contract, RPR004 deprecation hygiene, RPR005 spec-string "
+            "hygiene. Exits 0 when clean, 1 on findings."
+        ),
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the installed "
+             "repro package)",
+    )
+    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (json is the CI artifact shape)")
+    p_lint.add_argument(
+        "--rule", action="append", metavar="RULE",
+        help="restrict to these rule ids (repeatable or comma-separated, "
+             "e.g. --rule RPR001,RPR002)",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_prof = sub.add_parser("profile", help="Table I profiling campaign")
     p_prof.add_argument("--warm-samples", type=int, default=1000)

@@ -14,9 +14,19 @@ still catch it like any exception.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from pathlib import Path
 
-__all__ = ["SpecError", "parse_fid_minute", "parse_float_list", "parse_kv_spec"]
+__all__ = [
+    "SpecError",
+    "parse_choice_list",
+    "parse_fid_minute",
+    "parse_float_list",
+    "parse_kv_spec",
+    "parse_optional_int",
+    "parse_scoped_fid_minute",
+    "resolve_paths",
+]
 
 
 class SpecError(SystemExit):
@@ -37,6 +47,92 @@ def parse_fid_minute(spec: str, flag: str) -> tuple[int, int]:
             f"{flag} expects FID:MINUTE with integer parts (e.g. 3:120), "
             f"got {spec!r}"
         ) from None
+
+
+def parse_scoped_fid_minute(
+    spec: str, flag: str
+) -> tuple[int | None, int | None]:
+    """Parse an optionally-scoped coordinate: ``''`` (everything),
+    ``FID`` (one function) or ``FID:MINUTE`` (one cell).
+
+    Used by the ``repro inspect`` scope flags (``--downgrades`` takes all
+    three shapes); returns ``(fid, minute)`` with ``None`` for the
+    unspecified parts.
+    """
+    spec = spec.strip()
+    if not spec:
+        return None, None
+    if ":" in spec:
+        return parse_fid_minute(spec, flag)
+    try:
+        return int(spec), None
+    except ValueError:
+        raise SpecError(
+            f"{flag} expects FID or FID:MINUTE (e.g. 3 or 3:120), got {spec!r}"
+        ) from None
+
+
+def parse_optional_int(spec: str, flag: str) -> int | None:
+    """Parse an optional integer scope (``''`` means unscoped)."""
+    spec = spec.strip()
+    if not spec:
+        return None
+    try:
+        return int(spec)
+    except ValueError:
+        raise SpecError(
+            f"{flag} expects an integer (or nothing), got {spec!r}"
+        ) from None
+
+
+def parse_choice_list(
+    values: Iterable[str], flag: str, choices: Sequence[str]
+) -> list[str]:
+    """Normalize repeated/comma-separated choice flags against a fixed
+    vocabulary (e.g. ``--rule RPR001 --rule rpr002,RPR005``).
+
+    Matching is case-insensitive against upper-case ``choices``; the
+    result is de-duplicated, original order preserved.
+    """
+    out: list[str] = []
+    for value in values:
+        for token in value.split(","):
+            token = token.strip().upper()
+            if not token:
+                continue
+            if token not in choices:
+                raise SpecError(
+                    f"{flag}: unknown choice {token!r} "
+                    f"(known: {', '.join(choices)})"
+                )
+            if token not in out:
+                out.append(token)
+    if not out:
+        raise SpecError(f"{flag} expects at least one choice, got none")
+    return out
+
+
+def resolve_paths(
+    raw: Sequence[str], flag: str, default: Path | None = None
+) -> list[Path]:
+    """Turn CLI path operands into existing :class:`~pathlib.Path`\\ s.
+
+    With no operands, returns ``[default]`` (the caller's notion of "the
+    whole tree"). A nonexistent operand is a :class:`SpecError` — the
+    historical behaviour was a bare traceback from deep inside the
+    consumer.
+    """
+    if not raw:
+        if default is None:
+            raise SpecError(f"{flag} expects at least one path")
+        return [default]
+    out: list[Path] = []
+    for token in raw:
+        path = Path(token)
+        if not path.exists():
+            raise SpecError(f"{flag}: path {token!r} does not exist")
+        out.append(path)
+    return out
 
 
 def parse_float_list(spec: str, flag: str) -> list[float]:

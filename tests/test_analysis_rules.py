@@ -1,0 +1,529 @@
+"""The rule pack: one flagged and one clean fixture per behaviour."""
+
+from __future__ import annotations
+
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import lint_paths
+
+REPRO_ROOT = Path(repro.__file__).resolve().parent
+
+
+def write(tmp_path: Path, rel: str, source: str) -> Path:
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def rules_hit(path: Path | list[Path], *rule_ids: str) -> list[str]:
+    paths = path if isinstance(path, list) else [path]
+    report = lint_paths(paths, rule_ids=list(rule_ids) or None)
+    return [f.rule for f in report.findings]
+
+
+class TestDeterminismRPR001:
+    def test_stdlib_random_import_flagged(self, tmp_path):
+        path = write(tmp_path, "runtime/x.py", "import random\n")
+        assert rules_hit(path, "RPR001") == ["RPR001"]
+
+    def test_secrets_import_flagged(self, tmp_path):
+        path = write(tmp_path, "faults/x.py", "from secrets import token_hex\n")
+        assert rules_hit(path, "RPR001") == ["RPR001"]
+
+    def test_unseeded_random_call_flagged(self, tmp_path):
+        # The import and the call are two findings: planting a single
+        # random.random() in engine code cannot slip through.
+        path = write(
+            tmp_path,
+            "runtime/x.py",
+            """\
+            import random
+
+            def draw():
+                return random.random()
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR001"])
+        assert len(report.findings) == 2
+        assert any("random.random" in f.message for f in report.findings)
+
+    def test_wall_clock_reads_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "milp/x.py",
+            """\
+            import time
+            from datetime import datetime
+
+            def stamp():
+                return time.time(), datetime.now()
+            """,
+        )
+        assert rules_hit(path, "RPR001") == ["RPR001", "RPR001"]
+
+    def test_perf_counter_allowed(self, tmp_path):
+        path = write(
+            tmp_path,
+            "runtime/x.py",
+            """\
+            import time
+
+            def span():
+                return time.perf_counter()
+            """,
+        )
+        assert rules_hit(path, "RPR001") == []
+
+    def test_numpy_global_draw_flagged_explicit_generator_allowed(
+        self, tmp_path
+    ):
+        path = write(
+            tmp_path,
+            "sota/x.py",
+            """\
+            import numpy as np
+
+            def bad():
+                return np.random.rand(3)
+
+            def good(seed):
+                return np.random.default_rng(seed).random(3)
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR001"])
+        assert len(report.findings) == 1
+        assert "numpy.random.rand" in report.findings[0].message
+
+    def test_set_iteration_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "runtime/x.py",
+            """\
+            def fold(items):
+                total = 0
+                for fid in set(items):
+                    total += fid
+                return total
+            """,
+        )
+        assert rules_hit(path, "RPR001") == ["RPR001"]
+
+    def test_comprehension_over_set_literal_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "runtime/x.py",
+            "OUT = [x for x in {1, 2, 3}]\n",
+        )
+        assert rules_hit(path, "RPR001") == ["RPR001"]
+
+    def test_sorted_set_iteration_allowed(self, tmp_path):
+        path = write(
+            tmp_path,
+            "runtime/x.py",
+            """\
+            def fold(items):
+                return [fid for fid in sorted(set(items))]
+            """,
+        )
+        assert rules_hit(path, "RPR001") == []
+
+    def test_out_of_scope_module_exempt(self, tmp_path):
+        path = write(tmp_path, "plotting/x.py", "import random\n")
+        assert rules_hit(path, "RPR001") == []
+
+
+SIM_TEMPLATE = """\
+from repro.runtime.events import EventKind
+
+
+def run(events, obs):
+    events.emit(0, EventKind.COLD_START, 1, "low", 1.0)
+    events.emit(0, EventKind.WARM_START, 1, "low", 1.0)
+    obs.record_cold_start(0, 1)
+"""
+
+FAST_TEMPLATE = """\
+from repro.runtime.events import EventKind
+
+
+def run(events, obs):
+    events.emit(0, EventKind.COLD_START, 1, "low", 1.0)
+    events.emit(0, EventKind.WARM_START, 1, "low", 1.0)
+    obs.record_cold_start(0, 1)
+"""
+
+
+class TestEngineParityRPR002:
+    def pair(self, tmp_path, sim=SIM_TEMPLATE, fast=FAST_TEMPLATE):
+        return [
+            write(tmp_path, "engines/simulator.py", sim),
+            write(tmp_path, "engines/fastpath.py", fast),
+        ]
+
+    def test_symmetric_pair_clean(self, tmp_path):
+        assert rules_hit(self.pair(tmp_path), "RPR002") == []
+
+    def test_event_kind_missing_from_fast_loop(self, tmp_path):
+        fast = FAST_TEMPLATE.replace(
+            'events.emit(0, EventKind.WARM_START, 1, "low", 1.0)\n    ', ""
+        )
+        paths = self.pair(tmp_path, fast=fast)
+        report = lint_paths(paths, rule_ids=["RPR002"])
+        (finding,) = report.findings
+        assert "WARM_START" in finding.message
+        assert finding.path.endswith("simulator.py")  # anchored where present
+
+    def test_obs_hook_missing_from_reference_loop(self, tmp_path):
+        sim = SIM_TEMPLATE.replace("    obs.record_cold_start(0, 1)\n", "")
+        report = lint_paths(self.pair(tmp_path, sim=sim), rule_ids=["RPR002"])
+        (finding,) = report.findings
+        assert "record_cold_start" in finding.message
+        assert finding.path.endswith("fastpath.py")
+
+    def test_run_result_kwarg_asymmetry(self, tmp_path):
+        sim = SIM_TEMPLATE + "\nRESULT = RunResult(cold_starts=1, drops=2)\n"
+        fast = FAST_TEMPLATE + "\nRESULT = RunResult(cold_starts=1)\n"
+        report = lint_paths(
+            self.pair(tmp_path, sim=sim, fast=fast), rule_ids=["RPR002"]
+        )
+        (finding,) = report.findings
+        assert "drops" in finding.message
+
+    def test_waiver_with_reason_accepted(self, tmp_path):
+        sim = SIM_TEMPLATE.replace(
+            "    events.emit(0, EventKind.WARM_START",
+            "    # repro: lint-ok[RPR002] emitted by a shared helper\n"
+            "    events.emit(0, EventKind.WARM_START",
+        )
+        fast = FAST_TEMPLATE.replace(
+            'events.emit(0, EventKind.WARM_START, 1, "low", 1.0)\n    ', ""
+        )
+        assert rules_hit(self.pair(tmp_path, sim=sim, fast=fast), "RPR002") == []
+
+    def test_unpaired_engine_file_not_compared(self, tmp_path):
+        path = write(tmp_path, "engines/simulator.py", SIM_TEMPLATE)
+        assert rules_hit(path, "RPR002") == []
+
+
+class TestRealEngineFixtureCopy:
+    """The ISSUE acceptance criterion: copy the real engine pair, delete a
+    handler from one copy, and RPR002 must catch it."""
+
+    @pytest.fixture()
+    def engine_copies(self, tmp_path):
+        sandbox = tmp_path / "runtime"
+        sandbox.mkdir()
+        for name in ("simulator.py", "fastpath.py"):
+            shutil.copy(REPRO_ROOT / "runtime" / name, sandbox / name)
+        return sandbox
+
+    def test_pristine_copies_are_clean(self, engine_copies):
+        assert rules_hit(list(engine_copies.glob("*.py")), "RPR002") == []
+
+    def test_removed_event_kind_handler_caught(self, engine_copies):
+        fast = engine_copies / "fastpath.py"
+        mutated = fast.read_text().replace(
+            "EventKind.COLD_START", "EventKind.WARM_START"
+        )
+        assert mutated != fast.read_text()
+        fast.write_text(mutated)
+        report = lint_paths(
+            list(engine_copies.glob("*.py")), rule_ids=["RPR002"]
+        )
+        assert any(
+            f.rule == "RPR002" and "COLD_START" in f.message
+            for f in report.findings
+        )
+
+
+class TestPolicyContractRPR003:
+    def test_init_without_super_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "policies.py",
+            """\
+            from repro.runtime.policy import KeepAlivePolicy
+
+            class BadPolicy(KeepAlivePolicy):
+                def __init__(self):
+                    self.window = 10
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR003"])
+        (finding,) = report.findings
+        assert "super().__init__" in finding.message
+
+    def test_init_with_super_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "policies.py",
+            """\
+            from repro.runtime.policy import KeepAlivePolicy
+
+            class GoodPolicy(KeepAlivePolicy):
+                def __init__(self):
+                    super().__init__()
+                    self.window = 10
+            """,
+        )
+        assert rules_hit(path, "RPR003") == []
+
+    def test_bind_override_without_super_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "policies.py",
+            """\
+            from repro.runtime.policy import KeepAlivePolicy
+
+            class BadPolicy(KeepAlivePolicy):
+                def bind(self, assignment):
+                    self.assignment = assignment
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR003"])
+        (finding,) = report.findings
+        assert "super().bind" in finding.message
+
+    def test_lambda_on_self_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "policies.py",
+            """\
+            from repro.runtime.policy import KeepAlivePolicy
+
+            class BadPolicy(KeepAlivePolicy):
+                def __init__(self):
+                    super().__init__()
+                    self.score = lambda f: f.calls
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR003"])
+        (finding,) = report.findings
+        assert "lambda" in finding.message
+
+    def test_module_level_mutable_state_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "policies.py",
+            """\
+            from repro.runtime.policy import KeepAlivePolicy
+
+            CACHE = {}
+
+            class SomePolicy(KeepAlivePolicy):
+                pass
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR003"])
+        (finding,) = report.findings
+        assert "CACHE" in finding.message
+
+    def test_module_without_policy_classes_exempt(self, tmp_path):
+        path = write(tmp_path, "helpers.py", "CACHE = {}\n")
+        assert rules_hit(path, "RPR003") == []
+
+    def test_dunder_and_immutable_module_state_allowed(self, tmp_path):
+        path = write(
+            tmp_path,
+            "policies.py",
+            """\
+            from repro.runtime.policy import KeepAlivePolicy
+
+            __all__ = ["SomePolicy"]
+            TIERS = ("low", "high")
+
+            class SomePolicy(KeepAlivePolicy):
+                pass
+            """,
+        )
+        assert rules_hit(path, "RPR003") == []
+
+
+class TestDeprecationRPR004:
+    def test_simulation_config_fast_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            """\
+            from repro.runtime.simulator import SimulationConfig
+
+            CONFIG = SimulationConfig(fast=True)
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR004"])
+        (finding,) = report.findings
+        assert "fast" in finding.message
+
+    def test_simulation_config_without_fast_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            """\
+            from repro.runtime.simulator import SimulationConfig
+
+            CONFIG = SimulationConfig(horizon_minutes=60)
+            """,
+        )
+        assert rules_hit(path, "RPR004") == []
+
+    def test_shimmed_cli_import_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            "from repro.cli import _POLICIES\n",
+        )
+        report = lint_paths([path], rule_ids=["RPR004"])
+        (finding,) = report.findings
+        assert "_POLICIES" in finding.message
+
+    def test_shimmed_attribute_reference_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            """\
+            from repro import cli
+
+            NAMES = cli._LONG_WINDOW_POLICIES
+            """,
+        )
+        assert rules_hit(path, "RPR004") == ["RPR004"]
+
+
+class TestSpecStringsRPR005:
+    def test_bad_from_spec_literal_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            """\
+            from repro.faults.plan import FaultPlan
+
+            PLAN = FaultPlan.from_spec("bogus=0.1")
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR005"])
+        (finding,) = report.findings
+        assert "bogus" in finding.message
+
+    def test_good_from_spec_literal_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            """\
+            from repro.faults.plan import FaultPlan
+
+            PLAN = FaultPlan.from_spec("spawn=0.1,slow=0.05,seed=7")
+            """,
+        )
+        assert rules_hit(path, "RPR005") == []
+
+    def test_unknown_policy_name_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            """\
+            from repro.api import make_policy
+
+            POLICY = make_policy("not-a-policy")
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR005"])
+        (finding,) = report.findings
+        assert "not-a-policy" in finding.message
+
+    def test_registered_policy_name_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            """\
+            from repro.api import make_policy
+
+            POLICY = make_policy("pulse")
+            """,
+        )
+        assert rules_hit(path, "RPR005") == []
+
+    def test_policies_constant_tuple_checked(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            'DEFAULT_POLICIES = ("pulse", "typo-policy")\n',
+        )
+        report = lint_paths([path], rule_ids=["RPR005"])
+        (finding,) = report.findings
+        assert "typo-policy" in finding.message
+
+    def test_bad_faults_argparse_default_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            """\
+            import argparse
+
+            parser = argparse.ArgumentParser()
+            parser.add_argument("--faults", default="spwan=0.1")
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR005"])
+        (finding,) = report.findings
+        assert "spwan" in finding.message
+
+    def test_bad_rates_argparse_default_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            """\
+            import argparse
+
+            parser = argparse.ArgumentParser()
+            parser.add_argument("--rates", default="0,oops,0.1")
+            """,
+        )
+        assert rules_hit(path, "RPR005") == ["RPR005"]
+
+    def test_bad_embedded_docstring_example_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            '''\
+            def run(spec):
+                """Replay with faults, e.g. ``spawn=oops,slow=0.1``."""
+            ''',
+        )
+        report = lint_paths([path], rule_ids=["RPR005"])
+        (finding,) = report.findings
+        assert "spawn=oops" in finding.message
+
+    def test_good_embedded_example_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            '''\
+            def run(spec):
+                """Replay with faults, e.g. ``spawn=0.1,seed=7``."""
+            ''',
+        )
+        assert rules_hit(path, "RPR005") == []
+
+    def test_foreign_mini_language_ignored(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            '''\
+            def run():
+                """Pass ``key=value,mode=fast`` to the other tool."""
+            ''',
+        )
+        assert rules_hit(path, "RPR005") == []
+
+
+class TestShippedTreeSelfCheck:
+    def test_repro_lints_clean(self):
+        report = lint_paths([REPRO_ROOT])
+        assert report.findings == [], [str(f) for f in report.findings]
+        assert report.exit_code == 0

@@ -4,11 +4,17 @@ from __future__ import annotations
 
 import pytest
 
+from pathlib import Path
+
 from repro.utils.specs import (
     SpecError,
+    parse_choice_list,
     parse_fid_minute,
     parse_float_list,
     parse_kv_spec,
+    parse_optional_int,
+    parse_scoped_fid_minute,
+    resolve_paths,
 )
 
 
@@ -68,3 +74,79 @@ class TestParseKvSpec:
     def test_uncastable_value_names_type(self):
         with pytest.raises(SpecError, match="int"):
             parse_kv_spec("retries=many", "--faults", FIELDS)
+
+
+class TestParseScopedFidMinute:
+    def test_empty_means_unscoped(self):
+        assert parse_scoped_fid_minute("", "--downgrades") == (None, None)
+        assert parse_scoped_fid_minute("  ", "--downgrades") == (None, None)
+
+    def test_bare_fid(self):
+        assert parse_scoped_fid_minute("3", "--downgrades") == (3, None)
+
+    def test_full_coordinate(self):
+        assert parse_scoped_fid_minute("3:120", "--downgrades") == (3, 120)
+
+    def test_non_integer_fid(self):
+        with pytest.raises(SpecError, match="FID or FID:MINUTE"):
+            parse_scoped_fid_minute("abc", "--downgrades")
+
+    def test_bad_coordinate_delegates_to_fid_minute(self):
+        with pytest.raises(SpecError, match="integer parts"):
+            parse_scoped_fid_minute("3:x", "--downgrades")
+
+
+class TestParseOptionalInt:
+    def test_empty_means_unscoped(self):
+        assert parse_optional_int("", "--faults") is None
+
+    def test_integer(self):
+        assert parse_optional_int(" 7 ", "--faults") == 7
+
+    def test_non_integer(self):
+        with pytest.raises(SpecError, match="--faults"):
+            parse_optional_int("7.5", "--faults")
+
+
+class TestParseChoiceList:
+    CHOICES = ("RPR001", "RPR002", "RPR005")
+
+    def test_repeated_and_comma_separated(self):
+        out = parse_choice_list(
+            ["RPR005", "rpr001,RPR002"], "--rule", self.CHOICES
+        )
+        assert out == ["RPR005", "RPR001", "RPR002"]
+
+    def test_case_insensitive_and_deduped(self):
+        out = parse_choice_list(["rpr001", "RPR001"], "--rule", self.CHOICES)
+        assert out == ["RPR001"]
+
+    def test_unknown_choice_lists_known(self):
+        with pytest.raises(SpecError, match="RPR002"):
+            parse_choice_list(["RPR999"], "--rule", self.CHOICES)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecError, match="at least one"):
+            parse_choice_list([",,"], "--rule", self.CHOICES)
+
+
+class TestResolvePaths:
+    def test_existing_paths_kept_in_order(self, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        a.mkdir()
+        b.touch()
+        out = resolve_paths([str(b), str(a)], "repro lint")
+        assert out == [b, a]
+        assert all(isinstance(p, Path) for p in out)
+
+    def test_empty_falls_back_to_default(self, tmp_path):
+        assert resolve_paths([], "repro lint", default=tmp_path) == [tmp_path]
+
+    def test_empty_without_default_rejected(self):
+        with pytest.raises(SpecError, match="at least one path"):
+            resolve_paths([], "repro lint")
+
+    def test_nonexistent_path_named_in_error(self, tmp_path):
+        with pytest.raises(SpecError, match="does not exist"):
+            resolve_paths([str(tmp_path / "ghost")], "repro lint")
