@@ -24,7 +24,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import platform
 from dataclasses import replace
@@ -38,6 +37,7 @@ from repro.runtime.simulator import Simulation, SimulationConfig
 from repro.traces.schema import MINUTES_PER_DAY
 from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
 from repro.utils.profiling import interleaved_best_of
+from repro.utils.atomicio import atomic_write_json
 
 SEED = 2024
 
@@ -193,8 +193,7 @@ def main() -> None:
         ),
     }
 
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
+    atomic_write_json(args.out, report)
     print(f"wrote {args.out}")
 
     if not args.quick:

@@ -30,6 +30,7 @@ from repro.experiments import (
 )
 from repro.experiments.assignments import sample_assignment
 from repro.traces.schema import MINUTES_PER_DAY
+from repro.utils.atomicio import atomic_write_text
 
 
 def main(out_path: str | None = None) -> None:
@@ -105,8 +106,7 @@ def main(out_path: str | None = None) -> None:
 
     text = json.dumps(out, indent=2, default=str)
     if out_path:
-        with open(out_path, "w") as fh:
-            fh.write(text)
+        atomic_write_text(out_path, text)
     else:
         print(text)
 

@@ -9,6 +9,7 @@ reference them. Add new rules with fresh ids; never renumber.
 
 from repro.analysis.rules.deprecation import DeprecationHygieneRule
 from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.exception_hygiene import ExceptionHygieneRule
 from repro.analysis.rules.parity import EngineParityRule
 from repro.analysis.rules.policy_contract import PolicyContractRule
 from repro.analysis.rules.spec_strings import SpecStringRule
@@ -17,6 +18,7 @@ __all__ = [
     "DeprecationHygieneRule",
     "DeterminismRule",
     "EngineParityRule",
+    "ExceptionHygieneRule",
     "PolicyContractRule",
     "SpecStringRule",
 ]

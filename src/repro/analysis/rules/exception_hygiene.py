@@ -1,0 +1,168 @@
+"""RPR006 — exception hygiene: no bare or silently-swallowed exception
+handlers in the execution-critical packages.
+
+The durable-sweep work hardened ``runtime/``, ``experiments/`` and
+``traces/`` around an explicit failure contract: a worker crash becomes
+a per-run error record, a malformed trace row becomes a quarantine
+entry, a torn artifact becomes a retry. A handler that silently eats an
+exception punches a hole in that contract — the sweep reports success
+while a run quietly produced garbage. This rule flags, inside those
+packages:
+
+- **bare ``except:``** — it catches ``SystemExit`` and
+  ``KeyboardInterrupt`` too, so a Ctrl-C (or the durable executor's own
+  ``SystemExit(1)`` crash-isolation signal) can be absorbed mid-cleanup.
+  Name the exceptions; use ``BaseException`` only with a waiver saying
+  why.
+- **do-nothing handlers** — an ``except ...:`` whose body is only
+  ``pass``/``...`` discards the failure without recording it. Record it
+  (error sidecar, :class:`~repro.experiments.runner.RunError`, quarantine
+  issue, counter) or re-raise.
+- **broad handlers that never re-raise** — ``except Exception``/
+  ``except BaseException`` (alone or in a tuple) whose body contains no
+  ``raise``. Catching everything is legal only at a crash-isolation
+  boundary, and a boundary converts the failure into a typed record
+  *and* terminates or re-raises (``raise SystemExit(1)`` counts: the
+  worker dies loudly and the parent records the exit code).
+
+Intentional exceptions carry a reasoned waiver on the offending line::
+
+    except (OSError, json.JSONDecodeError):
+        pass  # repro: lint-ok[RPR006] why swallowing is correct here
+
+A waiver without a reason is itself a finding (RPR000).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.engine import (
+    Finding,
+    Rule,
+    Severity,
+    SourceModule,
+    register_rule,
+)
+
+__all__ = ["ExceptionHygieneRule"]
+
+#: Package directories the failure contract covers: the engines, the
+#: sweep executors, and trace ingestion.
+SCOPED_DIRS = frozenset({"runtime", "experiments", "traces"})
+
+#: Exception names that make a handler "broad": everything (or nearly
+#: everything) funnels through it.
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def in_scope(module: SourceModule) -> bool:
+    """Is this file part of the failure-contract-scoped packages?"""
+    return not SCOPED_DIRS.isdisjoint(module.path.resolve().parts)
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    """``pass`` or a bare ``...`` expression statement."""
+    if isinstance(stmt, ast.Pass):
+        return True
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and stmt.value.value is Ellipsis
+    )
+
+
+def _exception_names(annotation: ast.expr | None) -> list[str]:
+    """The caught exception names: ``except A`` -> [A], ``except (A, B)``
+    -> [A, B]. Attribute chains report their last segment
+    (``socket.error`` -> ``error``), which is enough for the broad-name
+    check."""
+    if annotation is None:
+        return []
+    nodes = (
+        list(annotation.elts)
+        if isinstance(annotation, ast.Tuple)
+        else [annotation]
+    )
+    names: list[str] = []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return names
+
+
+def _contains_raise(body: list[ast.stmt]) -> bool:
+    """Does any statement in the handler body (recursively) re-raise?
+
+    Any ``raise`` counts, including ``raise SystemExit(1)`` — the
+    crash-isolation workers convert exceptions into error sidecars and
+    then die loudly, which is exactly the contract this rule protects.
+    Nested function/class definitions are skipped: a ``raise`` inside a
+    callback defined in the handler does not fire when the handler does.
+    """
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue  # a raise inside a nested def fires later, if ever
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+@register_rule
+class ExceptionHygieneRule(Rule):
+    """Ban bare excepts, do-nothing handlers and non-re-raising broad
+    handlers inside the failure-contract-scoped packages."""
+
+    id = "RPR006"
+    severity = Severity.ERROR
+    summary = (
+        "no bare except, swallowed exceptions or non-re-raising broad "
+        "handlers in runtime/, experiments/, traces/"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if not in_scope(module):
+            return ()
+        return list(self._check(module))
+
+    def _check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare 'except:' also catches SystemExit and "
+                    "KeyboardInterrupt; name the exceptions (or "
+                    "BaseException with a reasoned waiver)",
+                )
+                continue
+            if all(_is_noop(stmt) for stmt in node.body):
+                yield self.finding(
+                    module,
+                    node,
+                    "exception swallowed: handler body does nothing — "
+                    "record the failure (error record, quarantine issue, "
+                    "counter) or re-raise; if dropping it is genuinely "
+                    "correct, add a reasoned lint-ok[RPR006] waiver",
+                )
+                continue
+            broad = BROAD_NAMES.intersection(_exception_names(node.type))
+            if broad and not _contains_raise(node.body):
+                yield self.finding(
+                    module,
+                    node,
+                    f"broad handler (except {sorted(broad)[0]}) never "
+                    "re-raises: catch-all handlers are crash-isolation "
+                    "boundaries and must convert the failure into a "
+                    "record and then raise (SystemExit counts) — or "
+                    "carry a reasoned waiver",
+                )

@@ -28,10 +28,12 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 from repro.faults.isolation import ResilientPolicy
 from repro.faults.plan import FaultPlan
 from repro.models.variants import ModelFamily
+from repro.runtime.checkpoint import CheckpointConfig, SimulationState
 from repro.runtime.metrics import RunResult
 from repro.runtime.policy import KeepAlivePolicy
 from repro.runtime.simulator import Simulation, SimulationConfig
@@ -43,6 +45,7 @@ __all__ = [
     "make_policy",
     "policy_spec",
     "register_policy",
+    "run_sweep",
     "simulate",
 ]
 
@@ -212,6 +215,8 @@ def simulate(
     *,
     engine: str = "auto",
     faults: FaultPlan | str | None = None,
+    checkpoint: CheckpointConfig | str | Path | None = None,
+    resume_from: SimulationState | str | Path | None = None,
 ) -> RunResult:
     """Run one policy over one trace and return its metrics.
 
@@ -223,7 +228,16 @@ def simulate(
       reference cadence), ``"reference"``, or ``"fast"``;
     - ``faults`` — a :class:`~repro.faults.plan.FaultPlan` or a compact
       spec string (``"spawn=0.1,pressure=0.05,pressure-mb=4000"``),
-      overriding ``config.faults``.
+      overriding ``config.faults``;
+    - ``checkpoint`` — a
+      :class:`~repro.runtime.checkpoint.CheckpointConfig`, or just a
+      path (checkpointed there at the default cadence): the engine
+      periodically snapshots its complete state, crash-safely;
+    - ``resume_from`` — a saved
+      :class:`~repro.runtime.checkpoint.SimulationState` (or its path):
+      continue an interrupted run from the snapshot, bit-identically to
+      never having stopped. Must be paired with the same
+      trace/assignment/policy/config that produced it.
 
     Both engines produce bit-identical metrics (fault-free and under any
     fixed fault plan), so ``engine`` is purely a speed knob.
@@ -238,4 +252,88 @@ def simulate(
         if isinstance(faults, str):
             faults = FaultPlan.from_spec(faults)
         cfg = replace(cfg, faults=faults)
-    return Simulation(trace, assignment, policy, cfg).run(engine=engine)
+    if isinstance(checkpoint, (str, Path)):
+        checkpoint = CheckpointConfig(path=checkpoint)
+    return Simulation(trace, assignment, policy, cfg).run(
+        engine=engine, checkpoint=checkpoint, resume_from=resume_from
+    )
+
+
+def run_sweep(
+    trace: Trace,
+    policies: list[str],
+    config=None,
+    *,
+    durable: bool = False,
+    out_dir: str | Path | None = None,
+    resume: str | Path | None = None,
+    durable_config=None,
+    zoo=None,
+    ingest=None,
+    resilient: bool = False,
+    on_error: str = "record",
+    sweep_config_extra=None,
+):
+    """Run every named policy over the same sampled assignments.
+
+    The in-process path (``durable=False``, the default) wraps
+    :func:`repro.experiments.runner.run_policies` with crash-isolating
+    ``on_error="record"`` semantics and returns its
+    ``{policy: [RunResult | RunError]}`` dict.
+
+    ``durable=True`` switches to the durable executor
+    (:func:`repro.experiments.durable.run_durable_sweep`): one process
+    per run, per-attempt timeouts, bounded jittered retries, engine
+    checkpoints, and a crash-safe ``out_dir/manifest.json`` — returning
+    a :class:`~repro.experiments.durable.SweepResult`. ``resume`` takes
+    a previous sweep's manifest path and continues it (``out_dir``
+    defaults to the manifest's directory).
+
+    ``config`` is an :class:`~repro.experiments.runner.ExperimentConfig`
+    (defaults apply when ``None``); ``durable_config`` a
+    :class:`~repro.experiments.durable.DurableSweepConfig`.
+    """
+    from functools import partial
+
+    from repro.experiments.durable import run_durable_sweep
+    from repro.experiments.manifest import RunManifest
+    from repro.experiments.runner import ExperimentConfig, run_policies
+
+    cfg = config if config is not None else ExperimentConfig()
+    for name in policies:
+        policy_spec(name)  # fail fast on unknown names
+    if not durable:
+        if (
+            out_dir is not None
+            or resume is not None
+            or durable_config is not None
+            or sweep_config_extra is not None
+        ):
+            raise ValueError(
+                "out_dir/resume/durable_config/sweep_config_extra "
+                "require durable=True"
+            )
+        factories = {
+            name: partial(make_policy, name, resilient=resilient)
+            for name in policies
+        }
+        return run_policies(trace, factories, cfg, zoo, on_error=on_error)
+    manifest = None
+    if resume is not None:
+        manifest = RunManifest.load(resume)
+        if out_dir is None:
+            out_dir = Path(resume).parent
+    if out_dir is None:
+        raise ValueError("durable=True requires out_dir (or resume)")
+    return run_durable_sweep(
+        trace,
+        policies,
+        cfg,
+        out_dir=out_dir,
+        durable=durable_config,
+        resume=manifest,
+        zoo=zoo,
+        ingest=ingest,
+        resilient=resilient,
+        sweep_config_extra=sweep_config_extra,
+    )

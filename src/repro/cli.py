@@ -11,6 +11,9 @@ Commands
 ``reproduce``  run one paper experiment by id (table1, fig1 … fig12,
                tables2-3, ablations) at a chosen scale and print it;
 ``resilience`` sweep fault intensities and compare policy degradation;
+``sweep``      run a durable multi-policy sweep (per-run worker
+               processes, timeouts, retries, checkpoints, a crash-safe
+               manifest) — resumable with ``--resume MANIFEST``;
 ``report``     run every experiment and write a markdown report;
 ``figures``    render the paper figures as SVGs.
 
@@ -55,6 +58,7 @@ from repro.runtime.simulator import SimulationConfig
 from repro.traces.analysis import activity_summary, invocation_peaks
 from repro.traces.azure import load_azure_csv, top_functions, write_azure_csv
 from repro.traces.schema import Trace
+from repro.utils.atomicio import atomic_write_text
 from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
 from repro.utils.specs import (
     parse_choice_list,
@@ -382,6 +386,139 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_trace(source: dict, out_dir: Path):
+    """Build (trace, ingest_report) from a manifest trace-source record."""
+    from repro.traces.schema import IngestReport
+
+    if source["kind"] == "azure":
+        report = IngestReport()
+        trace = load_azure_csv(
+            [Path(p) for p in source["paths"]],
+            mode=source["mode"],
+            quarantine_path=(
+                out_dir / "quarantine.jsonl"
+                if source["mode"] == "lenient"
+                else None
+            ),
+            report=report,
+        )
+        return top_functions(trace, source["functions"]), report
+    return (
+        generate_trace(
+            SyntheticTraceConfig(
+                horizon_minutes=source["horizon"], seed=source["seed"]
+            )
+        ),
+        None,
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.api import run_sweep
+    from repro.experiments.durable import DurableSweepConfig
+    from repro.experiments.manifest import RunManifest
+
+    if args.resume:
+        # Everything — policies, scale, trace source, durability knobs —
+        # comes from the manifest; the executor re-verifies the trace and
+        # config hashes before driving the remaining runs.
+        manifest_path = Path(args.resume)
+        try:
+            manifest = RunManifest.load(manifest_path)
+        except (OSError, ValueError) as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 2
+        sc = manifest.sweep_config
+        out_dir = manifest_path.parent
+        policies = list(sc["policies"])
+        source = sc["trace_source"]
+        durable_kw = dict(sc["durable"])
+        n_jobs = sc["n_jobs"]
+        resilient = sc["resilient"]
+    else:
+        if not args.out:
+            print("sweep needs --out DIR (or --resume MANIFEST)", file=sys.stderr)
+            return 2
+        out_dir = Path(args.out)
+        if (out_dir / "manifest.json").exists():
+            print(
+                f"{out_dir / 'manifest.json'} already exists; pass it to "
+                "--resume to continue, or choose a fresh --out",
+                file=sys.stderr,
+            )
+            return 2
+        manifest = None
+        policies = list(args.policies)
+        if args.azure_csv:
+            source = {
+                "kind": "azure",
+                "paths": [str(Path(p)) for p in args.azure_csv],
+                "functions": args.functions,
+                "mode": "lenient" if args.lenient else "strict",
+            }
+        else:
+            source = {
+                "kind": "synthetic",
+                "horizon": args.horizon,
+                "seed": args.seed,
+            }
+        durable_kw = {
+            "timeout_s": args.timeout,
+            "max_retries": args.retries,
+            "checkpoint_every": args.checkpoint_every,
+            "chaos": args.chaos,
+        }
+        n_jobs = args.jobs
+        resilient = args.resilient
+
+    trace, ingest = _sweep_trace(source, out_dir)
+    if args.resume:
+        config = ExperimentConfig(
+            n_runs=sc["n_runs"], horizon_minutes=sc["horizon_minutes"],
+            seed=sc["seed"], n_jobs=n_jobs, engine=sc["engine"],
+        )
+    else:
+        config = ExperimentConfig(
+            n_runs=args.runs, horizon_minutes=trace.horizon,
+            seed=args.seed, n_jobs=n_jobs, engine=args.engine,
+        )
+    try:
+        result = run_sweep(
+            trace, policies, config,
+            durable=True,
+            out_dir=out_dir,
+            resume=str(manifest.path) if manifest is not None else None,
+            durable_config=DurableSweepConfig(**durable_kw),
+            ingest=ingest,
+            resilient=resilient,
+            sweep_config_extra={
+                "trace_source": source,
+                "n_jobs": n_jobs,
+                "durable": durable_kw,
+            },
+        )
+    except ValueError as exc:
+        print(f"sweep refused: {exc}", file=sys.stderr)
+        return 2
+    summary = result.manifest.summary()
+    print(
+        "sweep {}: {done}/{runs} runs done, {failed} failed, "
+        "{retries} retries, {timeouts} timeouts, "
+        "{quarantined} trace rows quarantined".format(
+            "ok" if result.ok else "FAILED", **summary
+        )
+    )
+    print(f"manifest: {result.manifest.path}")
+    for rec in sorted(result.manifest.runs.values(), key=lambda r: r.run_id):
+        if rec.status == "failed" and rec.error is not None:
+            print(
+                f"  failed {rec.run_id} after {rec.attempts} attempts: "
+                f"[{rec.error.get('kind')}] {rec.error.get('message', '')}",
+                file=sys.stderr,
+            )
+    return 0 if result.ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
@@ -389,7 +526,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         n_runs=args.runs, horizon_minutes=args.horizon, seed=args.seed
     )
     text = generate_report(config, _load_trace(args))
-    Path(args.output).write_text(text)
+    atomic_write_text(Path(args.output), text)
     print(f"wrote {args.output} ({len(text.splitlines())} lines)")
     return 0
 
@@ -472,7 +609,8 @@ def build_parser() -> argparse.ArgumentParser:
             "AST-lint the codebase against the repro-specific rule pack: "
             "RPR001 determinism, RPR002 engine parity, RPR003 policy "
             "contract, RPR004 deprecation hygiene, RPR005 spec-string "
-            "hygiene. Exits 0 when clean, 1 on findings."
+            "hygiene, RPR006 exception hygiene. Exits 0 when clean, 1 on "
+            "findings."
         ),
     )
     p_lint.add_argument(
@@ -532,6 +670,59 @@ def build_parser() -> argparse.ArgumentParser:
                             "this many MB")
     p_res.add_argument("--engine", choices=_ENGINES, default="auto")
     p_res.set_defaults(func=_cmd_resilience)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="durable policy sweep: manifest, checkpoints, crash-safe resume",
+        description=(
+            "Run every policy x run-index combination in its own worker "
+            "process under a crash-safe manifest. Each run checkpoints "
+            "periodically, failures are retried with jittered backoff, and "
+            "an interrupted sweep continues with "
+            "'repro sweep --resume DIR/manifest.json' — skipping finished "
+            "runs and restarting in-flight ones from their last checkpoint. "
+            "With --resume, every other flag is ignored: the manifest is "
+            "the single source of truth for what the sweep was."
+        ),
+    )
+    add_trace_args(p_sweep)
+    p_sweep.add_argument("--out", metavar="DIR",
+                         help="sweep output directory (manifest, run "
+                              "artifacts, checkpoints)")
+    p_sweep.add_argument("--resume", metavar="MANIFEST",
+                         help="continue the sweep recorded in this "
+                              "manifest.json")
+    p_sweep.add_argument(
+        "--policies", nargs="+", choices=names, metavar="POLICY",
+        default=["pulse", "openwhisk", "all-low"],
+        help="policies to sweep (default: pulse openwhisk all-low)",
+    )
+    p_sweep.add_argument("--runs", type=int, default=3,
+                         help="sampled assignments per policy")
+    p_sweep.add_argument("--jobs", type=int, default=2,
+                         help="concurrent worker processes")
+    p_sweep.add_argument("--engine", choices=_ENGINES, default="auto")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-attempt wall-clock timeout (hung workers "
+                              "are killed and retried)")
+    p_sweep.add_argument("--retries", type=int, default=2,
+                         help="retry budget per run after the first attempt")
+    p_sweep.add_argument("--checkpoint-every", type=int, default=240,
+                         metavar="MINUTES",
+                         help="engine checkpoint cadence in trace minutes")
+    p_sweep.add_argument("--chaos", metavar="SPEC",
+                         help="fault-inject the executor itself: 'kill:N' "
+                              "SIGKILLs each first attempt at its Nth "
+                              "checkpoint, 'hang:N' hangs it there "
+                              "(testing/demo only)")
+    p_sweep.add_argument("--resilient", action="store_true",
+                         help="wrap each policy in the crash-isolation "
+                              "ResilientPolicy")
+    p_sweep.add_argument("--lenient", action="store_true",
+                         help="quarantine malformed Azure CSV rows instead "
+                              "of refusing the trace")
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_report = sub.add_parser(
         "report", help="run every experiment and write a markdown report"

@@ -14,6 +14,7 @@ where work units are seconds long and independent.
 
 from __future__ import annotations
 
+import traceback
 from collections.abc import Callable
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -31,13 +32,57 @@ from repro.utils.validation import check_positive_int
 __all__ = [
     "ExperimentConfig",
     "PolicyFactory",
+    "RunError",
     "default_trace",
     "merged_telemetry",
     "run_policies",
     "run_policy",
+    "split_errors",
 ]
 
 PolicyFactory = Callable[[], KeepAlivePolicy]
+
+
+@dataclass(frozen=True)
+class RunError:
+    """A per-run failure record (``run_policies(..., on_error="record")``).
+
+    Takes the failed run's slot in the results list so the paired-design
+    indexing survives: entry ``i`` of every policy's list still belongs
+    to assignment ``i``, whether it is a :class:`RunResult` or this.
+    """
+
+    policy: str
+    run_index: int
+    error_type: str
+    message: str
+    traceback: str
+
+    @classmethod
+    def from_exception(
+        cls, policy: str, run_index: int, exc: BaseException
+    ) -> "RunError":
+        return cls(
+            policy=policy,
+            run_index=run_index,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+
+
+def split_errors(
+    results: dict[str, list[RunResult | RunError]],
+) -> tuple[dict[str, list[RunResult]], list[RunError]]:
+    """Separate a mixed sweep result into clean runs and failure records."""
+    ok: dict[str, list[RunResult]] = {}
+    errors: list[RunError] = []
+    for name, runs in results.items():
+        ok[name] = [r for r in runs if isinstance(r, RunResult)]
+        errors.extend(r for r in runs if isinstance(r, RunError))
+    return ok, errors
 
 
 @dataclass(frozen=True)
@@ -124,7 +169,9 @@ def run_policies(
     policies: dict[str, PolicyFactory],
     config: ExperimentConfig,
     zoo: ModelZoo | None = None,
-) -> dict[str, list[RunResult]]:
+    *,
+    on_error: str = "raise",
+) -> dict[str, list[RunResult | RunError]]:
     """Run every policy over the same ``n_runs`` sampled assignments.
 
     All policies see identical assignments run-for-run, so per-run metric
@@ -134,30 +181,63 @@ def run_policies(
     policies (one worker spawn + one trace transfer per sweep, not per
     policy), and the trace ships to each worker exactly once via the pool
     initializer rather than inside every task.
+
+    ``on_error`` picks the failure semantics. ``"raise"`` (default)
+    propagates the first worker exception. ``"record"`` isolates each
+    failure into a :class:`RunError` occupying that run's slot — the
+    sweep continues, and :func:`split_errors` separates survivors from
+    failures afterwards.
     """
+    if on_error not in ("raise", "record"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'record', got {on_error!r}"
+        )
     zoo = zoo or default_zoo()
     assignments = sample_assignments(
         trace.n_functions, config.n_runs, zoo, seed=config.seed
     )
-    out: dict[str, list[RunResult]] = {}
+    out: dict[str, list[RunResult | RunError]] = {}
     if config.n_jobs > 1:
         with ProcessPoolExecutor(
             max_workers=config.n_jobs,
             initializer=_init_worker,
             initargs=(trace,),
         ) as pool:
-            for name, factory in policies.items():
-                tasks = [
-                    (a, factory, config.sim, config.engine)
+            # submit() rather than map(): map's lazy iterator aborts the
+            # whole sweep at the first worker exception, losing every
+            # result after it; per-future collection keeps the rest.
+            futures = {
+                name: [
+                    pool.submit(
+                        _one_worker_run, (a, factory, config.sim, config.engine)
+                    )
                     for a in assignments
                 ]
-                out[name] = list(pool.map(_one_worker_run, tasks))
+                for name, factory in policies.items()
+            }
+            for name, futs in futures.items():
+                runs: list[RunResult | RunError] = []
+                for idx, fut in enumerate(futs):
+                    try:
+                        runs.append(fut.result())
+                    except Exception as exc:
+                        if on_error == "raise":
+                            raise
+                        runs.append(RunError.from_exception(name, idx, exc))
+                out[name] = runs
     else:
         for name, factory in policies.items():
-            out[name] = [
-                _one_run((trace, a, factory, config.sim, config.engine))
-                for a in assignments
-            ]
+            runs = []
+            for idx, a in enumerate(assignments):
+                try:
+                    runs.append(
+                        _one_run((trace, a, factory, config.sim, config.engine))
+                    )
+                except Exception as exc:
+                    if on_error == "raise":
+                        raise
+                    runs.append(RunError.from_exception(name, idx, exc))
+            out[name] = runs
     return out
 
 
@@ -176,7 +256,9 @@ def merged_telemetry(results: dict[str, list[RunResult]]):
 
     out = {}
     for name, runs in results.items():
-        merged = merge_sessions(r.obs for r in runs)
+        merged = merge_sessions(
+            r.obs for r in runs if isinstance(r, RunResult)
+        )
         if merged is not None:
             out[name] = merged
     return out

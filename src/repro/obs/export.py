@@ -21,6 +21,7 @@ import json
 from collections.abc import Iterable, Mapping
 
 from repro.obs.session import ObsSession
+from repro.utils.atomicio import atomic_writer
 
 __all__ = [
     "TRACE_SCHEMA_VERSION",
@@ -76,7 +77,7 @@ def write_trace_jsonl(result, path) -> int:
     """Dump ``result``'s decision trace to ``path``; returns the number
     of records written."""
     n = 0
-    with open(path, "w", encoding="utf-8") as fh:
+    with atomic_writer(path, encoding="utf-8") as fh:
         for rec in trace_records(result):
             fh.write(json.dumps(rec, separators=(",", ":")))
             fh.write("\n")

@@ -22,6 +22,7 @@ from html import escape
 from pathlib import Path
 
 from repro.utils import svgplot
+from repro.utils.atomicio import atomic_write_text
 
 __all__ = ["render_run_report", "save_run_report"]
 
@@ -163,5 +164,5 @@ def save_run_report(result, path, title: str | None = None) -> Path:
     """Render and write the report; returns the written path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_run_report(result, title=title), encoding="utf-8")
+    atomic_write_text(path, render_run_report(result, title=title))
     return path

@@ -1,0 +1,162 @@
+"""Engine checkpoints: durable mid-run state for crash-safe resume.
+
+Both engine loops (:meth:`repro.runtime.simulator.Simulation._run_reference`
+and :func:`repro.runtime.fastpath.run_fast`) can periodically capture a
+:class:`SimulationState` — a complete, self-contained snapshot of every
+piece of mutable run state at a minute boundary — and a later process can
+hand that state back to :meth:`Simulation.run` to continue the run as if
+it had never been interrupted.
+
+The bit-identity contract
+-------------------------
+A resumed run must produce **byte-identical** results to an uninterrupted
+one (pinned by ``tests/test_runtime_checkpoint.py``). Two design rules
+make that hold:
+
+- *One pickle payload.* Everything mutable — the policy (with its
+  estimators and cached plan objects), the schedule (whose uniform-plan
+  fast path compares plan objects by identity), the container pool, the
+  event log, the observability session, the capacity RNG, the fault
+  injector and the scalar accumulators — is pickled as **one** object
+  graph, so shared references (the policy's cached plan inside
+  ``schedule._last_plan``, the event log inside the pool) survive the
+  round trip with their identities intact.
+- *Boundary capture only.* Snapshots are taken between minutes (reference
+  loop) or between event groups (fast loop), where the engine's local
+  float accumulations are fully settled; immutable derived structures
+  (event arrays, metric handles) are re-derived from the trace and the
+  restored session on resume.
+
+Wall-clock fields (``wall_clock_s``, ``policy_overhead_s`` under
+``measure_overhead``) measure the machine, not the simulated system, and
+are exempt — exactly as in the engine-equivalence golden tests.
+
+Cadence
+-------
+``CheckpointConfig.every_minutes`` buckets the horizon; a snapshot fires
+at the first processing point of each new bucket. The reference loop
+visits every minute, so that is exactly minute ``k * every_minutes``; the
+event-driven loop only touches event minutes, so its snapshot lands on
+the first *event* of each bucket. Either way the cadence is a pure
+function of the trace, so an interrupted run and a clean run write
+checkpoints at the same minutes — which is what keeps checkpoint
+counters identical between them.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.utils.atomicio import atomic_write_bytes
+from repro.utils.validation import check_positive_int
+
+__all__ = ["CHECKPOINT_SCHEMA_VERSION", "CheckpointConfig", "SimulationState"]
+
+#: Bumped whenever the snapshot layout changes incompatibly; load()
+#: refuses mismatched versions instead of resuming garbage.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SimulationState:
+    """One engine checkpoint: where the run is, plus everything mutable.
+
+    ``engine`` records which loop produced it (``"reference"`` or
+    ``"fast"``) — a state can only resume on the loop that captured it.
+    ``next_minute`` is the first minute not yet executed. ``cursor`` is
+    engine-private resume bookkeeping (the fast loop's event-group and
+    event indices, plus each loop's checkpoint-cadence bucket).
+    ``payload`` is a single pickle of the live object graph.
+    """
+
+    engine: str
+    next_minute: int
+    cursor: tuple
+    payload: bytes
+    schema_version: int = CHECKPOINT_SCHEMA_VERSION
+
+    @classmethod
+    def snapshot(
+        cls, engine: str, next_minute: int, cursor: tuple, live: dict[str, Any]
+    ) -> "SimulationState":
+        """Capture the live state dict into a self-contained snapshot.
+
+        Pickling immediately (rather than holding references) decouples
+        the snapshot from the still-running engine: later minutes cannot
+        mutate what was captured.
+        """
+        return cls(
+            engine=engine,
+            next_minute=next_minute,
+            cursor=tuple(cursor),
+            payload=pickle.dumps(live, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def restore(self) -> dict[str, Any]:
+        """Rehydrate the captured object graph (a fresh copy per call)."""
+        if self.schema_version != CHECKPOINT_SCHEMA_VERSION:
+            raise ValueError(
+                f"checkpoint schema v{self.schema_version} is not "
+                f"readable by this build (expects v{CHECKPOINT_SCHEMA_VERSION})"
+            )
+        return pickle.loads(self.payload)
+
+    # -- durable form --------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the snapshot to ``path`` atomically (crash-safe: a kill
+        mid-write leaves the previous checkpoint intact)."""
+        return atomic_write_bytes(
+            Path(path), pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SimulationState":
+        """Read a snapshot written by :meth:`save`."""
+        with open(path, "rb") as fh:
+            state = pickle.load(fh)
+        if not isinstance(state, cls):
+            raise TypeError(f"{path} does not contain a SimulationState")
+        if state.schema_version != CHECKPOINT_SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: checkpoint schema v{state.schema_version} is not "
+                f"readable by this build (expects v{CHECKPOINT_SCHEMA_VERSION})"
+            )
+        return state
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Periodic checkpointing for one run.
+
+    ``path`` — where each snapshot is written (atomically, replacing the
+    previous one); ``None`` keeps snapshots in memory only, for callers
+    that consume them through ``on_snapshot``.
+    ``every_minutes`` — cadence bucket width (see module docstring).
+    ``on_snapshot`` — optional callback receiving each
+    :class:`SimulationState` after it is (optionally) persisted; the test
+    harness and the chaos hooks ride on this.
+    """
+
+    path: str | Path | None = None
+    every_minutes: int = 240
+    on_snapshot: Callable[[SimulationState], None] | None = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        check_positive_int("every_minutes", self.every_minutes)
+        if self.path is None and self.on_snapshot is None:
+            raise ValueError(
+                "CheckpointConfig needs a path and/or an on_snapshot "
+                "callback; otherwise snapshots would be discarded"
+            )
+
+    def emit(self, state: SimulationState) -> None:
+        """Persist and/or hand off one snapshot (engine-side hook)."""
+        if self.path is not None:
+            state.save(self.path)
+        if self.on_snapshot is not None:
+            self.on_snapshot(state)

@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.faults.injector import FaultInjector
 from repro.obs.session import ObsSession
+from repro.runtime.checkpoint import CheckpointConfig, SimulationState
 from repro.runtime.container import ContainerPool
 from repro.runtime.events import EventKind, EventLog
 from repro.runtime.metrics import RunResult
@@ -64,30 +65,82 @@ def _policy_has_review(policy: KeepAlivePolicy) -> bool:
     return type(policy).review_minute is not KeepAlivePolicy.review_minute
 
 
-def run_fast(sim) -> RunResult:
+def run_fast(
+    sim,
+    checkpoint: CheckpointConfig | None = None,
+    resume_from: SimulationState | None = None,
+) -> RunResult:
     """Execute ``sim`` (a :class:`~repro.runtime.simulator.Simulation`)
-    through the event-driven loop. Same contract as the reference loop."""
-    trace, cfg, policy = sim.trace, sim.config, sim.policy
+    through the event-driven loop. Same contract as the reference loop,
+    including checkpoint/resume (snapshots land at the first event group
+    of each cadence bucket — the fast loop never visits idle minutes)."""
+    trace, cfg = sim.trace, sim.config
     horizon = trace.horizon
     n_fn = trace.n_functions
     counts = trace.counts
 
-    events = EventLog() if cfg.record_events else None
-    obs = ObsSession(cfg.observe) if cfg.observe is not None else None
-    if obs is not None or events is not None:
-        # Before bind, so on_bind can wire policy sub-components.
-        policy.attach_observability(obs, events)
-    policy.bind(trace, sim.assignment, cfg.keep_alive_window)
-    schedule = KeepAliveSchedule(n_fn, cfg.keep_alive_window, horizon_hint=horizon)
-    pool = (
-        ContainerPool(events)
-        if (cfg.track_containers or cfg.record_events)
-        else None
-    )
+    if resume_from is None:
+        policy = sim.policy
+        events = EventLog() if cfg.record_events else None
+        obs = ObsSession(cfg.observe) if cfg.observe is not None else None
+        if obs is not None or events is not None:
+            # Before bind, so on_bind can wire policy sub-components.
+            policy.attach_observability(obs, events)
+        policy.bind(trace, sim.assignment, cfg.keep_alive_window)
+        schedule = KeepAliveSchedule(
+            n_fn, cfg.keep_alive_window, horizon_hint=horizon
+        )
+        pool = (
+            ContainerPool(events)
+            if (cfg.track_containers or cfg.record_events)
+            else None
+        )
+        service_time = 0.0
+        accuracy_sum = 0.0
+        n_warm = 0
+        n_cold = 0
+        total_mb_minutes = 0.0
+        mem_series = np.zeros(horizon) if cfg.record_series else None
+        ideal_series = np.zeros(horizon) if cfg.record_series else None
+        capacity_rng = rng_from_seed(cfg.capacity_seed)
+        n_forced = 0
+        injector = (
+            FaultInjector(cfg.faults, horizon)
+            if cfg.faults is not None and cfg.faults.injects_runtime
+            else None
+        )
+        n_checkpoints = 0
+    else:
+        if resume_from.engine != "fast":
+            raise ValueError(
+                f"fast loop cannot resume a {resume_from.engine!r} checkpoint"
+            )
+        # Single-payload restore (see runtime.checkpoint): shared object
+        # identities survive, and attach_observability/bind are NOT
+        # re-run — the restored policy already carries its bound state.
+        live = resume_from.restore()
+        policy = live["policy"]
+        events = live["events"]
+        obs = live["obs"]
+        schedule = live["schedule"]
+        pool = live["pool"]
+        service_time = live["service_time"]
+        accuracy_sum = live["accuracy_sum"]
+        n_warm = live["n_warm"]
+        n_cold = live["n_cold"]
+        total_mb_minutes = live["total_mb_minutes"]
+        mem_series = live["mem_series"]
+        ideal_series = live["ideal_series"]
+        capacity_rng = live["capacity_rng"]
+        n_forced = live["n_forced"]
+        injector = live["injector"]
+        n_checkpoints = live["n_checkpoints"]
 
     # Hot-loop telemetry handles (each None when its layer is off); the
     # instrumentation mirrors the reference loop exactly — same counters,
-    # same record points — so traces are engine-independent.
+    # same record points — so traces are engine-independent. On resume the
+    # registry hands back the restored counters by name, so accumulation
+    # continues where the snapshot left off.
     rec = obs if obs is not None and obs.decisions_enabled else None
     met = obs.metrics if obs is not None and obs.metrics_enabled else None
     spans = obs.spans if obs is not None and obs.spans_enabled else None
@@ -103,30 +156,22 @@ def run_fast(sim) -> RunResult:
             "keepalive_mb", "per-minute committed keep-alive memory"
         )
         mem_hist = mem_metric.summary()
-    last_arrival: list[int | None] = [None] * n_fn if rec is not None else []
+    ckpt_counter = (
+        met.counter("checkpoints_total", "engine checkpoints captured")
+        if met is not None and checkpoint is not None
+        else None
+    )
+    if resume_from is None:
+        last_arrival: list[int | None] = [None] * n_fn if rec is not None else []
+    else:
+        last_arrival = live["last_arrival"]
 
     highest_mb = np.array(
         [sim.assignment[fid].highest.memory_mb for fid in range(n_fn)]
     )
 
-    service_time = 0.0
-    accuracy_sum = 0.0
-    n_invocations = 0
-    n_warm = 0
-    n_cold = 0
-    total_mb_minutes = 0.0
-    mem_series = np.zeros(horizon) if cfg.record_series else None
-    ideal_series = np.zeros(horizon) if cfg.record_series else None
-
     capacity = cfg.memory_capacity_mb
-    capacity_rng = rng_from_seed(cfg.capacity_seed)
-    n_forced = 0
     has_review = _policy_has_review(policy)
-    injector = (
-        FaultInjector(cfg.faults, horizon)
-        if cfg.faults is not None and cfg.faults.injects_runtime
-        else None
-    )
     has_pressure = injector is not None and injector.pressure_minutes is not None
     # The valve must check the ledger every minute when a standing cap or
     # a fault plan's transient pressure spikes are configured.
@@ -250,9 +295,53 @@ def run_fast(sim) -> RunResult:
             if mem_series is not None:
                 mem_series[t] = mem_t
 
-    i = 0
-    prev_t = -1
-    for g, t in enumerate(group_minutes):
+    if resume_from is None:
+        g_start = 0
+        i = 0
+        prev_t = -1
+        cur_bucket = 0
+    else:
+        g_start, i, prev_t, cur_bucket = resume_from.cursor
+    every = checkpoint.every_minutes if checkpoint is not None else 0
+
+    for g in range(g_start, len(group_minutes)):
+        t = group_minutes[g]
+        # Checkpoint hook: fires before the first event group of each
+        # cadence bucket, with the preceding idle span still unaccounted
+        # (next_minute == prev_t + 1). Counters are bumped before capture
+        # so clean and resumed runs agree on every count, bit for bit.
+        if checkpoint is not None and t // every > cur_bucket:
+            cur_bucket = t // every
+            n_checkpoints += 1
+            if ckpt_counter is not None:
+                ckpt_counter.inc()
+            checkpoint.emit(
+                SimulationState.snapshot(
+                    "fast",
+                    prev_t + 1,
+                    (g, i, prev_t, cur_bucket),
+                    {
+                        "policy": policy,
+                        "events": events,
+                        "obs": obs,
+                        "schedule": schedule,
+                        "pool": pool,
+                        "service_time": service_time,
+                        "accuracy_sum": accuracy_sum,
+                        "n_warm": n_warm,
+                        "n_cold": n_cold,
+                        "total_mb_minutes": total_mb_minutes,
+                        "mem_series": mem_series,
+                        "ideal_series": ideal_series,
+                        "capacity_rng": capacity_rng,
+                        "n_forced": n_forced,
+                        "injector": injector,
+                        "n_checkpoints": n_checkpoints,
+                        "last_arrival": last_arrival,
+                    },
+                )
+            )
+
         if prev_t + 1 < t:
             idle_span(prev_t + 1, t)
 
@@ -370,6 +459,7 @@ def run_fast(sim) -> RunResult:
         pool_stats=pool.stats if pool is not None else None,
         events=events,
         n_forced_downgrades=n_forced,
+        n_checkpoints=n_checkpoints,
         obs=obs,
         **resilience,
     )

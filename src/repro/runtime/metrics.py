@@ -54,6 +54,12 @@ class RunResult:
     n_retries: int = 0
     n_policy_faults: int = 0
     n_degraded_minutes: int = 0
+    #: Checkpoints captured during the run (0 unless ``Simulation.run``
+    #: was given a :class:`~repro.runtime.checkpoint.CheckpointConfig`).
+    #: Deliberately absent from :meth:`summary`: checkpointing is a
+    #: harness concern, and a run's headline artifact must not depend on
+    #: whether (or how often) it was checkpointed.
+    n_checkpoints: int = 0
     #: Engine wall-clock seconds for this run (set by ``Simulation.run``;
     #: excluded from engine-equivalence comparisons — it measures the
     #: machine, not the simulated system).

@@ -26,6 +26,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.models.variants import ModelFamily
 from repro.obs.session import ObservabilityConfig, ObsSession
+from repro.runtime.checkpoint import CheckpointConfig, SimulationState
 from repro.runtime.container import ContainerPool
 from repro.runtime.costmodel import CostModel
 from repro.runtime.events import EventKind, EventLog
@@ -241,7 +243,13 @@ class Simulation:
                 f"got keys {sorted(self.assignment)}"
             )
 
-    def run(self, engine: str | None = None) -> RunResult:
+    def run(
+        self,
+        engine: str | None = None,
+        *,
+        checkpoint: CheckpointConfig | None = None,
+        resume_from: SimulationState | str | Path | None = None,
+    ) -> RunResult:
         """Execute the run and return its metrics.
 
         ``engine`` selects the loop:
@@ -256,22 +264,64 @@ class Simulation:
 
         Both loops produce identical metrics; ``wall_clock_s`` records
         the elapsed engine time either way.
+
+        ``checkpoint`` enables periodic :class:`SimulationState`
+        snapshots (see :mod:`repro.runtime.checkpoint`); ``resume_from``
+        — a state or a path to one — continues an interrupted run from
+        its last snapshot, bit-identically to never having stopped. A
+        resume must use the same trace/assignment/policy/config that
+        produced the checkpoint (the durable sweep layer verifies this
+        via content hashes); the engine is taken from the checkpoint
+        unless explicitly overridden, and an explicit mismatch errors.
         """
+        if checkpoint is not None and not isinstance(checkpoint, CheckpointConfig):
+            raise TypeError(
+                f"checkpoint must be a CheckpointConfig or None, got {checkpoint!r}"
+            )
+        if isinstance(resume_from, (str, Path)):
+            resume_from = SimulationState.load(resume_from)
         t0 = time.perf_counter()
-        if self._resolve_engine(engine):
+        if self._resolve_engine(engine, resume_from):
             from repro.runtime.fastpath import run_fast
 
-            result = run_fast(self)
+            result = run_fast(self, checkpoint=checkpoint, resume_from=resume_from)
         else:
-            result = self._run_reference()
+            result = self._run_reference(
+                checkpoint=checkpoint, resume_from=resume_from
+            )
         wall = time.perf_counter() - t0
         if result.obs is not None and result.obs.spans_enabled:
             result.obs.spans.add("engine-total", wall)
         return replace(result, wall_clock_s=wall)
 
-    def _resolve_engine(self, engine: str | None) -> bool:
+    def _resolve_engine(
+        self, engine: str | None, resume_from: SimulationState | None = None
+    ) -> bool:
         """Map the ``engine`` argument to "use the fast loop?"."""
         cfg = self.config
+        if resume_from is not None:
+            # A checkpoint binds the run to the loop that captured it:
+            # the two engines' cursors are not interchangeable.
+            state_fast = resume_from.engine == "fast"
+            if engine in (None, "auto"):
+                if state_fast and cfg.measure_overhead:
+                    raise ValueError(
+                        "cannot resume a 'fast' checkpoint with "
+                        "measure_overhead=True (the fast loop never "
+                        "measures overhead)"
+                    )
+                return state_fast
+            if engine not in ("reference", "fast"):
+                raise ValueError(
+                    f"unknown engine {engine!r}; choose 'auto', "
+                    "'reference' or 'fast'"
+                )
+            if (engine == "fast") != state_fast:
+                raise ValueError(
+                    f"cannot resume a {resume_from.engine!r} checkpoint "
+                    f"with engine={engine!r}"
+                )
+            return state_fast
         if engine is None:
             if cfg.fast:
                 warnings.warn(
@@ -299,29 +349,90 @@ class Simulation:
             f"unknown engine {engine!r}; choose 'auto', 'reference' or 'fast'"
         )
 
-    def _run_reference(self) -> RunResult:
+    def _run_reference(
+        self,
+        checkpoint: CheckpointConfig | None = None,
+        resume_from: SimulationState | None = None,
+    ) -> RunResult:
         """The reference minute-by-minute loop (walks every minute)."""
-        trace, cfg, policy = self.trace, self.config, self.policy
+        trace, cfg = self.trace, self.config
         horizon = trace.horizon
         n_fn = trace.n_functions
         counts = trace.counts
 
-        events = EventLog() if cfg.record_events else None
-        obs = ObsSession(cfg.observe) if cfg.observe is not None else None
-        if obs is not None or events is not None:
-            # Before bind, so on_bind can wire policy sub-components.
-            policy.attach_observability(obs, events)
-        policy.bind(trace, self.assignment, cfg.keep_alive_window)
-        schedule = KeepAliveSchedule(
-            n_fn, cfg.keep_alive_window, horizon_hint=horizon
-        )
-        pool = (
-            ContainerPool(events)
-            if (cfg.track_containers or cfg.record_events)
-            else None
-        )
+        if resume_from is None:
+            policy = self.policy
+            events = EventLog() if cfg.record_events else None
+            obs = ObsSession(cfg.observe) if cfg.observe is not None else None
+            if obs is not None or events is not None:
+                # Before bind, so on_bind can wire policy sub-components.
+                policy.attach_observability(obs, events)
+            policy.bind(trace, self.assignment, cfg.keep_alive_window)
+            schedule = KeepAliveSchedule(
+                n_fn, cfg.keep_alive_window, horizon_hint=horizon
+            )
+            pool = (
+                ContainerPool(events)
+                if (cfg.track_containers or cfg.record_events)
+                else None
+            )
+            service_time = 0.0
+            accuracy_sum = 0.0
+            n_invocations = 0
+            n_warm = 0
+            n_cold = 0
+            overhead = 0.0
+            n_decisions = 0
+            total_mb_minutes = 0.0
+            mem_series = np.zeros(horizon) if cfg.record_series else None
+            ideal_series = np.zeros(horizon) if cfg.record_series else None
+            capacity_rng = rng_from_seed(cfg.capacity_seed)
+            n_forced = 0
+            injector = (
+                FaultInjector(cfg.faults, horizon)
+                if cfg.faults is not None and cfg.faults.injects_runtime
+                else None
+            )
+            n_checkpoints = 0
+            t_start = 0
+            cur_bucket = 0
+        else:
+            if resume_from.engine != "reference":
+                raise ValueError(
+                    "reference loop cannot resume a "
+                    f"{resume_from.engine!r} checkpoint"
+                )
+            # Single-payload restore: every mutable object comes back with
+            # shared identities intact (policy plan cache <-> schedule,
+            # events <-> pool). attach_observability/bind are NOT re-run —
+            # the restored policy already carries its bound state.
+            live = resume_from.restore()
+            policy = live["policy"]
+            events = live["events"]
+            obs = live["obs"]
+            schedule = live["schedule"]
+            pool = live["pool"]
+            service_time = live["service_time"]
+            accuracy_sum = live["accuracy_sum"]
+            n_invocations = live["n_invocations"]
+            n_warm = live["n_warm"]
+            n_cold = live["n_cold"]
+            overhead = live["overhead"]
+            n_decisions = live["n_decisions"]
+            total_mb_minutes = live["total_mb_minutes"]
+            mem_series = live["mem_series"]
+            ideal_series = live["ideal_series"]
+            capacity_rng = live["capacity_rng"]
+            n_forced = live["n_forced"]
+            injector = live["injector"]
+            n_checkpoints = live["n_checkpoints"]
+            t_start = resume_from.next_minute
+            (cur_bucket,) = resume_from.cursor
 
         # Hot-loop telemetry handles (each None when its layer is off).
+        # Re-derived from the (possibly restored) session: the metrics
+        # registry hands back the same counter for the same name, so a
+        # resumed run keeps accumulating where the snapshot left off.
         rec = obs if obs is not None and obs.decisions_enabled else None
         met = obs.metrics if obs is not None and obs.metrics_enabled else None
         spans = obs.spans if obs is not None and obs.spans_enabled else None
@@ -336,35 +447,28 @@ class Simulation:
             mem_hist = met.histogram(
                 "keepalive_mb", "per-minute committed keep-alive memory"
             ).summary()
-        last_arrival: list[int | None] = [None] * n_fn if rec is not None else []
+        ckpt_counter = (
+            met.counter("checkpoints_total", "engine checkpoints captured")
+            if met is not None and checkpoint is not None
+            else None
+        )
+        if resume_from is None:
+            last_arrival: list[int | None] = (
+                [None] * n_fn if rec is not None else []
+            )
+        else:
+            last_arrival = live["last_arrival"]
 
         highest_mb = np.array(
             [self.assignment[fid].highest.memory_mb for fid in range(n_fn)]
         )
 
-        service_time = 0.0
-        accuracy_sum = 0.0
-        n_invocations = 0
-        n_warm = 0
-        n_cold = 0
-        overhead = 0.0
-        n_decisions = 0
-        total_mb_minutes = 0.0
-        mem_series = np.zeros(horizon) if cfg.record_series else None
-        ideal_series = np.zeros(horizon) if cfg.record_series else None
-
         measure = cfg.measure_overhead
         clock = time.perf_counter
         capacity = cfg.memory_capacity_mb
-        capacity_rng = rng_from_seed(cfg.capacity_seed)
-        n_forced = 0
-        injector = (
-            FaultInjector(cfg.faults, horizon)
-            if cfg.faults is not None and cfg.faults.injects_runtime
-            else None
-        )
         has_pressure = injector is not None and injector.pressure_minutes is not None
         valve_on = capacity is not None or has_pressure
+        every = checkpoint.every_minutes if checkpoint is not None else 0
 
         # Pre-compute which functions invoke at each minute (hot-loop aid:
         # most minutes touch only a few of the 12 functions).
@@ -372,7 +476,47 @@ class Simulation:
             np.flatnonzero(counts[:, t]) for t in range(horizon)
         ]
 
-        for t in range(horizon):
+        for t in range(t_start, horizon):
+            # Checkpoint hook: fires at the first minute of each cadence
+            # bucket, *before* the minute executes (next_minute == t).
+            # Counters are bumped before capture so the snapshot already
+            # contains them — a clean run and a resumed run then agree on
+            # every count, bit for bit.
+            if checkpoint is not None and t // every > cur_bucket:
+                cur_bucket = t // every
+                n_checkpoints += 1
+                if ckpt_counter is not None:
+                    ckpt_counter.inc()
+                checkpoint.emit(
+                    SimulationState.snapshot(
+                        "reference",
+                        t,
+                        (cur_bucket,),
+                        {
+                            "policy": policy,
+                            "events": events,
+                            "obs": obs,
+                            "schedule": schedule,
+                            "pool": pool,
+                            "service_time": service_time,
+                            "accuracy_sum": accuracy_sum,
+                            "n_invocations": n_invocations,
+                            "n_warm": n_warm,
+                            "n_cold": n_cold,
+                            "overhead": overhead,
+                            "n_decisions": n_decisions,
+                            "total_mb_minutes": total_mb_minutes,
+                            "mem_series": mem_series,
+                            "ideal_series": ideal_series,
+                            "capacity_rng": capacity_rng,
+                            "n_forced": n_forced,
+                            "injector": injector,
+                            "n_checkpoints": n_checkpoints,
+                            "last_arrival": last_arrival,
+                        },
+                    )
+                )
+
             # Pre-warm pass: realize the schedule's decisions for this
             # minute before invocations arrive.
             if pool is not None:
@@ -533,6 +677,7 @@ class Simulation:
             pool_stats=pool.stats if pool is not None else None,
             events=events,
             n_forced_downgrades=n_forced,
+            n_checkpoints=n_checkpoints,
             obs=obs,
             **resilience,
         )

@@ -14,24 +14,74 @@ is also how the test-suite round-trips the synthetic generator.
 Functions are identified by their ``HashFunction`` value; when loading
 multiple days, functions absent on some day contribute zero counts for
 that day.
+
+Ingestion hardening
+-------------------
+Real trace dumps arrive with truncated rows, negative or fractional
+counts and stray text. ``load_azure_csv`` validates every row and offers
+two failure modes:
+
+- ``mode="strict"`` (default): the first malformed row raises
+  :class:`~repro.traces.schema.MalformedRowError` naming the file, line
+  and reason — nothing is silently mis-parsed (the historical loader
+  truncated ``"3.7"`` to 3 and accepted negative counts).
+- ``mode="lenient"``: malformed rows are *quarantined* — skipped, counted
+  in the caller's :class:`~repro.traces.schema.IngestReport`, and (when
+  ``quarantine_path`` is given) appended to a JSONL sidecar with their
+  reasons, so a long sweep survives a dirty dump without hiding it.
+
+Empty cells are zero in both modes (the public dataset uses them that
+way). Duplicate ``HashFunction`` rows are summed in both modes — the
+dataset legitimately splits one function across rows.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 
 import numpy as np
 
-from repro.traces.schema import MINUTES_PER_DAY, FunctionSpec, Trace
+from repro.traces.schema import (
+    MINUTES_PER_DAY,
+    FunctionSpec,
+    IngestReport,
+    MalformedRowError,
+    RowIssue,
+    Trace,
+)
+from repro.utils.atomicio import atomic_writer
 
 __all__ = ["load_azure_csv", "write_azure_csv", "top_functions"]
 
 _META_COLUMNS = ("HashOwner", "HashApp", "HashFunction", "Trigger")
+_MODES = ("strict", "lenient")
 
 
-def _read_day(path: Path) -> dict[str, np.ndarray]:
-    """Read one day file into {HashFunction: counts[1440]}."""
+def _parse_count(cell: str) -> int:
+    """One minute cell -> non-negative int; raises ValueError with the
+    reason on anything the schema does not allow."""
+    if not cell:
+        return 0  # empty cell == zero invocations (dataset convention)
+    try:
+        value = float(cell)
+    except ValueError:
+        raise ValueError(f"non-numeric count {cell!r}") from None
+    if not np.isfinite(value):
+        raise ValueError(f"non-finite count {cell!r}")
+    if value != int(value):
+        raise ValueError(f"non-integral count {cell!r}")
+    if value < 0:
+        raise ValueError(f"negative count {cell!r}")
+    return int(value)
+
+
+def _read_day(
+    path: Path, mode: str, report: IngestReport
+) -> dict[str, np.ndarray]:
+    """Read one day file into {HashFunction: counts[1440]}, validating
+    every row per ``mode`` (see module docstring)."""
     out: dict[str, np.ndarray] = {}
     with path.open(newline="") as fh:
         reader = csv.reader(fh)
@@ -46,14 +96,35 @@ def _read_day(path: Path) -> dict[str, np.ndarray]:
         n_minutes = len(header) - first_minute_col
         if n_minutes < 1:
             raise ValueError(f"{path}: no per-minute columns found")
+        n_columns = len(header)
         for row in reader:
             if not row:
                 continue
-            key = row[fn_col]
-            vals = np.array(
-                [int(float(x)) if x else 0 for x in row[first_minute_col:]],
-                dtype=np.int64,
-            )
+            report.n_rows += 1
+            try:
+                if len(row) != n_columns:
+                    raise ValueError(
+                        f"expected {n_columns} columns, got {len(row)}"
+                    )
+                key = row[fn_col]
+                if not key:
+                    raise ValueError("empty HashFunction")
+                vals = np.array(
+                    [_parse_count(x) for x in row[first_minute_col:]],
+                    dtype=np.int64,
+                )
+            except ValueError as exc:
+                issue = RowIssue(
+                    file=str(path),
+                    line=reader.line_num,
+                    function=row[fn_col] if len(row) > fn_col else "",
+                    reason=str(exc),
+                )
+                if mode == "strict":
+                    raise MalformedRowError(issue) from None
+                report.record_issue(issue)
+                continue
+            report.n_ok += 1
             if key in out:
                 out[key] = out[key] + vals  # duplicate rows: sum (same function)
             else:
@@ -61,10 +132,21 @@ def _read_day(path: Path) -> dict[str, np.ndarray]:
     return out
 
 
+def _write_quarantine(path: Path, issues: list[RowIssue]) -> None:
+    """Persist the quarantined-row sidecar (JSONL, one issue per line)."""
+    with atomic_writer(path) as fh:
+        for issue in issues:
+            fh.write(json.dumps(issue.as_dict(), sort_keys=True) + "\n")
+
+
 def load_azure_csv(
     paths: list[str | Path] | str | Path,
     function_ids: list[str] | None = None,
     name: str = "azure",
+    *,
+    mode: str = "strict",
+    quarantine_path: str | Path | None = None,
+    report: IngestReport | None = None,
 ) -> Trace:
     """Load consecutive per-day Azure trace CSVs into one :class:`Trace`.
 
@@ -76,12 +158,30 @@ def load_azure_csv(
         Optional subset of ``HashFunction`` values to keep (in this order).
         By default every function seen on any day is kept, ordered by
         total invocation count descending.
+    mode:
+        ``"strict"`` (default) raises
+        :class:`~repro.traces.schema.MalformedRowError` on the first bad
+        row; ``"lenient"`` quarantines bad rows and loads the rest.
+    quarantine_path:
+        Where lenient mode writes the JSONL sidecar of quarantined rows
+        (written atomically, only when at least one row was quarantined).
+    report:
+        An :class:`~repro.traces.schema.IngestReport` to fill in-place
+        with row/quarantine counts (one is created internally otherwise).
     """
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
     if isinstance(paths, (str, Path)):
         paths = [paths]
     if not paths:
         raise ValueError("at least one CSV path is required")
-    days = [_read_day(Path(p)) for p in paths]
+    if report is None:
+        report = IngestReport()
+    report.mode = mode
+    days = [_read_day(Path(p), mode, report) for p in paths]
+    if report.issues and quarantine_path is not None:
+        _write_quarantine(Path(quarantine_path), report.issues)
+        report.quarantine_path = str(quarantine_path)
     day_lengths = [len(next(iter(d.values()))) if d else MINUTES_PER_DAY for d in days]
 
     all_keys: dict[str, int] = {}
@@ -125,7 +225,11 @@ def top_functions(trace: Trace, k: int) -> Trace:
 
 
 def write_azure_csv(trace: Trace, directory: str | Path, prefix: str = "day") -> list[Path]:
-    """Write a trace as per-day CSVs in the Azure schema; returns the paths."""
+    """Write a trace as per-day CSVs in the Azure schema; returns the paths.
+
+    Each day file is written atomically — an interrupt leaves either the
+    previous complete file or nothing, never a truncated CSV.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     n_days = int(np.ceil(trace.horizon / MINUTES_PER_DAY))
@@ -135,7 +239,7 @@ def write_azure_csv(trace: Trace, directory: str | Path, prefix: str = "day") ->
         stop = min(start + MINUTES_PER_DAY, trace.horizon)
         width = stop - start
         path = directory / f"{prefix}{day + 1:02d}.csv"
-        with path.open("w", newline="") as fh:
+        with atomic_writer(path, newline="") as fh:
             writer = csv.writer(fh)
             writer.writerow(
                 list(_META_COLUMNS) + [str(m) for m in range(1, width + 1)]

@@ -28,6 +28,7 @@ from pathlib import Path
 
 from repro.models.variants import ModelFamily
 from repro.traces.schema import Trace
+from repro.utils.atomicio import atomic_writer
 
 __all__ = [
     "AppMemoryRecord",
@@ -148,7 +149,7 @@ def write_synthetic_metadata(
     dur_path = directory / "function_durations_percentiles.anon.d01.csv"
     mem_path = directory / "app_memory_percentiles.anon.d01.csv"
 
-    with dur_path.open("w", newline="") as fh:
+    with atomic_writer(dur_path, newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(
             ["HashOwner", "HashApp", "HashFunction", "Average", "Count",
@@ -175,7 +176,7 @@ def write_synthetic_metadata(
                 + [f"{p:.2f}" for p in pcts]
             )
 
-    with mem_path.open("w", newline="") as fh:
+    with atomic_writer(mem_path, newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(
             ["HashOwner", "HashApp", "SampleCount", "AverageAllocatedMb"]

@@ -15,9 +15,81 @@ import numpy as np
 
 from repro.utils.validation import check_positive_int
 
-__all__ = ["FunctionSpec", "Trace", "MINUTES_PER_DAY"]
+__all__ = [
+    "FunctionSpec",
+    "IngestReport",
+    "MalformedRowError",
+    "RowIssue",
+    "Trace",
+    "MINUTES_PER_DAY",
+]
 
 MINUTES_PER_DAY = 1440
+
+
+@dataclass(frozen=True)
+class RowIssue:
+    """One malformed CSV row: where it was and why it was rejected."""
+
+    file: str
+    line: int  # 1-based physical line number in the CSV
+    function: str  # HashFunction value, "" when the cell itself is broken
+    reason: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "function": self.function,
+            "reason": self.reason,
+        }
+
+
+class MalformedRowError(ValueError):
+    """A trace row failed validation under strict ingestion.
+
+    Carries the :class:`RowIssue` so callers (and error messages) name
+    the exact file, line and reason instead of a bare parse failure.
+    """
+
+    def __init__(self, issue: RowIssue):
+        self.issue = issue
+        super().__init__(
+            f"{issue.file}:{issue.line}: {issue.reason}"
+            + (f" (function {issue.function})" if issue.function else "")
+        )
+
+
+@dataclass
+class IngestReport:
+    """Outcome of one hardened trace load (see ``traces.azure``).
+
+    Filled in-place by :func:`~repro.traces.azure.load_azure_csv`; under
+    lenient mode ``issues`` lists every quarantined row and
+    ``quarantine_path`` points at the JSONL sidecar. The durable sweep
+    layer copies these counts into its manifest.
+    """
+
+    mode: str = "strict"
+    n_rows: int = 0
+    n_ok: int = 0
+    n_quarantined: int = 0
+    issues: list[RowIssue] = field(default_factory=list)
+    quarantine_path: str | None = None
+
+    def record_issue(self, issue: RowIssue) -> None:
+        self.n_quarantined += 1
+        self.issues.append(issue)
+
+    def as_dict(self) -> dict[str, object]:
+        """Manifest-ready summary (issue details live in the sidecar)."""
+        return {
+            "mode": self.mode,
+            "n_rows": self.n_rows,
+            "n_ok": self.n_ok,
+            "n_quarantined": self.n_quarantined,
+            "quarantine_path": self.quarantine_path,
+        }
 
 
 @dataclass(frozen=True)

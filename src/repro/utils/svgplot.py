@@ -23,6 +23,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.utils.atomicio import atomic_write_text
+
 __all__ = ["bar_chart", "line_chart", "save", "scatter_chart"]
 
 _COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b")
@@ -239,5 +241,4 @@ def save(svg: str, path: str | Path) -> Path:
     """Write an SVG string to ``path`` (creating parent directories)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(svg)
-    return path
+    return atomic_write_text(path, svg)

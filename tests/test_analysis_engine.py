@@ -64,7 +64,9 @@ class TestEngineBasics:
         assert "cannot parse" in report.findings[0].message
 
     def test_registry_lists_the_rule_pack(self):
-        assert rule_ids() == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+        assert rule_ids() == [
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+        ]
         summaries = rule_summaries()
         assert set(summaries) == set(rule_ids())
         assert all(summaries.values())

@@ -522,6 +522,162 @@ class TestSpecStringsRPR005:
         assert rules_hit(path, "RPR005") == []
 
 
+class TestExceptionHygieneRPR006:
+    def test_bare_except_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "runtime/x.py",
+            """\
+            def f():
+                try:
+                    g()
+                except:
+                    handle()
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR006"])
+        (finding,) = report.findings
+        assert "bare" in finding.message
+
+    def test_swallowed_exception_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "traces/x.py",
+            """\
+            def f():
+                try:
+                    g()
+                except ValueError:
+                    pass
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR006"])
+        (finding,) = report.findings
+        assert "swallowed" in finding.message
+
+    def test_ellipsis_body_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "experiments/x.py",
+            """\
+            def f():
+                try:
+                    g()
+                except OSError:
+                    ...
+            """,
+        )
+        assert rules_hit(path, "RPR006") == ["RPR006"]
+
+    def test_broad_handler_without_raise_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "experiments/x.py",
+            """\
+            def f():
+                try:
+                    g()
+                except Exception as exc:
+                    record(exc)
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR006"])
+        (finding,) = report.findings
+        assert "re-raise" in finding.message
+
+    def test_broad_handler_with_system_exit_clean(self, tmp_path):
+        # The durable worker's crash-isolation boundary: record the
+        # failure, then die loudly. SystemExit counts as a raise.
+        path = write(
+            tmp_path,
+            "experiments/x.py",
+            """\
+            def f():
+                try:
+                    g()
+                except Exception as exc:
+                    record(exc)
+                    raise SystemExit(1)
+            """,
+        )
+        assert rules_hit(path, "RPR006") == []
+
+    def test_broad_handler_with_conditional_raise_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "experiments/x.py",
+            """\
+            def f(on_error):
+                try:
+                    g()
+                except Exception as exc:
+                    if on_error == "raise":
+                        raise
+                    record(exc)
+            """,
+        )
+        assert rules_hit(path, "RPR006") == []
+
+    def test_raise_inside_nested_def_does_not_count(self, tmp_path):
+        path = write(
+            tmp_path,
+            "runtime/x.py",
+            """\
+            def f():
+                try:
+                    g()
+                except Exception as exc:
+                    def later():
+                        raise RuntimeError("never fires here")
+                    record(later)
+            """,
+        )
+        assert rules_hit(path, "RPR006") == ["RPR006"]
+
+    def test_narrow_recording_handler_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "traces/x.py",
+            """\
+            def f(report):
+                try:
+                    g()
+                except ValueError as exc:
+                    report.record_issue(exc)
+            """,
+        )
+        assert rules_hit(path, "RPR006") == []
+
+    def test_waiver_with_reason_accepted(self, tmp_path):
+        path = write(
+            tmp_path,
+            "experiments/x.py",
+            """\
+            def f():
+                try:
+                    g()
+                # repro: lint-ok[RPR006] failure already recorded upstream
+                except OSError:
+                    pass
+            """,
+        )
+        assert rules_hit(path, "RPR006") == []
+
+    def test_out_of_scope_module_exempt(self, tmp_path):
+        path = write(
+            tmp_path,
+            "obs/x.py",
+            """\
+            def f():
+                try:
+                    g()
+                except ValueError:
+                    pass
+            """,
+        )
+        assert rules_hit(path, "RPR006") == []
+
+
 class TestShippedTreeSelfCheck:
     def test_repro_lints_clean(self):
         report = lint_paths([REPRO_ROOT])

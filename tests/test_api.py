@@ -13,6 +13,7 @@ from repro.api import (
     make_policy,
     policy_spec,
     register_policy,
+    run_sweep,
     simulate,
 )
 from repro.baselines.openwhisk import OpenWhiskPolicy
@@ -136,3 +137,60 @@ class TestSimulateFacade:
     def test_bad_engine_rejected(self, small_trace, assignment):
         with pytest.raises(ValueError, match="engine"):
             simulate(small_trace, assignment, "openwhisk", engine="turbo")
+
+
+class TestRunSweepFacade:
+    def test_in_process_sweep_records_errors(self, tiny_trace):
+        from repro.experiments.runner import ExperimentConfig
+        from repro.runtime.metrics import RunResult
+
+        results = run_sweep(
+            tiny_trace,
+            ["pulse", "openwhisk"],
+            ExperimentConfig(n_runs=2, horizon_minutes=60, seed=3),
+        )
+        assert sorted(results) == ["openwhisk", "pulse"]
+        assert all(
+            isinstance(r, RunResult)
+            for runs in results.values()
+            for r in runs
+        )
+
+    def test_unknown_policy_fails_fast(self, tiny_trace):
+        with pytest.raises(ValueError, match="unknown policy"):
+            run_sweep(tiny_trace, ["nope"])
+
+    def test_durable_knobs_require_durable(self, tiny_trace, tmp_path):
+        with pytest.raises(ValueError, match="durable=True"):
+            run_sweep(tiny_trace, ["pulse"], out_dir=tmp_path)
+
+    def test_durable_requires_out_dir(self, tiny_trace):
+        with pytest.raises(ValueError, match="out_dir"):
+            run_sweep(tiny_trace, ["pulse"], durable=True)
+
+    def test_durable_sweep_end_to_end(self, tiny_trace, tmp_path):
+        from repro.experiments.runner import ExperimentConfig
+
+        result = run_sweep(
+            tiny_trace,
+            ["pulse"],
+            ExperimentConfig(
+                n_runs=2, horizon_minutes=60, seed=3, engine="fast"
+            ),
+            durable=True,
+            out_dir=tmp_path,
+        )
+        assert result.ok
+        assert (tmp_path / "manifest.json").exists()
+        # resume-by-path of a finished sweep is a no-op that reloads
+        resumed = run_sweep(
+            tiny_trace,
+            ["pulse"],
+            ExperimentConfig(
+                n_runs=2, horizon_minutes=60, seed=3, engine="fast"
+            ),
+            durable=True,
+            resume=tmp_path / "manifest.json",
+        )
+        assert resumed.ok
+        assert resumed.summaries == result.summaries

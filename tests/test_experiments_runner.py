@@ -102,3 +102,69 @@ class TestRunPolicies:
         )
         for rs, rp in zip(serial["ow"], parallel["ow"]):
             assert rs.keepalive_cost_usd == rp.keepalive_cost_usd
+
+
+def _exploding_factory():
+    """Module-level so the process pool can pickle it."""
+    raise RuntimeError("policy construction exploded")
+
+
+class TestFailureSemantics:
+    """Regression: one crashing run must not abort the whole sweep."""
+
+    def _policies(self):
+        from repro.baselines.openwhisk import OpenWhiskPolicy
+
+        return {"ow": OpenWhiskPolicy, "boom": _exploding_factory}
+
+    def test_record_mode_isolates_the_failure(self):
+        from repro.experiments.runner import RunError, split_errors
+        from repro.runtime.metrics import RunResult
+
+        cfg = ExperimentConfig(n_runs=3, horizon_minutes=120, seed=5)
+        trace = default_trace(cfg)
+        results = run_policies(
+            trace, self._policies(), cfg, on_error="record"
+        )
+        # The healthy policy's runs all completed...
+        assert all(isinstance(r, RunResult) for r in results["ow"])
+        # ...and the crashing one produced aligned error records.
+        assert all(isinstance(r, RunError) for r in results["boom"])
+        assert [e.run_index for e in results["boom"]] == [0, 1, 2]
+        assert results["boom"][0].error_type == "RuntimeError"
+        assert "exploded" in results["boom"][0].message
+        ok, errors = split_errors(results)
+        assert len(ok["ow"]) == 3 and ok["boom"] == []
+        assert len(errors) == 3
+
+    def test_record_mode_isolates_in_process_pools(self):
+        from dataclasses import replace
+
+        from repro.experiments.runner import RunError
+        from repro.runtime.metrics import RunResult
+
+        cfg = ExperimentConfig(n_runs=2, horizon_minutes=120, seed=5, n_jobs=2)
+        trace = default_trace(cfg)
+        results = run_policies(
+            trace, self._policies(), replace(cfg), on_error="record"
+        )
+        assert all(isinstance(r, RunResult) for r in results["ow"])
+        assert all(isinstance(r, RunError) for r in results["boom"])
+
+    def test_raise_mode_still_propagates(self):
+        cfg = ExperimentConfig(n_runs=1, horizon_minutes=120, seed=5)
+        trace = default_trace(cfg)
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_policies(trace, self._policies(), cfg, on_error="raise")
+
+    def test_raise_is_the_default(self):
+        cfg = ExperimentConfig(n_runs=1, horizon_minutes=120, seed=5)
+        trace = default_trace(cfg)
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_policies(trace, self._policies(), cfg)
+
+    def test_bogus_on_error_rejected(self):
+        cfg = ExperimentConfig(n_runs=1, horizon_minutes=120, seed=5)
+        trace = default_trace(cfg)
+        with pytest.raises(ValueError, match="on_error"):
+            run_policies(trace, self._policies(), cfg, on_error="ignore")

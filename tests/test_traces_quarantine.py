@@ -1,0 +1,102 @@
+"""Hardened Azure CSV ingestion: strict refusal, lenient quarantine."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.traces.azure import load_azure_csv
+from repro.traces.schema import IngestReport, MalformedRowError
+
+HEADER = "HashOwner,HashApp,HashFunction,Trigger,1,2,3\n"
+
+
+def _csv(tmp_path, *rows, name="day01.csv"):
+    path = tmp_path / name
+    path.write_text(HEADER + "".join(r + "\n" for r in rows))
+    return path
+
+
+GOOD = "o1,a1,fn-good,http,1,0,2"
+
+BAD_ROWS = {
+    "truncated": ("o1,a1,fn-bad,http,1,0", "columns"),
+    "negative": ("o1,a1,fn-bad,http,1,-2,0", "negative"),
+    "fractional": ("o1,a1,fn-bad,http,1,3.7,0", "non-integral"),
+    "non_numeric": ("o1,a1,fn-bad,http,1,lots,0", "non-numeric"),
+    "non_finite": ("o1,a1,fn-bad,http,1,inf,0", "non-finite"),
+    "no_function_id": ("o1,a1,,http,1,0,0", "empty HashFunction"),
+}
+
+
+class TestStrictMode:
+    @pytest.mark.parametrize("row,reason", BAD_ROWS.values(),
+                             ids=list(BAD_ROWS))
+    def test_malformed_row_refused_with_location(self, tmp_path, row, reason):
+        path = _csv(tmp_path, GOOD, row)
+        with pytest.raises(MalformedRowError) as excinfo:
+            load_azure_csv(path)
+        issue = excinfo.value.issue
+        assert issue.line == 3  # header is line 1, GOOD is line 2
+        assert issue.file == str(path)
+        assert reason in issue.reason
+        assert str(path) in str(excinfo.value)
+
+    def test_empty_cells_are_zero(self, tmp_path):
+        trace = load_azure_csv(_csv(tmp_path, "o1,a1,fn,http,1,,2"))
+        assert trace.counts.tolist() == [[1, 0, 2]]
+
+    def test_duplicate_function_rows_summed(self, tmp_path):
+        trace = load_azure_csv(
+            _csv(tmp_path, "o1,a1,fn,http,1,0,2", "o1,a1,fn,http,0,4,0")
+        )
+        assert trace.counts.tolist() == [[1, 4, 2]]
+
+
+class TestLenientMode:
+    def test_bad_rows_quarantined_good_rows_loaded(self, tmp_path):
+        path = _csv(tmp_path, GOOD, *(row for row, _ in BAD_ROWS.values()))
+        report = IngestReport()
+        trace = load_azure_csv(path, mode="lenient", report=report)
+        assert [f.name for f in trace.functions] == ["fn-good"]
+        assert report.n_rows == 1 + len(BAD_ROWS)
+        assert report.n_ok == 1
+        assert report.n_quarantined == len(BAD_ROWS)
+        assert report.quarantine_path is None  # no sidecar requested
+
+    def test_quarantine_sidecar_records_reasons(self, tmp_path):
+        path = _csv(tmp_path, GOOD, BAD_ROWS["negative"][0],
+                    BAD_ROWS["fractional"][0])
+        sidecar = tmp_path / "quarantine.jsonl"
+        report = IngestReport()
+        load_azure_csv(path, mode="lenient", quarantine_path=sidecar,
+                       report=report)
+        lines = [json.loads(l) for l in sidecar.read_text().splitlines()]
+        assert [e["line"] for e in lines] == [3, 4]
+        assert "negative" in lines[0]["reason"]
+        assert "non-integral" in lines[1]["reason"]
+        assert all(e["file"] == str(path) for e in lines)
+        assert report.quarantine_path == str(sidecar)
+
+    def test_clean_file_writes_no_sidecar(self, tmp_path):
+        sidecar = tmp_path / "quarantine.jsonl"
+        load_azure_csv(_csv(tmp_path, GOOD), mode="lenient",
+                       quarantine_path=sidecar)
+        assert not sidecar.exists()
+
+    def test_report_as_dict_is_manifest_ready(self, tmp_path):
+        path = _csv(tmp_path, GOOD, BAD_ROWS["negative"][0])
+        report = IngestReport()
+        load_azure_csv(path, mode="lenient", report=report)
+        d = report.as_dict()
+        assert d["mode"] == "lenient"
+        assert d["n_rows"] == 2
+        assert d["n_ok"] == 1
+        assert d["n_quarantined"] == 1
+
+
+class TestModeValidation:
+    def test_unknown_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="mode"):
+            load_azure_csv(_csv(tmp_path, GOOD), mode="permissive")

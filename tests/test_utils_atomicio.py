@@ -1,0 +1,83 @@
+"""Atomic artifact writes: all-or-nothing, never torn."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.utils.atomicio import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+    sha256_bytes,
+    sha256_file,
+)
+
+
+class TestAtomicWriter:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "a.txt"
+        atomic_write_text(path, "one")
+        atomic_write_text(path, "two")
+        assert path.read_text() == "two"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "er" / "a.txt"
+        atomic_write_text(path, "x")
+        assert path.read_text() == "x"
+
+    def test_failure_leaves_previous_content(self, tmp_path):
+        path = tmp_path / "a.txt"
+        atomic_write_text(path, "intact")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path) as fh:
+                fh.write("torn torn torn")
+                raise RuntimeError("crash mid-write")
+        assert path.read_text() == "intact"
+
+    def test_failure_leaves_no_temp_droppings(self, tmp_path):
+        path = tmp_path / "a.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path) as fh:
+                fh.write("x")
+                raise RuntimeError("boom")
+        assert os.listdir(tmp_path) == []
+
+    def test_read_modes_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="mode"):
+            with atomic_writer(tmp_path / "a.txt", "r"):
+                pass
+
+    def test_binary_mode(self, tmp_path):
+        path = tmp_path / "a.bin"
+        atomic_write_bytes(path, b"\x00\x01\x02")
+        assert path.read_bytes() == b"\x00\x01\x02"
+
+
+class TestCanonicalJson:
+    def test_identical_payloads_are_byte_identical(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        atomic_write_json(a, {"z": 1, "a": [2, 3]})
+        atomic_write_json(b, {"a": [2, 3], "z": 1})  # insertion order differs
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_round_trips(self, tmp_path):
+        path = tmp_path / "a.json"
+        payload = {"runs": {"pulse/000": {"status": "done"}}, "n": 3}
+        atomic_write_json(path, payload)
+        assert json.loads(path.read_text()) == payload
+
+    def test_trailing_newline(self, tmp_path):
+        path = atomic_write_json(tmp_path / "a.json", {})
+        assert path.read_text().endswith("\n")
+
+
+class TestHashes:
+    def test_sha256_file_matches_bytes(self, tmp_path):
+        path = tmp_path / "a.bin"
+        data = os.urandom(3 << 10)
+        atomic_write_bytes(path, data)
+        assert sha256_file(path) == sha256_bytes(data)
