@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Engine performance benchmark: reference loop vs event-driven fast path.
+"""Engine performance benchmark: reference vs fast path vs fleet kernel.
 
 Times single runs of representative policies (fixed highest / fixed
 lowest / PULSE) on the default 2-day synthetic trace in the lean engine
 configuration (``record_series=False, track_containers=False,
 record_events=False``), plus sweep throughput through
-``run_policies`` at ``n_jobs`` in {1, 4}. Writes ``BENCH_perf.json``.
+``run_policies`` at ``n_jobs`` in {1, 4}, plus the **fleet scaling
+curve**: PULSE runs at 12 / 1k / 10k / 100k functions per engine, each
+in its own subprocess so the reported peak RSS belongs to that point
+alone. Writes ``BENCH_perf.json``.
 
 Methodology
 -----------
@@ -14,18 +17,32 @@ Wall-clock noise on runs this short (~10-50 ms) is large, so each
 with the GC suspended around each sample, and both best-of-N (min) and
 median are reported; the speedup headline uses the min, the
 least-noise-contaminated estimate (see ``repro.utils.profiling``).
+Scaling-curve points run for seconds-to-minutes, where a single sample
+is noise-safe; trace generation happens before the timer starts but
+inside the subprocess, so peak RSS covers the whole working set.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_perf.py            # full, ~1 min
+    PYTHONPATH=src python scripts/bench_perf.py            # full, ~10 min
     PYTHONPATH=src python scripts/bench_perf.py --quick    # CI smoke
+
+CI perf-smoke gates (all optional flags)::
+
+    --gate-1k-seconds 120     fail if the 1k-function fleet point is slower
+    --baseline BENCH_perf.json --max-regression 0.2
+                              fail if the machine-normalized 1k fleet
+                              throughput (vs the run's own 12-fn fast
+                              calibration sample) regressed >20%
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import platform
+import subprocess
+import sys
 from dataclasses import replace
 
 from repro.core.pulse import PulsePolicy
@@ -146,15 +163,179 @@ def bench_sweep(trace, n_runs: int, repeats: int) -> dict:
     return out
 
 
+# The fleet scaling curve: (n_functions, horizon_minutes, engines).
+# Horizons shrink as fleets grow so every point (including the slowest
+# engine at it) finishes in minutes; throughput is reported as
+# function-minutes simulated per second, which is size-comparable.
+# The 1k point is identical in quick and full mode so the CI smoke can
+# regression-gate against the committed full-mode baseline.
+SCALING_POINTS = [
+    (12, 1440, ("reference", "fast", "fleet")),
+    (1_000, 240, ("fast", "fleet")),
+    (10_000, 120, ("fast", "fleet")),
+    (100_000, 120, ("fleet",)),
+]
+QUICK_SCALING_POINTS = [
+    # Same horizons as the full-mode points so the 12-fn fast sample can
+    # serve as a machine-speed calibration against the committed
+    # baseline (see the --baseline gate).
+    (12, 1440, ("fast", "fleet")),
+    (1_000, 240, ("fleet",)),
+]
+FLEET_SHARDS = 4
+# A scaling point that cannot finish inside this budget is recorded as a
+# DNF instead of stalling the whole bench (the fastpath's per-minute pool
+# scans go quadratic in fleet size, so at 10k+ it may simply never come
+# back in reasonable time -- which is the very gap the fleet engine
+# closes). A DNF by `fast` turns the fleet speedup into a lower bound.
+PER_POINT_TIMEOUT_S = 900.0
+
+
+def run_point(
+    n: int, horizon: int, engine: str, shards: int, repeats: int
+) -> None:
+    """Child-process mode: one PULSE run at one scaling point; prints a
+    JSON line with its best-of-``repeats`` wall time and this process's
+    peak RSS. Repeats are only used at small n, where a single run is in
+    noise territory."""
+    import resource
+    import time
+
+    trace = generate_trace(
+        SyntheticTraceConfig(horizon_minutes=horizon, seed=SEED, n_functions=n)
+    )
+    assignment = sample_assignment(n, seed=SEED)
+    lean = SimulationConfig(record_series=False, track_containers=False)
+    seconds = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        Simulation(trace, assignment, PulsePolicy(), lean).run(
+            engine=engine, shards=shards if engine == "fleet" else 1
+        )
+        seconds = min(seconds, time.perf_counter() - t0)
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss  # KiB on Linux
+    print(
+        json.dumps(
+            {
+                "seconds": seconds,
+                "minutes_per_s": horizon / seconds,
+                "fn_minutes_per_s": n * horizon / seconds,
+                "peak_rss_mb": rss_kb / 1024.0,
+            }
+        )
+    )
+
+
+def bench_fleet_scaling(quick: bool) -> dict:
+    """Run every scaling point in a fresh subprocess and collect the curve."""
+    points = []
+    for n, horizon, engines in (QUICK_SCALING_POINTS if quick else SCALING_POINTS):
+        entry: dict = {
+            "n_functions": n,
+            "horizon_minutes": horizon,
+            "engines": {},
+        }
+        for engine in engines:
+            shards = FLEET_SHARDS if engine == "fleet" else 1
+            # Best-of-3 where a single run sits in noise territory
+            # (sub-second samples feed the CI regression gate); one run
+            # is plenty once a point takes tens of seconds.
+            repeats = 3 if n <= 12 or (engine == "fleet" and n <= 1_000) else 1
+            try:
+                proc = subprocess.run(
+                    [
+                        sys.executable, os.path.abspath(__file__), "--point",
+                        str(n), str(horizon), engine, str(shards),
+                        str(repeats),
+                    ],
+                    capture_output=True,
+                    text=True,
+                    check=True,
+                    timeout=PER_POINT_TIMEOUT_S,
+                )
+            except subprocess.TimeoutExpired:
+                entry["engines"][engine] = {
+                    "dnf": True,
+                    "timeout_s": PER_POINT_TIMEOUT_S,
+                }
+                print(
+                    f"scaling n={n:>6} h={horizon:>4} {engine:9s} "
+                    f"DNF (>{PER_POINT_TIMEOUT_S:.0f} s)"
+                )
+                continue
+            sample = json.loads(proc.stdout.strip().splitlines()[-1])
+            entry["engines"][engine] = sample
+            print(
+                f"scaling n={n:>6} h={horizon:>4} {engine:9s} "
+                f"{sample['seconds']:8.2f} s  "
+                f"{sample['fn_minutes_per_s']:>12,.0f} fn-min/s  "
+                f"rss {sample['peak_rss_mb']:8.1f} MB"
+            )
+        fast = entry["engines"].get("fast")
+        fleet = entry["engines"].get("fleet")
+        if fast and fleet and "seconds" in fleet:
+            if "seconds" in fast:
+                entry["speedup_fleet_vs_fast"] = (
+                    fast["seconds"] / fleet["seconds"]
+                )
+            else:  # fast DNF: report the timeout-derived lower bound
+                entry["speedup_fleet_vs_fast"] = (
+                    fast["timeout_s"] / fleet["seconds"]
+                )
+                entry["speedup_is_lower_bound"] = True
+        points.append(entry)
+    return {"shards": FLEET_SHARDS, "policy": "pulse", "points": points}
+
+
+def _scaling_point(report: dict, n: int, engine: str) -> dict | None:
+    for point in report.get("fleet_scaling", {}).get("points", []):
+        if point["n_functions"] == n and engine in point["engines"]:
+            return point["engines"][engine]
+    return None
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI smoke: fewer repeats, shorter trace, skip the sweep",
+        help="CI smoke: fewer repeats, shorter trace, skip the sweep, "
+        "scaling curve only up to 1k functions",
     )
     parser.add_argument("--out", default="BENCH_perf.json")
+    parser.add_argument(
+        "--point",
+        nargs=5,
+        metavar=("N", "HORIZON", "ENGINE", "SHARDS", "REPEATS"),
+        help=argparse.SUPPRESS,  # internal: scaling-point child process
+    )
+    parser.add_argument(
+        "--gate-1k-seconds",
+        type=float,
+        default=None,
+        help="fail if the 1k-function fleet scaling point took longer",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed BENCH_perf.json to regression-gate the 1k fleet "
+        "throughput against (machine-normalized, see --max-regression)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.2,
+        help="allowed fractional drop of the machine-normalized 1k-fleet "
+        "throughput (1k fleet fn-min/s divided by the same run's 12-fn "
+        "fast sample, so a uniformly slower CI runner cancels out) vs "
+        "--baseline",
+    )
     args = parser.parse_args()
+
+    if args.point is not None:
+        n, horizon, engine, shards, point_repeats = args.point
+        run_point(int(n), int(horizon), engine, int(shards), int(point_repeats))
+        return
 
     horizon = (MINUTES_PER_DAY // 2) if args.quick else 2 * MINUTES_PER_DAY
     repeats = 3 if args.quick else 7
@@ -191,10 +372,47 @@ def main() -> None:
         "sweep": (
             {} if args.quick else bench_sweep(trace, n_runs=24, repeats=2)
         ),
+        "fleet_scaling": bench_fleet_scaling(args.quick),
     }
 
     atomic_write_json(args.out, report)
     print(f"wrote {args.out}")
+
+    if args.gate_1k_seconds is not None:
+        sample = _scaling_point(report, 1_000, "fleet")
+        if sample is None:
+            raise SystemExit("no 1k fleet scaling point to gate on")
+        if sample["seconds"] > args.gate_1k_seconds:
+            raise SystemExit(
+                f"1k-function fleet point took {sample['seconds']:.1f} s, "
+                f"over the {args.gate_1k_seconds:.1f} s gate"
+            )
+    if args.baseline is not None:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        # Absolute fn-min/s are not comparable across machines (CI
+        # runners are slower than wherever the baseline was produced),
+        # so both sides are normalized by their own 12-fn fast sample —
+        # a same-process calibration of raw single-core speed. Both
+        # modes run that point at the same horizon for this reason.
+        ratios = []
+        for name, rep in (("baseline", baseline), ("current", report)):
+            fleet_1k = _scaling_point(rep, 1_000, "fleet")
+            fast_12 = _scaling_point(rep, 12, "fast")
+            if fleet_1k is None or fast_12 is None:
+                raise SystemExit(
+                    f"{name} report lacks the 1k fleet or 12-fn fast point"
+                )
+            ratios.append(
+                fleet_1k["fn_minutes_per_s"] / fast_12["fn_minutes_per_s"]
+            )
+        base_ratio, our_ratio = ratios
+        if our_ratio < base_ratio * (1.0 - args.max_regression):
+            raise SystemExit(
+                f"1k fleet normalized throughput x{our_ratio:.2f} regressed "
+                f"more than {args.max_regression:.0%} vs baseline "
+                f"x{base_ratio:.2f}"
+            )
 
     if not args.quick:
         fixed = report["single_run"]["fixed-highest"]["speedup_best"]
@@ -202,6 +420,14 @@ def main() -> None:
             raise SystemExit(
                 f"fixed-policy speedup x{fixed:.2f} below the x3 target"
             )
+        for point in report["fleet_scaling"]["points"]:
+            if point["n_functions"] == 10_000 and "speedup_fleet_vs_fast" in point:
+                if point["speedup_fleet_vs_fast"] < 10.0:
+                    raise SystemExit(
+                        f"fleet speedup over fastpath at 10k functions is "
+                        f"x{point['speedup_fleet_vs_fast']:.1f}, below the "
+                        f"x10 target"
+                    )
 
 
 if __name__ == "__main__":

@@ -23,8 +23,13 @@ is waived at the referencing line with a reasoned
 ``# repro: lint-ok[RPR002] ...`` comment.
 
 Engine files are recognised by basename (``simulator.py`` /
-``fastpath.py``) and compared per directory, so a fixture copy of the
-pair in a test sandbox is checked exactly like the real one.
+``fastpath.py`` / ``fleet.py``) and compared pairwise per directory, so
+a fixture copy of the set in a test sandbox is checked exactly like the
+real one. ``fleet.py`` (the columnar fleet-scale loop) joins the
+comparison wherever it sits next to at least one of the other two —
+for its EventKind and RunResult surfaces only, because ``run_fleet``
+rejects observed configs at entry and therefore carries no obs hooks or
+metric instruments by contract (see :meth:`EngineParityRule._compare`).
 """
 
 from __future__ import annotations
@@ -44,6 +49,11 @@ __all__ = ["EngineParityRule"]
 
 REFERENCE_BASENAME = "simulator.py"
 FAST_BASENAME = "fastpath.py"
+FLEET_BASENAME = "fleet.py"
+
+#: Comparison order: every pair of these present in one directory is
+#: cross-checked (reference first, so its findings sort first).
+_ENGINE_BASENAMES = (REFERENCE_BASENAME, FAST_BASENAME, FLEET_BASENAME)
 
 _METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
 
@@ -96,22 +106,24 @@ class EngineParityRule(Rule):
     severity = Severity.ERROR
     summary = (
         "every EventKind / RunResult counter / obs hook / metric name in "
-        "one engine must appear (or be waived) in the other"
+        "one engine must appear (or be waived) in the others"
     )
 
     def finalize(self, modules: Sequence[SourceModule]) -> Iterable[Finding]:
-        pairs: dict[str, dict[str, SourceModule]] = {}
+        groups: dict[str, dict[str, SourceModule]] = {}
         for module in modules:
             name = module.path.name
-            if name in (REFERENCE_BASENAME, FAST_BASENAME):
+            if name in _ENGINE_BASENAMES:
                 key = str(module.path.resolve().parent)
-                pairs.setdefault(key, {})[name] = module
+                groups.setdefault(key, {})[name] = module
         out: list[Finding] = []
-        for pair in pairs.values():
-            if REFERENCE_BASENAME in pair and FAST_BASENAME in pair:
-                out.extend(
-                    self._compare(pair[REFERENCE_BASENAME], pair[FAST_BASENAME])
-                )
+        for group in groups.values():
+            present = [
+                group[name] for name in _ENGINE_BASENAMES if name in group
+            ]
+            for i, first in enumerate(present):
+                for second in present[i + 1 :]:
+                    out.extend(self._compare(first, second))
         return out
 
     def _compare(
@@ -126,9 +138,18 @@ class EngineParityRule(Rule):
                 surf_ref.run_result_kwargs,
                 surf_fast.run_result_kwargs,
             ),
-            ("obs hook", surf_ref.obs_hooks, surf_fast.obs_hooks),
-            ("metric", surf_ref.metric_names, surf_fast.metric_names),
         ]
+        # The fleet engine declares no observability: ``run_fleet``
+        # rejects observed configs at entry, so obs hooks and metric
+        # instruments are structurally absent from fleet.py rather than
+        # forgotten — comparing them would only manufacture waiver noise
+        # in the other engines. Event and RunResult surfaces stay fully
+        # checked. Drop this carve-out if fleet ever grows obs support.
+        if FLEET_BASENAME not in (reference.path.name, fast.path.name):
+            categories += [
+                ("obs hook", surf_ref.obs_hooks, surf_fast.obs_hooks),
+                ("metric", surf_ref.metric_names, surf_fast.metric_names),
+            ]
         for label, in_ref, in_fast in categories:
             yield from self._one_sided(label, reference, in_ref, fast, in_fast)
             yield from self._one_sided(label, fast, in_fast, reference, in_ref)

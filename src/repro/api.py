@@ -214,6 +214,7 @@ def simulate(
     config: SimulationConfig | None = None,
     *,
     engine: str = "auto",
+    shards: int = 1,
     faults: FaultPlan | str | None = None,
     checkpoint: CheckpointConfig | str | Path | None = None,
     resume_from: SimulationState | str | Path | None = None,
@@ -225,7 +226,12 @@ def simulate(
       :func:`make_policy`, at the policy's natural keep-alive window
       unless ``config`` overrides it);
     - ``engine`` — ``"auto"`` (fast unless the config needs the
-      reference cadence), ``"reference"``, or ``"fast"``;
+      reference cadence), ``"reference"``, ``"fast"``, or ``"fleet"``
+      (the columnar fleet-scale kernel, see
+      :mod:`repro.runtime.fleet`);
+    - ``shards`` — fleet-engine worker count (``engine="fleet"`` only):
+      the fleet is split into contiguous fid ranges that reduce each
+      minute; results are bit-identical for every shard count;
     - ``faults`` — a :class:`~repro.faults.plan.FaultPlan` or a compact
       spec string (``"spawn=0.1,pressure=0.05,pressure-mb=4000"``),
       overriding ``config.faults``;
@@ -255,7 +261,10 @@ def simulate(
     if isinstance(checkpoint, (str, Path)):
         checkpoint = CheckpointConfig(path=checkpoint)
     return Simulation(trace, assignment, policy, cfg).run(
-        engine=engine, checkpoint=checkpoint, resume_from=resume_from
+        engine=engine,
+        shards=shards,
+        checkpoint=checkpoint,
+        resume_from=resume_from,
     )
 
 

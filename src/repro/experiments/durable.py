@@ -171,15 +171,23 @@ def _durable_worker(payload: dict[str, Any]) -> None:
 
         ckpt_path = Path(payload["checkpoint_path"])
         chaos = payload["chaos"] if payload["attempt"] == 1 else None
-        checkpoint = CheckpointConfig(
+        checkpoint: CheckpointConfig | None = CheckpointConfig(
             path=ckpt_path,
             every_minutes=payload["checkpoint_every"],
             on_snapshot=_chaos_hook(chaos) if chaos else None,
         )
         resume_from = ckpt_path if ckpt_path.exists() else None
+        if payload["engine"] == "fleet":
+            # The fleet kernel has no checkpoint/resume; its runs are fast
+            # enough that a retried attempt simply restarts from minute 0.
+            checkpoint = None
+            resume_from = None
 
         result = Simulation(trace, payload["assignment"], policy, cfg).run(
-            payload["engine"], checkpoint=checkpoint, resume_from=resume_from
+            payload["engine"],
+            shards=payload.get("shards", 1),
+            checkpoint=checkpoint,
+            resume_from=resume_from,
         )
         summary = {
             k: v
@@ -254,6 +262,7 @@ def run_durable_sweep(
         "horizon_minutes": config.horizon_minutes,
         "seed": config.seed,
         "engine": config.engine,
+        "shards": config.shards,
         "sim": repr(config.sim),
         "resilient": resilient,
         **(sweep_config_extra or {}),
@@ -319,6 +328,7 @@ def run_durable_sweep(
             "assignment": assignments[rec.run_index],
             "sim": config.sim,
             "engine": config.engine,
+            "shards": config.shards,
             "resilient": resilient,
             "honor_policy_window": True,
             "artifact_path": str(artifact),

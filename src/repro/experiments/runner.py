@@ -101,17 +101,27 @@ class ExperimentConfig:
     sim: SimulationConfig = field(default_factory=SimulationConfig)
     #: Engine every run dispatches on (see ``Simulation.run``): "auto"
     #: picks the fast loop except where the config needs the reference
-    #: cadence — both loops are metric-identical, so this is speed only.
+    #: cadence — all loops are metric-identical, so this is speed only.
+    #: "fleet" selects the columnar fleet-scale kernel.
     engine: str = "auto"
+    #: Fleet-engine shard count (only meaningful with ``engine="fleet"``;
+    #: bit-identical results for any value).
+    shards: int = 1
 
     def __post_init__(self) -> None:
         check_positive_int("n_runs", self.n_runs)
         check_positive_int("horizon_minutes", self.horizon_minutes)
         check_positive_int("n_jobs", self.n_jobs)
-        if self.engine not in ("auto", "reference", "fast"):
+        if self.engine not in ("auto", "reference", "fast", "fleet"):
             raise ValueError(
-                f"engine must be 'auto', 'reference' or 'fast', "
+                f"engine must be 'auto', 'reference', 'fast' or 'fleet', "
                 f"got {self.engine!r}"
+            )
+        check_positive_int("shards", self.shards)
+        if self.shards != 1 and self.engine != "fleet":
+            raise ValueError(
+                f"shards={self.shards} is only meaningful with "
+                f"engine='fleet', got engine={self.engine!r}"
             )
 
 
@@ -128,18 +138,23 @@ def run_policy(
     policy: KeepAlivePolicy,
     sim: SimulationConfig | None = None,
     engine: str = "auto",
+    shards: int = 1,
 ) -> RunResult:
     """One simulation run (thin convenience wrapper)."""
-    return Simulation(trace, assignment, policy, sim).run(engine=engine)
+    return Simulation(trace, assignment, policy, sim).run(
+        engine=engine, shards=shards
+    )
 
 
 def _one_run(
     args: tuple[
-        Trace, dict[int, ModelFamily], PolicyFactory, SimulationConfig, str
+        Trace, dict[int, ModelFamily], PolicyFactory, SimulationConfig, str, int
     ],
 ) -> RunResult:
-    trace, assignment, factory, sim, engine = args
-    return Simulation(trace, assignment, factory(), sim).run(engine=engine)
+    trace, assignment, factory, sim, engine, shards = args
+    return Simulation(trace, assignment, factory(), sim).run(
+        engine=engine, shards=shards
+    )
 
 
 # The trace dominates the pickled payload of a sweep task (counts is an
@@ -155,12 +170,14 @@ def _init_worker(trace: Trace) -> None:
 
 
 def _one_worker_run(
-    args: tuple[dict[int, ModelFamily], PolicyFactory, SimulationConfig, str],
+    args: tuple[
+        dict[int, ModelFamily], PolicyFactory, SimulationConfig, str, int
+    ],
 ) -> RunResult:
-    assignment, factory, sim, engine = args
+    assignment, factory, sim, engine, shards = args
     assert _worker_trace is not None, "pool initializer did not run"
     return Simulation(_worker_trace, assignment, factory(), sim).run(
-        engine=engine
+        engine=engine, shards=shards
     )
 
 
@@ -209,7 +226,8 @@ def run_policies(
             futures = {
                 name: [
                     pool.submit(
-                        _one_worker_run, (a, factory, config.sim, config.engine)
+                        _one_worker_run,
+                        (a, factory, config.sim, config.engine, config.shards),
                     )
                     for a in assignments
                 ]
@@ -231,7 +249,10 @@ def run_policies(
             for idx, a in enumerate(assignments):
                 try:
                     runs.append(
-                        _one_run((trace, a, factory, config.sim, config.engine))
+                        _one_run((
+                            trace, a, factory, config.sim,
+                            config.engine, config.shards,
+                        ))
                     )
                 except Exception as exc:
                     if on_error == "raise":

@@ -205,10 +205,8 @@ def run_fast(
         pool is not None or has_review or valve_on or events is not None
     )
     # In the same configuration, the event-minute commit collapses to a
-    # single ledger read (every event minute's set_plan already sized the
-    # ledger past ``t``, so direct indexing is safe).
+    # single ledger read.
     simple_commit = not per_minute_idle
-    mem_list = schedule._mem
 
     def commit_minute(t: int) -> None:
         """Review/valve/commit for one minute (t already served, plans in)."""
@@ -418,7 +416,7 @@ def run_fast(
             i += 1
 
         if simple_commit:
-            mem_t = mem_list[t]
+            mem_t = memory_at(t)
             total_mb_minutes += mem_t
             if met is not None:
                 mem_hist.observe(mem_t)

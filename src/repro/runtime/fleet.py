@@ -1,0 +1,810 @@
+"""The fleet engine: vectorized simulation of 10⁴–10⁵ functions.
+
+The reference loop (:mod:`repro.runtime.simulator`) and the event-driven
+fast path (:mod:`repro.runtime.fastpath`) both iterate Python objects per
+(function, minute); at fleet scale that is the bottleneck. This engine
+keeps all per-function state in numpy arrays (:mod:`repro.runtime.columnar`)
+partitioned into :class:`FleetShards` — contiguous function-id ranges,
+each owning its slice of the estimator and keep-alive state — and runs
+the per-minute cycle as array kernels:
+
+1. **shard-local**: serve the minute's invocations (cold/warm split,
+   service-time and accuracy contributions), feed the inter-arrival
+   estimator, map probabilities through the threshold scheme and install
+   the keep-alive plans — all batched over the shard's invoking fids;
+2. **publish**: each shard exposes its per-minute memory partial (an
+   integer count per footprint slot) and, on peak minutes, its alive
+   set with the per-function utility inputs (*Ip*, the drop-protection
+   max-remaining probability, current levels);
+3. **reduce**: a single reducer merges the partials — integer adds for
+   memory, fid-ordered concatenation for the alive set — and runs the
+   *global* stages on the merged state: Algorithm 1 peak detection,
+   Algorithm 2 lowest-utility downgrades, and the provider capacity
+   valve. Victim decisions flow back to the owning shard as scalar
+   schedule edits.
+
+Because the merge is exact integer addition and fid-ordered
+concatenation, the reduced state is byte-identical for any shard count:
+``shards=1`` ≡ ``shards=k``, and both are bit-identical to the reference
+engine (pinned by ``tests/test_engine_fleet.py``). Shards are processed
+serially in-process — the shard API is message-shaped (publish/reduce/
+apply) so a process pool can be slotted in, but determinism, not
+parallelism, is what the protocol buys today.
+
+Two execution modes, chosen by the config:
+
+- **lean** (``track_containers=False``, ``record_events=False``): fully
+  vectorized serving; floats that the reference accumulates sequentially
+  are folded with :func:`~repro.runtime.columnar.seq_fold` so the sums
+  stay bit-identical. This is the fleet-scale mode.
+- **compatibility** (container pool and/or event log on): the engine
+  drives the real :class:`~repro.runtime.container.ContainerPool` and
+  :class:`~repro.runtime.events.EventLog` in the reference loop's exact
+  call order — a per-fid Python loop, so it scales like the reference —
+  while planning stays columnar. Use it for parity checks and
+  event-level analysis, not for 100k-function sweeps.
+
+Not supported (explicit ``ValueError``): ``measure_overhead`` (defined
+over the reference loop's per-decision cadence), observability sessions,
+checkpoint/resume, oracle policies, and policies the compiler cannot map
+onto columnar state (anything beyond PULSE and the fixed baselines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.openwhisk import FixedKeepAlivePolicy
+from repro.baselines.static import RandomMixedPolicy
+from repro.core.peak import PeakDetector
+from repro.core.priority import PriorityStructure
+from repro.core.pulse import PulsePolicy
+from repro.core.thresholds import (
+    MonotoneScheme,
+    TechniqueT1,
+    TechniqueT2,
+    ThresholdScheme,
+)
+from repro.core.utility import UtilityWeights
+from repro.faults.injector import FaultInjector
+from repro.runtime.columnar import (
+    ColumnarEstimator,
+    RingSchedule,
+    VariantTables,
+    seq_fold,
+)
+from repro.runtime.container import ContainerPool
+from repro.runtime.events import EventKind, EventLog
+from repro.runtime.metrics import RunResult
+from repro.runtime.policy import KeepAlivePolicy
+from repro.runtime.simulator import collect_resilience
+from repro.utils.rng import rng_from_seed
+
+__all__ = ["FleetShards", "run_fleet"]
+
+
+# -- policy compilation ------------------------------------------------------
+
+
+@dataclass
+class _PulseModel:
+    """PULSE's tunables, extracted for columnar evaluation."""
+
+    kind = "pulse"
+    window: int
+    local_window: int
+    normalization: str
+    mode: str
+    scheme: ThresholdScheme
+    enable_global: bool
+    cold_highest: bool
+    memory_threshold: float
+    prior_rule: str
+    weights: UtilityWeights
+
+
+@dataclass
+class _FixedModel:
+    """A per-function constant variant level (the fixed baselines)."""
+
+    kind = "fixed"
+    levels: np.ndarray  # (n_functions,) int64
+
+
+def _compile_policy(
+    policy: KeepAlivePolicy, n_functions: int, keep_alive_window: int
+) -> _PulseModel | _FixedModel:
+    """Map a bound policy onto columnar state, or refuse.
+
+    The fleet engine cannot drive arbitrary policy code per (function,
+    minute) — that is the loop it exists to eliminate — so it supports
+    exactly the policies whose decisions it can evaluate as array ops:
+    PULSE itself, and the fixed single-variant baselines (probed for a
+    constant full-window plan rather than trusted by type). Everything
+    else must run on the reference or fast engine.
+    """
+    if type(policy) is PulsePolicy:
+        cfg = policy.config
+        return _PulseModel(
+            window=cfg.window or keep_alive_window,
+            local_window=cfg.local_window,
+            normalization=cfg.probability_normalization,
+            mode=cfg.probability_mode,
+            scheme=policy._scheme,
+            enable_global=cfg.enable_global,
+            cold_highest=cfg.cold_variant == "highest",
+            memory_threshold=cfg.memory_threshold,
+            prior_rule=cfg.prior_rule,
+            weights=cfg.utility_weights or UtilityWeights(),
+        )
+    fixed = isinstance(policy, (FixedKeepAlivePolicy, RandomMixedPolicy))
+    if fixed and not policy.is_oracle and (
+        type(policy).review_minute is KeepAlivePolicy.review_minute
+    ):
+        levels = np.empty(n_functions, dtype=np.int64)
+        for fid in range(n_functions):
+            plan = policy.plan(fid, 0)
+            head = plan[0] if plan else None
+            if (
+                head is None
+                or len(plan) != keep_alive_window
+                or any(v is not head and v != head for v in plan)
+                or policy.cold_variant(fid, 0) != head
+            ):
+                raise ValueError(
+                    f"engine='fleet' cannot compile policy {policy.name!r}: "
+                    "expected a constant full-window plan per function"
+                )
+            levels[fid] = head.level
+        return _FixedModel(levels=levels)
+    raise ValueError(
+        f"engine='fleet' does not support policy {policy.name!r} "
+        f"({type(policy).__name__}); supported: PULSE and the fixed "
+        "single-variant baselines. Use engine='auto', 'reference' or 'fast'."
+    )
+
+
+# -- shards ------------------------------------------------------------------
+
+
+class _Shard:
+    """One contiguous fid range's columnar state and local kernels."""
+
+    def __init__(
+        self,
+        lo: int,
+        hi: int,
+        tables: VariantTables,
+        keep_alive_window: int,
+        model: _PulseModel | _FixedModel,
+    ):
+        self.lo = lo
+        self.hi = hi
+        self.tables = tables
+        self.fam = tables.fam_idx[lo:hi]
+        self.nv = tables.n_variants[lo:hi]
+        self.ring = RingSchedule(hi - lo, keep_alive_window, tables, self.fam)
+        if model.kind == "pulse":
+            self.est: ColumnarEstimator | None = ColumnarEstimator(
+                hi - lo,
+                model.window,
+                model.local_window,
+                model.normalization,
+                model.mode,
+            )
+            self.cold_levels = np.where(model.cold_highest, self.nv - 1, 0)
+        else:
+            self.est = None
+            self.cold_levels = model.levels[lo:hi]
+
+    def begin_minute(self, minute: int) -> None:
+        self.ring.begin_minute(minute)
+        if self.est is not None:
+            self.est.evict(minute)
+
+    def serve(
+        self,
+        lfids: np.ndarray,
+        counts: np.ndarray,
+        minute: int,
+        injector: FaultInjector | None,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Vectorized serving of one minute's invocations (lean mode).
+
+        Returns (service-time contributions, accuracy contributions,
+        cold-start count); marks cold starts alive on the ring. Each
+        contribution is the same float expression the reference evaluates
+        per function, computed elementwise.
+        """
+        tables = self.tables
+        alive = self.ring.alive_levels(lfids, minute)
+        cold = alive < 0
+        serve_lv = np.where(cold, self.cold_levels[lfids], alive)
+        fam = self.fam[lfids]
+        warm_s = tables.warm_s[fam, serve_lv]
+        if injector is None:
+            cold_part = tables.cold_s[fam, serve_lv] + (counts - 1) * warm_s
+        else:
+            penalty = np.zeros(len(lfids))
+            for i in np.flatnonzero(cold).tolist():
+                variant = tables.variant(int(fam[i]), int(serve_lv[i]))
+                penalty[i] = injector.cold_start_penalty(
+                    minute, int(lfids[i]) + self.lo, variant, None, None
+                )
+            cold_part = (
+                tables.cold_s[fam, serve_lv] + penalty + (counts - 1) * warm_s
+            )
+        service = np.where(cold, cold_part, counts * warm_s)
+        accuracy = counts * tables.accuracy[fam, serve_lv]
+        self.ring.mark_alive(lfids[cold], minute, serve_lv[cold])
+        return service, accuracy, int(cold.sum())
+
+    def observe_and_plan(
+        self, lfids: np.ndarray, minute: int, model: _PulseModel | _FixedModel
+    ) -> None:
+        """Feed the estimator and install keep-alive plans for the
+        minute's invoking functions (both modes — planning is columnar
+        even when serving is scalar)."""
+        if model.kind == "fixed":
+            width = self.ring.keep_alive_window
+            plan = np.broadcast_to(
+                self.cold_levels[lfids][:, None], (len(lfids), width)
+            )
+            self.ring.write_plans(lfids, minute, plan)
+            return
+        est = self.est
+        assert est is not None
+        est.observe(lfids, minute)
+        probs = est.mode_rows(est.exact_rows(lfids))
+        levels = _vector_levels(probs, self.nv[lfids], model.scheme)
+        no_history = est.no_history(lfids)
+        if no_history.any():
+            # No inter-arrival data yet: behave like the fixed policy
+            # (FunctionCentricOptimizer's cold_start_fallback="highest").
+            levels[no_history] = (self.nv[lfids[no_history]] - 1)[:, None]
+        self.ring.write_plans(lfids, minute, levels)
+
+    def publish_memory(self, minute: int) -> np.ndarray:
+        """This shard's per-footprint-slot entry counts at ``minute``."""
+        return self.ring.cnt[minute % self.ring.n_cols]
+
+    def publish_alive(
+        self, minute: int, with_probabilities: bool
+    ) -> tuple[np.ndarray, ...]:
+        """The shard's alive set at ``minute`` as global fids + levels,
+        plus (on peak minutes) the utility inputs *Ip* / max-remaining."""
+        local = self.ring.alive_lfids(minute)
+        fids = local + self.lo
+        levels = self.ring.alive_levels(local, minute)
+        if not with_probabilities:
+            return fids, levels
+        assert self.est is not None
+        ip, max_rem = self.est.ip_and_max_remaining(local, minute)
+        return fids, levels, ip, max_rem
+
+    def apply_downgrade(self, fid: int, minute: int, allow_drop: bool) -> None:
+        """Reducer decision flowing back: downgrade one function."""
+        self.ring.downgrade(fid - self.lo, minute, allow_drop)
+
+    def level_at(self, fid: int, minute: int) -> int:
+        return int(self.ring.levels[fid - self.lo, minute % self.ring.n_cols])
+
+    def variant_at(self, fid: int, minute: int):
+        level = self.level_at(fid, minute)
+        if level < 0:
+            return None
+        return self.tables.variant(int(self.fam[fid - self.lo]), level)
+
+
+class FleetShards:
+    """The shard set plus the global reducer (Algorithms 1 & 2, valve).
+
+    Owns everything that is *cross-function* state in the reference
+    policy stack — the peak detector, the priority structure, the
+    capacity RNG — and drives it on merged shard partials. All merges
+    are exact: memory partials are integer slot counts summed across
+    shards; alive sets are concatenated in shard (= fid) order. The
+    reducer therefore makes byte-identical decisions for any shard
+    count, which the shards then apply locally.
+    """
+
+    def __init__(
+        self,
+        n_functions: int,
+        n_shards: int,
+        keep_alive_window: int,
+        tables: VariantTables,
+        model: _PulseModel | _FixedModel,
+        capacity_seed: int,
+    ):
+        n_shards = max(1, min(n_shards, n_functions))
+        self.n_functions = n_functions
+        self.tables = tables
+        self.model = model
+        bounds = [i * n_functions // n_shards for i in range(n_shards + 1)]
+        self.shards = [
+            _Shard(bounds[i], bounds[i + 1], tables, keep_alive_window, model)
+            for i in range(n_shards)
+        ]
+        self.bounds = np.array(bounds[1:], dtype=np.int64)  # split points
+        self.shard_index = np.empty(n_functions, dtype=np.int64)
+        for i, shard in enumerate(self.shards):
+            self.shard_index[shard.lo : shard.hi] = i
+        self.capacity_rng = rng_from_seed(capacity_seed)
+        self.n_forced = 0
+        self.n_downgrades = 0
+        if model.kind == "pulse":
+            self.detector: PeakDetector | None = PeakDetector(
+                memory_threshold=model.memory_threshold,
+                local_window=model.local_window,
+                prior_rule=model.prior_rule,
+            )
+            self.priority: PriorityStructure | None = PriorityStructure(
+                n_functions
+            )
+        else:
+            self.detector = None
+            self.priority = None
+
+    def shard_for(self, fid: int) -> _Shard:
+        return self.shards[self.shard_index[fid]]
+
+    def split(self, fids: np.ndarray) -> np.ndarray:
+        """Offsets partitioning a fid-ascending array by shard."""
+        cuts = np.searchsorted(fids, self.bounds)
+        return np.concatenate(([0], cuts))
+
+    # -- reduce: merged memory ---------------------------------------------
+    def memory_at(self, minute: int) -> float:
+        """The fleet's keep-alive memory at ``minute`` — the canonical
+        counts × footprints fold over the shard partials, bit-identical
+        to ``KeepAliveSchedule.memory_at``."""
+        merged = self.shards[0].publish_memory(minute)
+        for shard in self.shards[1:]:
+            merged = merged + shard.publish_memory(minute)
+        total = 0.0
+        fps = self.tables.slot_fps
+        for slot in np.flatnonzero(merged).tolist():
+            total += int(merged[slot]) * fps[slot]
+        return total
+
+    def alive_fids(self, minute: int) -> np.ndarray:
+        """Global alive set at ``minute``, fid-ascending (valve input)."""
+        parts = [s.publish_alive(minute, False)[0] for s in self.shards]
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+    # -- reduce: Algorithms 1 & 2 -------------------------------------------
+    def review(self, minute: int, events: EventLog | None) -> None:
+        """The global optimizer's per-minute review on merged state.
+
+        Mirrors ``GlobalOptimizer.review``: detect a peak against the
+        prior (Algorithm 1), then repeatedly score every kept-alive
+        model's ``Uv = Ai + Pr + Ip`` and downgrade the minimum
+        (Algorithm 2) until demand is back under the flatten target;
+        always feed the detector demand + committed memory.
+        """
+        detector, priority = self.detector, self.priority
+        assert detector is not None and priority is not None
+        model = self.model
+        assert isinstance(model, _PulseModel)
+        demand = self.memory_at(minute)
+        prior = detector.prior_memory()
+        current = demand
+        if detector.is_peak(demand, prior):
+            target = detector.flatten_target(prior)
+            parts = [s.publish_alive(minute, True) for s in self.shards]
+            alive = np.concatenate([p[0] for p in parts])
+            levels = np.concatenate([p[1] for p in parts])
+            ip = np.minimum(np.concatenate([p[2] for p in parts]), 1.0)
+            max_rem = np.concatenate([p[3] for p in parts])
+            fam = self.tables.fam_idx[alive]
+            weights = model.weights
+            w_ai = weights.accuracy_improvement
+            w_pr = weights.priority
+            # Alg. 2 lines 4–9 on the merged table: per-iteration
+            # re-normalization, constant-within-minute Ip/max-rem,
+            # protection for lowest variants with remaining mass. A naive
+            # transliteration rebuilds every utility term over all n
+            # functions per victim, which goes quadratic exactly when the
+            # valve/peak regime produces many victims per minute; instead
+            # each per-element term is maintained incrementally (only the
+            # victim's entry changes between iterations) and Eq. 1's
+            # min/max are tracked against a full-count mirror so the
+            # normalization stays bit-identical to
+            # ``PriorityStructure.normalized()[alive]``.
+            counts = priority.counts.astype(float)
+            counts_alive = counts[alive]
+            vmin = float(counts.min())
+            vmax = float(counts.max())
+            n_at_min = int((counts == vmin).sum())
+            t_ai = w_ai * self.tables.ai[fam, levels]
+            t_ip = weights.invocation_probability * ip
+            eligible = ~((levels == 0) & (max_rem > 0.0))
+            # Only the victim's utility entry moves between iterations
+            # unless Eq. 1's min/max shift (rare: the global floor or
+            # ceiling of the downgrade counts must move), so the masked
+            # utility array is patched in place and rebuilt only then.
+            rebuild = True
+            uv_masked = np.empty(0)
+            while current > target and alive.size:
+                if rebuild:
+                    if vmax == vmin:
+                        pr = counts_alive - vmin
+                    else:
+                        pr = (counts_alive - vmin) / (vmax - vmin)
+                    # np.inf masking picks the first eligible minimum —
+                    # the same element flatnonzero+argmin over the
+                    # eligible subset picks.
+                    uv_masked = np.where(
+                        eligible, t_ai + w_pr * pr + t_ip, np.inf
+                    )
+                    rebuild = False
+                pick = int(np.argmin(uv_masked))
+                if np.isinf(uv_masked[pick]):
+                    break  # every candidate is a protected lowest variant
+                victim = int(alive[pick])
+                allow_drop = bool(max_rem[pick] == 0.0)
+                self.shard_for(victim).apply_downgrade(
+                    victim, minute, allow_drop
+                )
+                # repro: lint-ok[RPR002] priority bookkeeping mirroring GlobalOptimizer.review (the other engines' shared helper), not an obs hook
+                priority.record_downgrade(victim)
+                new_count = counts[victim] + 1.0
+                counts[victim] = new_count
+                counts_alive[pick] = new_count
+                if new_count > vmax:
+                    vmax = new_count
+                    rebuild = True
+                if new_count - 1.0 == vmin:
+                    n_at_min -= 1
+                    if n_at_min == 0:  # rare: the global floor moved up
+                        vmin = float(counts.min())
+                        n_at_min = int((counts == vmin).sum())
+                        rebuild = True
+                self.n_downgrades += 1
+                if events is not None:
+                    new_level = int(levels[pick]) - 1
+                    name = (
+                        self.tables.variant(int(fam[pick]), new_level).name
+                        if new_level >= 0
+                        else None
+                    )
+                    # repro: lint-ok[RPR002] the other engines emit peak-flatten DOWNGRADE from shared GlobalOptimizer.review; the reducer inlines Alg. 2
+                    events.emit(minute, EventKind.DOWNGRADE, victim, name)
+                if levels[pick] > 0:
+                    levels[pick] -= 1
+                    t_ai[pick] = w_ai * self.tables.ai[fam[pick], levels[pick]]
+                    eligible[pick] = not (
+                        levels[pick] == 0 and max_rem[pick] > 0.0
+                    )
+                    if not rebuild:
+                        if vmax == vmin:
+                            pr_pick = counts_alive[pick] - vmin
+                        else:
+                            pr_pick = (counts_alive[pick] - vmin) / (
+                                vmax - vmin
+                            )
+                        uv_masked[pick] = (
+                            t_ai[pick] + w_pr * pr_pick + t_ip[pick]
+                            if eligible[pick]
+                            else np.inf
+                        )
+                else:
+                    keep = np.arange(alive.size) != pick
+                    alive, levels, ip = alive[keep], levels[keep], ip[keep]
+                    max_rem, fam = max_rem[keep], fam[keep]
+                    counts_alive, t_ai = counts_alive[keep], t_ai[keep]
+                    t_ip, eligible = t_ip[keep], eligible[keep]
+                    if not rebuild:
+                        uv_masked = uv_masked[keep]
+                current = self.memory_at(minute)
+        detector.observe(demand, current)
+
+    # -- reduce: provider capacity valve -------------------------------------
+    def valve(self, minute: int, capacity_mb: float, events: EventLog | None) -> int:
+        """§III-A's pressure valve on the merged alive set.
+
+        Byte-compatible with ``apply_capacity_valve``: the candidate
+        array is the fid-ascending merged alive set, victims are drawn
+        from the shared capacity RNG, and a victim leaves the candidate
+        array only when its keep-alive is dropped entirely — so the RNG
+        stream (which depends on the array length sequence) matches the
+        reference's exactly.
+        """
+        if self.memory_at(minute) <= capacity_mb:
+            return 0
+        alive = self.alive_fids(minute)
+        forced = 0
+        while self.memory_at(minute) > capacity_mb and alive.size:
+            victim = int(self.capacity_rng.choice(alive))
+            shard = self.shard_for(victim)
+            shard.apply_downgrade(victim, minute, allow_drop=True)
+            forced += 1
+            level = shard.level_at(victim, minute)
+            if events is not None:
+                name = (
+                    self.tables.variant(int(self.tables.fam_idx[victim]), level).name
+                    if level >= 0
+                    else None
+                )
+                # repro: lint-ok[RPR002] forced-valve DOWNGRADE: the fleet
+                # reducer emits it where the other engines call
+                # apply_capacity_valve
+                events.emit(minute, EventKind.DOWNGRADE, victim, name, 1.0)
+            if level < 0:
+                alive = alive[alive != victim]
+        self.n_forced += forced
+        return forced
+
+
+# -- threshold-scheme kernels ------------------------------------------------
+
+
+def _vector_levels(
+    probs: np.ndarray, n_variants: np.ndarray, scheme: ThresholdScheme
+) -> np.ndarray:
+    """Map probability rows to variant levels (−1 = keep nothing).
+
+    ``probs`` is (k, W); ``n_variants`` is (k,). The closed forms are the
+    schemes' own expressions evaluated elementwise (``int()`` and
+    ``astype(int64)`` both truncate toward zero; every probability is
+    already ≤ 1.0, so the reference's ``p if p < 1.0 else 1.0`` clamp is
+    the identity).
+    """
+    nv = n_variants[:, None]
+    if type(scheme) is TechniqueT1:
+        return np.minimum((probs * nv).astype(np.int64), nv - 1)
+    if type(scheme) is TechniqueT2:
+        upper = nv - 1
+        banded = 1 + np.minimum(
+            (probs * upper).astype(np.int64), np.maximum(upper - 1, 0)
+        )
+        return np.where((probs == 0.0) | (nv == 1), 0, banded)
+    if type(scheme) is MonotoneScheme:
+        flat = np.searchsorted(np.asarray(scheme.cuts), probs.ravel(), side="right")
+        return np.minimum(flat.reshape(probs.shape).astype(np.int64), nv - 1)
+    # Arbitrary user scheme: fall back to scalar calls per (fid, offset).
+    out = np.empty(probs.shape, dtype=np.int64)
+    for i, row in enumerate(probs.tolist()):
+        n = int(n_variants[i])
+        for j, p in enumerate(row):
+            level = scheme.select_level(p if p < 1.0 else 1.0, n)
+            out[i, j] = -1 if level is None else level
+    return out
+
+
+# -- the engine --------------------------------------------------------------
+
+
+def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunResult:
+    """Execute ``sim`` on the fleet engine with ``shards`` shards.
+
+    Called by :meth:`Simulation.run` — use ``run(engine="fleet",
+    shards=...)`` (or :func:`repro.api.simulate`) rather than calling
+    this directly.
+    """
+    cfg = sim.config
+    trace = sim.trace
+    policy = sim.policy
+    if checkpoint is not None or resume_from is not None:
+        raise ValueError(
+            "engine='fleet' does not support checkpoint/resume; use "
+            "engine='reference' or 'fast'"
+        )
+    if cfg.measure_overhead:
+        raise ValueError(
+            "engine='fleet' cannot honor measure_overhead=True (Figure 9's "
+            "metric needs the reference loop's per-minute decision "
+            "cadence); use engine='auto' or 'reference'"
+        )
+    if cfg.observe is not None:
+        raise ValueError(
+            "engine='fleet' does not support observability sessions; use "
+            "engine='reference' or 'fast'"
+        )
+    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+        raise ValueError(f"shards must be a positive int, got {shards!r}")
+
+    horizon = trace.horizon
+    n_fn = trace.n_functions
+    counts = trace.counts
+
+    events = EventLog() if cfg.record_events else None
+    if events is not None:
+        policy.attach_observability(None, events)
+    policy.bind(trace, sim.assignment, cfg.keep_alive_window)
+    model = _compile_policy(policy, n_fn, cfg.keep_alive_window)
+    tables = VariantTables(sim.assignment, n_fn)
+    fleet = FleetShards(
+        n_fn, shards, cfg.keep_alive_window, tables, model, cfg.capacity_seed
+    )
+    pool = (
+        ContainerPool(events)
+        if (cfg.track_containers or cfg.record_events)
+        else None
+    )
+    injector = (
+        FaultInjector(cfg.faults, horizon)
+        if cfg.faults is not None and cfg.faults.injects_runtime
+        else None
+    )
+
+    service_time = 0.0
+    accuracy_sum = 0.0
+    n_invocations = 0
+    n_cold = 0
+    total_mb_minutes = 0.0
+    mem_series = np.zeros(horizon) if cfg.record_series else None
+    ideal_series = np.zeros(horizon) if cfg.record_series else None
+
+    capacity = cfg.memory_capacity_mb
+    has_pressure = injector is not None and injector.pressure_minutes is not None
+    valve_on = capacity is not None or has_pressure
+    is_pulse = model.kind == "pulse"
+
+    # Sparse minute-major event table: the per-minute kernels index only
+    # the invoking functions (fid-ascending within each minute, matching
+    # the reference's flatnonzero order).
+    ev_minute, ev_fid = np.nonzero(counts.T)
+    ev_count = counts[ev_fid, ev_minute]
+    minute_starts = np.searchsorted(ev_minute, np.arange(horizon + 1))
+
+    for t in range(horizon):
+        for shard in fleet.shards:
+            shard.begin_minute(t)
+
+        if pool is not None:
+            # Pre-warm pass (reference order: every fid, ascending).
+            for fid in range(n_fn):
+                pool.reconcile(fid, fleet.shard_for(fid).variant_at(fid, t), t)
+
+        lo, hi = int(minute_starts[t]), int(minute_starts[t + 1])
+        inv_fids = ev_fid[lo:hi]
+        inv_counts = ev_count[lo:hi]
+        if hi > lo:
+            if pool is None and events is None:
+                # Lean serving: vectorized per shard, folded sequentially
+                # so the accumulators match the reference's scalar adds.
+                offsets = fleet.split(inv_fids)
+                service_parts = []
+                accuracy_parts = []
+                for i, shard in enumerate(fleet.shards):
+                    a, b = int(offsets[i]), int(offsets[i + 1])
+                    if a == b:
+                        continue
+                    lf = inv_fids[a:b] - shard.lo
+                    svc, acc, cold = shard.serve(
+                        lf, inv_counts[a:b], t, injector
+                    )
+                    n_cold += cold
+                    service_parts.append(svc)
+                    accuracy_parts.append(acc)
+                service_time = seq_fold(
+                    service_time, np.concatenate(service_parts)
+                )
+                accuracy_sum = seq_fold(
+                    accuracy_sum, np.concatenate(accuracy_parts)
+                )
+            else:
+                # Compatibility serving: the reference loop's exact call
+                # and event order, per invoking fid ascending.
+                for i in range(hi - lo):
+                    fid = int(inv_fids[i])
+                    count = int(inv_counts[i])
+                    shard = fleet.shard_for(fid)
+                    level = shard.level_at(fid, t)
+                    if level < 0:
+                        cold_level = int(shard.cold_levels[fid - shard.lo])
+                        variant = tables.variant(
+                            int(tables.fam_idx[fid]), cold_level
+                        )
+                        if injector is None:
+                            service_time += (
+                                variant.cold_service_time_s
+                                + (count - 1) * variant.warm_service_time_s
+                            )
+                        else:
+                            service_time += (
+                                variant.cold_service_time_s
+                                + injector.cold_start_penalty(
+                                    t, fid, variant, None, events
+                                )
+                                + (count - 1) * variant.warm_service_time_s
+                            )
+                        n_cold += 1
+                        accuracy_sum += count * variant.accuracy
+                        shard.ring.mark_alive_one(fid - shard.lo, t, cold_level)
+                        if pool is not None:
+                            pool.cold_start(fid, variant, t)
+                            pool.record_served(fid, count)
+                        if events is not None:
+                            events.emit(
+                                t, EventKind.COLD_START, fid, variant.name, 1
+                            )
+                            if count > 1:
+                                events.emit(
+                                    t,
+                                    EventKind.WARM_START,
+                                    fid,
+                                    variant.name,
+                                    count - 1,
+                                )
+                    else:
+                        variant = tables.variant(int(tables.fam_idx[fid]), level)
+                        service_time += count * variant.warm_service_time_s
+                        accuracy_sum += count * variant.accuracy
+                        if pool is not None:
+                            pool.record_served(fid, count)
+                        if events is not None:
+                            events.emit(
+                                t, EventKind.WARM_START, fid, variant.name, count
+                            )
+            n_invocations += int(inv_counts.sum())
+
+            # Estimator feed + plan installation — batched per shard in
+            # both modes. (Safe to run after the serve loop: plans only
+            # write minutes t+1.., and each function's estimator state is
+            # independent, so the interleaved reference order and this
+            # batched order reach identical state.)
+            offsets = fleet.split(inv_fids)
+            for i, shard in enumerate(fleet.shards):
+                a, b = int(offsets[i]), int(offsets[i + 1])
+                if a == b:
+                    continue
+                shard.observe_and_plan(inv_fids[a:b] - shard.lo, t, model)
+
+        # Cross-function review (peak flattening) on the merged state.
+        if is_pulse:
+            if model.enable_global:
+                fleet.review(t, events)
+            else:
+                assert fleet.detector is not None
+                fleet.detector.observe(fleet.memory_at(t))
+
+        # Provider pressure valve on the merged state.
+        if valve_on:
+            cap_t = (
+                capacity
+                if injector is None
+                else injector.effective_capacity(t, capacity)
+            )
+            if cap_t is not None:
+                fleet.valve(t, cap_t, events)
+
+        # Commit the minute.
+        if pool is not None:
+            for fid in range(n_fn):
+                pool.reconcile(fid, fleet.shard_for(fid).variant_at(fid, t), t)
+            pool.tick_all()
+        mem_t = fleet.memory_at(t)
+        total_mb_minutes += mem_t
+        if events is not None:
+            events.emit(t, EventKind.MEMORY_COMMIT, value=mem_t)
+        if mem_series is not None:
+            mem_series[t] = mem_t
+        if ideal_series is not None and hi > lo:
+            ideal_series[t] = tables.highest_mb[inv_fids].sum()
+
+    mean_accuracy = accuracy_sum / n_invocations if n_invocations else 0.0
+    resilience = collect_resilience(policy, injector, horizon)
+    return RunResult(
+        policy_name=policy.name,
+        n_invocations=n_invocations,
+        n_warm=n_invocations - n_cold,
+        n_cold=n_cold,
+        total_service_time_s=service_time,
+        keepalive_cost_usd=cfg.cost_model.minute_cost(total_mb_minutes),
+        mean_accuracy=mean_accuracy,
+        policy_overhead_s=0.0,
+        n_policy_decisions=0,
+        memory_series_mb=mem_series,
+        ideal_memory_series_mb=ideal_series,
+        pool_stats=pool.stats if pool is not None else None,
+        events=events,
+        n_forced_downgrades=fleet.n_forced,
+        n_checkpoints=0,
+        obs=None,
+        **resilience,
+    )

@@ -11,25 +11,32 @@ Later plans overwrite earlier ones minute-by-minute, which reproduces the
 fixed policy's "extend on re-invocation" behaviour and lets adaptive
 policies shorten or upgrade earlier decisions.
 
-Memory accounting is *incremental*: alongside the per-function entry maps
-the schedule maintains a per-minute memory vector (total keep-alive MB),
-updated on every write. :meth:`memory_at` is therefore O(1) instead of an
-O(n_functions) scan — it is the single hottest read of the simulation
-engine (the peak detector, the capacity pressure valve and the per-minute
-commit all call it). The vector is kept as a plain Python list because
-the updates are scalar (a numpy setitem is ~3x slower than a list store);
-:attr:`memory_vector` exposes it as a numpy array for bulk consumers (the
-fast engine's idle-span accounting, tests).
+Memory accounting is a *canonical count ledger*: alongside the
+per-function entry maps the schedule maintains, per minute, an integer
+count of live entries per distinct container footprint. :meth:`memory_at`
+evaluates the minute as a dot product over the footprints in ascending
+order — a **canonical evaluation order** that depends only on *what* is
+alive at the minute, never on the sequence of writes that got it there.
+That property is what lets three very different engine loops (the
+reference minute walk, the event-driven fast path, and the columnar fleet
+kernel in :mod:`repro.runtime.fleet`) produce bit-identical memory
+series: each computes the same counts and folds them in the same
+footprint order, so the floats agree to the last ulp.
 
-Two invariants the incremental ledger maintains (property-tested in
-``tests/test_runtime_schedule.py``):
+Writes are O(1) (an integer count bump plus a dirty mark); the float
+value of a touched minute is recomputed lazily at the next read, so a
+minute read once per engine commit costs one short sorted fold (the zoo
+has ~a dozen distinct footprints, and a single minute rarely holds more
+than a few). Empty minutes read exactly ``0.0`` — the counts decide
+emptiness, so no epsilon hacks are needed and rounding residue cannot
+survive on an empty minute.
 
-- ``memory_vector[m]`` equals the from-scratch sum of the entries at
-  minute ``m`` (up to float rounding of the incremental updates);
-- a minute whose last entry is removed reads exactly ``0.0`` — when a
-  removal leaves less than any real footprint behind, the entry maps
-  decide emptiness, so incremental rounding can never leave a phantom
-  residue (negative or positive) on an empty minute.
+Two invariants the ledger maintains (property-tested in
+``tests/test_engine_fastpath.py``):
+
+- ``memory_at(m)`` equals the from-scratch sum of the entries at minute
+  ``m`` (up to float rounding of the evaluation order);
+- a minute whose last entry is removed reads exactly ``0.0``.
 """
 
 from __future__ import annotations
@@ -74,44 +81,61 @@ class KeepAliveSchedule:
         # path (downgrade/clear/mark_alive) invalidates the record.
         self._last_plan: list[tuple | None] = [None] * n_functions
         size = max(horizon_hint or 0, 0) + keep_alive_window + 2
+        # Count ledger: per minute, {footprint MB -> number of live
+        # entries}. The float value in _mem is the canonical fold of that
+        # dict (ascending footprints); minutes in _dirty have stale floats
+        # and are re-folded on the next read.
+        self._counts: list[dict[float, int]] = [{} for _ in range(size)]
         self._mem: list[float] = [0.0] * size
+        self._dirty: set[int] = set()
         # Minutes strictly below the frontier have been forgotten by
         # advance(); used to pop them in O(1) per minute instead of
         # rescanning every entry map.
         self._frontier = 0
 
-    # Removal results below this are either rounding residue of an empty
-    # minute or genuinely negligible; real model footprints are >= 0.01 MB.
-    _ZERO_EPS = 1e-9
-
-    # -- incremental ledger internals ---------------------------------------
+    # -- count-ledger internals ---------------------------------------------
     def _ensure(self, minute: int) -> None:
-        """Grow the per-minute vector to cover ``minute``."""
+        """Grow the per-minute vectors to cover ``minute``."""
         need = minute + 1 - len(self._mem)
         if need > 0:
             grow = max(need, len(self._mem))  # at least double
             self._mem.extend([0.0] * grow)
+            self._counts.extend({} for _ in range(grow))
 
     def _add(self, minute: int, memory_mb: float) -> None:
-        self._mem[minute] += memory_mb
+        d = self._counts[minute]
+        d[memory_mb] = d.get(memory_mb, 0) + 1
+        self._dirty.add(minute)
 
     def _remove(self, minute: int, memory_mb: float) -> None:
-        """Subtract one entry's footprint; the caller has already deleted
-        (or is about to replace) the corresponding map entry.
-
-        When the result is smaller than any real footprint it is either
-        the rounding residue of a now-empty minute or a sub-epsilon
-        footprint sum; the entry maps are consulted (O(n_functions), but
-        only on this rare path) so an empty minute reads exactly 0.0 and
-        the value is never left negative.
-        """
-        v = self._mem[minute] - memory_mb
-        if v > self._ZERO_EPS:
-            self._mem[minute] = v
-        elif any(minute in entries for entries in self._entries):
-            self._mem[minute] = v if v > 0.0 else 0.0
+        d = self._counts[minute]
+        c = d[memory_mb] - 1
+        if c:
+            d[memory_mb] = c
         else:
-            self._mem[minute] = 0.0
+            del d[memory_mb]
+        self._dirty.add(minute)
+
+    def _fold(self, minute: int) -> float:
+        """Canonical evaluation: counts × footprints, ascending footprint
+        order. Order-independent by construction, so every engine that
+        reproduces the counts reproduces the float bit-for-bit."""
+        acc = 0.0
+        d = self._counts[minute]
+        for fp in sorted(d):
+            acc += d[fp] * fp
+        self._mem[minute] = acc
+        return acc
+
+    def _flush(self, start: int, stop: int) -> None:
+        """Re-fold every dirty minute in ``[start, stop)``."""
+        dirty = self._dirty
+        if not dirty:
+            return
+        stale = [m for m in dirty if start <= m < stop]
+        for m in stale:
+            self._fold(m)
+        dirty.difference_update(stale)
 
     # -- writes -------------------------------------------------------------
     def mark_alive(self, function_id: int, minute: int, variant: ModelVariant) -> None:
@@ -130,7 +154,7 @@ class KeepAliveSchedule:
         if old is not None:
             if old is variant or old == variant:
                 return
-            del entries[minute]  # before _remove, so emptiness is exact
+            del entries[minute]
             self._remove(minute, old.memory_mb)
         entries[minute] = variant
         self._add(minute, variant.memory_mb)
@@ -160,9 +184,10 @@ class KeepAliveSchedule:
             raise ValueError(
                 f"invocation_minute must be >= -1, got {invocation_minute}"
             )
-        mem = self._mem
-        if invocation_minute + n >= len(mem):
+        if invocation_minute + n >= len(self._mem):
             self._ensure(invocation_minute + n)
+        counts = self._counts
+        dirty = self._dirty
         entries = self._entries[function_id]
         get = entries.get
 
@@ -186,15 +211,24 @@ class KeepAliveSchedule:
             if start > invocation_minute + n:
                 return
             variant = plan[0]
+            fp = variant.memory_mb
             for m in range(start, invocation_minute + n + 1):
                 old = get(m)
                 if old is None:
                     entries[m] = variant
-                    mem[m] += variant.memory_mb
+                    d = counts[m]
+                    d[fp] = d.get(fp, 0) + 1
+                    dirty.add(m)
                 elif old is not variant and old != variant:
                     entries[m] = variant
-                    v = mem[m] - old.memory_mb + variant.memory_mb
-                    mem[m] = v if v > 0.0 else 0.0
+                    d = counts[m]
+                    c = d[old.memory_mb] - 1
+                    if c:
+                        d[old.memory_mb] = c
+                    else:
+                        del d[old.memory_mb]
+                    d[fp] = d.get(fp, 0) + 1
+                    dirty.add(m)
             return
 
         uniform = True
@@ -211,11 +245,21 @@ class KeepAliveSchedule:
                     self._remove(m, old.memory_mb)
             elif old is None:
                 entries[m] = variant
-                mem[m] += variant.memory_mb
+                d = counts[m]
+                fp = variant.memory_mb
+                d[fp] = d.get(fp, 0) + 1
+                dirty.add(m)
             elif old is not variant and old != variant:
                 entries[m] = variant
-                v = mem[m] - old.memory_mb + variant.memory_mb
-                mem[m] = v if v > 0.0 else 0.0
+                d = counts[m]
+                c = d[old.memory_mb] - 1
+                if c:
+                    d[old.memory_mb] = c
+                else:
+                    del d[old.memory_mb]
+                fp = variant.memory_mb
+                d[fp] = d.get(fp, 0) + 1
+                dirty.add(m)
         self._last_plan[function_id] = (
             plan,
             invocation_minute,
@@ -270,8 +314,8 @@ class KeepAliveSchedule:
                     freed_now += old.memory_mb
             else:
                 entries[m] = new
-                v = self._mem[m] - old.memory_mb + new.memory_mb
-                self._mem[m] = v if v > 0.0 else 0.0
+                self._remove(m, old.memory_mb)
+                self._add(m, new.memory_mb)
                 if m == from_minute:
                     freed_now += old.memory_mb - new.memory_mb
         return freed_now
@@ -312,32 +356,49 @@ class KeepAliveSchedule:
         }
 
     def memory_at(self, minute: int) -> float:
-        """Total keep-alive memory (MB) at ``minute`` — O(1)."""
+        """Total keep-alive memory (MB) at ``minute``."""
         if 0 <= minute < len(self._mem):
+            if minute in self._dirty:
+                self._dirty.discard(minute)
+                return self._fold(minute)
             return self._mem[minute]
         return 0.0
 
+    def footprint_counts(self, minute: int) -> dict[float, int]:
+        """The minute's raw count ledger (footprint MB -> live entries).
+
+        Returns a copy; the canonical value of the minute is the fold of
+        this dict in ascending-footprint order (see :meth:`memory_at`).
+        The fleet engine's parity tests read this to compare integer
+        state, which is sturdier than comparing folded floats.
+        """
+        if 0 <= minute < len(self._counts):
+            return dict(self._counts[minute])
+        return {}
+
     @property
     def memory_vector(self) -> np.ndarray:
-        """The incrementally maintained per-minute memory ledger (MB).
+        """The per-minute canonical memory ledger (MB).
 
         Index ``m`` is absolute minute ``m``; minutes beyond the last
         written plan are 0. Returns a copy — the live ledger only changes
         through the write methods.
         """
+        self._flush(0, len(self._mem))
         return np.asarray(self._mem, dtype=np.float64)
 
     def memory_slice(self, start: int, stop: int) -> list[float]:
-        """Per-minute memory for ``start <= m < stop`` (bulk O(1)-per-minute
-        read used by the fast engine's idle-span accounting)."""
+        """Per-minute memory for ``start <= m < stop`` (bulk read used by
+        the fast engine's idle-span accounting)."""
         if start >= stop:
             return []
         self._ensure(stop - 1)
+        self._flush(start, stop)
         return self._mem[start:stop]
 
     def recompute_memory_at(self, minute: int) -> float:
         """From-scratch O(n_functions) recomputation of :meth:`memory_at`
-        (the reference the incremental ledger is property-tested against)."""
+        (the reference the count ledger is property-tested against)."""
         return sum(
             entries[minute].memory_mb
             for entries in self._entries

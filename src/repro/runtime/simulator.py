@@ -247,6 +247,7 @@ class Simulation:
         self,
         engine: str | None = None,
         *,
+        shards: int = 1,
         checkpoint: CheckpointConfig | None = None,
         resume_from: SimulationState | str | Path | None = None,
     ) -> RunResult:
@@ -259,10 +260,20 @@ class Simulation:
         - ``"reference"`` — the minute-by-minute reference loop;
         - ``"fast"`` — the fast loop, erroring if the config demands the
           reference cadence;
+        - ``"fleet"`` — the columnar fleet engine
+          (:mod:`repro.runtime.fleet`): per-function state in numpy
+          arrays, partitioned into ``shards`` contiguous fid ranges with
+          a global reduce for the cross-function stages. Built for
+          10⁴–10⁵-function fleets; supports PULSE and the fixed
+          baselines, and errors on configs needing per-decision hooks
+          (``measure_overhead``, observability, checkpoint/resume);
         - ``None`` (default) — the deprecated legacy behavior: follow
           ``config.fast`` (warning when it is set).
 
-        Both loops produce identical metrics; ``wall_clock_s`` records
+        ``shards`` is only meaningful with ``engine="fleet"`` (the shard
+        count never changes results — ``shards=1`` ≡ ``shards=k``).
+
+        All loops produce identical metrics; ``wall_clock_s`` records
         the elapsed engine time either way.
 
         ``checkpoint`` enables periodic :class:`SimulationState`
@@ -280,8 +291,19 @@ class Simulation:
             )
         if isinstance(resume_from, (str, Path)):
             resume_from = SimulationState.load(resume_from)
+        if shards != 1 and engine != "fleet":
+            raise ValueError(
+                f"shards={shards} is only meaningful with engine='fleet'"
+            )
         t0 = time.perf_counter()
-        if self._resolve_engine(engine, resume_from):
+        if engine == "fleet":
+            from repro.runtime.fleet import run_fleet
+
+            result = run_fleet(
+                self, shards=shards, checkpoint=checkpoint,
+                resume_from=resume_from,
+            )
+        elif self._resolve_engine(engine, resume_from):
             from repro.runtime.fastpath import run_fast
 
             result = run_fast(self, checkpoint=checkpoint, resume_from=resume_from)
@@ -314,7 +336,7 @@ class Simulation:
             if engine not in ("reference", "fast"):
                 raise ValueError(
                     f"unknown engine {engine!r}; choose 'auto', "
-                    "'reference' or 'fast'"
+                    "'reference', 'fast' or 'fleet'"
                 )
             if (engine == "fast") != state_fast:
                 raise ValueError(
@@ -346,7 +368,8 @@ class Simulation:
                 )
             return True
         raise ValueError(
-            f"unknown engine {engine!r}; choose 'auto', 'reference' or 'fast'"
+            f"unknown engine {engine!r}; choose 'auto', 'reference', "
+            "'fast' or 'fleet'"
         )
 
     def _run_reference(

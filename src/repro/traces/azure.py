@@ -33,6 +33,18 @@ two failure modes:
 Empty cells are zero in both modes (the public dataset uses them that
 way). Duplicate ``HashFunction`` rows are summed in both modes — the
 dataset legitimately splits one function across rows.
+
+Bounded-memory ingestion
+------------------------
+The full dataset holds tens of thousands of functions x 1440 minutes
+per day; materializing every history just to keep the busiest few is
+the dominant memory cost of ingestion. ``load_azure_csv(..., top_k=k)``
+streams instead: a first pass accumulates one running total per
+function (no histories), the winners are picked by ``(-total, key)``,
+and a second pass materializes counts for the selected ``k`` functions
+only. Peak memory is ``O(#functions)`` totals plus the final
+``k x horizon`` array — never ``#functions x horizon`` — and the result
+is identical to loading everything and then taking the same top ``k``.
 """
 
 from __future__ import annotations
@@ -132,6 +144,148 @@ def _read_day(
     return out
 
 
+def _day_layout(header: list[str], path: Path) -> tuple[int, int, int]:
+    """Validate a day file's header; returns (fn_col, first_minute_col,
+    n_columns)."""
+    try:
+        fn_col = header.index("HashFunction")
+    except ValueError:
+        raise ValueError(
+            f"{path}: missing HashFunction column (header={header[:6]}...)"
+        ) from None
+    first_minute_col = len([c for c in header if c in _META_COLUMNS])
+    if len(header) - first_minute_col < 1:
+        raise ValueError(f"{path}: no per-minute columns found")
+    return fn_col, first_minute_col, len(header)
+
+
+def _scan_day_totals(
+    path: Path, mode: str, report: IngestReport
+) -> tuple[dict[str, int], int]:
+    """Streaming pass 1: per-function invocation totals for one day file.
+
+    Validates every row exactly like :func:`_read_day` but keeps one
+    running integer per function instead of its minute history, so the
+    memory high-water mark is independent of the horizon. Returns the
+    totals and the day length in minutes (``MINUTES_PER_DAY`` when the
+    file held no valid rows, matching the materializing path).
+    """
+    totals: dict[str, int] = {}
+    n_minutes = MINUTES_PER_DAY
+    any_ok = False
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        fn_col, first_minute_col, n_columns = _day_layout(header, path)
+        for row in reader:
+            if not row:
+                continue
+            report.n_rows += 1
+            try:
+                if len(row) != n_columns:
+                    raise ValueError(
+                        f"expected {n_columns} columns, got {len(row)}"
+                    )
+                key = row[fn_col]
+                if not key:
+                    raise ValueError("empty HashFunction")
+                total = 0
+                for cell in row[first_minute_col:]:
+                    total += _parse_count(cell)
+            except ValueError as exc:
+                issue = RowIssue(
+                    file=str(path),
+                    line=reader.line_num,
+                    function=row[fn_col] if len(row) > fn_col else "",
+                    reason=str(exc),
+                )
+                if mode == "strict":
+                    raise MalformedRowError(issue) from None
+                report.record_issue(issue)
+                continue
+            report.n_ok += 1
+            any_ok = True
+            n_minutes = n_columns - first_minute_col
+            totals[key] = totals.get(key, 0) + total
+    return totals, (n_minutes if any_ok else MINUTES_PER_DAY)
+
+
+def _gather_day(
+    path: Path,
+    index: dict[str, int],
+    counts: np.ndarray,
+    offset: int,
+    length: int,
+) -> None:
+    """Streaming pass 2: materialize one day's counts for the selected
+    functions only, adding into ``counts[:, offset:offset+length]``.
+
+    Rows were already validated (and malformed ones recorded) in pass 1,
+    so parse failures here are silently skipped and unselected rows are
+    never parsed at all.
+    """
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        fn_col, first_minute_col, n_columns = _day_layout(header, path)
+        for row in reader:
+            if not row or len(row) != n_columns:
+                continue
+            i = index.get(row[fn_col])
+            if i is None:
+                continue
+            try:
+                vals = np.array(
+                    [_parse_count(x) for x in row[first_minute_col:]],
+                    dtype=np.int64,
+                )
+            except ValueError:
+                continue  # quarantined in pass 1
+            counts[i, offset : offset + length] += vals
+
+
+def _load_streaming(
+    paths: list[str | Path],
+    top_k: int,
+    name: str,
+    mode: str,
+    quarantine_path: str | Path | None,
+    report: IngestReport,
+) -> Trace:
+    """Two-pass bounded-memory loader behind ``load_azure_csv(top_k=...)``."""
+    day_totals: list[dict[str, int]] = []
+    day_lengths: list[int] = []
+    for p in paths:
+        totals, n_minutes = _scan_day_totals(Path(p), mode, report)
+        day_totals.append(totals)
+        day_lengths.append(n_minutes)
+    if report.issues and quarantine_path is not None:
+        _write_quarantine(Path(quarantine_path), report.issues)
+        report.quarantine_path = str(quarantine_path)
+
+    all_keys: dict[str, int] = {}
+    for totals in day_totals:
+        for k, total in totals.items():
+            all_keys[k] = all_keys.get(k, 0) + total
+    if not all_keys:
+        raise ValueError("no functions found in the given files")
+    keys = sorted(all_keys, key=lambda k: (-all_keys[k], k))[:top_k]
+    index = {k: i for i, k in enumerate(keys)}
+
+    horizon = sum(day_lengths)
+    counts = np.zeros((len(keys), horizon), dtype=np.int64)
+    offset = 0
+    for p, length in zip(paths, day_lengths):
+        _gather_day(Path(p), index, counts, offset, length)
+        offset += length
+
+    specs = tuple(
+        FunctionSpec(function_id=i, name=k, archetype="azure")
+        for i, k in enumerate(keys)
+    )
+    return Trace(counts=counts, functions=specs, name=name)
+
+
 def _write_quarantine(path: Path, issues: list[RowIssue]) -> None:
     """Persist the quarantined-row sidecar (JSONL, one issue per line)."""
     with atomic_writer(path) as fh:
@@ -145,6 +299,7 @@ def load_azure_csv(
     name: str = "azure",
     *,
     mode: str = "strict",
+    top_k: int | None = None,
     quarantine_path: str | Path | None = None,
     report: IngestReport | None = None,
 ) -> Trace:
@@ -162,6 +317,13 @@ def load_azure_csv(
         ``"strict"`` (default) raises
         :class:`~repro.traces.schema.MalformedRowError` on the first bad
         row; ``"lenient"`` quarantines bad rows and loads the rest.
+    top_k:
+        Bounded-memory streaming mode: keep only the ``top_k``
+        most-invoked functions (ties broken by key) without ever
+        materializing the other histories — see "Bounded-memory
+        ingestion" in the module docstring. Mutually exclusive with
+        ``function_ids``. The result equals loading everything and
+        selecting the same top ``k``.
     quarantine_path:
         Where lenient mode writes the JSONL sidecar of quarantined rows
         (written atomically, only when at least one row was quarantined).
@@ -178,6 +340,14 @@ def load_azure_csv(
     if report is None:
         report = IngestReport()
     report.mode = mode
+    if top_k is not None:
+        if top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {top_k}")
+        if function_ids is not None:
+            raise ValueError("top_k and function_ids are mutually exclusive")
+        return _load_streaming(
+            paths, top_k, name, mode, quarantine_path, report
+        )
     days = [_read_day(Path(p), mode, report) for p in paths]
     if report.issues and quarantine_path is not None:
         _write_quarantine(Path(quarantine_path), report.issues)

@@ -279,6 +279,13 @@ class SyntheticTraceConfig:
 
     ``peak_minutes=None`` places ``n_peaks`` global spikes at deterministic
     evenly-spread offsets; pass explicit minutes to control them.
+
+    ``n_functions`` scales the trace to a fleet: the ``functions`` mix is
+    replicated cyclically to that many functions, preserving the archetype
+    *proportions* of the 12-representative slice while giving every
+    function its own seeded arrival stream (each fid spawns an
+    independent child RNG, so fleets of any size stay deterministic).
+    ``None`` (default) keeps exactly the configured mix.
     """
 
     horizon_minutes: int = 14 * MINUTES_PER_DAY
@@ -289,11 +296,20 @@ class SyntheticTraceConfig:
     peak_intensity: float = 6.0
     peak_participation: float = 0.85
     seed: int = 2024
+    n_functions: int | None = None
 
     def __post_init__(self) -> None:
         check_positive_int("horizon_minutes", self.horizon_minutes)
         if not self.functions:
             raise ValueError("at least one function archetype is required")
+        if self.n_functions is not None:
+            check_positive_int("n_functions", self.n_functions)
+            mix = self.functions
+            object.__setattr__(
+                self,
+                "functions",
+                tuple(mix[i % len(mix)] for i in range(self.n_functions)),
+            )
         if self.n_peaks < 0:
             raise ValueError("n_peaks must be >= 0")
         check_positive_int("peak_width", self.peak_width)

@@ -25,6 +25,19 @@ class TestReadmeQuickstart:
             "fixed"
         ].keepalive_cost_usd
 
+    def test_fleet_snippet_runs(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", readme, flags=re.S)
+        assert len(blocks) >= 2, "README lost its fleet-scale code block"
+        snippet = blocks[1]
+        assert 'engine="fleet"' in snippet
+        # Shrink the fleet so the doc test stays fast.
+        snippet = snippet.replace("n_functions=10_000", "n_functions=200")
+        snippet = snippet.replace("horizon_minutes=720", "horizon_minutes=120")
+        namespace: dict = {}
+        exec(compile(snippet, "README.md", "exec"), namespace)  # noqa: S102
+        assert namespace["result"].n_invocations > 0
+
     def test_readme_references_existing_files(self):
         readme = (REPO_ROOT / "README.md").read_text()
         for rel in re.findall(r"`(examples/[a-z_]+\.py)`", readme):
