@@ -26,10 +26,10 @@ Engine files are recognised by basename (``simulator.py`` /
 ``fastpath.py`` / ``fleet.py``) and compared pairwise per directory, so
 a fixture copy of the set in a test sandbox is checked exactly like the
 real one. ``fleet.py`` (the columnar fleet-scale loop) joins the
-comparison wherever it sits next to at least one of the other two —
-for its EventKind and RunResult surfaces only, because ``run_fleet``
-rejects observed configs at entry and therefore carries no obs hooks or
-metric instruments by contract (see :meth:`EngineParityRule._compare`).
+comparison wherever it sits next to at least one of the other two, on
+every category — including the obs-hook and metric surfaces, now that
+the fleet engine carries a real observability session
+(:class:`~repro.obs.fleet.FleetObsSession`).
 """
 
 from __future__ import annotations
@@ -138,18 +138,9 @@ class EngineParityRule(Rule):
                 surf_ref.run_result_kwargs,
                 surf_fast.run_result_kwargs,
             ),
+            ("obs hook", surf_ref.obs_hooks, surf_fast.obs_hooks),
+            ("metric", surf_ref.metric_names, surf_fast.metric_names),
         ]
-        # The fleet engine declares no observability: ``run_fleet``
-        # rejects observed configs at entry, so obs hooks and metric
-        # instruments are structurally absent from fleet.py rather than
-        # forgotten — comparing them would only manufacture waiver noise
-        # in the other engines. Event and RunResult surfaces stay fully
-        # checked. Drop this carve-out if fleet ever grows obs support.
-        if FLEET_BASENAME not in (reference.path.name, fast.path.name):
-            categories += [
-                ("obs hook", surf_ref.obs_hooks, surf_fast.obs_hooks),
-                ("metric", surf_ref.metric_names, surf_fast.metric_names),
-            ]
         for label, in_ref, in_fast in categories:
             yield from self._one_sided(label, reference, in_ref, fast, in_fast)
             yield from self._one_sided(label, fast, in_fast, reference, in_ref)

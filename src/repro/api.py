@@ -33,6 +33,7 @@ from pathlib import Path
 from repro.faults.isolation import ResilientPolicy
 from repro.faults.plan import FaultPlan
 from repro.models.variants import ModelFamily
+from repro.obs.session import ObservabilityConfig
 from repro.runtime.checkpoint import CheckpointConfig, SimulationState
 from repro.runtime.metrics import RunResult
 from repro.runtime.policy import KeepAlivePolicy
@@ -216,6 +217,7 @@ def simulate(
     engine: str = "auto",
     shards: int = 1,
     faults: FaultPlan | str | None = None,
+    observe: bool | ObservabilityConfig | None = None,
     checkpoint: CheckpointConfig | str | Path | None = None,
     resume_from: SimulationState | str | Path | None = None,
 ) -> RunResult:
@@ -235,6 +237,11 @@ def simulate(
     - ``faults`` — a :class:`~repro.faults.plan.FaultPlan` or a compact
       spec string (``"spawn=0.1,pressure=0.05,pressure-mb=4000"``),
       overriding ``config.faults``;
+    - ``observe`` — ``True`` or an
+      :class:`~repro.obs.session.ObservabilityConfig` (e.g. with
+      ``trace_sample`` set for fleet runs), overriding
+      ``config.observe``; the run then carries an
+      :class:`~repro.obs.session.ObsSession` on ``result.obs``;
     - ``checkpoint`` — a
       :class:`~repro.runtime.checkpoint.CheckpointConfig`, or just a
       path (checkpointed there at the default cadence): the engine
@@ -258,6 +265,8 @@ def simulate(
         if isinstance(faults, str):
             faults = FaultPlan.from_spec(faults)
         cfg = replace(cfg, faults=faults)
+    if observe is not None:
+        cfg = replace(cfg, observe=observe)
     if isinstance(checkpoint, (str, Path)):
         checkpoint = CheckpointConfig(path=checkpoint)
     return Simulation(trace, assignment, policy, cfg).run(

@@ -54,6 +54,7 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.assignments import sample_assignment
 from repro.experiments.reporting import format_bar_chart, format_series, format_table
+from repro.obs.session import ObservabilityConfig
 from repro.runtime.simulator import SimulationConfig
 from repro.traces.analysis import activity_summary, invocation_peaks
 from repro.traces.azure import load_azure_csv, top_functions, write_azure_csv
@@ -110,22 +111,36 @@ def _load_trace(args: argparse.Namespace) -> Trace:
     if getattr(args, "azure_csv", None):
         trace = load_azure_csv([Path(p) for p in args.azure_csv])
         return top_functions(trace, getattr(args, "functions", 12))
+    n = getattr(args, "functions", 12)
     return generate_trace(
-        SyntheticTraceConfig(horizon_minutes=args.horizon, seed=args.seed)
+        SyntheticTraceConfig(
+            horizon_minutes=args.horizon,
+            seed=args.seed,
+            # The generator's native mix is 12 functions; only ask it to
+            # rescale when the user sized the fleet explicitly.
+            n_functions=None if n == 12 else n,
+        )
     )
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     trace = _load_trace(args)
     assignment = sample_assignment(trace.n_functions, seed=args.seed)
-    observe = bool(
+    trace_sample = getattr(args, "trace_sample", 0)
+    observe: bool | ObservabilityConfig = bool(
         getattr(args, "observe", False)
         or getattr(args, "trace_out", None)
         or getattr(args, "report_out", None)
+        or getattr(args, "prom_out", None)
+        or trace_sample
     )
-    if (args.trace_out or args.report_out) and len(args.policies) != 1:
+    if observe and trace_sample:
+        observe = ObservabilityConfig(trace_sample=trace_sample)
+    dump_outs = (args.trace_out, args.report_out, args.prom_out)
+    if any(dump_outs) and len(args.policies) != 1:
         print(
-            "--trace-out/--report-out dump one run; pass exactly one policy",
+            "--trace-out/--report-out/--prom-out dump one run; pass "
+            "exactly one policy",
             file=sys.stderr,
         )
         return 2
@@ -163,6 +178,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
             save_run_report(result, args.report_out)
             print(f"wrote run report to {args.report_out}")
+        if args.prom_out:
+            from repro.obs.export import write_prometheus
+
+            n = write_prometheus(result.obs, args.prom_out)
+            print(f"wrote {n} exposition lines to {args.prom_out}")
     print(format_table(rows, title=f"{trace!r}"))
     return 0
 
@@ -559,7 +579,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--azure-csv", nargs="+", metavar="CSV",
                        help="load these Azure per-day CSVs instead")
         p.add_argument("--functions", type=int, default=12,
-                       help="keep the top-K functions of a loaded trace")
+                       help="keep the top-K functions of a loaded trace, or "
+                            "scale the synthetic fleet to this many")
 
     names = list_policies()
 
@@ -577,6 +598,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--report-out", metavar="HTML",
                        help="write an HTML run report (implies --observe; "
                             "exactly one policy)")
+    p_sim.add_argument("--prom-out", metavar="PROM",
+                       help="write a Prometheus text-format metrics "
+                            "snapshot (implies --observe; exactly one "
+                            "policy)")
+    p_sim.add_argument("--trace-sample", type=int, default=0, metavar="N",
+                       help="record full decision traces for a "
+                            "deterministic sample of N function ids "
+                            "(fleet engine; loop engines always record "
+                            "every function; implies --observe)")
     p_sim.add_argument("--engine", choices=_ENGINES, default="auto",
                        help="simulation engine (all are metric-identical)")
     p_sim.add_argument("--shards", type=int, default=1,

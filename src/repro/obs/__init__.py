@@ -14,6 +14,9 @@ invocation found nothing warm. This subpackage is that explanatory layer:
 - :mod:`repro.obs.session` — :class:`ObsSession`, the per-run container
   the engine threads through the policy layer, and :data:`NULL_OBS`,
   the zero-cost disabled stand-in;
+- :mod:`repro.obs.fleet`   — :class:`FleetObsSession`, the columnar
+  variant the fleet engine uses: per-shard numpy partials plus seeded
+  sampled decision traces instead of per-decision hook calls;
 - :mod:`repro.obs.export`  — JSONL decision-trace dump/load and
   cross-run session merging (used by the sweep runner);
 - :mod:`repro.obs.report`  — a self-contained SVG/HTML run report;
@@ -29,16 +32,18 @@ Two hard guarantees, pinned by tests:
 - **metric-preserving when enabled** — instrumentation only *reads*
   simulation state (no RNG draws, no reordered float accumulation), so
   every headline ``RunResult`` field is bit-identical with observability
-  on or off, on both the reference and fast engines
-  (``tests/test_obs_equivalence.py``).
+  on or off, on the reference, fast and fleet engines
+  (``tests/test_obs_equivalence.py``, ``tests/test_fleet_obs.py``).
 """
 
+from repro.obs.fleet import FleetObsSession
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.session import NULL_OBS, ObservabilityConfig, ObsSession
 from repro.obs.spans import SpanTimer
 
 __all__ = [
     "Counter",
+    "FleetObsSession",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

@@ -281,7 +281,13 @@ class TraceIndex:
                     f"{'Ip':>9} {'Uv':>9}"
                 )
                 for c in cands:
-                    if c.get("protected"):
+                    if "omitted" in c:
+                        # Fleet traces cap the table at the lowest-Uv rows.
+                        lines.append(
+                            f"  ... {c['omitted']} higher-Uv candidates "
+                            "omitted (fleet candidate cap)"
+                        )
+                    elif c.get("protected"):
                         lines.append(
                             f"  {c['fid']:>5} {c['variant']:<14} "
                             "protected (lowest variant, P(arrival) > 0)"

@@ -9,6 +9,10 @@ included only when the run carried the data for them:
 - memory-over-time line chart (when ``record_series`` was on);
 - warm/cold/forced-downgrade bar chart;
 - span-phase timing bar chart (when spans were enabled);
+- a fleet telemetry section (when the run carried a
+  :class:`~repro.obs.fleet.FleetObsSession`): per-shard serving and
+  phase-timing breakdown, run throughput, and the memory / valve /
+  downgrade timeline from the columnar partials;
 - decision-record tally and flat metrics table (when the respective
   observability layers were enabled).
 
@@ -21,6 +25,7 @@ from __future__ import annotations
 from html import escape
 from pathlib import Path
 
+from repro.obs.fleet import FleetObsSession
 from repro.utils import svgplot
 from repro.utils.atomicio import atomic_write_text
 
@@ -56,6 +61,94 @@ def _table(rows: list[tuple[str, object]], headers: tuple[str, str]) -> str:
         f"<table><tr><th>{escape(headers[0])}</th>"
         f"<th>{escape(headers[1])}</th></tr>{cells}</table>"
     )
+
+
+def _fleet_section(result, obs: FleetObsSession) -> list[str]:
+    """The fleet-only report section: per-shard breakdown, throughput,
+    and the memory / valve / downgrade timeline from the columnar
+    partials."""
+    parts: list[str] = ["<h2>Fleet telemetry</h2>"]
+
+    wall = float(result.wall_clock_s)
+    throughput = result.n_invocations / wall if wall > 0 else 0.0
+    minutes_per_s = obs.horizon / wall if wall > 0 else 0.0
+    parts.append(
+        _table(
+            [
+                ("shards", obs.n_shards),
+                ("functions", obs.n_functions),
+                ("sampled decision traces", int(obs.sample_fids.size)),
+                ("memory peaks", obs.n_peaks),
+                ("throughput (invocations/s)", throughput),
+                ("simulated minutes/s", minutes_per_s),
+            ],
+            ("fleet", "value"),
+        )
+    )
+
+    # Per-shard serving totals, with per-shard phase seconds when spans
+    # were on (the shard timers live under ``shard-{i}/...`` in the tree).
+    tree = obs.spans.tree() if obs.spans_enabled and obs.spans else {}
+    header = "<tr><th>shard</th><th>invocations</th><th>cold</th>"
+    timed = bool(tree)
+    if timed:
+        header += "<th>serve ms</th><th>observe ms</th><th>plan ms</th>"
+    rows = [header + "</tr>"]
+    for i in range(obs.n_shards):
+        row = (
+            f'<tr><td>{i}</td><td class="num">{int(obs.shard_invocations[i])}'
+            f'</td><td class="num">{int(obs.shard_cold[i])}</td>'
+        )
+        if timed:
+            phases = tree.get(f"shard-{i}", {}).get("children", {})
+            for phase in ("serve", "observe", "plan"):
+                ms = phases.get(phase, {}).get("seconds", 0.0) * 1e3
+                row += f'<td class="num">{ms:.3f}</td>'
+        rows.append(row + "</tr>")
+    parts.append(f"<table>{''.join(rows)}</table>")
+
+    reduce_phases = tree.get("reduce", {}).get("children", {})
+    if reduce_phases:
+        parts.append("<figure>")
+        parts.append(
+            svgplot.bar_chart(
+                {
+                    name: node["seconds"] * 1e3
+                    for name, node in sorted(reduce_phases.items())
+                },
+                title="Reducer wall-clock per phase", ylabel="ms",
+            )
+        )
+        parts.append("</figure>")
+
+    parts.append("<h2>Fleet memory and valve timeline</h2><figure>")
+    parts.append(
+        svgplot.line_chart(
+            {"committed MB": obs.mem_series},
+            title="Committed keep-alive memory", xlabel="minute",
+            ylabel="MB",
+        )
+    )
+    parts.append("</figure>")
+    if obs.valve_series.any() or obs.downgrade_series.any():
+        parts.append("<figure>")
+        parts.append(
+            svgplot.line_chart(
+                {
+                    "valve victims": obs.valve_series,
+                    "downgrades": obs.downgrade_series,
+                },
+                title="Capacity-valve victims and downgrades per minute",
+                xlabel="minute", ylabel="count",
+            )
+        )
+        parts.append("</figure>")
+    else:
+        parts.append(
+            '<p class="note">No capacity-valve victims or Algorithm-2 '
+            "downgrades this run.</p>"
+        )
+    return parts
 
 
 def render_run_report(result, title: str | None = None) -> str:
@@ -126,6 +219,10 @@ def render_run_report(result, title: str | None = None) -> str:
                 ("phase", "total / samples"),
             )
         )
+
+    # -- fleet telemetry -----------------------------------------------------
+    if has_obs and isinstance(obs, FleetObsSession):
+        parts.extend(_fleet_section(result, obs))
 
     # -- decision records ----------------------------------------------------
     if has_obs and obs.decisions_enabled:

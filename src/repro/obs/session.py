@@ -68,11 +68,20 @@ class ObservabilityConfig:
     - ``metrics``   — the counter/gauge/histogram registry;
     - ``spans``     — named wall-clock phase timers;
     - ``decisions`` — the decision-trace recorder (JSONL source).
+
+    ``trace_sample`` only affects the fleet engine: per-decision records
+    (plans, cold starts, downgrade candidate tables) are kept for a
+    deterministic sample of at most that many function ids, drawn with
+    ``trace_sample_seed``, while aggregate metrics still cover the whole
+    fleet. The loop engines record every function and ignore both fields.
+    ``trace_sample=0`` (the default) keeps the fleet fully aggregate.
     """
 
     metrics: bool = True
     spans: bool = True
     decisions: bool = True
+    trace_sample: int = 0
+    trace_sample_seed: int = 2024
 
     def __post_init__(self) -> None:
         if not (self.metrics or self.spans or self.decisions):
@@ -80,6 +89,8 @@ class ObservabilityConfig:
                 "observability config enables nothing; use "
                 "SimulationConfig(observe=None) to disable observability"
             )
+        if self.trace_sample < 0:
+            raise ValueError("trace_sample must be >= 0")
 
 
 class ObsSession:

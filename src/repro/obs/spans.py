@@ -86,6 +86,27 @@ class SpanTimer:
             for name, acc in self._phases.items()
         }
 
+    def tree(self) -> dict:
+        """The phases as one nested span tree, split on ``/``.
+
+        The fleet engine names its phases hierarchically —
+        ``shard-0/serve``, ``reduce/peak-flatten`` — so per-shard timers
+        and reducer timers merge into a single tree per run. A node is
+        ``{"seconds", "count", "children"}``; an interior node with no
+        samples of its own has ``seconds == 0`` and its children carry
+        the time. Flat phase names ("estimate") come out as root leaves.
+        """
+        root: dict = {"seconds": 0.0, "count": 0, "children": {}}
+        for name, acc in sorted(self._phases.items()):
+            node = root
+            for part in name.split("/"):
+                node = node["children"].setdefault(
+                    part, {"seconds": 0.0, "count": 0, "children": {}}
+                )
+            node["seconds"] += acc[0]
+            node["count"] += int(acc[1])
+        return root["children"]
+
     def merge(self, other: "SpanTimer") -> None:
         for name, acc in other._phases.items():
             mine = self._phases.get(name)

@@ -44,14 +44,28 @@ Two execution modes, chosen by the config:
   while planning stays columnar. Use it for parity checks and
   event-level analysis, not for 100k-function sweeps.
 
+Observability runs columnar too: ``SimulationConfig.observe`` gets a
+:class:`~repro.obs.fleet.FleetObsSession` whose ``tally_*`` batch hooks
+fold per-shard numpy partials (cold/invocation totals, plan-level
+histograms, memory/valve/downgrade series) instead of per-decision
+``record_*`` calls, plus full decision traces for a seeded sample of
+fids (``ObservabilityConfig.trace_sample``) so ``repro inspect``
+why-queries keep working. Phase timers are hierarchical —
+``shard-{i}/serve|observe|plan`` and ``reduce/peak-flatten|downgrade|
+valve`` — and merge into one span tree per run
+(:meth:`~repro.obs.spans.SpanTimer.tree`). All instrumentation only
+*reads* engine state, so obs-on runs stay bit-identical to obs-off and
+metric totals are shard-invariant (``tests/test_fleet_obs.py``).
+
 Not supported (explicit ``ValueError``): ``measure_overhead`` (defined
-over the reference loop's per-decision cadence), observability sessions,
-checkpoint/resume, oracle policies, and policies the compiler cannot map
-onto columnar state (anything beyond PULSE and the fixed baselines).
+over the reference loop's per-decision cadence), checkpoint/resume,
+oracle policies, and policies the compiler cannot map onto columnar
+state (anything beyond PULSE and the fixed baselines).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -69,6 +83,8 @@ from repro.core.thresholds import (
 )
 from repro.core.utility import UtilityWeights
 from repro.faults.injector import FaultInjector
+from repro.obs.fleet import CANDIDATE_CAP, FleetObsSession
+from repro.obs.session import NULL_OBS
 from repro.runtime.columnar import (
     ColumnarEstimator,
     RingSchedule,
@@ -79,7 +95,7 @@ from repro.runtime.container import ContainerPool
 from repro.runtime.events import EventKind, EventLog
 from repro.runtime.metrics import RunResult
 from repro.runtime.policy import KeepAlivePolicy
-from repro.runtime.simulator import collect_resilience
+from repro.runtime.simulator import collect_resilience, emit_downgrade
 from repro.utils.rng import rng_from_seed
 
 __all__ = ["FleetShards", "run_fleet"]
@@ -179,9 +195,12 @@ class _Shard:
         tables: VariantTables,
         keep_alive_window: int,
         model: _PulseModel | _FixedModel,
+        index: int = 0,
     ):
         self.lo = lo
         self.hi = hi
+        self.index = index
+        self.span_prefix = f"shard-{index}"
         self.tables = tables
         self.fam = tables.fam_idx[lo:hi]
         self.nv = tables.n_variants[lo:hi]
@@ -198,6 +217,20 @@ class _Shard:
         else:
             self.est = None
             self.cold_levels = model.levels[lo:hi]
+        # Sampled-trace fids falling in this shard, as local ids —
+        # installed by ``FleetShards.bind_sample``; empty means the
+        # sampled-record paths are skipped on one attribute read.
+        self.sample_lfids = np.empty(0, dtype=np.int64)
+
+    def sampled_rows(self, lfids: np.ndarray) -> np.ndarray:
+        """Row indices of this shard's sampled fids within a sorted
+        local-fid batch — O(k log n) for k sampled fids, instead of
+        masking the whole batch per shard-minute."""
+        s = self.sample_lfids
+        pos = np.searchsorted(lfids, s)
+        ok = pos < lfids.size
+        pos = pos[ok]
+        return pos[lfids[pos] == s[ok]]
 
     def begin_minute(self, minute: int) -> None:
         self.ring.begin_minute(minute)
@@ -210,13 +243,16 @@ class _Shard:
         counts: np.ndarray,
         minute: int,
         injector: FaultInjector | None,
+        obs: FleetObsSession | None = None,
     ) -> tuple[np.ndarray, np.ndarray, int]:
         """Vectorized serving of one minute's invocations (lean mode).
 
         Returns (service-time contributions, accuracy contributions,
         cold-start count); marks cold starts alive on the ring. Each
         contribution is the same float expression the reference evaluates
-        per function, computed elementwise.
+        per function, computed elementwise. ``obs`` (when given) receives
+        the shard-minute tallies and, for sampled fids, full ``cold``
+        trace records — all read-only on the engine state.
         """
         tables = self.tables
         alive = self.ring.alive_levels(lfids, minute)
@@ -224,14 +260,18 @@ class _Shard:
         serve_lv = np.where(cold, self.cold_levels[lfids], alive)
         fam = self.fam[lfids]
         warm_s = tables.warm_s[fam, serve_lv]
+        rec = obs if obs is not None and self.sample_lfids.size else None
         if injector is None:
             cold_part = tables.cold_s[fam, serve_lv] + (counts - 1) * warm_s
         else:
             penalty = np.zeros(len(lfids))
             for i in np.flatnonzero(cold).tolist():
+                gfid = int(lfids[i]) + self.lo
                 variant = tables.variant(int(fam[i]), int(serve_lv[i]))
                 penalty[i] = injector.cold_start_penalty(
-                    minute, int(lfids[i]) + self.lo, variant, None, None
+                    minute, gfid, variant,
+                    rec if rec is not None and rec.is_sampled(gfid) else None,
+                    None,
                 )
             cold_part = (
                 tables.cold_s[fam, serve_lv] + penalty + (counts - 1) * warm_s
@@ -239,25 +279,51 @@ class _Shard:
         service = np.where(cold, cold_part, counts * warm_s)
         accuracy = counts * tables.accuracy[fam, serve_lv]
         self.ring.mark_alive(lfids[cold], minute, serve_lv[cold])
-        return service, accuracy, int(cold.sum())
+        n_cold = int(cold.sum())
+        if obs is not None:
+            obs.tally_serve(self.index, int(counts.sum()), n_cold)
+            if rec is not None:
+                rows = self.sampled_rows(lfids)
+                for i in rows[cold[rows]].tolist():
+                    gfid = int(lfids[i]) + self.lo
+                    variant = tables.variant(int(fam[i]), int(serve_lv[i]))
+                    obs.record_cold(
+                        minute, gfid, variant.name, int(counts[i]),
+                        obs.last_seen(gfid),
+                    )
+        return service, accuracy, n_cold
 
     def observe_and_plan(
-        self, lfids: np.ndarray, minute: int, model: _PulseModel | _FixedModel
+        self,
+        lfids: np.ndarray,
+        minute: int,
+        model: _PulseModel | _FixedModel,
+        obs: FleetObsSession | None = None,
     ) -> None:
         """Feed the estimator and install keep-alive plans for the
         minute's invoking functions (both modes — planning is columnar
-        even when serving is scalar)."""
+        even when serving is scalar). ``obs`` tallies the plan-level
+        histogram and writes full ``plan`` records for sampled fids."""
         if model.kind == "fixed":
             width = self.ring.keep_alive_window
             plan = np.broadcast_to(
                 self.cold_levels[lfids][:, None], (len(lfids), width)
             )
             self.ring.write_plans(lfids, minute, plan)
+            if obs is not None:
+                obs.tally_plans(plan)
+                if self.sample_lfids.size:
+                    self._record_sampled_plans(lfids, minute, plan, None, obs)
             return
         est = self.est
         assert est is not None
+        spans = obs.spans if obs is not None and obs.spans_enabled else None
+        t0 = time.perf_counter() if spans is not None else 0.0
         est.observe(lfids, minute)
         probs = est.mode_rows(est.exact_rows(lfids))
+        if spans is not None:
+            t1 = time.perf_counter()
+            spans.add(self.span_prefix + "/observe", t1 - t0)
         levels = _vector_levels(probs, self.nv[lfids], model.scheme)
         no_history = est.no_history(lfids)
         if no_history.any():
@@ -265,6 +331,43 @@ class _Shard:
             # (FunctionCentricOptimizer's cold_start_fallback="highest").
             levels[no_history] = (self.nv[lfids[no_history]] - 1)[:, None]
         self.ring.write_plans(lfids, minute, levels)
+        if spans is not None:
+            spans.add(self.span_prefix + "/plan", time.perf_counter() - t1)
+        if obs is not None:
+            obs.tally_plans(levels)
+            if self.sample_lfids.size:
+                self._record_sampled_plans(
+                    lfids, minute, levels, probs, obs, no_history
+                )
+
+    def _record_sampled_plans(
+        self,
+        lfids: np.ndarray,
+        minute: int,
+        levels: np.ndarray,
+        probs: np.ndarray | None,
+        obs: FleetObsSession,
+        no_history: np.ndarray | None = None,
+    ) -> None:
+        """Full ``plan`` trace records for this batch's sampled fids.
+
+        Mirror of FunctionCentricOptimizer: the probability vector is
+        staged only when it actually drove the plan — fids with no
+        inter-arrival history (``no_history``) fell back blind.
+        """
+        for j in self.sampled_rows(lfids).tolist():
+            gfid = int(lfids[j]) + self.lo
+            if probs is not None and (
+                no_history is None or not no_history[j]
+            ):
+                obs.stage_probs(gfid, minute, probs[j])
+            fam = int(self.fam[lfids[j]])
+            plan = [
+                None if lv < 0 else self.tables.variant(fam, int(lv))
+                for lv in levels[j].tolist()
+            ]
+            obs.record_plan(minute, gfid, plan)
+            obs.note_arrival(gfid, minute)
 
     def publish_memory(self, minute: int) -> np.ndarray:
         """This shard's per-footprint-slot entry counts at ``minute``."""
@@ -325,7 +428,10 @@ class FleetShards:
         self.model = model
         bounds = [i * n_functions // n_shards for i in range(n_shards + 1)]
         self.shards = [
-            _Shard(bounds[i], bounds[i + 1], tables, keep_alive_window, model)
+            _Shard(
+                bounds[i], bounds[i + 1], tables, keep_alive_window, model,
+                index=i,
+            )
             for i in range(n_shards)
         ]
         self.bounds = np.array(bounds[1:], dtype=np.int64)  # split points
@@ -347,6 +453,16 @@ class FleetShards:
         else:
             self.detector = None
             self.priority = None
+
+    def bind_sample(self, sample_fids: np.ndarray) -> None:
+        """Distribute an obs session's sampled fids to their shards (as
+        local ids), so the per-batch sampled-record lookups are O(k) in
+        this shard's sample size rather than the batch size."""
+        for shard in self.shards:
+            in_range = sample_fids[
+                (sample_fids >= shard.lo) & (sample_fids < shard.hi)
+            ]
+            shard.sample_lfids = (in_range - shard.lo).astype(np.int64)
 
     def shard_for(self, fid: int) -> _Shard:
         return self.shards[self.shard_index[fid]]
@@ -376,24 +492,41 @@ class FleetShards:
         return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
 
     # -- reduce: Algorithms 1 & 2 -------------------------------------------
-    def review(self, minute: int, events: EventLog | None) -> None:
+    def review(
+        self,
+        minute: int,
+        events: EventLog | None,
+        obs: FleetObsSession | None = None,
+    ) -> None:
         """The global optimizer's per-minute review on merged state.
 
         Mirrors ``GlobalOptimizer.review``: detect a peak against the
         prior (Algorithm 1), then repeatedly score every kept-alive
         model's ``Uv = Ai + Pr + Ip`` and downgrade the minimum
         (Algorithm 2) until demand is back under the flatten target;
-        always feed the detector demand + committed memory.
+        always feed the detector demand + committed memory. ``obs``
+        tallies peaks/downgrades, times the ``reduce/peak-flatten`` and
+        ``reduce/downgrade`` phases, and — for sampled victims — records
+        the full (capped) candidate table.
         """
         detector, priority = self.detector, self.priority
         assert detector is not None and priority is not None
         model = self.model
         assert isinstance(model, _PulseModel)
+        rec = obs if obs is not None and obs.decisions_enabled else None
+        spans = obs.spans if obs is not None and obs.spans_enabled else None
         demand = self.memory_at(minute)
         prior = detector.prior_memory()
         current = demand
         if detector.is_peak(demand, prior):
+            t_flatten = time.perf_counter() if spans is not None else 0.0
             target = detector.flatten_target(prior)
+            if obs is not None:
+                obs.tally_peak()
+            if rec is not None:
+                # repro: lint-ok[RPR002] the loop engines record peaks from
+                # shared GlobalOptimizer.review; the reducer inlines Alg. 1
+                rec.record_peak(minute, demand, prior, target)
             parts = [s.publish_alive(minute, True) for s in self.shards]
             alive = np.concatenate([p[0] for p in parts])
             levels = np.concatenate([p[1] for p in parts])
@@ -428,6 +561,16 @@ class FleetShards:
             # utility array is patched in place and rebuilt only then.
             rebuild = True
             uv_masked = np.empty(0)
+            if spans is not None:
+                t_downgrade = time.perf_counter()
+                spans.add("reduce/peak-flatten", t_downgrade - t_flatten)
+            # Per-victim obs cost must stay O(1) attribute reads — a
+            # hook call per downgrade is what the columnar session
+            # exists to avoid — so the tally is accumulated locally and
+            # folded once per review, and the sample test reads the
+            # mask directly.
+            sample_mask = rec.sample_mask if rec is not None else None
+            n_tallied = 0
             while current > target and alive.size:
                 if rebuild:
                     if vmax == vmin:
@@ -446,6 +589,33 @@ class FleetShards:
                     break  # every candidate is a protected lowest variant
                 victim = int(alive[pick])
                 allow_drop = bool(max_rem[pick] == 0.0)
+                victim_rec = (
+                    rec
+                    if sample_mask is not None and sample_mask[victim]
+                    else None
+                )
+                record = events is not None or victim_rec is not None
+                if record:
+                    new_level = int(levels[pick]) - 1
+                    from_name = self.tables.variant(
+                        int(fam[pick]), int(levels[pick])
+                    ).name
+                    to_name = (
+                        self.tables.variant(int(fam[pick]), new_level).name
+                        if new_level >= 0
+                        else None
+                    )
+                    # The candidate table snapshots the scores that chose
+                    # this victim, so it is built before the priority
+                    # bookkeeping below perturbs Eq. 1's normalization.
+                    cand = (
+                        self._candidate_table(
+                            alive, levels, fam, ip, counts_alive,
+                            vmin, vmax, eligible, model.weights,
+                        )
+                        if victim_rec is not None
+                        else None
+                    )
                 self.shard_for(victim).apply_downgrade(
                     victim, minute, allow_drop
                 )
@@ -464,15 +634,12 @@ class FleetShards:
                         n_at_min = int((counts == vmin).sum())
                         rebuild = True
                 self.n_downgrades += 1
-                if events is not None:
-                    new_level = int(levels[pick]) - 1
-                    name = (
-                        self.tables.variant(int(fam[pick]), new_level).name
-                        if new_level >= 0
-                        else None
+                n_tallied += 1
+                if record:
+                    emit_downgrade(
+                        minute, victim, from_name, to_name, events,
+                        victim_rec, candidates=cand,
                     )
-                    # repro: lint-ok[RPR002] the other engines emit peak-flatten DOWNGRADE from shared GlobalOptimizer.review; the reducer inlines Alg. 2
-                    events.emit(minute, EventKind.DOWNGRADE, victim, name)
                 if levels[pick] > 0:
                     levels[pick] -= 1
                     t_ai[pick] = w_ai * self.tables.ai[fam[pick], levels[pick]]
@@ -500,10 +667,88 @@ class FleetShards:
                     if not rebuild:
                         uv_masked = uv_masked[keep]
                 current = self.memory_at(minute)
+            if obs is not None and n_tallied:
+                obs.tally_downgrade(minute, n_tallied)
+            if spans is not None:
+                spans.add("reduce/downgrade", time.perf_counter() - t_downgrade)
         detector.observe(demand, current)
 
+    def _candidate_table(
+        self,
+        alive: np.ndarray,
+        levels: np.ndarray,
+        fam: np.ndarray,
+        ip: np.ndarray,
+        counts_alive: np.ndarray,
+        vmin: float,
+        vmax: float,
+        eligible: np.ndarray,
+        weights: UtilityWeights,
+    ) -> list[dict]:
+        """The reference trace's scored candidate table, rebuilt from the
+        reducer's columnar state: one row per kept-alive model with its
+        unweighted ``Ai``/``Pr``/``Ip`` terms and the weighted ``Uv``, or
+        a ``protected`` marker — capped at :data:`CANDIDATE_CAP`
+        lowest-``Uv`` rows (the victim is the eligible minimum, so it
+        always survives the cap) with an ``omitted`` trailer row noting
+        the truncation."""
+        ai = self.tables.ai[fam, levels]
+        if vmax == vmin:
+            pr = counts_alive - vmin
+        else:
+            pr = (counts_alive - vmin) / (vmax - vmin)
+        uv = (
+            weights.accuracy_improvement * ai
+            + weights.priority * pr
+            + weights.invocation_probability * ip
+        )
+        # Protected rows sort last (inf), matching the selection mask;
+        # ties stay fid-ascending like the reference loop. A full stable
+        # argsort over the alive set costs O(n log n) per sampled victim
+        # (~0.5 ms at 10k functions), so select the CANDIDATE_CAP head
+        # with an O(n) argpartition instead, reproducing the stable
+        # order exactly: rows strictly below the cap boundary value,
+        # then boundary ties filled lowest-fid first (``alive`` is fid-
+        # ascending, so index order is fid order).
+        key = np.where(eligible, uv, np.inf)
+        if key.size <= CANDIDATE_CAP:
+            order = np.argsort(key, kind="stable")
+        else:
+            pool = np.argpartition(key, CANDIDATE_CAP - 1)[:CANDIDATE_CAP]
+            boundary = key[pool].max()
+            strict = np.flatnonzero(key < boundary)
+            strict = strict[np.argsort(key[strict], kind="stable")]
+            ties = np.flatnonzero(key == boundary)[
+                : CANDIDATE_CAP - strict.size
+            ]
+            order = np.concatenate((strict, ties))
+        rows: list[dict] = []
+        for idx in order[:CANDIDATE_CAP].tolist():
+            fid = int(alive[idx])
+            vname = self.tables.variant(int(fam[idx]), int(levels[idx])).name
+            if not eligible[idx]:
+                rows.append({"fid": fid, "variant": vname, "protected": True})
+            else:
+                rows.append({
+                    "fid": fid,
+                    "variant": vname,
+                    "Ai": float(ai[idx]),
+                    "Pr": float(pr[idx]),
+                    "Ip": float(ip[idx]),
+                    "Uv": float(uv[idx]),
+                })
+        if alive.size > CANDIDATE_CAP:
+            rows.append({"omitted": int(alive.size - CANDIDATE_CAP)})
+        return rows
+
     # -- reduce: provider capacity valve -------------------------------------
-    def valve(self, minute: int, capacity_mb: float, events: EventLog | None) -> int:
+    def valve(
+        self,
+        minute: int,
+        capacity_mb: float,
+        events: EventLog | None,
+        obs: FleetObsSession | None = None,
+    ) -> int:
         """§III-A's pressure valve on the merged alive set.
 
         Byte-compatible with ``apply_capacity_valve``: the candidate
@@ -511,31 +756,52 @@ class FleetShards:
         from the shared capacity RNG, and a victim leaves the candidate
         array only when its keep-alive is dropped entirely — so the RNG
         stream (which depends on the array length sequence) matches the
-        reference's exactly.
+        reference's exactly. ``obs`` tallies the per-minute victim count,
+        times the ``reduce/valve`` phase, and records sampled victims'
+        forced downgrades.
         """
         if self.memory_at(minute) <= capacity_mb:
             return 0
+        rec = obs if obs is not None and obs.decisions_enabled else None
+        spans = obs.spans if obs is not None and obs.spans_enabled else None
+        t0 = time.perf_counter() if spans is not None else 0.0
         alive = self.alive_fids(minute)
+        sample_mask = rec.sample_mask if rec is not None else None
         forced = 0
         while self.memory_at(minute) > capacity_mb and alive.size:
             victim = int(self.capacity_rng.choice(alive))
             shard = self.shard_for(victim)
+            victim_rec = (
+                rec
+                if sample_mask is not None and sample_mask[victim]
+                else None
+            )
+            record = events is not None or victim_rec is not None
+            if record:
+                from_name = self.tables.variant(
+                    int(self.tables.fam_idx[victim]),
+                    shard.level_at(victim, minute),
+                ).name
             shard.apply_downgrade(victim, minute, allow_drop=True)
             forced += 1
             level = shard.level_at(victim, minute)
-            if events is not None:
-                name = (
+            if record:
+                to_name = (
                     self.tables.variant(int(self.tables.fam_idx[victim]), level).name
                     if level >= 0
                     else None
                 )
-                # repro: lint-ok[RPR002] forced-valve DOWNGRADE: the fleet
-                # reducer emits it where the other engines call
-                # apply_capacity_valve
-                events.emit(minute, EventKind.DOWNGRADE, victim, name, 1.0)
+                emit_downgrade(
+                    minute, victim, from_name, to_name, events, victim_rec,
+                    forced=True,
+                )
             if level < 0:
                 alive = alive[alive != victim]
         self.n_forced += forced
+        if obs is not None:
+            obs.tally_valve(minute, forced)
+            if spans is not None:
+                spans.add("reduce/valve", time.perf_counter() - t0)
         return forced
 
 
@@ -599,11 +865,6 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
             "metric needs the reference loop's per-minute decision "
             "cadence); use engine='auto' or 'reference'"
         )
-    if cfg.observe is not None:
-        raise ValueError(
-            "engine='fleet' does not support observability sessions; use "
-            "engine='reference' or 'fast'"
-        )
     if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
         raise ValueError(f"shards must be a positive int, got {shards!r}")
 
@@ -612,14 +873,26 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
     counts = trace.counts
 
     events = EventLog() if cfg.record_events else None
-    if events is not None:
-        policy.attach_observability(None, events)
+    obs = (
+        FleetObsSession(
+            cfg.observe,
+            n_functions=n_fn,
+            n_shards=max(1, min(shards, n_fn)),
+            horizon=horizon,
+        )
+        if cfg.observe is not None
+        else None
+    )
+    if obs is not None or events is not None:
+        policy.attach_observability(obs if obs is not None else NULL_OBS, events)
     policy.bind(trace, sim.assignment, cfg.keep_alive_window)
     model = _compile_policy(policy, n_fn, cfg.keep_alive_window)
     tables = VariantTables(sim.assignment, n_fn)
     fleet = FleetShards(
         n_fn, shards, cfg.keep_alive_window, tables, model, cfg.capacity_seed
     )
+    if obs is not None and obs.has_sample:
+        fleet.bind_sample(obs.sample_fids)
     pool = (
         ContainerPool(events)
         if (cfg.track_containers or cfg.record_events)
@@ -630,6 +903,12 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
         if cfg.faults is not None and cfg.faults.injects_runtime
         else None
     )
+
+    # Hot-loop telemetry handles, mirroring the loop engines (each None
+    # when its layer is off; the columnar tallies ride ``obs`` itself).
+    rec = obs if obs is not None and obs.decisions_enabled else None
+    met = obs.metrics if obs is not None and obs.metrics_enabled else None
+    spans = obs.spans if obs is not None and obs.spans_enabled else None
 
     service_time = 0.0
     accuracy_sum = 0.0
@@ -657,8 +936,11 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
 
         if pool is not None:
             # Pre-warm pass (reference order: every fid, ascending).
+            t_pool = time.perf_counter() if spans is not None else 0.0
             for fid in range(n_fn):
                 pool.reconcile(fid, fleet.shard_for(fid).variant_at(fid, t), t)
+            if spans is not None:
+                spans.add("pool-reconcile", time.perf_counter() - t_pool)
 
         lo, hi = int(minute_starts[t]), int(minute_starts[t + 1])
         inv_fids = ev_fid[lo:hi]
@@ -675,9 +957,15 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
                     if a == b:
                         continue
                     lf = inv_fids[a:b] - shard.lo
+                    t_serve = time.perf_counter() if spans is not None else 0.0
                     svc, acc, cold = shard.serve(
-                        lf, inv_counts[a:b], t, injector
+                        lf, inv_counts[a:b], t, injector, obs
                     )
+                    if spans is not None:
+                        spans.add(
+                            shard.span_prefix + "/serve",
+                            time.perf_counter() - t_serve,
+                        )
                     n_cold += cold
                     service_parts.append(svc)
                     accuracy_parts.append(acc)
@@ -700,6 +988,11 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
                         variant = tables.variant(
                             int(tables.fam_idx[fid]), cold_level
                         )
+                        fid_rec = (
+                            rec
+                            if rec is not None and rec.is_sampled(fid)
+                            else None
+                        )
                         if injector is None:
                             service_time += (
                                 variant.cold_service_time_s
@@ -709,12 +1002,21 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
                             service_time += (
                                 variant.cold_service_time_s
                                 + injector.cold_start_penalty(
-                                    t, fid, variant, None, events
+                                    t, fid, variant, fid_rec, events
                                 )
                                 + (count - 1) * variant.warm_service_time_s
                             )
                         n_cold += 1
                         accuracy_sum += count * variant.accuracy
+                        if obs is not None:
+                            obs.tally_serve(
+                                int(fleet.shard_index[fid]), count, 1
+                            )
+                        if fid_rec is not None:
+                            fid_rec.record_cold(
+                                t, fid, variant.name, count,
+                                fid_rec.last_seen(fid),
+                            )
                         shard.ring.mark_alive_one(fid - shard.lo, t, cold_level)
                         if pool is not None:
                             pool.cold_start(fid, variant, t)
@@ -735,6 +1037,10 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
                         variant = tables.variant(int(tables.fam_idx[fid]), level)
                         service_time += count * variant.warm_service_time_s
                         accuracy_sum += count * variant.accuracy
+                        if obs is not None:
+                            obs.tally_serve(
+                                int(fleet.shard_index[fid]), count, 0
+                            )
                         if pool is not None:
                             pool.record_served(fid, count)
                         if events is not None:
@@ -753,12 +1059,12 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
                 a, b = int(offsets[i]), int(offsets[i + 1])
                 if a == b:
                     continue
-                shard.observe_and_plan(inv_fids[a:b] - shard.lo, t, model)
+                shard.observe_and_plan(inv_fids[a:b] - shard.lo, t, model, obs)
 
         # Cross-function review (peak flattening) on the merged state.
         if is_pulse:
             if model.enable_global:
-                fleet.review(t, events)
+                fleet.review(t, events, obs)
             else:
                 assert fleet.detector is not None
                 fleet.detector.observe(fleet.memory_at(t))
@@ -771,15 +1077,20 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
                 else injector.effective_capacity(t, capacity)
             )
             if cap_t is not None:
-                fleet.valve(t, cap_t, events)
+                fleet.valve(t, cap_t, events, obs)
 
         # Commit the minute.
         if pool is not None:
+            t_pool = time.perf_counter() if spans is not None else 0.0
             for fid in range(n_fn):
                 pool.reconcile(fid, fleet.shard_for(fid).variant_at(fid, t), t)
             pool.tick_all()
+            if spans is not None:
+                spans.add("pool-reconcile", time.perf_counter() - t_pool)
         mem_t = fleet.memory_at(t)
         total_mb_minutes += mem_t
+        if obs is not None:
+            obs.tally_memory(t, mem_t)
         if events is not None:
             events.emit(t, EventKind.MEMORY_COMMIT, value=mem_t)
         if mem_series is not None:
@@ -788,6 +1099,32 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
             ideal_series[t] = tables.highest_mb[inv_fids].sum()
 
     mean_accuracy = accuracy_sum / n_invocations if n_invocations else 0.0
+    if met is not None:
+        assert obs is not None
+        # The shared cross-engine metric names, fed from the columnar
+        # partials. The loop engines label invocation/cold counters per
+        # function; per-function series cannot scale to 100k fids, so the
+        # fleet labels them per shard — totals stay identical for any
+        # shard count (exact integer partials).
+        _inv = met.counter("invocations_total", "invocations served")
+        _cold = met.counter("cold_starts_total", "user-visible cold starts")
+        for i in range(len(fleet.shards)):
+            _inv.labels(shard=i).inc(int(obs.shard_invocations[i]))
+            _cold.labels(shard=i).inc(int(obs.shard_cold[i]))
+        met.counter("warm_starts_total", "invocations served warm").inc(
+            n_invocations - n_cold
+        )
+        met.histogram(
+            "keepalive_mb", "per-minute committed keep-alive memory"
+        ).observe_many(obs.mem_series)
+        met.counter(
+            "forced_downgrades_total", "capacity-valve downgrades"
+        ).inc(fleet.n_forced)
+        met.gauge("horizon_minutes").set(horizon)
+        met.gauge("n_functions").set(n_fn)
+        met.gauge("keepalive_mb_minutes").set(total_mb_minutes)
+    if obs is not None:
+        obs.finalize_fleet_metrics()
     resilience = collect_resilience(policy, injector, horizon)
     return RunResult(
         policy_name=policy.name,
@@ -805,6 +1142,6 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
         events=events,
         n_forced_downgrades=fleet.n_forced,
         n_checkpoints=0,
-        obs=None,
+        obs=obs,
         **resilience,
     )

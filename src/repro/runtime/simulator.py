@@ -50,7 +50,43 @@ __all__ = [
     "SimulationConfig",
     "apply_capacity_valve",
     "collect_resilience",
+    "emit_downgrade",
 ]
+
+
+def emit_downgrade(
+    minute: int,
+    victim: int,
+    from_name: str,
+    to_name: str | None,
+    events: EventLog | None,
+    obs: ObsSession | None,
+    *,
+    forced: bool = False,
+    candidates: list[dict] | None = None,
+) -> None:
+    """One downgrade's telemetry — the DOWNGRADE event plus the decision
+    trace record — in one place, shared by every emit site.
+
+    The capacity valve below, the fleet reducer's Algorithm 2 and its
+    valve all funnel through this helper, so the event stream shape
+    (``value=1.0`` marks a forced valve victim, ``0.0`` an Algorithm-2
+    one — matching ``GlobalOptimizer.review``'s emissions) and the
+    record schema cannot drift between engines. Pass ``obs=None`` to
+    skip the trace record (e.g. fleet victims outside the trace sample).
+    """
+    if events is not None:
+        # repro: lint-ok[RPR002] DOWNGRADE is emitted only here and in
+        # GlobalOptimizer.review; every engine funnels through one of the two
+        events.emit(minute, EventKind.DOWNGRADE, victim, to_name,
+                    1.0 if forced else 0.0)
+    if obs is not None:
+        # repro: lint-ok[RPR002] record_downgrade fires only here and in
+        # GlobalOptimizer.review; every engine funnels through one of the two
+        obs.record_downgrade(
+            minute, victim, from_name, to_name,
+            candidates=candidates, forced=forced,
+        )
 
 
 def collect_resilience(
@@ -115,17 +151,11 @@ def apply_capacity_valve(
         n_forced += 1
         new = schedule.alive_variant(victim, minute)
         if record:
-            new_name = new.name if new is not None else None
-            if events is not None:
-                # repro: lint-ok[RPR002] DOWNGRADE is emitted only here, in
-                # apply_capacity_valve, which both engine loops call
-                events.emit(minute, EventKind.DOWNGRADE, victim, new_name, 1.0)
-            if obs is not None:
-                # repro: lint-ok[RPR002] record_downgrade fires only here, in
-                # apply_capacity_valve, which both engine loops call
-                obs.record_downgrade(
-                    minute, victim, frm.name, new_name, forced=True
-                )
+            emit_downgrade(
+                minute, victim, frm.name,
+                new.name if new is not None else None,
+                events, obs, forced=True,
+            )
         if new is None:
             alive_fids = alive_fids[alive_fids != victim]
     return n_forced
@@ -471,6 +501,8 @@ class Simulation:
                 "keepalive_mb", "per-minute committed keep-alive memory"
             ).summary()
         ckpt_counter = (
+            # repro: lint-ok[RPR002] fleet.py rejects checkpoint/resume at
+            # entry, so this instrument is structurally absent there
             met.counter("checkpoints_total", "engine checkpoints captured")
             if met is not None and checkpoint is not None
             else None

@@ -38,6 +38,22 @@ class TestReadmeQuickstart:
         exec(compile(snippet, "README.md", "exec"), namespace)  # noqa: S102
         assert namespace["result"].n_invocations > 0
 
+    def test_fleet_obs_snippet_runs(self, tmp_path, monkeypatch):
+        readme = (REPO_ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", readme, flags=re.S)
+        assert len(blocks) >= 3, "README lost its fleet observability block"
+        snippet = blocks[2]
+        assert "trace_sample" in snippet and "write_prometheus" in snippet
+        # Shrink the fleet and keep the exported files in tmp.
+        snippet = snippet.replace("n_functions=10_000", "n_functions=200")
+        snippet = snippet.replace("horizon_minutes=240", "horizon_minutes=60")
+        monkeypatch.chdir(tmp_path)
+        namespace: dict = {}
+        exec(compile(snippet, "README.md", "exec"), namespace)  # noqa: S102
+        assert namespace["obs"].shard_invocations.sum() > 0
+        assert (tmp_path / "fleet-run.jsonl").exists()
+        assert (tmp_path / "fleet-metrics.prom").exists()
+
     def test_readme_references_existing_files(self):
         readme = (REPO_ROOT / "README.md").read_text()
         for rel in re.findall(r"`(examples/[a-z_]+\.py)`", readme):

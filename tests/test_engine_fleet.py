@@ -275,13 +275,17 @@ class TestRejections:
                 checkpoint=CheckpointConfig(path=tmp_path / "c.ckpt"),
             )
 
-    def test_observe_rejected(self, small_trace, assignment):
+    def test_observe_accepted(self, small_trace, assignment):
+        # Observability is no longer rejected: the fleet engine carries
+        # a columnar FleetObsSession (full coverage in test_fleet_obs.py).
+        from repro.obs.fleet import FleetObsSession
+
         sim = Simulation(
             small_trace, assignment, PulsePolicy(),
             SimulationConfig(observe=True),
         )
-        with pytest.raises(ValueError, match="observability"):
-            sim.run(engine="fleet")
+        result = sim.run(engine="fleet")
+        assert isinstance(result.obs, FleetObsSession)
 
     @pytest.mark.parametrize("shards", [0, -1, 2.5])
     def test_bad_shard_counts(self, small_trace, assignment, shards):

@@ -1,0 +1,319 @@
+"""Fleet observability: bit-identity, shard invariance, sampled traces.
+
+The fleet engine's telemetry contract has three legs, all tested here:
+
+- **Obs-on is metric-preserving.** ``FleetObsSession`` only *reads*
+  columnar state — no RNG draws, no float-accumulation reorder — so a
+  fleet run with ``observe=True`` must be bit-identical to ``observe=None``
+  in every deterministic ``RunResult`` field and in the event stream,
+  for any shard count, including under capacity-valve pressure.
+- **Metric totals are shard-invariant.** The per-shard int64 partials
+  merge exactly, so ``shards=1`` and ``shards=k`` report the same
+  invocation/cold/plan/downgrade totals.
+- **Sampled decision traces answer why-queries.** A deterministic
+  sample of fids keeps full ``record_*`` streams (plans, colds,
+  ``Uv = Ai + Pr + Ip`` downgrade candidate tables) that flow through
+  the unchanged JSONL export into ``TraceIndex`` / ``repro inspect``.
+
+Also home to the streaming sinks (``StreamingTraceWriter``, Prometheus
+exposition) and the fleet section of the HTML report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.pulse import PulsePolicy
+from repro.obs.export import (
+    StreamingTraceWriter,
+    render_prometheus,
+    trace_records,
+    write_prometheus,
+    write_trace_jsonl,
+)
+from repro.obs.fleet import CANDIDATE_CAP, FleetObsSession
+from repro.obs.inspect import TraceIndex
+from repro.obs.report import render_run_report
+from repro.obs.session import ObservabilityConfig
+from repro.runtime.simulator import Simulation, SimulationConfig
+from tests.test_engine_fastpath import assert_identical
+
+SHARD_COUNTS = (1, 2, 7)
+
+
+def fleet_run(trace, assignment, cfg, shards):
+    return Simulation(trace, assignment, PulsePolicy(), cfg).run(
+        engine="fleet", shards=shards
+    )
+
+
+# ---------------------------------------------------------------------------
+# Leg 1: obs-on == obs-off, bit for bit
+# ---------------------------------------------------------------------------
+class TestObsBitIdentity:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_lean_config(self, small_trace, assignment, shards):
+        cfg = SimulationConfig(record_series=False, track_containers=False)
+        off = fleet_run(trace=small_trace, assignment=assignment,
+                        cfg=replace(cfg, observe=None), shards=shards)
+        on = fleet_run(trace=small_trace, assignment=assignment,
+                       cfg=replace(cfg, observe=True), shards=shards)
+        assert_identical(off, on)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_events_and_valve(self, small_trace, assignment, shards):
+        cfg = SimulationConfig(
+            record_events=True, memory_capacity_mb=4000.0, capacity_seed=11
+        )
+        off = fleet_run(small_trace, assignment, replace(cfg, observe=None),
+                        shards)
+        on = fleet_run(
+            small_trace, assignment,
+            replace(cfg, observe=ObservabilityConfig(trace_sample=12)),
+            shards,
+        )
+        assert_identical(off, on)  # includes the event stream
+
+    def test_summary_identical_modulo_wall_clock(self, small_trace, assignment):
+        cfg = SimulationConfig(record_series=False, track_containers=False)
+        off = fleet_run(small_trace, assignment, replace(cfg, observe=None), 4)
+        on = fleet_run(small_trace, assignment, replace(cfg, observe=True), 4)
+        s_off, s_on = off.summary(), on.summary()
+        s_off.pop("wall_clock_s"), s_on.pop("wall_clock_s")
+        assert s_off == s_on
+
+
+# ---------------------------------------------------------------------------
+# Leg 2: metric totals are shard-invariant
+# ---------------------------------------------------------------------------
+class TestShardInvariantMetrics:
+    @pytest.fixture(scope="class")
+    def sessions(self, small_trace):
+        from repro.experiments.assignments import sample_assignment
+        from repro.models.zoo import default_zoo
+
+        assignment = sample_assignment(
+            small_trace.n_functions, default_zoo(), seed=1
+        )
+        cfg = SimulationConfig(
+            observe=True, memory_capacity_mb=4000.0, capacity_seed=11
+        )
+        return {
+            s: fleet_run(small_trace, assignment, cfg, s).obs
+            for s in SHARD_COUNTS
+        }
+
+    def test_sessions_are_fleet(self, sessions):
+        assert all(
+            isinstance(o, FleetObsSession) for o in sessions.values()
+        )
+
+    def test_totals_match_single_shard(self, sessions):
+        base = sessions[1]
+        for s, obs in sessions.items():
+            assert obs.shard_invocations.sum() == base.shard_invocations.sum()
+            assert obs.shard_cold.sum() == base.shard_cold.sum()
+            np.testing.assert_array_equal(
+                obs.plan_level_counts, base.plan_level_counts
+            )
+            np.testing.assert_array_equal(
+                obs.downgrade_series, base.downgrade_series
+            )
+            np.testing.assert_array_equal(
+                obs.valve_series, base.valve_series
+            )
+            np.testing.assert_array_equal(obs.mem_series, base.mem_series)
+            assert obs.n_peaks == base.n_peaks
+
+    def test_per_shard_partials_cover_the_fleet(self, sessions):
+        # Each shard contributes, and the shard axis matches the run.
+        obs = sessions[7]
+        assert obs.shard_invocations.size == 7
+        assert (obs.shard_invocations > 0).all()
+
+    def test_totals_match_run_result(self, sessions, small_trace):
+        obs = sessions[2]
+        # shard_invocations tallies arrivals; mem series covers horizon.
+        assert obs.mem_series.size == small_trace.horizon
+
+    def test_span_tree_names_shards_and_reducer(self, sessions):
+        tree = sessions[2].spans.tree()
+        assert "shard-0" in tree and "shard-1" in tree
+        assert "observe" in tree["shard-0"]["children"]
+        assert "plan" in tree["shard-0"]["children"]
+        assert "reduce" in tree
+
+
+# ---------------------------------------------------------------------------
+# Leg 3: sampled decision traces + inspect why-queries
+# ---------------------------------------------------------------------------
+class TestSampledTraces:
+    @pytest.fixture(scope="class")
+    def sampled_result(self, small_trace):
+        from repro.experiments.assignments import sample_assignment
+        from repro.models.zoo import default_zoo
+
+        assignment = sample_assignment(
+            small_trace.n_functions, default_zoo(), seed=1
+        )
+        # Sample every fid so any downgrade is guaranteed to be sampled.
+        cfg = SimulationConfig(
+            observe=ObservabilityConfig(trace_sample=small_trace.n_functions)
+        )
+        return Simulation(small_trace, assignment, PulsePolicy(), cfg).run(
+            engine="fleet", shards=4
+        )
+
+    @pytest.fixture(scope="class")
+    def index(self, sampled_result, tmp_path_factory):
+        path = tmp_path_factory.mktemp("fleet-trace") / "run.jsonl"
+        write_trace_jsonl(sampled_result, path)
+        return TraceIndex.from_jsonl(path)
+
+    def test_sample_is_deterministic(self, small_trace):
+        a = FleetObsSession(
+            ObservabilityConfig(trace_sample=4),
+            n_functions=100, n_shards=2, horizon=10,
+        )
+        b = FleetObsSession(
+            ObservabilityConfig(trace_sample=4),
+            n_functions=100, n_shards=2, horizon=10,
+        )
+        np.testing.assert_array_equal(a.sample_fids, b.sample_fids)
+        assert a.sample_fids.size == 4
+        assert a.sample_mask.sum() == 4
+
+    def test_partial_sample_records_only_sampled_fids(self, small_trace):
+        from repro.experiments.assignments import sample_assignment
+        from repro.models.zoo import default_zoo
+
+        assignment = sample_assignment(
+            small_trace.n_functions, default_zoo(), seed=1
+        )
+        cfg = SimulationConfig(
+            observe=ObservabilityConfig(trace_sample=4)
+        )
+        result = Simulation(
+            small_trace, assignment, PulsePolicy(), cfg
+        ).run(engine="fleet", shards=4)
+        obs = result.obs
+        sampled = set(obs.sample_fids.tolist())
+        fids = {
+            r["fid"] for r in obs.records
+            if r["kind"] in ("plan", "cold") and "fid" in r
+        }
+        assert fids, "sampled run recorded no decisions"
+        assert fids <= sampled
+
+    def test_inspect_explains_why_downgraded(self, index):
+        scored = next(
+            (d for d in index.downgrades if d.get("candidates")), None
+        )
+        assert scored is not None, "fleet run produced no scored downgrade"
+        text = index.explain_downgrades(scored["fid"], scored["t"])
+        assert "via Algorithm 2" in text
+        assert "Uv" in text and "Ai" in text
+
+    def test_inspect_explains_cold(self, index):
+        fid, colds = next(iter(index._colds.items()))
+        text = index.explain_cold(fid, colds[0]["t"])
+        assert "cold" in text.lower()
+
+    def test_candidate_tables_match_reference(self, small_trace, index):
+        """Sampled fleet downgrade tables carry the same scores the
+        reference loop records (modulo the CANDIDATE_CAP truncation,
+        which cannot trigger at 12 functions)."""
+        from repro.experiments.assignments import sample_assignment
+        from repro.models.zoo import default_zoo
+
+        assignment = sample_assignment(
+            small_trace.n_functions, default_zoo(), seed=1
+        )
+        cfg = SimulationConfig(observe=True)
+        ref = Simulation(
+            small_trace, assignment, PulsePolicy(), cfg
+        ).run(engine="reference")
+        ref_tables = {
+            (d["t"], d["fid"]): d["candidates"]
+            for d in ref.obs.records
+            if d["kind"] == "downgrade" and d.get("candidates")
+        }
+        fleet_tables = {
+            (d["t"], d["fid"]): d["candidates"]
+            for d in index.downgrades
+            if d.get("candidates")
+        }
+        assert fleet_tables, "no fleet candidate tables recorded"
+        for key, table in fleet_tables.items():
+            assert key in ref_tables
+            assert len(table) <= CANDIDATE_CAP + 1
+
+
+# ---------------------------------------------------------------------------
+# Streaming sinks
+# ---------------------------------------------------------------------------
+class TestStreamingSinks:
+    @pytest.fixture(scope="class")
+    def observed(self, small_trace):
+        from repro.experiments.assignments import sample_assignment
+        from repro.models.zoo import default_zoo
+
+        assignment = sample_assignment(
+            small_trace.n_functions, default_zoo(), seed=1
+        )
+        cfg = SimulationConfig(
+            observe=ObservabilityConfig(trace_sample=8)
+        )
+        return Simulation(small_trace, assignment, PulsePolicy(), cfg).run(
+            engine="fleet", shards=2
+        )
+
+    def test_streaming_writer_matches_batch_export(self, observed, tmp_path):
+        batch = tmp_path / "batch.jsonl"
+        write_trace_jsonl(observed, batch)
+        streamed = tmp_path / "streamed.jsonl"
+        with StreamingTraceWriter(streamed, flush_every=7) as w:
+            for rec in observed.obs.records:
+                w.write(rec)
+            w.finalize(observed)
+        assert streamed.read_bytes() == batch.read_bytes()
+        assert not (tmp_path / "streamed.jsonl.part").exists()
+
+    def test_streaming_writer_crash_keeps_sidecar(self, observed, tmp_path):
+        target = tmp_path / "crash.jsonl"
+        w = StreamingTraceWriter(target, flush_every=1)
+        w.write({"kind": "plan", "t": 0})
+        w.close()  # crash path: no finalize
+        assert not target.exists()
+        assert (tmp_path / "crash.jsonl.part").exists()
+
+    def test_streaming_writer_rejects_bad_flush(self, tmp_path):
+        with pytest.raises(ValueError):
+            StreamingTraceWriter(tmp_path / "x.jsonl", flush_every=0)
+
+    def test_prometheus_exposition(self, observed):
+        text = render_prometheus(observed.obs)
+        assert text.endswith("\n")
+        assert "# TYPE invocations_total counter" in text
+        assert 'invocations_total{shard="0"}' in text
+        assert "# TYPE fleet_shards gauge" in text
+        # Histograms render as summary-style _count/_sum/_min/_max.
+        assert "_count" in text and "_sum" in text
+
+    def test_write_prometheus(self, observed, tmp_path):
+        path = tmp_path / "metrics.prom"
+        n = write_prometheus(observed.obs, path)
+        assert n == len(path.read_text().splitlines())
+
+    def test_html_report_has_fleet_section(self, observed):
+        html = render_run_report(observed)
+        assert "Fleet telemetry" in html
+        assert "shard" in html
+        assert "sampled decision traces" in html
+
+    def test_trace_records_roundtrip_fleet_session(self, observed):
+        kinds = {r.get("kind") for r in trace_records(observed)}
+        assert "metrics" in kinds and "spans" in kinds
