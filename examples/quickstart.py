@@ -27,7 +27,7 @@ def main() -> None:
     results = {}
     # Policies resolve by registry name (repro.list_policies() shows all).
     for name in ("openwhisk", "pulse"):
-        result = simulate(trace, assignment, name)
+        result = simulate(trace, assignment=assignment, policy=name)
         results[result.policy_name] = result
         rows.append(result.summary())
 

@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Serving-layer benchmark: sustained advance() throughput across many
+concurrent tenant sessions.
+
+Boots the stdlib HTTP transport (``repro.serve.app.make_server``) on an
+ephemeral loopback port, creates ``--sessions`` tenant sessions (each a
+``--n-functions``-function synthetic trace), then drives every session
+``--minutes`` minutes forward over HTTP from a pool of client threads —
+each ``POST .../advance`` steps one engine minute. The headline is
+sustained **minutes/sec across the whole fleet of sessions** (requests
+and engine minutes are 1:1).
+
+Two numbers are reported so the transport cost is visible:
+
+- ``http``    — full loopback round trips through ThreadingHTTPServer;
+- ``inproc``  — the same drive calling ``SessionManager.advance()``
+  directly, which bounds what a faster transport (FastAPI/uvicorn, unix
+  sockets) could recover.
+
+Merges a ``serving`` section into ``BENCH_perf.json`` (other sections
+untouched).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_serve.py             # 100 sessions
+    PYTHONPATH=src python scripts/bench_serve.py --quick     # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import threading
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.serve.app import SessionManager, make_server
+from repro.utils.atomicio import atomic_write_json
+
+SEED = 2024
+
+
+def make_spec(n_functions: int, horizon: int, seed: int) -> dict:
+    return {
+        "synthetic": {
+            "n_functions": n_functions,
+            "horizon_minutes": horizon,
+            "seed": seed,
+        },
+        "policy": "pulse",
+        "engine": "fast",
+        # Lean telemetry: decision records off keeps the payloads small
+        # and measures the stepping path, not JSON encoding of records.
+        "observe": False,
+    }
+
+
+def post_json(url: str, body: dict) -> dict:
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    # A connect can still be reset under a simultaneous-connect burst
+    # (urllib opens a fresh connection per request); retry briefly.
+    # Worst case a session advances one extra minute — harmless for a
+    # throughput measurement, and the horizon has slack for it.
+    for attempt in range(3):
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return json.loads(resp.read())
+        except ConnectionError:
+            if attempt == 2:
+                raise
+            time.sleep(0.05 * (attempt + 1))
+
+
+def drive_http(base_url: str, sids: list[str], minutes: int,
+               workers: int) -> float:
+    """Advance every session `minutes` minutes over HTTP; return seconds."""
+
+    def drive(sid: str) -> None:
+        url = f"{base_url}/v1/sessions/{sid}/advance"
+        for _ in range(minutes):
+            post_json(url, {})
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        for future in [pool.submit(drive, sid) for sid in sids]:
+            future.result()
+    return time.perf_counter() - start
+
+
+def drive_inproc(manager: SessionManager, sids: list[str], minutes: int,
+                 workers: int) -> float:
+    def drive(sid: str) -> None:
+        for _ in range(minutes):
+            manager.advance(sid, {})
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        for future in [pool.submit(drive, sid) for sid in sids]:
+            future.result()
+    return time.perf_counter() - start
+
+
+def bench(sessions: int, minutes: int, n_functions: int,
+          workers: int) -> dict:
+    horizon = 2 * minutes + 10  # room for both drives in one session set
+    server = make_server("127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base_url = f"http://{host}:{port}"
+    try:
+        create_start = time.perf_counter()
+        sids = [
+            post_json(
+                f"{base_url}/v1/sessions",
+                make_spec(n_functions, horizon, SEED + i),
+            )["id"]
+            for i in range(sessions)
+        ]
+        create_s = time.perf_counter() - create_start
+
+        # Warm each session one minute (JITs the stepping path, pays
+        # first-minute planning) before the timed windows.
+        drive_http(base_url, sids, 1, workers)
+
+        http_s = drive_http(base_url, sids, minutes, workers)
+        inproc_s = drive_inproc(server.manager, sids, minutes, workers)
+
+        total = sessions * minutes
+        return {
+            "sessions": sessions,
+            "minutes_per_session": minutes,
+            "n_functions": n_functions,
+            "client_workers": workers,
+            "engine": "fast",
+            "create_seconds": create_s,
+            "http": {
+                "seconds": http_s,
+                "minutes_per_s": total / http_s,
+                "advances_per_s": total / http_s,
+            },
+            "inproc": {
+                "seconds": inproc_s,
+                "minutes_per_s": total / inproc_s,
+                "advances_per_s": total / inproc_s,
+            },
+        }
+    finally:
+        server.manager.close_all()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, default=100,
+                        help="concurrent tenant sessions (default 100)")
+    parser.add_argument("--minutes", type=int, default=60,
+                        help="minutes advanced per session (default 60)")
+    parser.add_argument("--n-functions", type=int, default=12)
+    parser.add_argument("--workers", type=int, default=16,
+                        help="client threads driving the advances")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 24 sessions x 12 minutes")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).parent.parent
+                        / "BENCH_perf.json")
+    parser.add_argument(
+        "--gate-minutes-per-s", type=float, default=None,
+        help="fail if sustained HTTP minutes/sec falls below this",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.sessions, args.minutes = 24, 12
+
+    print(
+        f"serving bench: {args.sessions} sessions x {args.minutes} minutes "
+        f"({args.n_functions} functions each, {args.workers} client threads)"
+    )
+    result = bench(args.sessions, args.minutes, args.n_functions,
+                   args.workers)
+    result["platform"] = platform.platform()
+    result["python"] = platform.python_version()
+
+    for mode in ("http", "inproc"):
+        rate = result[mode]["minutes_per_s"]
+        print(f"  {mode:7s} {rate:10.1f} minutes/s "
+              f"({result[mode]['seconds']:.2f} s)")
+
+    if args.out.exists():
+        doc = json.loads(args.out.read_text())
+    else:
+        doc = {}
+    doc["serving"] = result
+    atomic_write_json(args.out, doc, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+
+    if args.gate_minutes_per_s is not None:
+        rate = result["http"]["minutes_per_s"]
+        if rate < args.gate_minutes_per_s:
+            print(
+                f"GATE FAIL: sustained {rate:.1f} minutes/s < "
+                f"{args.gate_minutes_per_s:.1f}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"gate ok: {rate:.1f} >= {args.gate_minutes_per_s:.1f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

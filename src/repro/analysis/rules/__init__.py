@@ -10,6 +10,7 @@ reference them. Add new rules with fresh ids; never renumber.
 from repro.analysis.rules.deprecation import DeprecationHygieneRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.exception_hygiene import ExceptionHygieneRule
+from repro.analysis.rules.facade import FacadeSignatureRule
 from repro.analysis.rules.parity import EngineParityRule
 from repro.analysis.rules.policy_contract import PolicyContractRule
 from repro.analysis.rules.spec_strings import SpecStringRule
@@ -19,6 +20,7 @@ __all__ = [
     "DeterminismRule",
     "EngineParityRule",
     "ExceptionHygieneRule",
+    "FacadeSignatureRule",
     "PolicyContractRule",
     "SpecStringRule",
 ]

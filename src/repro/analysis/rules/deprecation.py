@@ -1,18 +1,24 @@
 """RPR004 — deprecation hygiene: repro internals must not call their own
-shims.
+shims, and every shim must schedule its own removal.
 
 The deprecation shims exist so *external* callers keep working for one
-release: ``SimulationConfig(fast=True)`` (superseded by the ``engine``
-argument of ``Simulation.run`` / ``repro.api.simulate``) and the
-pre-registry CLI surface (``repro.cli._POLICIES`` /
-``_LONG_WINDOW_POLICIES`` / ``_parse_fid_minute``). The test suite
-already errors on repro-internal ``DeprecationWarning``s at runtime —
-but only on the paths a test happens to execute. This rule closes the
-gap at lint time: any repro-internal reference to a shim is an error,
-regardless of test coverage. (The modules *implementing* a shim
-necessarily mention the underlying field/name; those sites read
-attributes rather than calling the deprecated constructors, so they do
-not trip the rule.)
+release: historically ``SimulationConfig(fast=True)`` (superseded by the
+``engine`` argument of ``Simulation.run`` / ``repro.api.simulate``) and
+the pre-registry CLI surface (``repro.cli._POLICIES`` /
+``_LONG_WINDOW_POLICIES`` / ``_parse_fid_minute``) — both now removed
+(they raise). The test suite already errors on repro-internal
+``DeprecationWarning``s at runtime — but only on the paths a test
+happens to execute. This rule closes the gap at lint time:
+
+- any repro-internal reference to a shim is an error, regardless of
+  test coverage (the modules *implementing* a shim necessarily mention
+  the underlying field/name; those sites read attributes rather than
+  calling the deprecated constructors, so they do not trip the rule);
+- any **new** shim — a ``warnings.warn(..., DeprecationWarning)`` —
+  must carry a removal note: the warning message or an adjacent comment
+  must say when/what removes it (contain "remov…", e.g. "removed after
+  the next release"). A shim without a scheduled removal is how
+  deprecation cycles stall.
 """
 
 from __future__ import annotations
@@ -35,6 +41,30 @@ __all__ = ["DeprecationHygieneRule"]
 SHIMMED_CLI_NAMES = frozenset(
     {"_POLICIES", "_LONG_WINDOW_POLICIES", "_parse_fid_minute"}
 )
+
+
+def _is_deprecation_warn(node: ast.Call) -> bool:
+    """Is this call a ``warnings.warn(..., DeprecationWarning)``?"""
+    refs = list(node.args) + [k.value for k in node.keywords]
+    return any(
+        isinstance(ref, ast.Name) and ref.id.endswith("DeprecationWarning")
+        for ref in refs
+    )
+
+
+def _has_removal_note(module: SourceModule, node: ast.Call) -> bool:
+    """True when the shim schedules its removal: the message or nearby
+    source (two lines of leading comment through the call's end)
+    mentions removal."""
+    for arg in ast.walk(node):
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if "remov" in arg.value.lower():
+                return True
+    lines = module.source.splitlines()
+    start = max(node.lineno - 3, 0)
+    stop = node.end_lineno if node.end_lineno is not None else node.lineno
+    window = "\n".join(lines[start:stop]).lower()
+    return "remov" in window
 
 
 @register_rule
@@ -73,6 +103,16 @@ class DeprecationHygieneRule(Rule):
                                 "Simulation.run(engine=...) or "
                                 "repro.api.simulate(..., engine=...)",
                             )
+                elif name == "warn" and _is_deprecation_warn(node):
+                    if not _has_removal_note(module, node):
+                        yield self.finding(
+                            module,
+                            node,
+                            "deprecation shim without a removal note: the "
+                            "warning message (or an adjacent comment) must "
+                            "say when the shim is removed — open-ended "
+                            "deprecations stall the cycle",
+                        )
             elif isinstance(node, ast.ImportFrom):
                 if node.module and node.module.split(".")[-1] == "cli":
                     for item in node.names:

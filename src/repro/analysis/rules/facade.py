@@ -1,0 +1,79 @@
+"""RPR007 — public facade signatures are keyword-only past the first
+argument.
+
+The facade modules (``repro/api.py`` and everything under
+``repro/serve/``) are the repo's outward API: call sites in user code,
+docs and notebooks. A positional parameter there is load-bearing
+forever — reordering or inserting one silently rebinds every caller.
+Keyword-only signatures (``def simulate(trace, *, assignment, policy,
+...)``) keep those call sites greppable and reorder-safe, so this rule
+requires every *module-level public function* in a facade module to
+take at most one positional parameter.
+
+Scope is deliberately narrow: private helpers (leading underscore),
+methods, and nested functions are exempt — the contract is about the
+importable surface, not internals. A signature that genuinely wants
+more positional slots can carry a reasoned waiver::
+
+    def pairwise(left, right):  # repro: lint-ok[RPR007] symmetric args
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.engine import (
+    Finding,
+    Rule,
+    Severity,
+    SourceModule,
+    register_rule,
+)
+
+__all__ = ["FacadeSignatureRule"]
+
+
+def _is_facade_module(module: SourceModule) -> bool:
+    path = module.path
+    if path.name == "api.py" and path.parent.name == "repro":
+        return True
+    return path.parent.name == "serve" and path.parent.parent.name == "repro"
+
+
+@register_rule
+class FacadeSignatureRule(Rule):
+    """Public facade functions take at most one positional parameter."""
+
+    id = "RPR007"
+    severity = Severity.ERROR
+    summary = (
+        "public functions in facade modules (repro/api.py, repro/serve/) "
+        "must be keyword-only past the first parameter"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if not _is_facade_module(module):
+            return []
+        return list(self._check(module))
+
+    def _check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in module.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            n_positional = len(node.args.posonlyargs) + len(node.args.args)
+            if n_positional > 1:
+                names = [
+                    a.arg
+                    for a in (*node.args.posonlyargs, *node.args.args)
+                ][1:]
+                yield self.finding(
+                    module,
+                    node,
+                    f"facade function {node.name}() takes "
+                    f"{n_positional} positional parameters; make "
+                    f"{', '.join(names)} keyword-only (add a bare * "
+                    "after the first parameter)",
+                )

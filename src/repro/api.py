@@ -210,10 +210,10 @@ del _spec
 # -- the simulate facade ----------------------------------------------------
 def simulate(
     trace: Trace,
+    *,
     assignment: dict[int, ModelFamily],
     policy: KeepAlivePolicy | str,
     config: SimulationConfig | None = None,
-    *,
     engine: str = "auto",
     shards: int = 1,
     faults: FaultPlan | str | None = None,
@@ -254,6 +254,16 @@ def simulate(
 
     Both engines produce bit-identical metrics (fault-free and under any
     fixed fault plan), so ``engine`` is purely a speed knob.
+
+    All arguments past ``trace`` are keyword-only (the whole ``repro.api``
+    facade is — RPR007 — so call sites stay greppable and reorderable).
+
+    Plain runs (no ``checkpoint``/``resume_from``) execute as a full
+    replay of a :class:`repro.serve.session.ControlSession` — the same
+    stepping code path the incremental ``advance()`` API drives, so the
+    batch facade and the serving layer cannot diverge. Checkpointed and
+    resumed runs go through :meth:`Simulation.run`, which owns the
+    engine checkpoint cadence.
     """
     cfg = config if config is not None else SimulationConfig()
     if isinstance(policy, str):
@@ -269,6 +279,11 @@ def simulate(
         cfg = replace(cfg, observe=observe)
     if isinstance(checkpoint, (str, Path)):
         checkpoint = CheckpointConfig(path=checkpoint)
+    if checkpoint is None and resume_from is None:
+        from repro.serve.session import ControlSession
+
+        sim = Simulation(trace, assignment, policy, cfg)
+        return ControlSession(sim, engine=engine, shards=shards).replay()
     return Simulation(trace, assignment, policy, cfg).run(
         engine=engine,
         shards=shards,
@@ -279,9 +294,9 @@ def simulate(
 
 def run_sweep(
     trace: Trace,
+    *,
     policies: list[str],
     config=None,
-    *,
     durable: bool = False,
     out_dir: str | Path | None = None,
     resume: str | Path | None = None,

@@ -19,14 +19,17 @@ Commands
 
 Policy names resolve through :mod:`repro.api`'s registry; the historical
 module-level ``_POLICIES`` / ``_LONG_WINDOW_POLICIES`` /
-``_parse_fid_minute`` survive as deprecation shims only.
+``_parse_fid_minute`` are gone (their deprecation cycle ended —
+accessing them raises :class:`AttributeError` naming the replacement).
+
+There is also a ``serve`` command — the async control-plane service over
+:mod:`repro.serve` sessions.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import warnings
 from pathlib import Path
 
 import numpy as np
@@ -62,6 +65,7 @@ from repro.traces.schema import Trace
 from repro.utils.atomicio import atomic_write_text
 from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
 from repro.utils.specs import (
+    ENGINES,
     parse_choice_list,
     parse_fid_minute,
     parse_float_list,
@@ -72,38 +76,22 @@ from repro.utils.specs import (
 
 __all__ = ["main"]
 
-_ENGINES = ("auto", "reference", "fast", "fleet")
+#: Removed pre-registry module attributes -> the replacement to name in
+#: the error. The deprecation cycle (PR-3 shims: warn, then raise) is
+#: complete; the table keeps the pointer messages one release longer.
+_REMOVED_ATTRS = {
+    "_POLICIES": "repro.api.list_policies() / repro.api.make_policy()",
+    "_LONG_WINDOW_POLICIES": "repro.api.policy_spec(name).keep_alive_window",
+    "_parse_fid_minute": "repro.utils.specs.parse_fid_minute",
+}
 
 
 def __getattr__(name: str):
-    # Deprecation shims for the pre-registry module surface. Real callers
-    # should use repro.api; these keep old imports working with a warning.
-    if name == "_POLICIES":
-        warnings.warn(
-            "repro.cli._POLICIES is deprecated; use repro.api.list_policies()"
-            " and repro.api.make_policy() instead",
-            DeprecationWarning,
-            stacklevel=2,
+    if name in _REMOVED_ATTRS:
+        raise AttributeError(
+            f"repro.cli.{name} was removed at the end of its deprecation "
+            f"cycle; use {_REMOVED_ATTRS[name]} instead"
         )
-        return {n: policy_spec(n).factory for n in list_policies()}
-    if name == "_LONG_WINDOW_POLICIES":
-        warnings.warn(
-            "repro.cli._LONG_WINDOW_POLICIES is deprecated; use "
-            "repro.api.policy_spec(name).keep_alive_window instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return {
-            n for n in list_policies() if policy_spec(n).keep_alive_window > 10
-        }
-    if name == "_parse_fid_minute":
-        warnings.warn(
-            "repro.cli._parse_fid_minute is deprecated; use "
-            "repro.utils.specs.parse_fid_minute instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return parse_fid_minute
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -160,7 +148,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
         policy = make_policy(name, resilient=args.resilient)
         result = simulate(
-            trace, assignment, policy, sim,
+            trace, assignment=assignment, policy=policy, config=sim,
             engine=args.engine, shards=args.shards, faults=args.faults,
         )
         row = result.summary()
@@ -506,7 +494,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     try:
         result = run_sweep(
-            trace, policies, config,
+            trace, policies=policies, config=config,
             durable=True,
             out_dir=out_dir,
             resume=str(manifest.path) if manifest is not None else None,
@@ -565,6 +553,13 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.app import serve
+
+    serve(args.host, port=args.port)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -607,7 +602,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "deterministic sample of N function ids "
                             "(fleet engine; loop engines always record "
                             "every function; implies --observe)")
-    p_sim.add_argument("--engine", choices=_ENGINES, default="auto",
+    p_sim.add_argument("--engine", choices=ENGINES, default="auto",
                        help="simulation engine (all are metric-identical)")
     p_sim.add_argument("--shards", type=int, default=1,
                        help="fleet-engine shard count (engine=fleet only; "
@@ -703,7 +698,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--pressure-mb", type=float, default=None,
                        help="also inject memory-pressure spikes capped at "
                             "this many MB")
-    p_res.add_argument("--engine", choices=_ENGINES, default="auto")
+    p_res.add_argument("--engine", choices=ENGINES, default="auto")
     p_res.add_argument("--shards", type=int, default=1,
                        help="fleet-engine shard count (engine=fleet only)")
     p_res.set_defaults(func=_cmd_resilience)
@@ -738,7 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="sampled assignments per policy")
     p_sweep.add_argument("--jobs", type=int, default=2,
                          help="concurrent worker processes")
-    p_sweep.add_argument("--engine", choices=_ENGINES, default="auto")
+    p_sweep.add_argument("--engine", choices=ENGINES, default="auto")
     p_sweep.add_argument("--shards", type=int, default=1,
                          help="fleet-engine shard count (engine=fleet only)")
     p_sweep.add_argument("--timeout", type=float, default=None,
@@ -777,6 +772,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("output", metavar="DIR", help="directory for the SVGs")
     p_fig.add_argument("--runs", type=int, default=3)
     p_fig.set_defaults(func=_cmd_figures)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the HTTP control plane over repro.serve sessions",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (loopback by default — "
+                              "snapshots travel as pickles)")
+    p_serve.add_argument("--port", type=int, default=8750)
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -27,6 +27,7 @@ from repro.runtime.simulator import Simulation, SimulationConfig
 from repro.traces.schema import MINUTES_PER_DAY, Trace
 from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
 from repro.experiments.assignments import sample_assignments
+from repro.utils.specs import parse_engine
 from repro.utils.validation import check_positive_int
 
 __all__ = [
@@ -112,11 +113,12 @@ class ExperimentConfig:
         check_positive_int("n_runs", self.n_runs)
         check_positive_int("horizon_minutes", self.horizon_minutes)
         check_positive_int("n_jobs", self.n_jobs)
-        if self.engine not in ("auto", "reference", "fast", "fleet"):
-            raise ValueError(
-                f"engine must be 'auto', 'reference', 'fast' or 'fleet', "
-                f"got {self.engine!r}"
-            )
+        # One engine vocabulary everywhere (CLI, api facade, sessions):
+        # canonicalize through the shared parser, keeping the frozen
+        # field normalized for the durable layer's config hashing.
+        object.__setattr__(
+            self, "engine", parse_engine(self.engine, flag="engine")
+        )
         check_positive_int("shards", self.shards)
         if self.shards != 1 and self.engine != "fleet":
             raise ValueError(

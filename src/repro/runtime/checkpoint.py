@@ -57,7 +57,12 @@ __all__ = ["CHECKPOINT_SCHEMA_VERSION", "CheckpointConfig", "SimulationState"]
 
 #: Bumped whenever the snapshot layout changes incompatibly; load()
 #: refuses mismatched versions instead of resuming garbage.
-CHECKPOINT_SCHEMA_VERSION = 1
+#: v2: the fast loop's payload gained an incremental ``n_invocations``
+#: accumulator (the stepper refactor serves minutes one at a time, so
+#: the total can no longer be recomputed as a whole-trace sum at the
+#: end), and ``repro.serve`` session snapshots (``engine="session:*"``)
+#: joined the format.
+CHECKPOINT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)

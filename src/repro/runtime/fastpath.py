@@ -8,27 +8,38 @@ idle overhead: the schedule can only change at minutes with invocations
 (plans), during a policy review that actually flattens a peak, or under
 the capacity pressure valve.
 
-This module exploits that. ``run_fast``:
+This module exploits that. The engine is split in two:
 
-- extracts the *event minutes* (minutes with >= 1 invocation) from the
-  trace once, as flat numpy arrays, instead of scanning every minute;
-- serves/plans only at event minutes, reading the schedule's entry maps
-  directly;
-- accounts the idle spans between events analytically from the schedule's
-  incremental per-minute memory ledger (``KeepAliveSchedule.memory_slice``)
-  — the ledger between two events is already fully determined by the
-  plans installed at or before the earlier event;
-- keeps per-minute work only where semantics demand it: the container
-  pool charges warm minutes each minute, policies with a review stage
-  (PULSE, MILP) feed their peak detector each minute via the O(1)
-  :meth:`~repro.runtime.policy.KeepAlivePolicy.idle_review` hook (falling
-  back to the full review exactly on peak minutes), and the capacity
-  valve checks the ledger each minute (O(1) per check);
-- never prunes the schedule mid-run: the reference loop pays an
-  ``advance()`` per minute to forget past entries, but the fast loop's
-  reads are all keyed by exact minute, so stale entries are simply left
-  in place (memory stays bounded by the total number of planned entries,
-  ~invocations x window).
+- :class:`FastStepper` owns the run state and the per-minute semantics:
+  :meth:`~FastStepper.serve_minute` serves/plans one event minute reading
+  the schedule's entry maps directly, :meth:`~FastStepper.idle_span`
+  accounts a run of idle minutes analytically from the schedule's
+  incremental per-minute memory ledger
+  (``KeepAliveSchedule.memory_slice``) — the ledger between two events is
+  already fully determined by the plans installed at or before the
+  earlier event;
+- :func:`run_fast` is the batch driver: it extracts the *event minutes*
+  (minutes with >= 1 invocation) from the trace once, as flat numpy
+  arrays, and feeds the stepper group by group, deferring each idle span
+  until the next event (or end of trace) so spans are accounted in bulk.
+
+Incremental sessions (:mod:`repro.serve.session`) drive the same stepper
+one minute at a time via :meth:`~FastStepper.advance_minute`. Eager
+per-minute idle accounting and the driver's bulk accounting perform the
+same float operations in the same order (the bulk path is itself an
+in-order per-minute walk of the ledger slice), so a stepped replay stays
+bit-identical to the batch run.
+
+Per-minute work survives only where semantics demand it: the container
+pool charges warm minutes each minute, policies with a review stage
+(PULSE, MILP) feed their peak detector each minute via the O(1)
+:meth:`~repro.runtime.policy.KeepAlivePolicy.idle_review` hook (falling
+back to the full review exactly on peak minutes), and the capacity
+valve checks the ledger each minute (O(1) per check). The schedule is
+never pruned mid-run: the reference loop pays an ``advance()`` per
+minute to forget past entries, but the fast loop's reads are all keyed
+by exact minute, so stale entries are simply left in place (memory stays
+bounded by the total number of planned entries, ~invocations x window).
 
 Metric equivalence with the reference loop is bit-exact — the floating
 point accumulations happen in the same order over the same values — and
@@ -56,7 +67,7 @@ from repro.runtime.schedule import KeepAliveSchedule
 from repro.runtime.simulator import apply_capacity_valve, collect_resilience
 from repro.utils.rng import rng_from_seed
 
-__all__ = ["run_fast"]
+__all__ = ["FastStepper", "run_fast"]
 
 
 def _policy_has_review(policy: KeepAlivePolicy) -> bool:
@@ -65,204 +76,269 @@ def _policy_has_review(policy: KeepAlivePolicy) -> bool:
     return type(policy).review_minute is not KeepAlivePolicy.review_minute
 
 
-def run_fast(
-    sim,
-    checkpoint: CheckpointConfig | None = None,
-    resume_from: SimulationState | None = None,
-) -> RunResult:
-    """Execute ``sim`` (a :class:`~repro.runtime.simulator.Simulation`)
-    through the event-driven loop. Same contract as the reference loop,
-    including checkpoint/resume (snapshots land at the first event group
-    of each cadence bucket — the fast loop never visits idle minutes)."""
-    trace, cfg = sim.trace, sim.config
-    horizon = trace.horizon
-    n_fn = trace.n_functions
-    counts = trace.counts
+class FastStepper:
+    """The fast engine's run state, steppable one minute at a time.
 
-    if resume_from is None:
-        policy = sim.policy
-        events = EventLog() if cfg.record_events else None
-        obs = ObsSession(cfg.observe) if cfg.observe is not None else None
-        if obs is not None or events is not None:
-            # Before bind, so on_bind can wire policy sub-components.
-            policy.attach_observability(obs, events)
-        policy.bind(trace, sim.assignment, cfg.keep_alive_window)
-        schedule = KeepAliveSchedule(
-            n_fn, cfg.keep_alive_window, horizon_hint=horizon
-        )
-        pool = (
-            ContainerPool(events)
-            if (cfg.track_containers or cfg.record_events)
-            else None
-        )
-        service_time = 0.0
-        accuracy_sum = 0.0
-        n_warm = 0
-        n_cold = 0
-        total_mb_minutes = 0.0
-        mem_series = np.zeros(horizon) if cfg.record_series else None
-        ideal_series = np.zeros(horizon) if cfg.record_series else None
-        capacity_rng = rng_from_seed(cfg.capacity_seed)
-        n_forced = 0
-        injector = (
-            FaultInjector(cfg.faults, horizon)
-            if cfg.faults is not None and cfg.faults.injects_runtime
-            else None
-        )
-        n_checkpoints = 0
-    else:
-        if resume_from.engine != "fast":
-            raise ValueError(
-                f"fast loop cannot resume a {resume_from.engine!r} checkpoint"
+    Constructed fresh (``live=None``: binds the policy, allocates run
+    state) or from a restored checkpoint payload (``live=`` the dict from
+    :meth:`SimulationState.restore` plus the checkpoint cursor's
+    ``prev_t``). Telemetry handles are re-derived from the (possibly
+    restored) obs session — the metrics registry hands back the same
+    counter for the same name, so a resumed run keeps accumulating where
+    the snapshot left off.
+
+    ``prev_t`` is the last minute fully accounted (idle or served);
+    :attr:`next_minute` == ``prev_t + 1``. The batch driver
+    (:func:`run_fast`) jumps event minute to event minute and back-fills
+    idle spans in bulk; sessions call :meth:`advance_minute` for every
+    minute in order. Both produce the same accumulations in the same
+    order.
+    """
+
+    engine = "fast"
+
+    def __init__(self, sim, *, live: dict | None = None, prev_t: int = -1):
+        trace, cfg = sim.trace, sim.config
+        self.sim = sim
+        self.cfg = cfg
+        self.horizon = trace.horizon
+        self.n_fn = n_fn = trace.n_functions
+
+        if live is None:
+            policy = sim.policy
+            self.events = EventLog() if cfg.record_events else None
+            self.obs = (
+                ObsSession(cfg.observe) if cfg.observe is not None else None
             )
-        # Single-payload restore (see runtime.checkpoint): shared object
-        # identities survive, and attach_observability/bind are NOT
-        # re-run — the restored policy already carries its bound state.
-        live = resume_from.restore()
-        policy = live["policy"]
-        events = live["events"]
-        obs = live["obs"]
-        schedule = live["schedule"]
-        pool = live["pool"]
-        service_time = live["service_time"]
-        accuracy_sum = live["accuracy_sum"]
-        n_warm = live["n_warm"]
-        n_cold = live["n_cold"]
-        total_mb_minutes = live["total_mb_minutes"]
-        mem_series = live["mem_series"]
-        ideal_series = live["ideal_series"]
-        capacity_rng = live["capacity_rng"]
-        n_forced = live["n_forced"]
-        injector = live["injector"]
-        n_checkpoints = live["n_checkpoints"]
+            if self.obs is not None or self.events is not None:
+                # Before bind, so on_bind can wire policy sub-components.
+                policy.attach_observability(self.obs, self.events)
+            policy.bind(trace, sim.assignment, cfg.keep_alive_window)
+            self.policy = policy
+            self.schedule = KeepAliveSchedule(
+                n_fn, cfg.keep_alive_window, horizon_hint=self.horizon
+            )
+            self.pool = (
+                ContainerPool(self.events)
+                if (cfg.track_containers or cfg.record_events)
+                else None
+            )
+            self.service_time = 0.0
+            self.accuracy_sum = 0.0
+            self.n_invocations = 0
+            self.n_warm = 0
+            self.n_cold = 0
+            self.total_mb_minutes = 0.0
+            self.mem_series = (
+                np.zeros(self.horizon) if cfg.record_series else None
+            )
+            self.ideal_series = (
+                np.zeros(self.horizon) if cfg.record_series else None
+            )
+            self.capacity_rng = rng_from_seed(cfg.capacity_seed)
+            self.n_forced = 0
+            self.injector = (
+                FaultInjector(cfg.faults, self.horizon)
+                if cfg.faults is not None and cfg.faults.injects_runtime
+                else None
+            )
+            self.n_checkpoints = 0
+        else:
+            # Single-payload restore (see runtime.checkpoint): shared
+            # object identities survive, and attach_observability/bind
+            # are NOT re-run — the restored policy already carries its
+            # bound state.
+            self.policy = live["policy"]
+            self.events = live["events"]
+            self.obs = live["obs"]
+            self.schedule = live["schedule"]
+            self.pool = live["pool"]
+            self.service_time = live["service_time"]
+            self.accuracy_sum = live["accuracy_sum"]
+            self.n_invocations = live["n_invocations"]
+            self.n_warm = live["n_warm"]
+            self.n_cold = live["n_cold"]
+            self.total_mb_minutes = live["total_mb_minutes"]
+            self.mem_series = live["mem_series"]
+            self.ideal_series = live["ideal_series"]
+            self.capacity_rng = live["capacity_rng"]
+            self.n_forced = live["n_forced"]
+            self.injector = live["injector"]
+            self.n_checkpoints = live["n_checkpoints"]
 
-    # Hot-loop telemetry handles (each None when its layer is off); the
-    # instrumentation mirrors the reference loop exactly — same counters,
-    # same record points — so traces are engine-independent. On resume the
-    # registry hands back the restored counters by name, so accumulation
-    # continues where the snapshot left off.
-    rec = obs if obs is not None and obs.decisions_enabled else None
-    met = obs.metrics if obs is not None and obs.metrics_enabled else None
-    spans = obs.spans if obs is not None and obs.spans_enabled else None
-    if met is not None:
-        _inv = met.counter("invocations_total", "invocations served")
-        _cold = met.counter("cold_starts_total", "user-visible cold starts")
-        inv_counters = [_inv.labels(function=f) for f in range(n_fn)]
-        cold_counters = [_cold.labels(function=f) for f in range(n_fn)]
-        warm_counter = met.counter(
-            "warm_starts_total", "invocations served warm"
-        ).labels()
-        mem_metric = met.histogram(
-            "keepalive_mb", "per-minute committed keep-alive memory"
+        # Hot-loop telemetry handles (each None when its layer is off);
+        # the instrumentation mirrors the reference loop exactly — same
+        # counters, same record points — so traces are engine-independent.
+        obs = self.obs
+        self.rec = rec = (
+            obs if obs is not None and obs.decisions_enabled else None
         )
-        mem_hist = mem_metric.summary()
-    ckpt_counter = (
-        # repro: lint-ok[RPR002] fleet.py rejects checkpoint/resume at
-        # entry, so this instrument is structurally absent there
-        met.counter("checkpoints_total", "engine checkpoints captured")
-        if met is not None and checkpoint is not None
-        else None
-    )
-    if resume_from is None:
-        last_arrival: list[int | None] = [None] * n_fn if rec is not None else []
-    else:
-        last_arrival = live["last_arrival"]
+        self.met = met = (
+            obs.metrics if obs is not None and obs.metrics_enabled else None
+        )
+        self.spans = (
+            obs.spans if obs is not None and obs.spans_enabled else None
+        )
+        if met is not None:
+            _inv = met.counter("invocations_total", "invocations served")
+            _cold = met.counter("cold_starts_total", "user-visible cold starts")
+            self.inv_counters = [_inv.labels(function=f) for f in range(n_fn)]
+            self.cold_counters = [_cold.labels(function=f) for f in range(n_fn)]
+            self.warm_counter = met.counter(
+                "warm_starts_total", "invocations served warm"
+            ).labels()
+            self.mem_metric = met.histogram(
+                "keepalive_mb", "per-minute committed keep-alive memory"
+            )
+            self.mem_hist = self.mem_metric.summary()
+        else:
+            self.inv_counters = self.cold_counters = None
+            self.warm_counter = self.mem_metric = self.mem_hist = None
+        if live is None:
+            self.last_arrival: list[int | None] = (
+                [None] * n_fn if rec is not None else []
+            )
+        else:
+            self.last_arrival = live["last_arrival"]
 
-    highest_mb = np.array(
-        [sim.assignment[fid].highest.memory_mb for fid in range(n_fn)]
-    )
+        self.highest_mb = np.array(
+            [sim.assignment[fid].highest.memory_mb for fid in range(n_fn)]
+        )
+        self.assignment = sim.assignment
+        self.capacity = cfg.memory_capacity_mb
+        self.has_review = _policy_has_review(self.policy)
+        has_pressure = (
+            self.injector is not None
+            and self.injector.pressure_minutes is not None
+        )
+        # The valve must check the ledger every minute when a standing
+        # cap or a fault plan's transient pressure spikes are configured.
+        self.valve_on = self.capacity is not None or has_pressure
+        self.entries = self.schedule._entries  # direct read on the hot path
+        self.has_observe = (
+            type(self.policy).observe_invocation
+            is not KeepAlivePolicy.observe_invocation
+        )
+        # The bulk idle-span accounting is valid only when nothing can
+        # touch the schedule or need per-minute callbacks between events.
+        self.per_minute_idle = (
+            self.pool is not None
+            or self.has_review
+            or self.valve_on
+            or self.events is not None
+        )
+        # In the same configuration, the event-minute commit collapses to
+        # a single ledger read.
+        self.simple_commit = not self.per_minute_idle
+        self.prev_t = prev_t
+        self._result: RunResult | None = None
 
-    capacity = cfg.memory_capacity_mb
-    has_review = _policy_has_review(policy)
-    has_pressure = injector is not None and injector.pressure_minutes is not None
-    # The valve must check the ledger every minute when a standing cap or
-    # a fault plan's transient pressure spikes are configured.
-    valve_on = capacity is not None or has_pressure
+    @property
+    def next_minute(self) -> int:
+        """The first minute not yet accounted."""
+        return self.prev_t + 1
 
-    # Sparse event extraction: (minute, fid, count) triples in minute-major,
-    # fid-ascending order — the exact order the reference loop serves in.
-    # Groups (one per event minute) are delimited up front so the serving
-    # loop never re-tests the minute column.
-    ev_t_arr, ev_fid_arr = np.nonzero(counts.T)
-    ev_fid = ev_fid_arr.tolist()
-    ev_count = counts.T[ev_t_arr, ev_fid_arr].tolist()
-    n_events = len(ev_fid)
-    group_ends = np.append(np.flatnonzero(np.diff(ev_t_arr)) + 1, n_events).tolist()
-    group_minutes = (
-        ev_t_arr[np.append(0, group_ends[:-1])].tolist() if n_events else []
-    )
+    def live_state(self) -> dict:
+        """The loop's live objects, in the checkpoint-payload shape.
 
-    entries = schedule._entries  # direct read access on the hot path
-    assignment = sim.assignment
-    observe_invocation = policy.observe_invocation
-    has_observe = (
-        type(policy).observe_invocation is not KeepAlivePolicy.observe_invocation
-    )
-    plan_fn = policy.plan
-    set_plan = schedule.set_plan
-    memory_at = schedule.memory_at
-    # The bulk idle-span accounting below is valid only when nothing can
-    # touch the schedule or need per-minute callbacks between events.
-    per_minute_idle = (
-        pool is not None or has_review or valve_on or events is not None
-    )
-    # In the same configuration, the event-minute commit collapses to a
-    # single ledger read.
-    simple_commit = not per_minute_idle
+        One dict → one pickle: shared identities (policy plan cache <->
+        schedule, events <-> pool) survive the round trip intact.
+        """
+        return {
+            "policy": self.policy,
+            "events": self.events,
+            "obs": self.obs,
+            "schedule": self.schedule,
+            "pool": self.pool,
+            "service_time": self.service_time,
+            "accuracy_sum": self.accuracy_sum,
+            "n_invocations": self.n_invocations,
+            "n_warm": self.n_warm,
+            "n_cold": self.n_cold,
+            "total_mb_minutes": self.total_mb_minutes,
+            "mem_series": self.mem_series,
+            "ideal_series": self.ideal_series,
+            "capacity_rng": self.capacity_rng,
+            "n_forced": self.n_forced,
+            "injector": self.injector,
+            "n_checkpoints": self.n_checkpoints,
+            "last_arrival": self.last_arrival,
+        }
 
-    def commit_minute(t: int) -> None:
+    def _commit_minute(self, t: int) -> None:
         """Review/valve/commit for one minute (t already served, plans in)."""
-        nonlocal n_forced, total_mb_minutes
-        if has_review:
+        policy = self.policy
+        schedule = self.schedule
+        pool = self.pool
+        events = self.events
+        entries = self.entries
+        n_fn = self.n_fn
+        if self.has_review:
             policy.review_minute(t, schedule)
-        if valve_on:
+        if self.valve_on:
             cap_t = (
-                capacity
-                if injector is None
-                else injector.effective_capacity(t, capacity)
+                self.capacity
+                if self.injector is None
+                else self.injector.effective_capacity(t, self.capacity)
             )
             if cap_t is not None:
-                n_forced += apply_capacity_valve(
-                    schedule, t, cap_t, capacity_rng, assignment, events, rec
+                self.n_forced += apply_capacity_valve(
+                    schedule, t, cap_t, self.capacity_rng, self.assignment,
+                    events, self.rec,
                 )
         if pool is not None:
-            if spans is None:
+            if self.spans is None:
                 for fid in range(n_fn):
                     pool.reconcile(fid, entries[fid].get(t), t)
             else:
                 s0 = perf_counter()
                 for fid in range(n_fn):
                     pool.reconcile(fid, entries[fid].get(t), t)
-                spans.add("pool-reconcile", perf_counter() - s0)
+                self.spans.add("pool-reconcile", perf_counter() - s0)
             pool.tick_all()
-        mem_t = memory_at(t)
-        total_mb_minutes += mem_t
+        mem_t = schedule.memory_at(t)
+        self.total_mb_minutes += mem_t
         if events is not None:
             events.emit(t, EventKind.MEMORY_COMMIT, value=mem_t)
-        if met is not None:
-            mem_hist.observe(mem_t)
-        if mem_series is not None:
-            mem_series[t] = mem_t
+        if self.met is not None:
+            self.mem_hist.observe(mem_t)
+        if self.mem_series is not None:
+            self.mem_series[t] = mem_t
 
-    def idle_span(start: int, stop: int) -> None:
-        """Account minutes ``start .. stop-1`` (no invocations there)."""
-        nonlocal n_forced, total_mb_minutes
+    def idle_span(self, start: int, stop: int) -> None:
+        """Account minutes ``start .. stop-1`` (no invocations there).
+
+        Advances ``prev_t`` to ``stop - 1``: after a span the stepper's
+        position is past every minute it accounted (the session layer
+        reads ``next_minute`` off that)."""
         if start >= stop:
             return
-        if not per_minute_idle:
+        self.prev_t = stop - 1
+        schedule = self.schedule
+        if not self.per_minute_idle:
             # Pure accounting: the ledger for the span is already final.
             values = schedule.memory_slice(start, stop)
-            acc = total_mb_minutes
+            acc = self.total_mb_minutes
             for v in values:
                 acc += v
-            total_mb_minutes = acc
-            if met is not None:
+            self.total_mb_minutes = acc
+            if self.met is not None:
                 # Same per-minute observations the reference loop makes,
                 # in the same order — summaries merge identically.
-                mem_metric.observe_many(values)
-            if mem_series is not None:
-                mem_series[start:stop] = values
+                self.mem_metric.observe_many(values)
+            if self.mem_series is not None:
+                self.mem_series[start:stop] = values
             return
+        policy = self.policy
+        pool = self.pool
+        events = self.events
+        entries = self.entries
+        n_fn = self.n_fn
+        has_review = self.has_review
+        valve_on = self.valve_on
+        injector = self.injector
+        capacity = self.capacity
+        memory_at = schedule.memory_at
         for t in range(start, stop):
             if pool is not None:
                 for fid in range(n_fn):
@@ -276,9 +352,9 @@ def run_fast(
                     else injector.effective_capacity(t, capacity)
                 )
                 if cap_t is not None:
-                    n_forced += apply_capacity_valve(
-                        schedule, t, cap_t, capacity_rng, assignment,
-                        events, rec,
+                    self.n_forced += apply_capacity_valve(
+                        schedule, t, cap_t, self.capacity_rng,
+                        self.assignment, events, self.rec,
                     )
             if pool is not None:
                 if has_review or valve_on:
@@ -287,79 +363,51 @@ def run_fast(
                         pool.reconcile(fid, entries[fid].get(t), t)
                 pool.tick_all()
             mem_t = memory_at(t)
-            total_mb_minutes += mem_t
+            self.total_mb_minutes += mem_t
             if events is not None:
                 events.emit(t, EventKind.MEMORY_COMMIT, value=mem_t)
-            if met is not None:
-                mem_hist.observe(mem_t)
-            if mem_series is not None:
-                mem_series[t] = mem_t
+            if self.met is not None:
+                self.mem_hist.observe(mem_t)
+            if self.mem_series is not None:
+                self.mem_series[t] = mem_t
 
-    if resume_from is None:
-        g_start = 0
-        i = 0
-        prev_t = -1
-        cur_bucket = 0
-    else:
-        g_start, i, prev_t, cur_bucket = resume_from.cursor
-    every = checkpoint.every_minutes if checkpoint is not None else 0
-
-    for g in range(g_start, len(group_minutes)):
-        t = group_minutes[g]
-        # Checkpoint hook: fires before the first event group of each
-        # cadence bucket, with the preceding idle span still unaccounted
-        # (next_minute == prev_t + 1). Counters are bumped before capture
-        # so clean and resumed runs agree on every count, bit for bit.
-        if checkpoint is not None and t // every > cur_bucket:
-            cur_bucket = t // every
-            n_checkpoints += 1
-            if ckpt_counter is not None:
-                ckpt_counter.inc()
-            checkpoint.emit(
-                SimulationState.snapshot(
-                    "fast",
-                    prev_t + 1,
-                    (g, i, prev_t, cur_bucket),
-                    {
-                        "policy": policy,
-                        "events": events,
-                        "obs": obs,
-                        "schedule": schedule,
-                        "pool": pool,
-                        "service_time": service_time,
-                        "accuracy_sum": accuracy_sum,
-                        "n_warm": n_warm,
-                        "n_cold": n_cold,
-                        "total_mb_minutes": total_mb_minutes,
-                        "mem_series": mem_series,
-                        "ideal_series": ideal_series,
-                        "capacity_rng": capacity_rng,
-                        "n_forced": n_forced,
-                        "injector": injector,
-                        "n_checkpoints": n_checkpoints,
-                        "last_arrival": last_arrival,
-                    },
-                )
-            )
-
-        if prev_t + 1 < t:
-            idle_span(prev_t + 1, t)
+    def serve_minute(
+        self, t: int, fids: np.ndarray, fid_counts: np.ndarray
+    ) -> None:
+        """Serve event minute ``t`` (>= 1 invocation): pre-warm, serve and
+        plan each invoking fid in ascending order, then review/valve/commit
+        the minute. All minutes before ``t`` must already be accounted
+        (the driver back-fills idle spans; sessions step every minute)."""
+        policy = self.policy
+        schedule = self.schedule
+        pool = self.pool
+        events = self.events
+        entries = self.entries
+        rec, met = self.rec, self.met
+        injector = self.injector
+        last_arrival = self.last_arrival
+        n_fn = self.n_fn
+        service_time = self.service_time
+        accuracy_sum = self.accuracy_sum
+        n_invocations = self.n_invocations
+        n_warm = self.n_warm
+        n_cold = self.n_cold
+        has_observe = self.has_observe
+        observe_invocation = policy.observe_invocation
+        plan_fn = policy.plan
+        set_plan = schedule.set_plan
 
         if pool is not None:  # pre-warm pass before invocations arrive
-            if spans is None:
+            if self.spans is None:
                 for fid in range(n_fn):
                     pool.reconcile(fid, entries[fid].get(t), t)
             else:
                 s0 = perf_counter()
                 for fid in range(n_fn):
                     pool.reconcile(fid, entries[fid].get(t), t)
-                spans.add("pool-reconcile", perf_counter() - s0)
+                self.spans.add("pool-reconcile", perf_counter() - s0)
 
-        group_start = i
-        group_end = group_ends[g]
-        while i < group_end:
-            fid = ev_fid[i]
-            count = ev_count[i]
+        for fid, count in zip(fids.tolist(), fid_counts.tolist()):
             alive = entries[fid].get(t)
             if alive is None:
                 variant = policy.cold_variant(fid, t)
@@ -390,9 +438,9 @@ def run_fast(
                 if rec is not None:
                     rec.record_cold(t, fid, variant.name, count, last_arrival[fid])
                 if met is not None:
-                    cold_counters[fid].inc()
+                    self.cold_counters[fid].inc()
                     if count > 1:
-                        warm_counter.inc(count - 1)
+                        self.warm_counter.inc(count - 1)
             else:
                 service_time += count * alive.warm_service_time_s
                 n_warm += count
@@ -402,9 +450,10 @@ def run_fast(
                 if events is not None:
                     events.emit(t, EventKind.WARM_START, fid, alive.name, count)
                 if met is not None:
-                    warm_counter.inc(count)
+                    self.warm_counter.inc(count)
+            n_invocations += count
             if met is not None:
-                inv_counters[fid].inc(count)
+                self.inv_counters[fid].inc(count)
 
             if has_observe:
                 observe_invocation(fid, t, count)
@@ -415,51 +464,159 @@ def run_fast(
                 set_plan(fid, t, plan)
                 rec.record_plan(t, fid, plan)
                 last_arrival[fid] = t
-            i += 1
 
-        if simple_commit:
-            mem_t = memory_at(t)
-            total_mb_minutes += mem_t
+        self.service_time = service_time
+        self.accuracy_sum = accuracy_sum
+        self.n_invocations = n_invocations
+        self.n_warm = n_warm
+        self.n_cold = n_cold
+
+        if self.simple_commit:
+            mem_t = schedule.memory_at(t)
+            self.total_mb_minutes += mem_t
             if met is not None:
-                mem_hist.observe(mem_t)
-            if mem_series is not None:
-                mem_series[t] = mem_t
+                self.mem_hist.observe(mem_t)
+            if self.mem_series is not None:
+                self.mem_series[t] = mem_t
         else:
-            commit_minute(t)
-        if ideal_series is not None:
-            ideal_series[t] = highest_mb[ev_fid_arr[group_start:i]].sum()
-        prev_t = t
+            self._commit_minute(t)
+        if self.ideal_series is not None:
+            self.ideal_series[t] = self.highest_mb[fids].sum()
+        self.prev_t = t
 
-    idle_span(prev_t + 1, horizon)
+    def advance_minute(
+        self, t: int, fids: np.ndarray, fid_counts: np.ndarray
+    ) -> None:
+        """Session entry point: account exactly minute ``t`` (eagerly —
+        idle minutes are settled one at a time instead of in deferred
+        bulk spans; the float operation sequence is identical because the
+        bulk path is itself an in-order per-minute walk)."""
+        if fids.size == 0:
+            self.idle_span(t, t + 1)
+        else:
+            self.serve_minute(t, fids, fid_counts)
 
-    # Integer total, so summing once is exact (the reference accumulates
-    # per event; float metrics above keep the reference's exact order).
-    n_invocations = sum(ev_count)
-    mean_accuracy = accuracy_sum / n_invocations if n_invocations else 0.0
-    if met is not None:
-        met.counter(
-            "forced_downgrades_total", "capacity-valve downgrades"
-        ).inc(n_forced)
-        met.gauge("horizon_minutes").set(horizon)
-        met.gauge("n_functions").set(n_fn)
-        met.gauge("keepalive_mb_minutes").set(total_mb_minutes)
-    resilience = collect_resilience(policy, injector, horizon)
-    return RunResult(
-        policy_name=policy.name,
-        n_invocations=n_invocations,
-        n_warm=n_warm,
-        n_cold=n_cold,
-        total_service_time_s=service_time,
-        keepalive_cost_usd=cfg.cost_model.minute_cost(total_mb_minutes),
-        mean_accuracy=mean_accuracy,
-        policy_overhead_s=0.0,
-        n_policy_decisions=0,
-        memory_series_mb=mem_series,
-        ideal_memory_series_mb=ideal_series,
-        pool_stats=pool.stats if pool is not None else None,
-        events=events,
-        n_forced_downgrades=n_forced,
-        n_checkpoints=n_checkpoints,
-        obs=obs,
-        **resilience,
+    def finalize(self) -> RunResult:
+        """Close the run (every minute accounted) and build its
+        :class:`RunResult` (idempotent — the metric gauges below mutate,
+        so the result is cached)."""
+        if self._result is not None:
+            return self._result
+        cfg = self.cfg
+        n_invocations = self.n_invocations
+        mean_accuracy = (
+            self.accuracy_sum / n_invocations if n_invocations else 0.0
+        )
+        met = self.met
+        if met is not None:
+            met.counter(
+                "forced_downgrades_total", "capacity-valve downgrades"
+            ).inc(self.n_forced)
+            met.gauge("horizon_minutes").set(self.horizon)
+            met.gauge("n_functions").set(self.n_fn)
+            met.gauge("keepalive_mb_minutes").set(self.total_mb_minutes)
+        resilience = collect_resilience(
+            self.policy, self.injector, self.horizon
+        )
+        self._result = RunResult(
+            policy_name=self.policy.name,
+            n_invocations=n_invocations,
+            n_warm=self.n_warm,
+            n_cold=self.n_cold,
+            total_service_time_s=self.service_time,
+            keepalive_cost_usd=cfg.cost_model.minute_cost(
+                self.total_mb_minutes
+            ),
+            mean_accuracy=mean_accuracy,
+            policy_overhead_s=0.0,
+            n_policy_decisions=0,
+            memory_series_mb=self.mem_series,
+            ideal_memory_series_mb=self.ideal_series,
+            pool_stats=self.pool.stats if self.pool is not None else None,
+            events=self.events,
+            n_forced_downgrades=self.n_forced,
+            n_checkpoints=self.n_checkpoints,
+            obs=self.obs,
+            **resilience,
+        )
+        return self._result
+
+
+def run_fast(
+    sim,
+    checkpoint: CheckpointConfig | None = None,
+    resume_from: SimulationState | None = None,
+) -> RunResult:
+    """Execute ``sim`` (a :class:`~repro.runtime.simulator.Simulation`)
+    through the event-driven loop. Same contract as the reference loop,
+    including checkpoint/resume (snapshots land at the first event group
+    of each cadence bucket — the fast loop never visits idle minutes)."""
+    trace = sim.trace
+    horizon = trace.horizon
+    counts = trace.counts
+
+    if resume_from is None:
+        stepper = FastStepper(sim)
+        g_start = 0
+        i = 0
+        cur_bucket = 0
+    else:
+        if resume_from.engine != "fast":
+            raise ValueError(
+                f"fast loop cannot resume a {resume_from.engine!r} checkpoint"
+            )
+        g_start, i, prev_t, cur_bucket = resume_from.cursor
+        stepper = FastStepper(sim, live=resume_from.restore(), prev_t=prev_t)
+
+    # Sparse event extraction: (minute, fid, count) triples in minute-major,
+    # fid-ascending order — the exact order the reference loop serves in.
+    # Groups (one per event minute) are delimited up front so the serving
+    # loop never re-tests the minute column.
+    ev_t_arr, ev_fid_arr = np.nonzero(counts.T)
+    ev_count_arr = counts.T[ev_t_arr, ev_fid_arr]
+    n_events = int(ev_fid_arr.size)
+    group_ends = np.append(np.flatnonzero(np.diff(ev_t_arr)) + 1, n_events).tolist()
+    group_minutes = (
+        ev_t_arr[np.append(0, group_ends[:-1])].tolist() if n_events else []
     )
+
+    every = checkpoint.every_minutes if checkpoint is not None else 0
+    ckpt_counter = (
+        # repro: lint-ok[RPR002] fleet.py rejects checkpoint/resume at
+        # entry, so this instrument is structurally absent there
+        stepper.met.counter("checkpoints_total", "engine checkpoints captured")
+        if stepper.met is not None and checkpoint is not None
+        else None
+    )
+
+    for g in range(g_start, len(group_minutes)):
+        t = group_minutes[g]
+        # Checkpoint hook: fires before the first event group of each
+        # cadence bucket, with the preceding idle span still unaccounted
+        # (next_minute == prev_t + 1). Counters are bumped before capture
+        # so clean and resumed runs agree on every count, bit for bit.
+        if checkpoint is not None and t // every > cur_bucket:
+            cur_bucket = t // every
+            stepper.n_checkpoints += 1
+            if ckpt_counter is not None:
+                ckpt_counter.inc()
+            checkpoint.emit(
+                SimulationState.snapshot(
+                    "fast",
+                    stepper.prev_t + 1,
+                    (g, i, stepper.prev_t, cur_bucket),
+                    stepper.live_state(),
+                )
+            )
+
+        if stepper.prev_t + 1 < t:
+            stepper.idle_span(stepper.prev_t + 1, t)
+
+        group_end = group_ends[g]
+        stepper.serve_minute(
+            t, ev_fid_arr[i:group_end], ev_count_arr[i:group_end]
+        )
+        i = group_end
+
+    stepper.idle_span(stepper.prev_t + 1, horizon)
+    return stepper.finalize()

@@ -98,7 +98,7 @@ from repro.runtime.policy import KeepAlivePolicy
 from repro.runtime.simulator import collect_resilience, emit_downgrade
 from repro.utils.rng import rng_from_seed
 
-__all__ = ["FleetShards", "run_fleet"]
+__all__ = ["FleetShards", "FleetStepper", "run_fleet"]
 
 
 # -- policy compilation ------------------------------------------------------
@@ -844,93 +844,168 @@ def _vector_levels(
 # -- the engine --------------------------------------------------------------
 
 
-def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunResult:
-    """Execute ``sim`` on the fleet engine with ``shards`` shards.
+class FleetStepper:
+    """The columnar fleet engine's run state, steppable one minute at a
+    time.
 
-    Called by :meth:`Simulation.run` — use ``run(engine="fleet",
-    shards=...)`` (or :func:`repro.api.simulate`) rather than calling
-    this directly.
+    Constructed fresh (``live=None``: compiles the policy into its
+    vectorized model, builds the sharded state) or from a restored
+    session-snapshot payload (``live=`` the dict from
+    :meth:`SimulationState.restore` — the whole columnar state graph,
+    shards and compiled model included, comes back as one pickle so
+    shared identities survive). Batch runs (:func:`run_fleet`) feed it
+    every minute from the sparse event table; sessions
+    (:mod:`repro.serve.session`) call :meth:`step` one ``advance()`` at
+    a time — the per-minute body is the same code either way, so a
+    stepped replay is bit-identical to the batch run by construction.
+
+    Entry validation (``measure_overhead``, shard count,
+    checkpoint/resume rejection for batch runs) stays with the callers;
+    the stepper assumes a config it can honor.
     """
-    cfg = sim.config
-    trace = sim.trace
-    policy = sim.policy
-    if checkpoint is not None or resume_from is not None:
-        raise ValueError(
-            "engine='fleet' does not support checkpoint/resume; use "
-            "engine='reference' or 'fast'"
+
+    engine = "fleet"
+
+    def __init__(self, sim, shards: int = 1, *, live: dict | None = None):
+        cfg = sim.config
+        trace = sim.trace
+        self.sim = sim
+        self.cfg = cfg
+        self.horizon = trace.horizon
+        self.n_fn = n_fn = trace.n_functions
+
+        if live is None:
+            policy = sim.policy
+            self.events = EventLog() if cfg.record_events else None
+            self.obs = (
+                FleetObsSession(
+                    cfg.observe,
+                    n_functions=n_fn,
+                    n_shards=max(1, min(shards, n_fn)),
+                    horizon=self.horizon,
+                )
+                if cfg.observe is not None
+                else None
+            )
+            if self.obs is not None or self.events is not None:
+                policy.attach_observability(
+                    self.obs if self.obs is not None else NULL_OBS, self.events
+                )
+            policy.bind(trace, sim.assignment, cfg.keep_alive_window)
+            self.policy = policy
+            self.model = _compile_policy(policy, n_fn, cfg.keep_alive_window)
+            self.tables = VariantTables(sim.assignment, n_fn)
+            self.fleet = FleetShards(
+                n_fn, shards, cfg.keep_alive_window, self.tables, self.model,
+                cfg.capacity_seed,
+            )
+            if self.obs is not None and self.obs.has_sample:
+                self.fleet.bind_sample(self.obs.sample_fids)
+            self.pool = (
+                ContainerPool(self.events)
+                if (cfg.track_containers or cfg.record_events)
+                else None
+            )
+            self.injector = (
+                FaultInjector(cfg.faults, self.horizon)
+                if cfg.faults is not None and cfg.faults.injects_runtime
+                else None
+            )
+            self.service_time = 0.0
+            self.accuracy_sum = 0.0
+            self.n_invocations = 0
+            self.n_cold = 0
+            self.total_mb_minutes = 0.0
+            self.mem_series = (
+                np.zeros(self.horizon) if cfg.record_series else None
+            )
+            self.ideal_series = (
+                np.zeros(self.horizon) if cfg.record_series else None
+            )
+            self.next_minute = 0
+        else:
+            # Single-payload restore: the sharded columnar state, the
+            # compiled model and the variant tables come back with their
+            # shared identities intact; attach_observability/bind and
+            # _compile_policy are NOT re-run.
+            self.policy = live["policy"]
+            self.events = live["events"]
+            self.obs = live["obs"]
+            self.model = live["model"]
+            self.tables = live["tables"]
+            self.fleet = live["fleet"]
+            self.pool = live["pool"]
+            self.injector = live["injector"]
+            self.service_time = live["service_time"]
+            self.accuracy_sum = live["accuracy_sum"]
+            self.n_invocations = live["n_invocations"]
+            self.n_cold = live["n_cold"]
+            self.total_mb_minutes = live["total_mb_minutes"]
+            self.mem_series = live["mem_series"]
+            self.ideal_series = live["ideal_series"]
+            self.next_minute = live["next_minute"]
+
+        # Hot-loop telemetry handles, mirroring the loop engines (each
+        # None when its layer is off; columnar tallies ride ``obs``).
+        obs = self.obs
+        self.rec = obs if obs is not None and obs.decisions_enabled else None
+        self.met = (
+            obs.metrics if obs is not None and obs.metrics_enabled else None
         )
-    if cfg.measure_overhead:
-        raise ValueError(
-            "engine='fleet' cannot honor measure_overhead=True (Figure 9's "
-            "metric needs the reference loop's per-minute decision "
-            "cadence); use engine='auto' or 'reference'"
+        self.spans = (
+            obs.spans if obs is not None and obs.spans_enabled else None
         )
-    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
-        raise ValueError(f"shards must be a positive int, got {shards!r}")
-
-    horizon = trace.horizon
-    n_fn = trace.n_functions
-    counts = trace.counts
-
-    events = EventLog() if cfg.record_events else None
-    obs = (
-        FleetObsSession(
-            cfg.observe,
-            n_functions=n_fn,
-            n_shards=max(1, min(shards, n_fn)),
-            horizon=horizon,
+        self.capacity = cfg.memory_capacity_mb
+        has_pressure = (
+            self.injector is not None
+            and self.injector.pressure_minutes is not None
         )
-        if cfg.observe is not None
-        else None
-    )
-    if obs is not None or events is not None:
-        policy.attach_observability(obs if obs is not None else NULL_OBS, events)
-    policy.bind(trace, sim.assignment, cfg.keep_alive_window)
-    model = _compile_policy(policy, n_fn, cfg.keep_alive_window)
-    tables = VariantTables(sim.assignment, n_fn)
-    fleet = FleetShards(
-        n_fn, shards, cfg.keep_alive_window, tables, model, cfg.capacity_seed
-    )
-    if obs is not None and obs.has_sample:
-        fleet.bind_sample(obs.sample_fids)
-    pool = (
-        ContainerPool(events)
-        if (cfg.track_containers or cfg.record_events)
-        else None
-    )
-    injector = (
-        FaultInjector(cfg.faults, horizon)
-        if cfg.faults is not None and cfg.faults.injects_runtime
-        else None
-    )
+        self.valve_on = self.capacity is not None or has_pressure
+        self.is_pulse = self.model.kind == "pulse"
+        self.last_memory_mb = 0.0
+        self._result: RunResult | None = None
 
-    # Hot-loop telemetry handles, mirroring the loop engines (each None
-    # when its layer is off; the columnar tallies ride ``obs`` itself).
-    rec = obs if obs is not None and obs.decisions_enabled else None
-    met = obs.metrics if obs is not None and obs.metrics_enabled else None
-    spans = obs.spans if obs is not None and obs.spans_enabled else None
+    def live_state(self) -> dict:
+        """The columnar state graph, in session-snapshot payload shape
+        (one dict → one pickle, identities preserved)."""
+        return {
+            "policy": self.policy,
+            "events": self.events,
+            "obs": self.obs,
+            "model": self.model,
+            "tables": self.tables,
+            "fleet": self.fleet,
+            "pool": self.pool,
+            "injector": self.injector,
+            "service_time": self.service_time,
+            "accuracy_sum": self.accuracy_sum,
+            "n_invocations": self.n_invocations,
+            "n_cold": self.n_cold,
+            "total_mb_minutes": self.total_mb_minutes,
+            "mem_series": self.mem_series,
+            "ideal_series": self.ideal_series,
+            "next_minute": self.next_minute,
+        }
 
-    service_time = 0.0
-    accuracy_sum = 0.0
-    n_invocations = 0
-    n_cold = 0
-    total_mb_minutes = 0.0
-    mem_series = np.zeros(horizon) if cfg.record_series else None
-    ideal_series = np.zeros(horizon) if cfg.record_series else None
+    def step(self, t: int, inv_fids: np.ndarray, inv_counts: np.ndarray) -> None:
+        """Execute minute ``t``. ``inv_fids`` are the invoking function
+        ids (int64, ascending) and ``inv_counts`` the aligned counts;
+        pass empty arrays for an idle minute. Minutes must be fed
+        strictly in order."""
+        fleet = self.fleet
+        tables = self.tables
+        pool = self.pool
+        events = self.events
+        obs = self.obs
+        rec = self.rec
+        spans = self.spans
+        injector = self.injector
+        model = self.model
+        n_fn = self.n_fn
+        service_time = self.service_time
+        accuracy_sum = self.accuracy_sum
+        n_cold = self.n_cold
 
-    capacity = cfg.memory_capacity_mb
-    has_pressure = injector is not None and injector.pressure_minutes is not None
-    valve_on = capacity is not None or has_pressure
-    is_pulse = model.kind == "pulse"
-
-    # Sparse minute-major event table: the per-minute kernels index only
-    # the invoking functions (fid-ascending within each minute, matching
-    # the reference's flatnonzero order).
-    ev_minute, ev_fid = np.nonzero(counts.T)
-    ev_count = counts[ev_fid, ev_minute]
-    minute_starts = np.searchsorted(ev_minute, np.arange(horizon + 1))
-
-    for t in range(horizon):
         for shard in fleet.shards:
             shard.begin_minute(t)
 
@@ -942,10 +1017,8 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
             if spans is not None:
                 spans.add("pool-reconcile", time.perf_counter() - t_pool)
 
-        lo, hi = int(minute_starts[t]), int(minute_starts[t + 1])
-        inv_fids = ev_fid[lo:hi]
-        inv_counts = ev_count[lo:hi]
-        if hi > lo:
+        n_events = int(inv_fids.size)
+        if n_events:
             if pool is None and events is None:
                 # Lean serving: vectorized per shard, folded sequentially
                 # so the accumulators match the reference's scalar adds.
@@ -978,7 +1051,7 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
             else:
                 # Compatibility serving: the reference loop's exact call
                 # and event order, per invoking fid ascending.
-                for i in range(hi - lo):
+                for i in range(n_events):
                     fid = int(inv_fids[i])
                     count = int(inv_counts[i])
                     shard = fleet.shard_for(fid)
@@ -1047,7 +1120,7 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
                             events.emit(
                                 t, EventKind.WARM_START, fid, variant.name, count
                             )
-            n_invocations += int(inv_counts.sum())
+            self.n_invocations += int(inv_counts.sum())
 
             # Estimator feed + plan installation — batched per shard in
             # both modes. (Safe to run after the serve loop: plans only
@@ -1062,7 +1135,7 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
                 shard.observe_and_plan(inv_fids[a:b] - shard.lo, t, model, obs)
 
         # Cross-function review (peak flattening) on the merged state.
-        if is_pulse:
+        if self.is_pulse:
             if model.enable_global:
                 fleet.review(t, events, obs)
             else:
@@ -1070,11 +1143,11 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
                 fleet.detector.observe(fleet.memory_at(t))
 
         # Provider pressure valve on the merged state.
-        if valve_on:
+        if self.valve_on:
             cap_t = (
-                capacity
+                self.capacity
                 if injector is None
-                else injector.effective_capacity(t, capacity)
+                else injector.effective_capacity(t, self.capacity)
             )
             if cap_t is not None:
                 fleet.valve(t, cap_t, events, obs)
@@ -1088,60 +1161,132 @@ def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunRes
             if spans is not None:
                 spans.add("pool-reconcile", time.perf_counter() - t_pool)
         mem_t = fleet.memory_at(t)
-        total_mb_minutes += mem_t
+        self.total_mb_minutes += mem_t
         if obs is not None:
             obs.tally_memory(t, mem_t)
         if events is not None:
             events.emit(t, EventKind.MEMORY_COMMIT, value=mem_t)
-        if mem_series is not None:
-            mem_series[t] = mem_t
-        if ideal_series is not None and hi > lo:
-            ideal_series[t] = tables.highest_mb[inv_fids].sum()
+        if self.mem_series is not None:
+            self.mem_series[t] = mem_t
+        if self.ideal_series is not None and n_events:
+            self.ideal_series[t] = tables.highest_mb[inv_fids].sum()
 
-    mean_accuracy = accuracy_sum / n_invocations if n_invocations else 0.0
-    if met is not None:
-        assert obs is not None
-        # The shared cross-engine metric names, fed from the columnar
-        # partials. The loop engines label invocation/cold counters per
-        # function; per-function series cannot scale to 100k fids, so the
-        # fleet labels them per shard — totals stay identical for any
-        # shard count (exact integer partials).
-        _inv = met.counter("invocations_total", "invocations served")
-        _cold = met.counter("cold_starts_total", "user-visible cold starts")
-        for i in range(len(fleet.shards)):
-            _inv.labels(shard=i).inc(int(obs.shard_invocations[i]))
-            _cold.labels(shard=i).inc(int(obs.shard_cold[i]))
-        met.counter("warm_starts_total", "invocations served warm").inc(
-            n_invocations - n_cold
+        self.service_time = service_time
+        self.accuracy_sum = accuracy_sum
+        self.n_cold = n_cold
+        self.last_memory_mb = mem_t
+        self.next_minute = t + 1
+
+    def finalize(self) -> RunResult:
+        """Close the run and build its :class:`RunResult` (idempotent —
+        the metric/obs finalizers below mutate, so the result is cached)."""
+        if self._result is not None:
+            return self._result
+        cfg = self.cfg
+        fleet = self.fleet
+        obs = self.obs
+        met = self.met
+        n_invocations = self.n_invocations
+        n_cold = self.n_cold
+        mean_accuracy = (
+            self.accuracy_sum / n_invocations if n_invocations else 0.0
         )
-        met.histogram(
-            "keepalive_mb", "per-minute committed keep-alive memory"
-        ).observe_many(obs.mem_series)
-        met.counter(
-            "forced_downgrades_total", "capacity-valve downgrades"
-        ).inc(fleet.n_forced)
-        met.gauge("horizon_minutes").set(horizon)
-        met.gauge("n_functions").set(n_fn)
-        met.gauge("keepalive_mb_minutes").set(total_mb_minutes)
-    if obs is not None:
-        obs.finalize_fleet_metrics()
-    resilience = collect_resilience(policy, injector, horizon)
-    return RunResult(
-        policy_name=policy.name,
-        n_invocations=n_invocations,
-        n_warm=n_invocations - n_cold,
-        n_cold=n_cold,
-        total_service_time_s=service_time,
-        keepalive_cost_usd=cfg.cost_model.minute_cost(total_mb_minutes),
-        mean_accuracy=mean_accuracy,
-        policy_overhead_s=0.0,
-        n_policy_decisions=0,
-        memory_series_mb=mem_series,
-        ideal_memory_series_mb=ideal_series,
-        pool_stats=pool.stats if pool is not None else None,
-        events=events,
-        n_forced_downgrades=fleet.n_forced,
-        n_checkpoints=0,
-        obs=obs,
-        **resilience,
-    )
+        if met is not None:
+            assert obs is not None
+            # The shared cross-engine metric names, fed from the columnar
+            # partials. The loop engines label invocation/cold counters
+            # per function; per-function series cannot scale to 100k
+            # fids, so the fleet labels them per shard — totals stay
+            # identical for any shard count (exact integer partials).
+            _inv = met.counter("invocations_total", "invocations served")
+            _cold = met.counter("cold_starts_total", "user-visible cold starts")
+            for i in range(len(fleet.shards)):
+                _inv.labels(shard=i).inc(int(obs.shard_invocations[i]))
+                _cold.labels(shard=i).inc(int(obs.shard_cold[i]))
+            met.counter("warm_starts_total", "invocations served warm").inc(
+                n_invocations - n_cold
+            )
+            met.histogram(
+                "keepalive_mb", "per-minute committed keep-alive memory"
+            ).observe_many(obs.mem_series)
+            met.counter(
+                "forced_downgrades_total", "capacity-valve downgrades"
+            ).inc(fleet.n_forced)
+            met.gauge("horizon_minutes").set(self.horizon)
+            met.gauge("n_functions").set(self.n_fn)
+            met.gauge("keepalive_mb_minutes").set(self.total_mb_minutes)
+        if obs is not None:
+            obs.finalize_fleet_metrics()
+        resilience = collect_resilience(
+            self.policy, self.injector, self.horizon
+        )
+        self._result = RunResult(
+            policy_name=self.policy.name,
+            n_invocations=n_invocations,
+            n_warm=n_invocations - n_cold,
+            n_cold=n_cold,
+            total_service_time_s=self.service_time,
+            keepalive_cost_usd=cfg.cost_model.minute_cost(
+                self.total_mb_minutes
+            ),
+            mean_accuracy=mean_accuracy,
+            policy_overhead_s=0.0,
+            n_policy_decisions=0,
+            memory_series_mb=self.mem_series,
+            ideal_memory_series_mb=self.ideal_series,
+            pool_stats=self.pool.stats if self.pool is not None else None,
+            events=self.events,
+            n_forced_downgrades=fleet.n_forced,
+            n_checkpoints=0,
+            obs=obs,
+            **resilience,
+        )
+        return self._result
+
+
+def validate_fleet_config(cfg, shards: int) -> None:
+    """Entry validation shared by :func:`run_fleet` and the session
+    layer: reject configs the columnar engine cannot honor."""
+    if cfg.measure_overhead:
+        raise ValueError(
+            "engine='fleet' cannot honor measure_overhead=True (Figure 9's "
+            "metric needs the reference loop's per-minute decision "
+            "cadence); use engine='auto' or 'reference'"
+        )
+    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+        raise ValueError(f"shards must be a positive int, got {shards!r}")
+
+
+def run_fleet(sim, shards: int = 1, checkpoint=None, resume_from=None) -> RunResult:
+    """Execute ``sim`` on the fleet engine with ``shards`` shards.
+
+    Called by :meth:`Simulation.run` — use ``run(engine="fleet",
+    shards=...)`` (or :func:`repro.api.simulate`) rather than calling
+    this directly. A thin driver over :class:`FleetStepper`: extracts
+    the sparse minute-major event table once, then feeds the stepper
+    every minute.
+    """
+    if checkpoint is not None or resume_from is not None:
+        raise ValueError(
+            "engine='fleet' does not support checkpoint/resume; use "
+            "engine='reference' or 'fast'"
+        )
+    validate_fleet_config(sim.config, shards)
+
+    trace = sim.trace
+    horizon = trace.horizon
+    counts = trace.counts
+    stepper = FleetStepper(sim, shards)
+
+    # Sparse minute-major event table: the per-minute kernels index only
+    # the invoking functions (fid-ascending within each minute, matching
+    # the reference's flatnonzero order).
+    ev_minute, ev_fid = np.nonzero(counts.T)
+    ev_count = counts[ev_fid, ev_minute]
+    minute_starts = np.searchsorted(ev_minute, np.arange(horizon + 1))
+
+    for t in range(horizon):
+        lo, hi = int(minute_starts[t]), int(minute_starts[t + 1])
+        stepper.step(t, ev_fid[lo:hi], ev_count[lo:hi])
+
+    return stepper.finalize()

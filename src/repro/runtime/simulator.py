@@ -24,7 +24,6 @@ invocation minutes.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -43,9 +42,11 @@ from repro.runtime.policy import KeepAlivePolicy
 from repro.runtime.schedule import KeepAliveSchedule
 from repro.traces.schema import Trace
 from repro.utils.rng import rng_from_seed
+from repro.utils.specs import parse_engine
 from repro.utils.validation import check_positive_int
 
 __all__ = [
+    "ReferenceStepper",
     "Simulation",
     "SimulationConfig",
     "apply_capacity_valve",
@@ -182,21 +183,13 @@ class SimulationConfig:
     downgraded" pressure valve that PULSE's utility-guided flattening is
     designed to preempt. ``None`` (default) disables the cap.
 
-    ``fast`` selects the event-driven engine loop
-    (:mod:`repro.runtime.fastpath`): it iterates only over minutes where
-    something can happen (invocations) and accounts the idle spans in
-    between analytically from the schedule's incremental memory ledger.
-    It produces metrics identical to the reference loop (the golden
-    equivalence test in ``tests/test_engine_fastpath.py`` pins this), with
-    one exception: ``measure_overhead=True`` falls back to the reference
-    loop, because Figure 9's overhead metric is defined over the
-    per-minute decision cadence the fast path elides.
-
-    .. deprecated::
-        ``fast=True`` is superseded by the ``engine`` argument of
-        :meth:`Simulation.run` / :func:`repro.api.simulate`
-        (``"auto"``/``"reference"``/``"fast"``); relying on the boolean
-        emits a :class:`DeprecationWarning` at run time.
+    ``fast`` is the **removed** pre-``engine`` loop selector. Its
+    deprecation cycle (warn, then raise) is complete: constructing
+    ``SimulationConfig(fast=True)`` now raises :class:`ValueError`
+    pointing at ``Simulation.run(engine=...)`` /
+    :func:`repro.api.simulate`. The field survives one more release so
+    the error is a clear message rather than an opaque
+    ``TypeError: unexpected keyword argument``.
 
     ``faults`` attaches a :class:`~repro.faults.plan.FaultPlan`: seeded
     platform faults (spawn failures/retries, cold-start slowdowns,
@@ -224,6 +217,13 @@ class SimulationConfig:
 
     def __post_init__(self) -> None:
         check_positive_int("keep_alive_window", self.keep_alive_window)
+        if self.fast:
+            raise ValueError(
+                "SimulationConfig(fast=True) was removed at the end of its "
+                "deprecation cycle; select the loop per run instead: "
+                "Simulation.run(engine='fast') (or 'auto'), or "
+                "repro.api.simulate(..., engine='fast')"
+            )
         if self.memory_capacity_mb is not None and self.memory_capacity_mb <= 0:
             raise ValueError(
                 f"memory_capacity_mb must be positive, got {self.memory_capacity_mb}"
@@ -297,8 +297,13 @@ class Simulation:
           10⁴–10⁵-function fleets; supports PULSE and the fixed
           baselines, and errors on configs needing per-decision hooks
           (``measure_overhead``, observability, checkpoint/resume);
-        - ``None`` (default) — the deprecated legacy behavior: follow
-          ``config.fast`` (warning when it is set).
+        - ``None`` (default) — the historical default, equivalent to
+          ``"reference"`` (the ``config.fast`` escape hatch it used to
+          honor is gone; see :class:`SimulationConfig`).
+
+        Spelling is validated by :func:`repro.utils.specs.parse_engine`
+        (the one engine vocabulary shared with the CLI, the API facade
+        and the durable sweep layer); selectors are case-insensitive.
 
         ``shards`` is only meaningful with ``engine="fleet"`` (the shard
         count never changes results — ``shards=1`` ≡ ``shards=k``).
@@ -321,6 +326,8 @@ class Simulation:
             )
         if isinstance(resume_from, (str, Path)):
             resume_from = SimulationState.load(resume_from)
+        if engine is not None:
+            engine = parse_engine(engine)
         if shards != 1 and engine != "fleet":
             raise ValueError(
                 f"shards={shards} is only meaningful with engine='fleet'"
@@ -349,7 +356,7 @@ class Simulation:
     def _resolve_engine(
         self, engine: str | None, resume_from: SimulationState | None = None
     ) -> bool:
-        """Map the ``engine`` argument to "use the fast loop?"."""
+        """Map the (already canonical) ``engine`` to "use the fast loop?"."""
         cfg = self.config
         if resume_from is not None:
             # A checkpoint binds the run to the loop that captured it:
@@ -363,31 +370,14 @@ class Simulation:
                         "measures overhead)"
                     )
                 return state_fast
-            if engine not in ("reference", "fast"):
-                raise ValueError(
-                    f"unknown engine {engine!r}; choose 'auto', "
-                    "'reference', 'fast' or 'fleet'"
-                )
             if (engine == "fast") != state_fast:
                 raise ValueError(
                     f"cannot resume a {resume_from.engine!r} checkpoint "
                     f"with engine={engine!r}"
                 )
             return state_fast
-        if engine is None:
-            if cfg.fast:
-                warnings.warn(
-                    "repro.runtime: SimulationConfig(fast=True) is "
-                    "deprecated; call Simulation.run(engine='fast') (or "
-                    "'auto'), or use repro.api.simulate(..., engine=...)",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
-            return cfg.fast and not cfg.measure_overhead
         if engine == "auto":
             return not cfg.measure_overhead
-        if engine == "reference":
-            return False
         if engine == "fast":
             if cfg.measure_overhead:
                 raise ValueError(
@@ -397,342 +387,470 @@ class Simulation:
                     "'reference'"
                 )
             return True
-        raise ValueError(
-            f"unknown engine {engine!r}; choose 'auto', 'reference', "
-            "'fast' or 'fleet'"
-        )
+        # None (the historical default) and "reference" both take the
+        # minute-by-minute loop.
+        return False
 
     def _run_reference(
         self,
         checkpoint: CheckpointConfig | None = None,
         resume_from: SimulationState | None = None,
     ) -> RunResult:
-        """The reference minute-by-minute loop (walks every minute)."""
-        trace, cfg = self.trace, self.config
-        horizon = trace.horizon
-        n_fn = trace.n_functions
-        counts = trace.counts
+        """The reference minute-by-minute loop (walks every minute).
 
-        if resume_from is None:
-            policy = self.policy
-            events = EventLog() if cfg.record_events else None
-            obs = ObsSession(cfg.observe) if cfg.observe is not None else None
-            if obs is not None or events is not None:
-                # Before bind, so on_bind can wire policy sub-components.
-                policy.attach_observability(obs, events)
-            policy.bind(trace, self.assignment, cfg.keep_alive_window)
-            schedule = KeepAliveSchedule(
-                n_fn, cfg.keep_alive_window, horizon_hint=horizon
-            )
-            pool = (
-                ContainerPool(events)
-                if (cfg.track_containers or cfg.record_events)
-                else None
-            )
-            service_time = 0.0
-            accuracy_sum = 0.0
-            n_invocations = 0
-            n_warm = 0
-            n_cold = 0
-            overhead = 0.0
-            n_decisions = 0
-            total_mb_minutes = 0.0
-            mem_series = np.zeros(horizon) if cfg.record_series else None
-            ideal_series = np.zeros(horizon) if cfg.record_series else None
-            capacity_rng = rng_from_seed(cfg.capacity_seed)
-            n_forced = 0
-            injector = (
-                FaultInjector(cfg.faults, horizon)
-                if cfg.faults is not None and cfg.faults.injects_runtime
-                else None
-            )
-            n_checkpoints = 0
-            t_start = 0
-            cur_bucket = 0
-        else:
+        A thin driver over :class:`ReferenceStepper`: the stepper owns
+        the per-minute semantics, this loop only feeds it minutes — the
+        same stepping path :class:`repro.serve.session.ControlSession`
+        drives one ``advance()`` at a time.
+        """
+        if resume_from is not None:
             if resume_from.engine != "reference":
                 raise ValueError(
                     "reference loop cannot resume a "
                     f"{resume_from.engine!r} checkpoint"
                 )
+            stepper = ReferenceStepper(
+                self,
+                checkpoint,
+                live=resume_from.restore(),
+                next_minute=resume_from.next_minute,
+                cursor=resume_from.cursor,
+            )
+        else:
+            stepper = ReferenceStepper(self, checkpoint)
+        counts = self.trace.counts
+        for t in range(stepper.next_minute, self.trace.horizon):
+            fids = np.flatnonzero(counts[:, t])
+            stepper.step(t, fids, counts[fids, t])
+        return stepper.finalize()
+
+
+class ReferenceStepper:
+    """The reference engine, one minute at a time.
+
+    Owns all run state of the minute-by-minute loop and exposes it
+    incrementally: :meth:`step` executes exactly one minute (§5 order of
+    operations — pre-warm, serve+plan, review, valve, commit),
+    :meth:`live_state` captures the loop's live objects in the exact
+    checkpoint-payload shape :meth:`SimulationState.snapshot` pickles,
+    and :meth:`finalize` produces the :class:`RunResult`. The batch
+    driver (:meth:`Simulation._run_reference`) and incremental sessions
+    (:mod:`repro.serve.session`) share this single implementation, so a
+    stepped replay is bit-identical to a batch run by construction.
+
+    Constructed either fresh (``live=None``: binds the policy and
+    allocates run state) or from a restored checkpoint payload
+    (``live=`` the dict from :meth:`SimulationState.restore`, plus the
+    checkpoint's ``next_minute``/``cursor``). Telemetry handles are
+    always re-derived from the (possibly restored) obs session: the
+    metrics registry hands back the same counter for the same name, so
+    a resumed run keeps accumulating where the snapshot left off.
+    """
+
+    engine = "reference"
+
+    def __init__(
+        self,
+        sim: Simulation,
+        checkpoint: CheckpointConfig | None = None,
+        *,
+        live: dict | None = None,
+        next_minute: int = 0,
+        cursor: tuple | None = None,
+    ):
+        trace, cfg = sim.trace, sim.config
+        self.sim = sim
+        self.cfg = cfg
+        self.assignment = sim.assignment
+        self.horizon = trace.horizon
+        self.n_fn = n_fn = trace.n_functions
+        self.checkpoint = checkpoint
+
+        if live is None:
+            policy = sim.policy
+            self.events = EventLog() if cfg.record_events else None
+            self.obs = (
+                ObsSession(cfg.observe) if cfg.observe is not None else None
+            )
+            if self.obs is not None or self.events is not None:
+                # Before bind, so on_bind can wire policy sub-components.
+                policy.attach_observability(self.obs, self.events)
+            policy.bind(trace, sim.assignment, cfg.keep_alive_window)
+            self.policy = policy
+            self.schedule = KeepAliveSchedule(
+                n_fn, cfg.keep_alive_window, horizon_hint=self.horizon
+            )
+            self.pool = (
+                ContainerPool(self.events)
+                if (cfg.track_containers or cfg.record_events)
+                else None
+            )
+            self.service_time = 0.0
+            self.accuracy_sum = 0.0
+            self.n_invocations = 0
+            self.n_warm = 0
+            self.n_cold = 0
+            self.overhead = 0.0
+            self.n_decisions = 0
+            self.total_mb_minutes = 0.0
+            self.mem_series = (
+                np.zeros(self.horizon) if cfg.record_series else None
+            )
+            self.ideal_series = (
+                np.zeros(self.horizon) if cfg.record_series else None
+            )
+            self.capacity_rng = rng_from_seed(cfg.capacity_seed)
+            self.n_forced = 0
+            self.injector = (
+                FaultInjector(cfg.faults, self.horizon)
+                if cfg.faults is not None and cfg.faults.injects_runtime
+                else None
+            )
+            self.n_checkpoints = 0
+            self.next_minute = 0
+            self.cur_bucket = 0
+        else:
             # Single-payload restore: every mutable object comes back with
             # shared identities intact (policy plan cache <-> schedule,
             # events <-> pool). attach_observability/bind are NOT re-run —
             # the restored policy already carries its bound state.
-            live = resume_from.restore()
-            policy = live["policy"]
-            events = live["events"]
-            obs = live["obs"]
-            schedule = live["schedule"]
-            pool = live["pool"]
-            service_time = live["service_time"]
-            accuracy_sum = live["accuracy_sum"]
-            n_invocations = live["n_invocations"]
-            n_warm = live["n_warm"]
-            n_cold = live["n_cold"]
-            overhead = live["overhead"]
-            n_decisions = live["n_decisions"]
-            total_mb_minutes = live["total_mb_minutes"]
-            mem_series = live["mem_series"]
-            ideal_series = live["ideal_series"]
-            capacity_rng = live["capacity_rng"]
-            n_forced = live["n_forced"]
-            injector = live["injector"]
-            n_checkpoints = live["n_checkpoints"]
-            t_start = resume_from.next_minute
-            (cur_bucket,) = resume_from.cursor
+            self.policy = live["policy"]
+            self.events = live["events"]
+            self.obs = live["obs"]
+            self.schedule = live["schedule"]
+            self.pool = live["pool"]
+            self.service_time = live["service_time"]
+            self.accuracy_sum = live["accuracy_sum"]
+            self.n_invocations = live["n_invocations"]
+            self.n_warm = live["n_warm"]
+            self.n_cold = live["n_cold"]
+            self.overhead = live["overhead"]
+            self.n_decisions = live["n_decisions"]
+            self.total_mb_minutes = live["total_mb_minutes"]
+            self.mem_series = live["mem_series"]
+            self.ideal_series = live["ideal_series"]
+            self.capacity_rng = live["capacity_rng"]
+            self.n_forced = live["n_forced"]
+            self.injector = live["injector"]
+            self.n_checkpoints = live["n_checkpoints"]
+            self.next_minute = next_minute
+            (self.cur_bucket,) = cursor
 
         # Hot-loop telemetry handles (each None when its layer is off).
-        # Re-derived from the (possibly restored) session: the metrics
-        # registry hands back the same counter for the same name, so a
-        # resumed run keeps accumulating where the snapshot left off.
-        rec = obs if obs is not None and obs.decisions_enabled else None
-        met = obs.metrics if obs is not None and obs.metrics_enabled else None
-        spans = obs.spans if obs is not None and obs.spans_enabled else None
+        obs = self.obs
+        self.rec = rec = (
+            obs if obs is not None and obs.decisions_enabled else None
+        )
+        self.met = met = (
+            obs.metrics if obs is not None and obs.metrics_enabled else None
+        )
+        self.spans = (
+            obs.spans if obs is not None and obs.spans_enabled else None
+        )
         if met is not None:
             _inv = met.counter("invocations_total", "invocations served")
             _cold = met.counter("cold_starts_total", "user-visible cold starts")
-            inv_counters = [_inv.labels(function=f) for f in range(n_fn)]
-            cold_counters = [_cold.labels(function=f) for f in range(n_fn)]
-            warm_counter = met.counter(
+            self.inv_counters = [_inv.labels(function=f) for f in range(n_fn)]
+            self.cold_counters = [_cold.labels(function=f) for f in range(n_fn)]
+            self.warm_counter = met.counter(
                 "warm_starts_total", "invocations served warm"
             ).labels()
-            mem_hist = met.histogram(
+            self.mem_hist = met.histogram(
                 "keepalive_mb", "per-minute committed keep-alive memory"
             ).summary()
-        ckpt_counter = (
+        else:
+            self.inv_counters = self.cold_counters = None
+            self.warm_counter = self.mem_hist = None
+        self.ckpt_counter = (
             # repro: lint-ok[RPR002] fleet.py rejects checkpoint/resume at
             # entry, so this instrument is structurally absent there
             met.counter("checkpoints_total", "engine checkpoints captured")
             if met is not None and checkpoint is not None
             else None
         )
-        if resume_from is None:
-            last_arrival: list[int | None] = (
+        if live is None:
+            self.last_arrival: list[int | None] = (
                 [None] * n_fn if rec is not None else []
             )
         else:
-            last_arrival = live["last_arrival"]
+            self.last_arrival = live["last_arrival"]
 
-        highest_mb = np.array(
-            [self.assignment[fid].highest.memory_mb for fid in range(n_fn)]
+        self.highest_mb = np.array(
+            [sim.assignment[fid].highest.memory_mb for fid in range(n_fn)]
         )
+        self.measure = cfg.measure_overhead
+        self.capacity = cfg.memory_capacity_mb
+        has_pressure = (
+            self.injector is not None
+            and self.injector.pressure_minutes is not None
+        )
+        self.valve_on = self.capacity is not None or has_pressure
+        self.every = checkpoint.every_minutes if checkpoint is not None else 0
+        self.last_memory_mb = 0.0
+        self._result: RunResult | None = None
 
-        measure = cfg.measure_overhead
-        clock = time.perf_counter
-        capacity = cfg.memory_capacity_mb
-        has_pressure = injector is not None and injector.pressure_minutes is not None
-        valve_on = capacity is not None or has_pressure
-        every = checkpoint.every_minutes if checkpoint is not None else 0
+    def live_state(self) -> dict:
+        """The loop's live objects, in the checkpoint-payload shape.
 
-        # Pre-compute which functions invoke at each minute (hot-loop aid:
-        # most minutes touch only a few of the 12 functions).
-        invoking_by_minute: list[np.ndarray] = [
-            np.flatnonzero(counts[:, t]) for t in range(horizon)
-        ]
+        One dict → one pickle: shared identities (policy plan cache <->
+        schedule, events <-> pool) survive the round trip intact.
+        """
+        return {
+            "policy": self.policy,
+            "events": self.events,
+            "obs": self.obs,
+            "schedule": self.schedule,
+            "pool": self.pool,
+            "service_time": self.service_time,
+            "accuracy_sum": self.accuracy_sum,
+            "n_invocations": self.n_invocations,
+            "n_warm": self.n_warm,
+            "n_cold": self.n_cold,
+            "overhead": self.overhead,
+            "n_decisions": self.n_decisions,
+            "total_mb_minutes": self.total_mb_minutes,
+            "mem_series": self.mem_series,
+            "ideal_series": self.ideal_series,
+            "capacity_rng": self.capacity_rng,
+            "n_forced": self.n_forced,
+            "injector": self.injector,
+            "n_checkpoints": self.n_checkpoints,
+            "last_arrival": self.last_arrival,
+        }
 
-        for t in range(t_start, horizon):
+    def step(self, t: int, fids: np.ndarray, fid_counts: np.ndarray) -> None:
+        """Execute minute ``t``.
+
+        ``fids`` are the invoking function ids (ascending) with their
+        aligned invocation ``fid_counts``; pass empty arrays for an idle
+        minute. Minutes must be fed strictly in order (``t`` ==
+        ``next_minute``); the driver and the session layer both
+        guarantee this.
+        """
+        checkpoint = self.checkpoint
+        if checkpoint is not None and t // self.every > self.cur_bucket:
             # Checkpoint hook: fires at the first minute of each cadence
             # bucket, *before* the minute executes (next_minute == t).
             # Counters are bumped before capture so the snapshot already
-            # contains them — a clean run and a resumed run then agree on
-            # every count, bit for bit.
-            if checkpoint is not None and t // every > cur_bucket:
-                cur_bucket = t // every
-                n_checkpoints += 1
-                if ckpt_counter is not None:
-                    ckpt_counter.inc()
-                checkpoint.emit(
-                    SimulationState.snapshot(
-                        "reference",
-                        t,
-                        (cur_bucket,),
-                        {
-                            "policy": policy,
-                            "events": events,
-                            "obs": obs,
-                            "schedule": schedule,
-                            "pool": pool,
-                            "service_time": service_time,
-                            "accuracy_sum": accuracy_sum,
-                            "n_invocations": n_invocations,
-                            "n_warm": n_warm,
-                            "n_cold": n_cold,
-                            "overhead": overhead,
-                            "n_decisions": n_decisions,
-                            "total_mb_minutes": total_mb_minutes,
-                            "mem_series": mem_series,
-                            "ideal_series": ideal_series,
-                            "capacity_rng": capacity_rng,
-                            "n_forced": n_forced,
-                            "injector": injector,
-                            "n_checkpoints": n_checkpoints,
-                            "last_arrival": last_arrival,
-                        },
-                    )
+            # contains them — a clean run and a resumed run then agree
+            # on every count, bit for bit.
+            self.cur_bucket = t // self.every
+            self.n_checkpoints += 1
+            if self.ckpt_counter is not None:
+                self.ckpt_counter.inc()
+            checkpoint.emit(
+                SimulationState.snapshot(
+                    "reference", t, (self.cur_bucket,), self.live_state()
                 )
+            )
 
-            # Pre-warm pass: realize the schedule's decisions for this
-            # minute before invocations arrive.
-            if pool is not None:
-                if spans is None:
-                    for fid in range(n_fn):
-                        pool.reconcile(fid, schedule.alive_variant(fid, t), t)
-                else:
-                    s0 = clock()
-                    for fid in range(n_fn):
-                        pool.reconcile(fid, schedule.alive_variant(fid, t), t)
-                    spans.add("pool-reconcile", clock() - s0)
+        # Localize the hot names (the inner loop reads them many times);
+        # mutated scalars are written back at the end of the minute.
+        policy = self.policy
+        schedule = self.schedule
+        pool = self.pool
+        events = self.events
+        rec, met, spans = self.rec, self.met, self.spans
+        inv_counters, cold_counters = self.inv_counters, self.cold_counters
+        warm_counter = self.warm_counter
+        injector = self.injector
+        last_arrival = self.last_arrival
+        measure = self.measure
+        clock = time.perf_counter
+        n_fn = self.n_fn
+        service_time = self.service_time
+        accuracy_sum = self.accuracy_sum
+        n_invocations = self.n_invocations
+        n_warm = self.n_warm
+        n_cold = self.n_cold
+        overhead = self.overhead
+        n_decisions = self.n_decisions
 
-            # 1 + 2: serve invocations, then plan.
-            for fid in invoking_by_minute[t]:
-                fid = int(fid)
-                count = int(counts[fid, t])
-                alive = schedule.alive_variant(fid, t)
-                if alive is None:
-                    if measure:
-                        t0 = clock()
-                        variant = policy.cold_variant(fid, t)
-                        overhead += clock() - t0
-                        n_decisions += 1
-                    else:
-                        variant = policy.cold_variant(fid, t)
-                    if injector is None:
-                        service_time += (
-                            variant.cold_service_time_s
-                            + (count - 1) * variant.warm_service_time_s
-                        )
-                    else:
-                        service_time += (
-                            variant.cold_service_time_s
-                            + injector.cold_start_penalty(
-                                t, fid, variant, rec, events
-                            )
-                            + (count - 1) * variant.warm_service_time_s
-                        )
-                    n_cold += 1
-                    n_warm += count - 1
-                    accuracy_sum += count * variant.accuracy
-                    schedule.mark_alive(fid, t, variant)
-                    if pool is not None:
-                        pool.cold_start(fid, variant, t)
-                        pool.record_served(fid, count)
-                    if events is not None:
-                        events.emit(t, EventKind.COLD_START, fid, variant.name, 1)
-                        if count > 1:
-                            events.emit(
-                                t, EventKind.WARM_START, fid, variant.name, count - 1
-                            )
-                    if rec is not None:
-                        rec.record_cold(
-                            t, fid, variant.name, count, last_arrival[fid]
-                        )
-                    if met is not None:
-                        cold_counters[fid].inc()
-                        if count > 1:
-                            warm_counter.inc(count - 1)
-                else:
-                    service_time += count * alive.warm_service_time_s
-                    n_warm += count
-                    accuracy_sum += count * alive.accuracy
-                    if pool is not None:
-                        pool.record_served(fid, count)
-                    if events is not None:
-                        events.emit(t, EventKind.WARM_START, fid, alive.name, count)
-                    if met is not None:
-                        warm_counter.inc(count)
-                n_invocations += count
-                if met is not None:
-                    inv_counters[fid].inc(count)
+        # Pre-warm pass: realize the schedule's decisions for this
+        # minute before invocations arrive.
+        if pool is not None:
+            if spans is None:
+                for fid in range(n_fn):
+                    pool.reconcile(fid, schedule.alive_variant(fid, t), t)
+            else:
+                s0 = clock()
+                for fid in range(n_fn):
+                    pool.reconcile(fid, schedule.alive_variant(fid, t), t)
+                spans.add("pool-reconcile", clock() - s0)
 
-                policy.observe_invocation(fid, t, count)
+        # 1 + 2: serve invocations, then plan.
+        for fid, count in zip(fids.tolist(), fid_counts.tolist()):
+            count = int(count)
+            alive = schedule.alive_variant(fid, t)
+            if alive is None:
                 if measure:
                     t0 = clock()
-                    plan = policy.plan(fid, t)
+                    variant = policy.cold_variant(fid, t)
                     overhead += clock() - t0
                     n_decisions += 1
                 else:
-                    plan = policy.plan(fid, t)
-                schedule.set_plan(fid, t, plan)
+                    variant = policy.cold_variant(fid, t)
+                if injector is None:
+                    service_time += (
+                        variant.cold_service_time_s
+                        + (count - 1) * variant.warm_service_time_s
+                    )
+                else:
+                    service_time += (
+                        variant.cold_service_time_s
+                        + injector.cold_start_penalty(
+                            t, fid, variant, rec, events
+                        )
+                        + (count - 1) * variant.warm_service_time_s
+                    )
+                n_cold += 1
+                n_warm += count - 1
+                accuracy_sum += count * variant.accuracy
+                schedule.mark_alive(fid, t, variant)
+                if pool is not None:
+                    pool.cold_start(fid, variant, t)
+                    pool.record_served(fid, count)
+                if events is not None:
+                    events.emit(t, EventKind.COLD_START, fid, variant.name, 1)
+                    if count > 1:
+                        events.emit(
+                            t, EventKind.WARM_START, fid, variant.name, count - 1
+                        )
                 if rec is not None:
-                    rec.record_plan(t, fid, plan)
-                    last_arrival[fid] = t
+                    rec.record_cold(
+                        t, fid, variant.name, count, last_arrival[fid]
+                    )
+                if met is not None:
+                    cold_counters[fid].inc()
+                    if count > 1:
+                        warm_counter.inc(count - 1)
+            else:
+                service_time += count * alive.warm_service_time_s
+                n_warm += count
+                accuracy_sum += count * alive.accuracy
+                if pool is not None:
+                    pool.record_served(fid, count)
+                if events is not None:
+                    events.emit(t, EventKind.WARM_START, fid, alive.name, count)
+                if met is not None:
+                    warm_counter.inc(count)
+            n_invocations += count
+            if met is not None:
+                inv_counters[fid].inc(count)
 
-            # 3: cross-function review (peak flattening).
+            policy.observe_invocation(fid, t, count)
             if measure:
                 t0 = clock()
-                policy.review_minute(t, schedule)
+                plan = policy.plan(fid, t)
                 overhead += clock() - t0
                 n_decisions += 1
             else:
-                policy.review_minute(t, schedule)
+                plan = policy.plan(fid, t)
+            schedule.set_plan(fid, t, plan)
+            if rec is not None:
+                rec.record_plan(t, fid, plan)
+                last_arrival[fid] = t
 
-            # 3b: provider pressure valve — random downgrades when the
-            # minute's keep-alive memory exceeds the platform capacity
-            # (the standing cap, or a fault plan's transient spike cap).
-            if valve_on:
-                cap_t = (
-                    capacity
-                    if injector is None
-                    else injector.effective_capacity(t, capacity)
+        # 3: cross-function review (peak flattening).
+        if measure:
+            t0 = clock()
+            policy.review_minute(t, schedule)
+            overhead += clock() - t0
+            n_decisions += 1
+        else:
+            policy.review_minute(t, schedule)
+
+        # 3b: provider pressure valve — random downgrades when the
+        # minute's keep-alive memory exceeds the platform capacity
+        # (the standing cap, or a fault plan's transient spike cap).
+        if self.valve_on:
+            cap_t = (
+                self.capacity
+                if injector is None
+                else injector.effective_capacity(t, self.capacity)
+            )
+            if cap_t is not None:
+                self.n_forced += apply_capacity_valve(
+                    schedule, t, cap_t, self.capacity_rng, self.assignment,
+                    events, rec,
                 )
-                if cap_t is not None:
-                    n_forced += apply_capacity_valve(
-                        schedule, t, cap_t, capacity_rng, self.assignment,
-                        events, rec,
-                    )
 
-            # 4: commit the minute — settle containers on the post-review
-            # variants, then charge warm minutes.
-            if pool is not None:
-                if spans is None:
-                    for fid in range(n_fn):
-                        pool.reconcile(fid, schedule.alive_variant(fid, t), t)
-                else:
-                    s0 = clock()
-                    for fid in range(n_fn):
-                        pool.reconcile(fid, schedule.alive_variant(fid, t), t)
-                    spans.add("pool-reconcile", clock() - s0)
-                pool.tick_all()
+        # 4: commit the minute — settle containers on the post-review
+        # variants, then charge warm minutes.
+        if pool is not None:
+            if spans is None:
+                for fid in range(n_fn):
+                    pool.reconcile(fid, schedule.alive_variant(fid, t), t)
+            else:
+                s0 = clock()
+                for fid in range(n_fn):
+                    pool.reconcile(fid, schedule.alive_variant(fid, t), t)
+                spans.add("pool-reconcile", clock() - s0)
+            pool.tick_all()
 
-            mem_t = schedule.memory_at(t)
-            total_mb_minutes += mem_t
-            if events is not None:
-                events.emit(t, EventKind.MEMORY_COMMIT, value=mem_t)
-            if met is not None:
-                mem_hist.observe(mem_t)
-            if mem_series is not None:
-                mem_series[t] = mem_t
-            if ideal_series is not None and len(invoking_by_minute[t]):
-                ideal_series[t] = highest_mb[invoking_by_minute[t]].sum()
+        mem_t = schedule.memory_at(t)
+        self.total_mb_minutes += mem_t
+        if events is not None:
+            events.emit(t, EventKind.MEMORY_COMMIT, value=mem_t)
+        if met is not None:
+            self.mem_hist.observe(mem_t)
+        if self.mem_series is not None:
+            self.mem_series[t] = mem_t
+        if self.ideal_series is not None and fids.size:
+            self.ideal_series[t] = self.highest_mb[fids].sum()
 
-            schedule.advance(t + 1)
+        schedule.advance(t + 1)
 
-        mean_accuracy = accuracy_sum / n_invocations if n_invocations else 0.0
+        self.service_time = service_time
+        self.accuracy_sum = accuracy_sum
+        self.n_invocations = n_invocations
+        self.n_warm = n_warm
+        self.n_cold = n_cold
+        self.overhead = overhead
+        self.n_decisions = n_decisions
+        self.last_memory_mb = mem_t
+        self.next_minute = t + 1
+
+    def finalize(self) -> RunResult:
+        """Close the run and build its :class:`RunResult` (idempotent —
+        the metric gauges below mutate, so the result is cached)."""
+        if self._result is not None:
+            return self._result
+        cfg = self.cfg
+        n_invocations = self.n_invocations
+        mean_accuracy = (
+            self.accuracy_sum / n_invocations if n_invocations else 0.0
+        )
+        met = self.met
         if met is not None:
             met.counter(
                 "forced_downgrades_total", "capacity-valve downgrades"
-            ).inc(n_forced)
-            met.gauge("horizon_minutes").set(horizon)
-            met.gauge("n_functions").set(n_fn)
-            met.gauge("keepalive_mb_minutes").set(total_mb_minutes)
-        resilience = collect_resilience(policy, injector, horizon)
-        return RunResult(
-            policy_name=policy.name,
+            ).inc(self.n_forced)
+            met.gauge("horizon_minutes").set(self.horizon)
+            met.gauge("n_functions").set(self.n_fn)
+            met.gauge("keepalive_mb_minutes").set(self.total_mb_minutes)
+        resilience = collect_resilience(
+            self.policy, self.injector, self.horizon
+        )
+        self._result = RunResult(
+            policy_name=self.policy.name,
             n_invocations=n_invocations,
-            n_warm=n_warm,
-            n_cold=n_cold,
-            total_service_time_s=service_time,
-            keepalive_cost_usd=cfg.cost_model.minute_cost(total_mb_minutes),
+            n_warm=self.n_warm,
+            n_cold=self.n_cold,
+            total_service_time_s=self.service_time,
+            keepalive_cost_usd=cfg.cost_model.minute_cost(
+                self.total_mb_minutes
+            ),
             mean_accuracy=mean_accuracy,
-            policy_overhead_s=overhead,
-            n_policy_decisions=n_decisions,
-            memory_series_mb=mem_series,
-            ideal_memory_series_mb=ideal_series,
-            pool_stats=pool.stats if pool is not None else None,
-            events=events,
-            n_forced_downgrades=n_forced,
-            n_checkpoints=n_checkpoints,
-            obs=obs,
+            policy_overhead_s=self.overhead,
+            n_policy_decisions=self.n_decisions,
+            memory_series_mb=self.mem_series,
+            ideal_memory_series_mb=self.ideal_series,
+            pool_stats=self.pool.stats if self.pool is not None else None,
+            events=self.events,
+            n_forced_downgrades=self.n_forced,
+            n_checkpoints=self.n_checkpoints,
+            obs=self.obs,
             **resilience,
         )
+        return self._result

@@ -1,0 +1,18 @@
+"""Incremental control plane: step a run one minute at a time.
+
+:mod:`repro.serve.session` owns the :class:`ControlSession` API —
+``open_session(...)`` returns a session whose ``advance()`` executes one
+simulated minute on any of the three engines and reports that minute's
+decisions; ``snapshot()``/``restore()`` make sessions survive process
+restarts. :mod:`repro.serve.app` wraps sessions in a multi-tenant async
+HTTP service (FastAPI when installed, a stdlib fallback otherwise).
+"""
+
+from repro.serve.session import (
+    AdvanceResult,
+    ControlSession,
+    TraceMeta,
+    open_session,
+)
+
+__all__ = ["AdvanceResult", "ControlSession", "TraceMeta", "open_session"]

@@ -1,0 +1,569 @@
+"""Async serving layer: multi-tenant HTTP control plane over sessions.
+
+:class:`SessionManager` is the framework-agnostic core — a registry of
+named :class:`~repro.serve.session.ControlSession` instances, each with
+its own lock (advances serialize per session, tenants run concurrently)
+and an optional auto-tick thread that drives ``advance()`` on a wall-
+clock cadence. The HTTP layer is a thin JSON translation over it:
+
+==========  =====================================  ========================
+``GET``     ``/v1/healthz``                        liveness probe
+``GET``     ``/v1/sessions``                       list open sessions
+``POST``    ``/v1/sessions``                       open (JSON spec body)
+``POST``    ``/v1/sessions/restore``               reopen from a snapshot
+``GET``     ``/v1/sessions/{id}``                  session info
+``DELETE``  ``/v1/sessions/{id}``                  close (stops its ticker)
+``POST``    ``/v1/sessions/{id}/advance``          execute one minute
+``POST``    ``/v1/sessions/{id}/tick``             start/stop auto-tick
+``GET``     ``/v1/sessions/{id}/metrics``          Prometheus exposition
+``GET``     ``/v1/sessions/{id}/snapshot``         pickled SimulationState
+``GET``     ``/v1/sessions/{id}/decisions?fid=``   decision-trace records
+``GET``     ``/v1/sessions/{id}/result``           final RunResult summary
+==========  =====================================  ========================
+
+Two transports share the manager. The **stdlib** server
+(:func:`make_server`, ``http.server.ThreadingHTTPServer``) always works
+and is what the test suite and ``repro serve`` exercise. When
+**FastAPI** is installed (an optional extra — never required),
+:func:`create_fastapi_app` builds the same routes as an ASGI app for
+uvicorn/hypercorn deployment.
+
+Snapshots cross the wire as pickles (the engine checkpoint format) —
+only bind to interfaces you trust; the default is loopback.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import pickle
+import re
+import threading
+
+from repro.obs.export import render_prometheus
+from repro.runtime.checkpoint import SimulationState
+from repro.serve.session import ControlSession, TraceMeta, open_session
+
+__all__ = [
+    "ApiError",
+    "SessionManager",
+    "create_fastapi_app",
+    "make_server",
+    "open_session_from_spec",
+    "serve",
+]
+
+
+class ApiError(Exception):
+    """A request error with an HTTP status (the transports map it)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def open_session_from_spec(spec: dict) -> ControlSession:
+    """Build a session from a JSON-shaped spec (the POST body).
+
+    The workload is either ``{"synthetic": {...}}`` — kwargs for
+    :class:`~repro.traces.synthetic.SyntheticTraceConfig` plus an
+    optional ``n_functions`` — giving a replay-mode session over a
+    generated trace, or ``{"meta": {"n_functions": N,
+    "horizon_minutes": H}}`` for an online session whose invocations
+    arrive per ``advance()`` call. Remaining keys mirror
+    :func:`~repro.serve.session.open_session`: ``policy``, ``engine``,
+    ``shards``, ``faults``, ``observe`` (default **true** here — the
+    metrics and decisions endpoints need telemetry), ``seed``.
+    """
+    if not isinstance(spec, dict):
+        raise ApiError(400, "session spec must be a JSON object")
+    known = {
+        "synthetic", "meta", "policy", "engine", "shards", "faults",
+        "observe", "seed",
+    }
+    unknown = sorted(set(spec) - known)
+    if unknown:
+        raise ApiError(
+            400,
+            f"unknown session spec keys: {', '.join(unknown)} "
+            f"(expected some of: {', '.join(sorted(known))})",
+        )
+    if ("synthetic" in spec) == ("meta" in spec):
+        raise ApiError(
+            400,
+            "session spec needs exactly one workload: 'synthetic' "
+            "(replay a generated trace) or 'meta' (online invocations)",
+        )
+    try:
+        if "meta" in spec:
+            workload = TraceMeta(**spec["meta"])
+        else:
+            from repro.traces.synthetic import (
+                SyntheticTraceConfig,
+                generate_trace,
+            )
+
+            workload = generate_trace(SyntheticTraceConfig(**spec["synthetic"]))
+        return open_session(
+            workload,
+            policy=spec.get("policy", "pulse"),
+            engine=spec.get("engine", "auto"),
+            shards=spec.get("shards", 1),
+            faults=spec.get("faults"),
+            observe=spec.get("observe", True),
+            seed=spec.get("seed", 0),
+        )
+    except ApiError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ApiError(400, str(exc)) from exc
+
+
+class _Ticker:
+    """Background thread driving one session's ``advance()`` on a
+    wall-clock cadence until the horizon, a stop, or an error."""
+
+    def __init__(self, managed: "_ManagedSession", interval_s: float):
+        self.interval_s = interval_s
+        self.error: str | None = None
+        self._managed = managed
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"tick-{managed.sid}", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        managed = self._managed
+        while not self._stop.is_set():
+            with managed.lock:
+                if managed.session.done:
+                    break
+                try:
+                    managed.session.advance()
+                    managed.n_advances += 1
+                except Exception as exc:  # surfaced via session info
+                    self.error = str(exc)
+                    break
+            self._stop.wait(self.interval_s)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    @property
+    def running(self) -> bool:
+        return self._thread.is_alive()
+
+
+class _ManagedSession:
+    def __init__(self, sid: str, session: ControlSession):
+        self.sid = sid
+        self.session = session
+        self.lock = threading.Lock()
+        self.ticker: _Ticker | None = None
+        self.n_advances = 0
+
+
+class SessionManager:
+    """The multi-tenant registry both transports route into.
+
+    Every operation takes the target session's lock, so concurrent
+    requests against one session serialize (the engines are single-
+    threaded by design) while different tenants advance in parallel.
+    """
+
+    def __init__(self):
+        self._sessions: dict[str, _ManagedSession] = {}
+        self._registry_lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    # -- registry ----------------------------------------------------------
+
+    def _register(self, session: ControlSession) -> dict:
+        with self._registry_lock:
+            sid = f"s{next(self._ids)}"
+            self._sessions[sid] = _ManagedSession(sid, session)
+        return self.info(sid)
+
+    def create(self, spec: dict) -> dict:
+        return self._register(open_session_from_spec(spec))
+
+    def restore(self, payload: bytes) -> dict:
+        """Reopen a session from pickled :class:`SimulationState` bytes
+        (the body a ``/snapshot`` GET returned)."""
+        try:
+            state = pickle.loads(payload)
+        except Exception as exc:
+            raise ApiError(400, f"undecodable snapshot payload: {exc}") from exc
+        if not isinstance(state, SimulationState):
+            raise ApiError(400, "snapshot payload is not a SimulationState")
+        try:
+            return self._register(ControlSession.restore(state))
+        except ValueError as exc:
+            raise ApiError(400, str(exc)) from exc
+
+    def _get(self, sid: str) -> _ManagedSession:
+        try:
+            return self._sessions[sid]
+        except KeyError:
+            raise ApiError(404, f"no session {sid!r}") from None
+
+    def list(self) -> list[dict]:
+        return [self.info(sid) for sid in sorted(self._sessions)]
+
+    def info(self, sid: str) -> dict:
+        managed = self._get(sid)
+        session = managed.session
+        ticker = managed.ticker
+        return {
+            "id": sid,
+            "engine": session.engine,
+            "online": session.online,
+            "n_functions": session.n_functions,
+            "horizon_minutes": session.horizon,
+            "next_minute": session.next_minute,
+            "done": session.done,
+            "n_advances": managed.n_advances,
+            "ticking": ticker is not None and ticker.running,
+            "tick_error": ticker.error if ticker is not None else None,
+        }
+
+    def close(self, sid: str) -> dict:
+        managed = self._get(sid)
+        if managed.ticker is not None:
+            managed.ticker.stop()
+        with self._registry_lock:
+            self._sessions.pop(sid, None)
+        return {"id": sid, "closed": True}
+
+    def close_all(self) -> None:
+        for sid in list(self._sessions):
+            self.close(sid)
+
+    # -- stepping ----------------------------------------------------------
+
+    def advance(self, sid: str, body: dict | None = None) -> dict:
+        body = body or {}
+        managed = self._get(sid)
+        invocations = body.get("invocations")
+        if isinstance(invocations, dict):
+            # JSON object keys are strings; fids are ints.
+            invocations = {int(k): v for k, v in invocations.items()}
+        with managed.lock:
+            try:
+                result = managed.session.advance(
+                    body.get("minute"), invocations
+                )
+            except ValueError as exc:
+                raise ApiError(409, str(exc)) from exc
+            managed.n_advances += 1
+        return result.as_dict()
+
+    def tick(self, sid: str, body: dict | None = None) -> dict:
+        body = body or {}
+        managed = self._get(sid)
+        action = body.get("action", "start")
+        if action == "start":
+            interval_ms = body.get("interval_ms", 1000)
+            if not isinstance(interval_ms, (int, float)) or interval_ms < 0:
+                raise ApiError(400, f"bad interval_ms: {interval_ms!r}")
+            if managed.ticker is not None and managed.ticker.running:
+                raise ApiError(409, f"session {sid} is already ticking")
+            managed.ticker = _Ticker(managed, interval_ms / 1000.0)
+        elif action == "stop":
+            if managed.ticker is not None:
+                managed.ticker.stop()
+        else:
+            raise ApiError(400, f"tick action must be start|stop, got {action!r}")
+        return self.info(sid)
+
+    # -- read-outs ---------------------------------------------------------
+
+    def metrics(self, sid: str) -> str:
+        managed = self._get(sid)
+        with managed.lock:
+            obs = managed.session.stepper.obs
+            try:
+                return render_prometheus(obs)
+            except ValueError as exc:
+                raise ApiError(409, str(exc)) from exc
+
+    def snapshot(self, sid: str) -> bytes:
+        managed = self._get(sid)
+        with managed.lock:
+            state = managed.session.snapshot()
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def decisions(
+        self, sid: str, fid: int | None = None, kind: str | None = None
+    ) -> list[dict]:
+        managed = self._get(sid)
+        with managed.lock:
+            return managed.session.decisions(fid, kind=kind)
+
+    def result(self, sid: str) -> dict:
+        managed = self._get(sid)
+        with managed.lock:
+            session = managed.session
+            if not session.done:
+                raise ApiError(
+                    409,
+                    f"session {sid} has only reached minute "
+                    f"{session.next_minute} of {session.horizon}; "
+                    "advance it to the horizon first",
+                )
+            summary = session.result().summary()
+        return summary
+
+
+# -- stdlib transport --------------------------------------------------------
+def make_server(host: str = "127.0.0.1", *, port: int = 0, manager=None):
+    """A ready-to-run ``ThreadingHTTPServer`` serving the v1 API.
+
+    Returns the server; call ``serve_forever()`` (typically on a
+    thread) and ``shutdown()`` to stop. ``port=0`` binds an ephemeral
+    port (``server.server_address`` has the real one) — what the tests
+    and the smoke driver use. The attached manager is reachable as
+    ``server.manager``.
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    manager = manager if manager is not None else SessionManager()
+
+    _SID = r"(?P<sid>[A-Za-z0-9_-]+)"
+    routes = [
+        ("GET", re.compile(r"^/v1/healthz$"),
+         lambda m, q, b: {"status": "ok"}),
+        ("GET", re.compile(r"^/v1/sessions$"),
+         lambda m, q, b: {"sessions": manager.list()}),
+        ("POST", re.compile(r"^/v1/sessions$"),
+         lambda m, q, b: manager.create(_json_body(b))),
+        ("POST", re.compile(r"^/v1/sessions/restore$"),
+         lambda m, q, b: manager.restore(b)),
+        ("GET", re.compile(rf"^/v1/sessions/{_SID}$"),
+         lambda m, q, b: manager.info(m["sid"])),
+        ("DELETE", re.compile(rf"^/v1/sessions/{_SID}$"),
+         lambda m, q, b: manager.close(m["sid"])),
+        ("POST", re.compile(rf"^/v1/sessions/{_SID}/advance$"),
+         lambda m, q, b: manager.advance(m["sid"], _json_body(b, {}))),
+        ("POST", re.compile(rf"^/v1/sessions/{_SID}/tick$"),
+         lambda m, q, b: manager.tick(m["sid"], _json_body(b, {}))),
+        ("GET", re.compile(rf"^/v1/sessions/{_SID}/metrics$"),
+         lambda m, q, b: _Text(manager.metrics(m["sid"]))),
+        ("GET", re.compile(rf"^/v1/sessions/{_SID}/snapshot$"),
+         lambda m, q, b: _Octets(manager.snapshot(m["sid"]))),
+        ("GET", re.compile(rf"^/v1/sessions/{_SID}/decisions$"),
+         lambda m, q, b: {
+             "decisions": manager.decisions(
+                 m["sid"],
+                 int(q["fid"][0]) if "fid" in q else None,
+                 q["kind"][0] if "kind" in q else None,
+             )
+         }),
+        ("GET", re.compile(rf"^/v1/sessions/{_SID}/result$"),
+         lambda m, q, b: manager.result(m["sid"])),
+    ]
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, fmt, *args):  # quiet by default
+            pass
+
+        def _dispatch(self, method: str) -> None:
+            from urllib.parse import parse_qs, urlsplit
+
+            split = urlsplit(self.path)
+            query = parse_qs(split.query)
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+            for verb, pattern, handler in routes:
+                if verb != method:
+                    continue
+                match = pattern.match(split.path)
+                if match is None:
+                    continue
+                try:
+                    payload = handler(match.groupdict(), query, body)
+                except ApiError as exc:
+                    self._send_json(exc.status, {"error": str(exc)})
+                except Exception as exc:  # engine bug: report, keep serving
+                    self._send_json(500, {"error": f"internal: {exc}"})
+                else:
+                    if isinstance(payload, _Text):
+                        self._send_raw(
+                            200, payload.value.encode(),
+                            "text/plain; version=0.0.4; charset=utf-8",
+                        )
+                    elif isinstance(payload, _Octets):
+                        self._send_raw(
+                            200, payload.value, "application/octet-stream"
+                        )
+                    else:
+                        self._send_json(200, payload)
+                return
+            self._send_json(404, {"error": f"no route {method} {split.path}"})
+
+        def _send_json(self, status: int, payload: dict) -> None:
+            self._send_raw(
+                status, json.dumps(payload).encode(), "application/json"
+            )
+
+        def _send_raw(self, status: int, body: bytes, ctype: str) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", ctype)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self):
+            self._dispatch("GET")
+
+        def do_POST(self):
+            self._dispatch("POST")
+
+        def do_DELETE(self):
+            self._dispatch("DELETE")
+
+    class Server(ThreadingHTTPServer):
+        # Multi-tenant control planes see bursts of simultaneous
+        # connects (every tenant advancing each minute); the stdlib
+        # default backlog of 5 drops connections under that load.
+        request_queue_size = 128
+        daemon_threads = True
+
+    server = Server((host, port), Handler)
+    server.manager = manager
+    return server
+
+
+class _Text:
+    """Marker wrapper: route result is already plain text."""
+
+    def __init__(self, value: str):
+        self.value = value
+
+
+class _Octets:
+    """Marker wrapper: route result is raw bytes."""
+
+    def __init__(self, value: bytes):
+        self.value = value
+
+
+def _json_body(body: bytes, default=None):
+    if not body:
+        if default is not None:
+            return default
+        raise ApiError(400, "request needs a JSON body")
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise ApiError(400, f"bad JSON body: {exc}") from exc
+
+
+def serve(host: str = "127.0.0.1", *, port: int = 8750, manager=None) -> None:
+    """Run the stdlib server until interrupted (the ``repro serve``
+    entry point). Binds loopback by default — snapshots travel as
+    pickles, so only expose the port to callers you trust."""
+    server = make_server(host, port=port, manager=manager)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serve: listening on http://{bound_host}:{bound_port}/v1")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.manager.close_all()
+        server.server_close()
+
+
+# -- FastAPI transport (optional extra) --------------------------------------
+def create_fastapi_app(manager=None):
+    """The same v1 routes as an ASGI app (requires ``fastapi``).
+
+    FastAPI is an optional extra — the stdlib transport above is the
+    always-available (and test-covered) path; this factory exists for
+    deployments that want uvicorn's event loop and OpenAPI docs:
+    ``uvicorn --factory repro.serve.app:create_fastapi_app``.
+
+    Engine advances hold the session lock in a worker thread (the def —
+    not async def — handlers run in FastAPI's threadpool), matching the
+    stdlib transport's per-session serialization.
+    """
+    try:
+        from fastapi import FastAPI, HTTPException, Request, Response
+    except ImportError as exc:  # pragma: no cover - optional extra
+        raise ImportError(
+            "create_fastapi_app needs the optional 'fastapi' extra; "
+            "the stdlib transport (repro.serve.app.serve) has no "
+            "dependencies"
+        ) from exc
+
+    manager = manager if manager is not None else SessionManager()
+    app = FastAPI(title="repro control plane", version="1")
+    app.state.manager = manager
+
+    def _guard(fn, *args, **kwargs):
+        try:
+            return fn(*args, **kwargs)
+        except ApiError as exc:
+            raise HTTPException(exc.status, str(exc)) from exc
+
+    @app.get("/v1/healthz")
+    def healthz():
+        return {"status": "ok"}
+
+    @app.get("/v1/sessions")
+    def list_sessions():
+        return {"sessions": manager.list()}
+
+    @app.post("/v1/sessions")
+    def create_session(spec: dict):
+        return _guard(manager.create, spec)
+
+    @app.post("/v1/sessions/restore")
+    async def restore_session(request: Request):
+        return _guard(manager.restore, await request.body())
+
+    @app.get("/v1/sessions/{sid}")
+    def session_info(sid: str):
+        return _guard(manager.info, sid)
+
+    @app.delete("/v1/sessions/{sid}")
+    def close_session(sid: str):
+        return _guard(manager.close, sid)
+
+    @app.post("/v1/sessions/{sid}/advance")
+    def advance_session(sid: str, body: dict | None = None):
+        return _guard(manager.advance, sid, body)
+
+    @app.post("/v1/sessions/{sid}/tick")
+    def tick_session(sid: str, body: dict | None = None):
+        return _guard(manager.tick, sid, body)
+
+    @app.get("/v1/sessions/{sid}/metrics")
+    def session_metrics(sid: str):
+        return Response(
+            _guard(manager.metrics, sid),
+            media_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    @app.get("/v1/sessions/{sid}/snapshot")
+    def session_snapshot(sid: str):
+        return Response(
+            _guard(manager.snapshot, sid),
+            media_type="application/octet-stream",
+        )
+
+    @app.get("/v1/sessions/{sid}/decisions")
+    def session_decisions(sid: str, fid: int | None = None,
+                          kind: str | None = None):
+        return {"decisions": _guard(manager.decisions, sid, fid, kind)}
+
+    @app.get("/v1/sessions/{sid}/result")
+    def session_result(sid: str):
+        return _guard(manager.result, sid)
+
+    return app

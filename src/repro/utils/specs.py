@@ -18,8 +18,10 @@ from collections.abc import Callable, Iterable, Mapping, Sequence
 from pathlib import Path
 
 __all__ = [
+    "ENGINES",
     "SpecError",
     "parse_choice_list",
+    "parse_engine",
     "parse_fid_minute",
     "parse_float_list",
     "parse_kv_spec",
@@ -31,6 +33,37 @@ __all__ = [
 
 class SpecError(SystemExit):
     """A malformed CLI spec. Exits the CLI; catchable by libraries."""
+
+
+#: The engine vocabulary, in documentation order. Every surface that
+#: takes an engine selector — ``repro simulate --engine``, the
+#: :func:`repro.api.simulate` facade, ``ExperimentConfig``, the durable
+#: sweep manifest, ``repro.serve`` sessions — shares this tuple, so the
+#: spelling cannot drift between layers.
+ENGINES = ("auto", "reference", "fast", "fleet")
+
+
+def parse_engine(value: str, flag: str = "engine") -> str:
+    """Validate and canonicalize an engine selector.
+
+    Accepts any case, returns the lowercase canonical name. Raises
+    :class:`ValueError` — not :class:`SpecError` — so it composes with
+    argparse ``type=`` callables and with library-level config
+    validation (``ExperimentConfig``) that promises ``ValueError`` on
+    bad input; CLI surfaces get argparse's usage message for free.
+    """
+    if not isinstance(value, str):
+        raise ValueError(
+            f"{flag} must be a string, got {value!r}; "
+            f"choose one of: {', '.join(ENGINES)}"
+        )
+    canonical = value.strip().lower()
+    if canonical not in ENGINES:
+        raise ValueError(
+            f"unknown engine {value!r} for {flag}; "
+            f"choose one of: {', '.join(ENGINES)}"
+        )
+    return canonical
 
 
 def parse_fid_minute(spec: str, flag: str) -> tuple[int, int]:

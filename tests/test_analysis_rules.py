@@ -394,6 +394,145 @@ class TestDeprecationRPR004:
         )
         assert rules_hit(path, "RPR004") == ["RPR004"]
 
+    def test_new_shim_without_removal_note_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            """\
+            import warnings
+
+            def old_entry():
+                warnings.warn("use new_entry instead", DeprecationWarning)
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR004"])
+        (finding,) = report.findings
+        assert "removal note" in finding.message
+
+    def test_shim_with_removal_note_in_message_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            """\
+            import warnings
+
+            def old_entry():
+                warnings.warn(
+                    "use new_entry instead; removed in the next release",
+                    DeprecationWarning,
+                )
+            """,
+        )
+        assert rules_hit(path, "RPR004") == []
+
+    def test_shim_with_removal_note_in_comment_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            """\
+            import warnings
+
+            def old_entry():
+                # Shim removed once downstream migrates (tracked in
+                # the deprecation section of the changelog).
+                warnings.warn("use new_entry instead", DeprecationWarning)
+            """,
+        )
+        assert rules_hit(path, "RPR004") == []
+
+    def test_non_deprecation_warn_ignored(self, tmp_path):
+        path = write(
+            tmp_path,
+            "x.py",
+            """\
+            import warnings
+
+            def noisy():
+                warnings.warn("heads up", RuntimeWarning)
+            """,
+        )
+        assert rules_hit(path, "RPR004") == []
+
+
+class TestFacadeRPR007:
+    def test_positional_params_in_facade_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/api.py",
+            """\
+            def simulate(trace, assignment, policy):
+                return None
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR007"])
+        (finding,) = report.findings
+        assert "assignment" in finding.message
+        assert "policy" in finding.message
+
+    def test_keyword_only_facade_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/api.py",
+            """\
+            def simulate(trace, *, assignment, policy):
+                return None
+            """,
+        )
+        assert rules_hit(path, "RPR007") == []
+
+    def test_serve_modules_are_facade(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/serve/session.py",
+            """\
+            def open_session(trace, policy):
+                return None
+            """,
+        )
+        assert rules_hit(path, "RPR007") == ["RPR007"]
+
+    def test_private_and_nested_functions_exempt(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/serve/app.py",
+            """\
+            def _helper(a, b, c):
+                return a
+
+            def public(spec):
+                def inner(a, b):
+                    return a
+                return inner
+
+            class Manager:
+                def method(self, sid, body):
+                    return sid
+            """,
+        )
+        assert rules_hit(path, "RPR007") == []
+
+    def test_non_facade_module_exempt(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/runtime/x.py",
+            """\
+            def step(sim, minute, events):
+                return None
+            """,
+        )
+        assert rules_hit(path, "RPR007") == []
+
+    def test_waiver_with_reason_accepted(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/api.py",
+            """\
+            def compare(a, b):  # repro: lint-ok[RPR007] symmetric pair
+                return a is b
+            """,
+        )
+        assert rules_hit(path, "RPR007") == []
+
 
 class TestSpecStringsRPR005:
     def test_bad_from_spec_literal_flagged(self, tmp_path):

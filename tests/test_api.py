@@ -87,7 +87,7 @@ class TestRegistry:
 
 class TestSimulateFacade:
     def test_name_matches_manual_construction(self, small_trace, assignment):
-        via_facade = simulate(small_trace, assignment, "openwhisk")
+        via_facade = simulate(small_trace, assignment=assignment, policy="openwhisk")
         manual = Simulation(
             small_trace, assignment, OpenWhiskPolicy(), SimulationConfig()
         ).run(engine="auto")
@@ -96,39 +96,52 @@ class TestSimulateFacade:
         assert via_facade.mean_accuracy == manual.mean_accuracy
 
     def test_engines_agree(self, small_trace, assignment):
-        ref = simulate(small_trace, assignment, "pulse", engine="reference")
-        fast = simulate(small_trace, assignment, "pulse", engine="fast")
+        ref = simulate(
+            small_trace, assignment=assignment, policy="pulse",
+            engine="reference",
+        )
+        fast = simulate(
+            small_trace, assignment=assignment, policy="pulse",
+            engine="fast",
+        )
         assert ref.total_service_time_s == fast.total_service_time_s
         assert ref.keepalive_cost_usd == fast.keepalive_cost_usd
 
     def test_policy_instance_accepted(self, small_trace, assignment):
-        r = simulate(small_trace, assignment, OpenWhiskPolicy())
+        r = simulate(
+            small_trace, assignment=assignment, policy=OpenWhiskPolicy()
+        )
         assert r.policy_name == "OpenWhisk"
 
     def test_long_window_policy_gets_its_window(self, small_trace, assignment):
         # "wild" plans 4-hour windows; the facade must run it at 240.
         policy = make_policy("wild")
-        simulate(small_trace, assignment, "wild")  # must not truncate
+        simulate(
+            small_trace, assignment=assignment, policy="wild"
+        )  # must not truncate
         r240 = Simulation(
             small_trace, assignment, policy,
             SimulationConfig(keep_alive_window=240),
         ).run(engine="auto")
-        via = simulate(small_trace, assignment, "wild")
+        via = simulate(small_trace, assignment=assignment, policy="wild")
         assert via.keepalive_cost_usd == r240.keepalive_cost_usd
 
     def test_explicit_config_wins(self, small_trace, assignment):
         # A caller-provided config is authoritative, window included.
         r = simulate(
-            small_trace, assignment, "openwhisk",
-            SimulationConfig(record_series=False),
+            small_trace, assignment=assignment, policy="openwhisk",
+            config=SimulationConfig(record_series=False),
         )
         assert r.memory_series_mb is None
 
     def test_faults_as_plan_and_spec(self, small_trace, assignment):
         plan = FaultPlan(seed=7, spawn_failure_rate=0.3)
-        via_plan = simulate(small_trace, assignment, "openwhisk", faults=plan)
+        via_plan = simulate(
+            small_trace, assignment=assignment, policy="openwhisk", faults=plan
+        )
         via_spec = simulate(
-            small_trace, assignment, "openwhisk", faults="seed=7,spawn=0.3"
+            small_trace, assignment=assignment, policy="openwhisk",
+            faults="seed=7,spawn=0.3",
         )
         assert via_plan.n_spawn_failures > 0
         assert via_plan.n_spawn_failures == via_spec.n_spawn_failures
@@ -136,7 +149,10 @@ class TestSimulateFacade:
 
     def test_bad_engine_rejected(self, small_trace, assignment):
         with pytest.raises(ValueError, match="engine"):
-            simulate(small_trace, assignment, "openwhisk", engine="turbo")
+            simulate(
+                small_trace, assignment=assignment, policy="openwhisk",
+                engine="turbo",
+            )
 
 
 class TestRunSweepFacade:
@@ -146,8 +162,8 @@ class TestRunSweepFacade:
 
         results = run_sweep(
             tiny_trace,
-            ["pulse", "openwhisk"],
-            ExperimentConfig(n_runs=2, horizon_minutes=60, seed=3),
+            policies=["pulse", "openwhisk"],
+            config=ExperimentConfig(n_runs=2, horizon_minutes=60, seed=3),
         )
         assert sorted(results) == ["openwhisk", "pulse"]
         assert all(
@@ -158,23 +174,23 @@ class TestRunSweepFacade:
 
     def test_unknown_policy_fails_fast(self, tiny_trace):
         with pytest.raises(ValueError, match="unknown policy"):
-            run_sweep(tiny_trace, ["nope"])
+            run_sweep(tiny_trace, policies=["nope"])
 
     def test_durable_knobs_require_durable(self, tiny_trace, tmp_path):
         with pytest.raises(ValueError, match="durable=True"):
-            run_sweep(tiny_trace, ["pulse"], out_dir=tmp_path)
+            run_sweep(tiny_trace, policies=["pulse"], out_dir=tmp_path)
 
     def test_durable_requires_out_dir(self, tiny_trace):
         with pytest.raises(ValueError, match="out_dir"):
-            run_sweep(tiny_trace, ["pulse"], durable=True)
+            run_sweep(tiny_trace, policies=["pulse"], durable=True)
 
     def test_durable_sweep_end_to_end(self, tiny_trace, tmp_path):
         from repro.experiments.runner import ExperimentConfig
 
         result = run_sweep(
             tiny_trace,
-            ["pulse"],
-            ExperimentConfig(
+            policies=["pulse"],
+            config=ExperimentConfig(
                 n_runs=2, horizon_minutes=60, seed=3, engine="fast"
             ),
             durable=True,
@@ -185,8 +201,8 @@ class TestRunSweepFacade:
         # resume-by-path of a finished sweep is a no-op that reloads
         resumed = run_sweep(
             tiny_trace,
-            ["pulse"],
-            ExperimentConfig(
+            policies=["pulse"],
+            config=ExperimentConfig(
                 n_runs=2, horizon_minutes=60, seed=3, engine="fast"
             ),
             durable=True,

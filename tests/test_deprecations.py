@@ -1,4 +1,6 @@
-"""The api_redesign deprecation shims: warn once, behave identically."""
+"""The api_redesign deprecation cycle, final stage: the PR-3 shims
+(``SimulationConfig(fast=True)``, the ``repro.cli`` module-attribute
+shims) now *raise* with a message naming the replacement."""
 
 from __future__ import annotations
 
@@ -8,63 +10,59 @@ from repro.core.pulse import PulsePolicy
 from repro.runtime.simulator import Simulation, SimulationConfig
 
 
-class TestFastFlagShim:
-    def test_fast_true_warns_and_uses_fast_engine(self, tiny_trace, tiny_assignment):
-        cfg = SimulationConfig(fast=True)
-        sim = Simulation(tiny_trace, tiny_assignment, PulsePolicy(), cfg)
-        with pytest.warns(DeprecationWarning, match="repro.runtime") as rec:
-            legacy = sim.run()
-        assert len(rec) == 1  # exactly one warning per run() call
-        explicit = Simulation(
-            tiny_trace, tiny_assignment, PulsePolicy(), SimulationConfig()
-        ).run(engine="fast")
-        assert legacy.total_service_time_s == explicit.total_service_time_s
-        assert legacy.keepalive_cost_usd == explicit.keepalive_cost_usd
+class TestFastFlagRemoved:
+    def test_fast_true_raises_with_pointer(self):
+        with pytest.raises(ValueError, match="engine='fast'"):
+            SimulationConfig(fast=True)
 
-    def test_fast_false_does_not_warn(self, tiny_trace, tiny_assignment):
-        # No deprecation noise on the default path (filterwarnings turns
-        # repro-internal DeprecationWarnings into errors suite-wide).
+    def test_fast_false_still_accepted(self, tiny_trace, tiny_assignment):
+        # The field survives one release for the clear error message;
+        # the default (False) stays a no-op and emits no warnings
+        # (filterwarnings turns repro-internal DeprecationWarnings into
+        # errors suite-wide).
         Simulation(
             tiny_trace, tiny_assignment, PulsePolicy(), SimulationConfig()
         ).run()
 
-    def test_explicit_engine_silences_legacy_flag(self, tiny_trace, tiny_assignment):
-        cfg = SimulationConfig(fast=True)
-        Simulation(tiny_trace, tiny_assignment, PulsePolicy(), cfg).run(
-            engine="fast"
-        )
+    def test_engine_argument_is_the_replacement(
+        self, tiny_trace, tiny_assignment
+    ):
+        fast = Simulation(
+            tiny_trace, tiny_assignment, PulsePolicy(), SimulationConfig()
+        ).run(engine="fast")
+        ref = Simulation(
+            tiny_trace, tiny_assignment, PulsePolicy(), SimulationConfig()
+        ).run(engine="reference")
+        assert fast.total_service_time_s == ref.total_service_time_s
+        assert fast.keepalive_cost_usd == ref.keepalive_cost_usd
 
 
-class TestCliShims:
-    def test_policies_dict_warns_and_works(self):
+class TestCliShimsRemoved:
+    @pytest.mark.parametrize(
+        ("name", "replacement"),
+        [
+            ("_POLICIES", "repro.api.list_policies"),
+            ("_LONG_WINDOW_POLICIES", "keep_alive_window"),
+            ("_parse_fid_minute", "repro.utils.specs"),
+        ],
+    )
+    def test_removed_attribute_raises_with_pointer(self, name, replacement):
         import repro.cli as cli
 
-        with pytest.warns(DeprecationWarning, match="repro.cli._POLICIES") as rec:
-            policies = cli._POLICIES
-        assert len(rec) == 1
-        assert "pulse" in policies and "openwhisk" in policies
-        assert policies["openwhisk"]().name == "OpenWhisk"
-
-    def test_long_window_set_warns_and_matches_registry(self):
-        import repro.cli as cli
-        from repro.api import list_policies, policy_spec
-
-        with pytest.warns(DeprecationWarning, match="keep_alive_window"):
-            longs = cli._LONG_WINDOW_POLICIES
-        assert longs == {
-            n for n in list_policies()
-            if policy_spec(n).keep_alive_window > 10
-        }
-
-    def test_parse_fid_minute_shim(self):
-        import repro.cli as cli
-
-        with pytest.warns(DeprecationWarning, match="repro.utils.specs"):
-            fn = cli._parse_fid_minute
-        assert fn("3:120", "--cold") == (3, 120)
+        with pytest.raises(AttributeError, match=replacement):
+            getattr(cli, name)
 
     def test_unknown_attribute_still_raises(self):
         import repro.cli as cli
 
         with pytest.raises(AttributeError):
             cli._NOT_A_THING
+
+    def test_replacements_exist(self):
+        # The error messages point somewhere real.
+        from repro.api import list_policies, policy_spec
+        from repro.utils.specs import parse_fid_minute
+
+        assert "pulse" in list_policies()
+        assert policy_spec("pulse").keep_alive_window > 0
+        assert parse_fid_minute("3:120", "--cold") == (3, 120)

@@ -307,9 +307,10 @@ class TestFacadePlumbing:
     def test_api_simulate_fleet(self, small_trace, assignment):
         from repro.api import simulate
 
-        ref = simulate(small_trace, assignment, PulsePolicy())
+        ref = simulate(small_trace, assignment=assignment, policy=PulsePolicy())
         fleet = simulate(
-            small_trace, assignment, PulsePolicy(), engine="fleet", shards=3
+            small_trace, assignment=assignment, policy=PulsePolicy(),
+            engine="fleet", shards=3,
         )
         assert_identical(ref, fleet)
 

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.milp",
     "repro.experiments",
     "repro.utils",
+    "repro.serve",
 ]
 
 
@@ -62,3 +63,41 @@ class TestConvenienceImports:
         for name in list_policies():
             policy = make_policy(name)
             assert policy.name, name
+
+
+class TestServeSurface:
+    def test_serve_exports_are_pinned(self):
+        # The control-plane surface is stable API: additions are fine,
+        # but these names must keep resolving.
+        import repro.serve as serve
+
+        assert set(serve.__all__) >= {
+            "AdvanceResult",
+            "ControlSession",
+            "TraceMeta",
+            "open_session",
+        }
+
+    def test_facade_signatures_are_keyword_only(self):
+        # RPR007's contract, checked at runtime too: every public
+        # facade callable takes at most one positional argument.
+        import inspect
+
+        import repro.api as api
+        import repro.serve as serve
+        from repro.serve import app
+
+        for mod in (api, serve, app):
+            for name in getattr(mod, "__all__", []):
+                obj = getattr(mod, name)
+                if not inspect.isfunction(obj):
+                    continue
+                params = inspect.signature(obj).parameters.values()
+                positional = [
+                    p.name for p in params
+                    if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+                ]
+                assert len(positional) <= 1, (
+                    f"{mod.__name__}.{name} has positional params "
+                    f"{positional[1:]}"
+                )

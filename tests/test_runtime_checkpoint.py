@@ -74,13 +74,13 @@ class TestRoundTrip:
         states: list[SimulationState] = []
         cp = CheckpointConfig(every_minutes=13, on_snapshot=states.append)
         full = simulate(
-            tiny_trace, tiny_assignment, "pulse",
+            tiny_trace, assignment=tiny_assignment, policy="pulse",
             engine=engine, faults=faults, checkpoint=cp,
         )
         assert full.n_checkpoints == len(states) > 1
         for state in states:
             resumed = simulate(
-                tiny_trace, tiny_assignment, "pulse",
+                tiny_trace, assignment=tiny_assignment, policy="pulse",
                 engine=engine, faults=faults,
                 checkpoint=CheckpointConfig(
                     every_minutes=13, on_snapshot=lambda s: None
@@ -93,9 +93,9 @@ class TestRoundTrip:
     def test_checkpointing_does_not_perturb_metrics(
         self, tiny_trace, tiny_assignment
     ):
-        plain = simulate(tiny_trace, tiny_assignment, "pulse", engine="fast")
+        plain = simulate(tiny_trace, assignment=tiny_assignment, policy="pulse", engine="fast")
         checked = simulate(
-            tiny_trace, tiny_assignment, "pulse", engine="fast",
+            tiny_trace, assignment=tiny_assignment, policy="pulse", engine="fast",
             checkpoint=CheckpointConfig(
                 every_minutes=7, on_snapshot=lambda s: None
             ),
@@ -109,11 +109,13 @@ class TestRoundTrip:
         states: list[SimulationState] = []
         cp = CheckpointConfig(every_minutes=20, on_snapshot=states.append)
         full = simulate(
-            tiny_trace, tiny_assignment, "pulse", config,
+            tiny_trace, assignment=tiny_assignment, policy="pulse",
+            config=config,
             engine="reference", checkpoint=cp,
         )
         resumed = simulate(
-            tiny_trace, tiny_assignment, "pulse", config,
+            tiny_trace, assignment=tiny_assignment, policy="pulse",
+            config=config,
             engine="reference",
             checkpoint=CheckpointConfig(
                 every_minutes=20, on_snapshot=lambda s: None
@@ -132,12 +134,12 @@ class TestRoundTrip:
         states: list[SimulationState] = []
         cp = CheckpointConfig(every_minutes=every,
                               on_snapshot=states.append)
-        full = simulate(trace, assignment, "openwhisk",
+        full = simulate(trace, assignment=assignment, policy="openwhisk",
                         engine=engine, checkpoint=cp)
         if not states:  # horizon shorter than the cadence: nothing to do
             return
         resumed = simulate(
-            trace, assignment, "openwhisk", engine=engine,
+            trace, assignment=assignment, policy="openwhisk", engine=engine,
             checkpoint=CheckpointConfig(
                 every_minutes=every, on_snapshot=lambda s: None
             ),
@@ -150,7 +152,7 @@ class TestStatePersistence:
     def test_save_load_round_trip(self, tiny_trace, tiny_assignment, tmp_path):
         path = tmp_path / "run.ckpt"
         full = simulate(
-            tiny_trace, tiny_assignment, "pulse", engine="fast",
+            tiny_trace, assignment=tiny_assignment, policy="pulse", engine="fast",
             checkpoint=CheckpointConfig(path=path, every_minutes=25),
         )
         assert full.n_checkpoints >= 1
@@ -158,7 +160,7 @@ class TestStatePersistence:
         assert state.engine == "fast"
         assert state.schema_version == CHECKPOINT_SCHEMA_VERSION
         resumed = simulate(
-            tiny_trace, tiny_assignment, "pulse", engine="fast",
+            tiny_trace, assignment=tiny_assignment, policy="pulse", engine="fast",
             checkpoint=CheckpointConfig(path=tmp_path / "resumed.ckpt",
                                         every_minutes=25),
             resume_from=path,  # the facade loads paths itself
@@ -174,7 +176,7 @@ class TestStatePersistence:
     def test_version_gate(self, tiny_trace, tiny_assignment):
         states: list[SimulationState] = []
         simulate(
-            tiny_trace, tiny_assignment, "pulse", engine="fast",
+            tiny_trace, assignment=tiny_assignment, policy="pulse", engine="fast",
             checkpoint=CheckpointConfig(every_minutes=30,
                                         on_snapshot=states.append),
         )
@@ -193,13 +195,13 @@ class TestGuards:
     def test_engine_mismatch_refused(self, tiny_trace, tiny_assignment):
         states: list[SimulationState] = []
         simulate(
-            tiny_trace, tiny_assignment, "pulse", engine="fast",
+            tiny_trace, assignment=tiny_assignment, policy="pulse", engine="fast",
             checkpoint=CheckpointConfig(every_minutes=30,
                                         on_snapshot=states.append),
         )
         with pytest.raises(ValueError, match="engine"):
             simulate(
-                tiny_trace, tiny_assignment, "pulse", engine="reference",
+                tiny_trace, assignment=tiny_assignment, policy="pulse", engine="reference",
                 resume_from=states[0],
             )
 
@@ -214,6 +216,6 @@ class TestGuards:
     def test_run_rejects_non_config(self, tiny_trace, tiny_assignment):
         with pytest.raises(TypeError):
             simulate(
-                tiny_trace, tiny_assignment, "pulse", engine="fast",
+                tiny_trace, assignment=tiny_assignment, policy="pulse", engine="fast",
                 checkpoint=42,
             )

@@ -1,0 +1,307 @@
+"""The HTTP serving layer (:mod:`repro.serve.app`).
+
+These tests run the stdlib ``ThreadingHTTPServer`` transport — the one
+that works in every environment — on an ephemeral loopback port and
+drive it with :mod:`urllib`. The FastAPI factory is exercised only for
+its import gate (fastapi is an optional extra and absent here).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.runtime.checkpoint import SimulationState
+from repro.serve.app import (
+    ApiError,
+    SessionManager,
+    make_server,
+    open_session_from_spec,
+)
+
+SYNTH_SPEC = {
+    "synthetic": {"n_functions": 6, "horizon_minutes": 48, "seed": 3},
+    "policy": "pulse",
+}
+
+
+@pytest.fixture()
+def base_url():
+    server = make_server("127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        server.manager.close_all()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+def request(url, method="GET", body=None, raw=False):
+    """Issue a request; return (status, decoded-or-raw body)."""
+    data = None
+    headers = {}
+    if body is not None:
+        data = body if isinstance(body, bytes) else json.dumps(body).encode()
+        if not isinstance(body, bytes):
+            headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url, data=data, method=method,
+                                 headers=headers)
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            payload = resp.read()
+            status = resp.status
+    except urllib.error.HTTPError as exc:
+        payload = exc.read()
+        status = exc.code
+    if raw:
+        return status, payload
+    return status, json.loads(payload)
+
+
+class TestLifecycle:
+    def test_healthz(self, base_url):
+        status, body = request(f"{base_url}/v1/healthz")
+        assert (status, body) == (200, {"status": "ok"})
+
+    def test_create_advance_result(self, base_url):
+        status, info = request(
+            f"{base_url}/v1/sessions", "POST", SYNTH_SPEC
+        )
+        assert status == 200
+        sid = info["id"]
+        assert info["next_minute"] == 0
+        assert not info["done"]
+
+        status, step = request(
+            f"{base_url}/v1/sessions/{sid}/advance", "POST", {}
+        )
+        assert status == 200
+        assert step["minute"] == 0
+        assert isinstance(step["decisions"], list)
+
+        # result is 409 until the horizon...
+        status, body = request(f"{base_url}/v1/sessions/{sid}/result")
+        assert status == 409
+
+        # ...jump to the last minute and read it out.
+        status, step = request(
+            f"{base_url}/v1/sessions/{sid}/advance", "POST", {"minute": 47}
+        )
+        assert status == 200
+        status, summary = request(f"{base_url}/v1/sessions/{sid}/result")
+        assert status == 200
+        assert summary["invocations"] >= 0
+        assert "keepalive_cost_usd" in summary
+
+    def test_list_and_delete(self, base_url):
+        _, info = request(f"{base_url}/v1/sessions", "POST", SYNTH_SPEC)
+        sid = info["id"]
+        _, listing = request(f"{base_url}/v1/sessions")
+        assert sid in [s["id"] for s in listing["sessions"]]
+        status, body = request(
+            f"{base_url}/v1/sessions/{sid}", "DELETE"
+        )
+        assert (status, body["closed"]) == (200, True)
+        status, _ = request(f"{base_url}/v1/sessions/{sid}")
+        assert status == 404
+
+    def test_unknown_session_404(self, base_url):
+        for path in ("", "/advance", "/metrics", "/result"):
+            method = "POST" if path == "/advance" else "GET"
+            status, body = request(
+                f"{base_url}/v1/sessions/nope{path}", method,
+                {} if method == "POST" else None,
+            )
+            assert status == 404, path
+
+    def test_bad_spec_400(self, base_url):
+        cases = [
+            {},  # no workload
+            {"synthetic": {"n_functions": 4}, "meta": {"n_functions": 4}},
+            {"synthetic": {"n_functions": 4}, "turbo": True},
+            {"synthetic": {"n_functions": -1}},
+        ]
+        for spec in cases:
+            status, body = request(f"{base_url}/v1/sessions", "POST", spec)
+            assert status == 400, spec
+            assert "error" in body
+
+    def test_rewind_is_409(self, base_url):
+        _, info = request(f"{base_url}/v1/sessions", "POST", SYNTH_SPEC)
+        sid = info["id"]
+        request(f"{base_url}/v1/sessions/{sid}/advance", "POST",
+                {"minute": 10})
+        status, body = request(
+            f"{base_url}/v1/sessions/{sid}/advance", "POST", {"minute": 3}
+        )
+        assert status == 409
+        assert "already executed" in body["error"]
+
+
+class TestReadouts:
+    def test_metrics_exposition(self, base_url):
+        _, info = request(f"{base_url}/v1/sessions", "POST", SYNTH_SPEC)
+        sid = info["id"]
+        request(f"{base_url}/v1/sessions/{sid}/advance", "POST",
+                {"minute": 5})
+        status, text = request(
+            f"{base_url}/v1/sessions/{sid}/metrics", raw=True
+        )
+        assert status == 200
+        assert b"# TYPE" in text
+
+    def test_metrics_409_when_telemetry_off(self, base_url):
+        spec = dict(SYNTH_SPEC, observe=False)
+        _, info = request(f"{base_url}/v1/sessions", "POST", spec)
+        status, _ = request(
+            f"{base_url}/v1/sessions/{info['id']}/metrics"
+        )
+        assert status == 409
+
+    def test_decisions_filtering(self, base_url):
+        _, info = request(f"{base_url}/v1/sessions", "POST", SYNTH_SPEC)
+        sid = info["id"]
+        request(f"{base_url}/v1/sessions/{sid}/advance", "POST",
+                {"minute": 20})
+        _, body = request(f"{base_url}/v1/sessions/{sid}/decisions")
+        records = body["decisions"]
+        assert records and all("kind" in r for r in records)
+        fid = next(r["fid"] for r in records if "fid" in r)
+        _, body = request(
+            f"{base_url}/v1/sessions/{sid}/decisions?fid={fid}"
+        )
+        assert body["decisions"]
+        assert all(r["fid"] == fid for r in body["decisions"])
+        _, body = request(
+            f"{base_url}/v1/sessions/{sid}/decisions?kind=plan"
+        )
+        assert all(r["kind"] == "plan" for r in body["decisions"])
+
+
+class TestSnapshotRestore:
+    def test_snapshot_restore_over_http(self, base_url):
+        _, info = request(f"{base_url}/v1/sessions", "POST", SYNTH_SPEC)
+        sid = info["id"]
+        request(f"{base_url}/v1/sessions/{sid}/advance", "POST",
+                {"minute": 11})
+        status, payload = request(
+            f"{base_url}/v1/sessions/{sid}/snapshot", raw=True
+        )
+        assert status == 200
+        assert isinstance(pickle.loads(payload), SimulationState)
+
+        status, restored = request(
+            f"{base_url}/v1/sessions/restore", "POST", payload
+        )
+        assert status == 200
+        assert restored["id"] != sid
+        assert restored["next_minute"] == 12
+
+        # Both copies finish to the same summary.
+        for s in (sid, restored["id"]):
+            request(f"{base_url}/v1/sessions/{s}/advance", "POST",
+                    {"minute": 47})
+        _, a = request(f"{base_url}/v1/sessions/{sid}/result")
+        _, b = request(f"{base_url}/v1/sessions/{restored['id']}/result")
+        a.pop("wall_clock_s", None)
+        b.pop("wall_clock_s", None)
+        assert a == b
+
+    def test_restore_garbage_400(self, base_url):
+        status, body = request(
+            f"{base_url}/v1/sessions/restore", "POST", b"not a pickle"
+        )
+        assert status == 400
+
+
+class TestOnlineAndTick:
+    def test_online_session_invocations(self, base_url):
+        spec = {"meta": {"n_functions": 4, "horizon_minutes": 20}}
+        _, info = request(f"{base_url}/v1/sessions", "POST", spec)
+        sid = info["id"]
+        assert info["online"]
+        status, step = request(
+            f"{base_url}/v1/sessions/{sid}/advance", "POST",
+            {"invocations": {"1": 2, "3": 1}},
+        )
+        assert status == 200
+        assert step["n_invocations"] == 3
+
+    def test_tick_runs_to_horizon(self, base_url):
+        spec = {
+            "synthetic": {
+                "n_functions": 4, "horizon_minutes": 24, "seed": 5
+            }
+        }
+        _, info = request(f"{base_url}/v1/sessions", "POST", spec)
+        sid = info["id"]
+        status, info = request(
+            f"{base_url}/v1/sessions/{sid}/tick", "POST",
+            {"action": "start", "interval_ms": 0},
+        )
+        assert status == 200
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            _, info = request(f"{base_url}/v1/sessions/{sid}")
+            if info["done"]:
+                break
+            time.sleep(0.05)
+        assert info["done"], info
+        assert info["tick_error"] is None
+        status, _ = request(f"{base_url}/v1/sessions/{sid}/result")
+        assert status == 200
+
+    def test_double_start_is_409(self, base_url):
+        _, info = request(f"{base_url}/v1/sessions", "POST", SYNTH_SPEC)
+        sid = info["id"]
+        request(f"{base_url}/v1/sessions/{sid}/tick", "POST",
+                {"action": "start", "interval_ms": 60_000})
+        status, body = request(
+            f"{base_url}/v1/sessions/{sid}/tick", "POST",
+            {"action": "start"},
+        )
+        assert status == 409
+        status, info = request(
+            f"{base_url}/v1/sessions/{sid}/tick", "POST",
+            {"action": "stop"},
+        )
+        assert status == 200
+        assert not info["ticking"]
+
+
+class TestManagerDirect:
+    """SessionManager behaviors not worth an HTTP round trip."""
+
+    def test_spec_builder_defaults_observe_on(self):
+        session = open_session_from_spec(dict(SYNTH_SPEC))
+        assert session.stepper.obs is not None
+
+    def test_manager_ids_are_sequential(self):
+        manager = SessionManager()
+        a = manager.create(dict(SYNTH_SPEC))
+        b = manager.create(dict(SYNTH_SPEC))
+        assert (a["id"], b["id"]) == ("s1", "s2")
+        manager.close_all()
+        assert manager.list() == []
+
+    def test_api_error_carries_status(self):
+        with pytest.raises(ApiError) as exc_info:
+            SessionManager().info("missing")
+        assert exc_info.value.status == 404
+
+    def test_fastapi_factory_gated(self):
+        pytest.importorskip("fastapi", reason="optional extra")
+        from repro.serve.app import create_fastapi_app
+
+        app = create_fastapi_app()
+        assert app is not None
