@@ -391,6 +391,61 @@ def bench_fleet_obs_overhead(quick: bool) -> dict:
     return out
 
 
+def bench_lint() -> dict:
+    """Cold vs warm ``repro lint`` over the shipped tree.
+
+    Cold fills a fresh cache directory; warm re-lints with file and
+    rule-pack hashes unchanged, so only project-scope files re-parse and
+    everything else is a cache hit. The warm report must stay
+    byte-identical to the cold one (asserted here and by the CI
+    cache-warm step) — the speedup is only meaningful if the incremental
+    path changes nothing but the wall clock.
+    """
+    import tempfile
+    import time
+    from pathlib import Path
+
+    from repro import analysis
+
+    target = Path(__file__).resolve().parent.parent / "src" / "repro"
+    with tempfile.TemporaryDirectory(prefix="lint-bench-") as tmp:
+        t0 = time.perf_counter()
+        cold_report = analysis.lint_paths(
+            [target], cache=analysis.LintCache(Path(tmp))
+        )
+        cold_s = time.perf_counter() - t0
+        warm_cache = analysis.LintCache(Path(tmp))
+        t0 = time.perf_counter()
+        warm_report = analysis.lint_paths([target], cache=warm_cache)
+        warm_s = time.perf_counter() - t0
+    identical = analysis.render_json(cold_report) == analysis.render_json(
+        warm_report
+    )
+    if not identical:
+        raise SystemExit(
+            "warm-cache lint report differs from the cold run — the "
+            "incremental path is changing findings"
+        )
+    out = {
+        "target": "src/repro",
+        "n_files": cold_report.n_files,
+        "rules": cold_report.rule_ids,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup_warm": cold_s / warm_s,
+        "cache_hits": warm_cache.hits,
+        "cache_misses": warm_cache.misses,
+        "warm_report_identical": identical,
+    }
+    print(
+        f"lint             cold {cold_s * 1e3:7.0f} ms   "
+        f"warm {warm_s * 1e3:7.0f} ms   "
+        f"speedup x{out['speedup_warm']:.1f} "
+        f"({warm_cache.hits} hits / {warm_cache.misses} misses)"
+    )
+    return out
+
+
 def _scaling_point(report: dict, n: int, engine: str) -> dict | None:
     for point in report.get("fleet_scaling", {}).get("points", []):
         if point["n_functions"] == n and engine in point["engines"]:
@@ -488,6 +543,7 @@ def main() -> None:
         ),
         "fleet_scaling": bench_fleet_scaling(args.quick),
         "fleet_observability": bench_fleet_obs_overhead(args.quick),
+        "lint": bench_lint(),
     }
 
     atomic_write_json(args.out, report)
@@ -546,6 +602,14 @@ def main() -> None:
             )
 
     if not args.quick:
+        # Timing gates live in full mode only — CI's --quick smoke runs
+        # on noisy shared runners where wall-clock ratios flap.
+        lint_speedup = report["lint"]["speedup_warm"]
+        if lint_speedup < 3.0:
+            raise SystemExit(
+                f"warm-cache lint speedup x{lint_speedup:.1f} below the "
+                "x3 target"
+            )
         fixed = report["single_run"]["fixed-highest"]["speedup_best"]
         if fixed < 3.0:
             raise SystemExit(

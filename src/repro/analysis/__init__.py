@@ -4,10 +4,16 @@ An AST-based lint engine plus a rule pack enforcing this repository's
 reproducibility contracts *at lint time* — determinism of the replay
 harness (RPR001), parity between the reference and event-driven engines
 (RPR002), the policy lifecycle/picklability contract (RPR003), internal
-deprecation hygiene (RPR004) and spec-string hygiene (RPR005). See
-``docs/architecture.md`` ("Static analysis") for the rule catalogue,
-the ``# repro: lint-ok[RULE] reason`` waiver syntax, and how to add a
-rule.
+deprecation hygiene (RPR004), spec-string hygiene (RPR005), serve-layer
+lock discipline (RPR008), columnar-kernel hygiene (RPR009) and
+snapshot-schema drift (RPR010). Project-wide rules run over a
+:class:`~repro.analysis.project.ProjectContext` — a symbol table, call
+graph and reaching-definitions helper built over every linted module —
+and per-file results are cached content-addressed
+(:class:`~repro.analysis.cache.LintCache`) so warm runs only re-lint
+what changed. See ``docs/architecture.md`` ("Analysis core") for the
+rule catalogue, the ``# repro: lint-ok[RULE] reason`` waiver syntax,
+and how to add a rule.
 
 Typical use::
 
@@ -20,7 +26,9 @@ Typical use::
 """
 
 from repro.analysis import rules as _rules  # registers the rule pack
+from repro.analysis.cache import LintCache
 from repro.analysis.engine import (
+    ENGINE_ERROR_EXIT,
     META_RULE_ID,
     Finding,
     LintReport,
@@ -31,26 +39,41 @@ from repro.analysis.engine import (
     iter_python_files,
     lint_paths,
     make_rules,
+    project_scope_paths,
     register_rule,
     rule_ids,
     rule_summaries,
     run_lint,
 )
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.project import (
+    CallGraph,
+    ProjectContext,
+    ReachingDefs,
+    SymbolTable,
+)
+from repro.analysis.reporters import render_json, render_sarif, render_text
 
 __all__ = [
+    "ENGINE_ERROR_EXIT",
     "META_RULE_ID",
+    "CallGraph",
     "Finding",
+    "LintCache",
     "LintReport",
+    "ProjectContext",
+    "ReachingDefs",
     "Rule",
     "Severity",
     "SourceModule",
     "Suppression",
+    "SymbolTable",
     "iter_python_files",
     "lint_paths",
     "make_rules",
+    "project_scope_paths",
     "register_rule",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_ids",
     "rule_summaries",

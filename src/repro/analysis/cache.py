@@ -1,0 +1,170 @@
+"""The incremental lint cache: skip re-parsing files that didn't change.
+
+One canonical-JSON document (written atomically via
+:mod:`repro.utils.atomicio`) maps each linted file's absolute path to
+its content sha256, display path, and the per-file findings the last
+run produced (meta findings plus suppression-filtered ``check_module``
+findings, already serialized with :meth:`Finding.to_dict`). On the next
+run a file whose hash matches reuses those findings and skips parsing
+entirely — except files inside a selected cross-file rule's
+:attr:`~repro.analysis.engine.Rule.project_scope`, which are re-parsed
+(but not re-checked) so ``finalize`` sees real ASTs. Cross-file
+findings are never cached; they are recomputed every run, which keeps
+warm reports byte-identical to cold ones.
+
+Staleness is handled by a *fingerprint*: the sha256 of the cache format
+version, the selected rule ids, and the source bytes of every module in
+``repro.analysis`` itself. Editing any rule, the engine, or the
+selection invalidates the whole cache — a lint cache that survives a
+rule change would silently report with yesterday's rules.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.utils.atomicio import atomic_write_json, sha256_bytes, sha256_file
+
+__all__ = ["CACHE_FORMAT_VERSION", "CacheEntry", "LintCache"]
+
+CACHE_FORMAT_VERSION = 1
+
+_CACHE_FILENAME = "lint-cache.json"
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """What the last run learned about one (unchanged) file."""
+
+    sha256: str
+    display: str
+    parse_error: bool
+    findings: list[dict[str, object]]
+
+
+def _analysis_fingerprint(selected_rules: list[str]) -> str:
+    """Hash of the analysis package's own sources plus the rule
+    selection — the cache key component that invalidates on rule edits."""
+    package_root = Path(__file__).resolve().parent
+    parts: list[str] = [f"format={CACHE_FORMAT_VERSION}"]
+    parts.append("rules=" + ",".join(selected_rules))
+    for path in sorted(package_root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        rel = path.relative_to(package_root).as_posix()
+        parts.append(f"{rel}={sha256_file(path)}")
+    return sha256_bytes("\n".join(parts).encode("utf-8"))
+
+
+class LintCache:
+    """A directory-backed cache; hand an instance to
+    :func:`repro.analysis.run_lint` via ``cache=``.
+
+    Lifecycle: the engine calls :meth:`open` (load + fingerprint check),
+    then :meth:`file_sha`/:meth:`get`/:meth:`put` per file, then
+    :meth:`save`. A cache directory is safe to delete at any time; the
+    next run is simply cold.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.path = self.root / _CACHE_FILENAME
+        self._fingerprint = ""
+        self._entries: dict[str, CacheEntry] = {}
+        self._dirty = False
+        #: Diagnostics for benches/tests: files served from the cache
+        #: vs processed fresh in the last run.
+        self.hits = 0
+        self.misses = 0
+
+    def open(self, selected_rules: list[str]) -> None:
+        """Load the document; discard it wholesale on any mismatch
+        (format bump, rule-pack edit, different rule selection) or
+        corruption — an unreadable cache is just a cold run."""
+        self._fingerprint = _analysis_fingerprint(selected_rules)
+        self._entries = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        try:
+            doc = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(doc, dict):
+            return
+        if doc.get("fingerprint") != self._fingerprint:
+            return
+        files = doc.get("files")
+        if not isinstance(files, dict):
+            return
+        for key, raw in files.items():
+            try:
+                self._entries[str(key)] = CacheEntry(
+                    sha256=str(raw["sha256"]),
+                    display=str(raw["display"]),
+                    parse_error=bool(raw["parse_error"]),
+                    findings=list(raw["findings"]),
+                )
+            except (TypeError, KeyError):
+                continue  # skip malformed rows, keep the rest
+
+    def file_sha(self, path: Path) -> str | None:
+        """Content hash of ``path`` (``None`` if unreadable — the engine
+        then treats the file as uncacheable and lints it normally)."""
+        try:
+            return sha256_file(path)
+        except OSError:
+            return None
+
+    def get(self, path: Path, sha: str | None) -> CacheEntry | None:
+        """The stored entry for ``path`` iff its content hash matches."""
+        if sha is None:
+            return None
+        entry = self._entries.get(str(path.resolve()))
+        if entry is None or entry.sha256 != sha:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        path: Path,
+        sha: str,
+        display: str,
+        findings: list[dict[str, object]],
+        parse_error: bool,
+    ) -> None:
+        self._entries[str(path.resolve())] = CacheEntry(
+            sha256=sha,
+            display=display,
+            parse_error=parse_error,
+            findings=findings,
+        )
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist (atomic, canonical JSON). No-op when nothing changed,
+        so a fully-warm run leaves the cache file's mtime alone."""
+        if not self._dirty:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(
+            self.path,
+            {
+                "format": CACHE_FORMAT_VERSION,
+                "fingerprint": self._fingerprint,
+                "files": {
+                    key: {
+                        "sha256": entry.sha256,
+                        "display": entry.display,
+                        "parse_error": entry.parse_error,
+                        "findings": entry.findings,
+                    }
+                    for key, entry in sorted(self._entries.items())
+                },
+            },
+        )
+        self._dirty = False

@@ -1,22 +1,30 @@
 """Render a :class:`~repro.analysis.engine.LintReport` for humans or CI.
 
-Two formats:
+Three formats:
 
 - :func:`render_text` — one ``path:line:col: RULE [severity] message``
   line per finding plus a summary trailer, the shape editors and CI log
   scrapers already understand;
 - :func:`render_json` — a versioned JSON document (``repro lint --format
   json``), uploaded as a CI artifact so rule regressions are diffable
-  across runs.
+  across runs;
+- :func:`render_sarif` — SARIF 2.1.0 (``repro lint --format sarif``),
+  the interchange format code-scanning UIs ingest, so findings annotate
+  pull requests instead of living in a log.
 """
 
 from __future__ import annotations
 
 import json
 
-from repro.analysis.engine import LintReport
+from repro.analysis.engine import (
+    META_RULE_ID,
+    LintReport,
+    Severity,
+    rule_summaries,
+)
 
-__all__ = ["render_json", "render_text"]
+__all__ = ["render_json", "render_sarif", "render_text"]
 
 #: Bumped when the JSON document shape changes incompatibly.
 JSON_FORMAT_VERSION = 1
@@ -53,5 +61,71 @@ def render_json(report: LintReport) -> str:
         "n_files": report.n_files,
         "rules": report.rule_ids,
         "findings": [f.to_dict() for f in report.findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)
+
+
+#: SARIF spec version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_SARIF_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 document for code-scanning ingestion.
+
+    Columns are 1-based in SARIF (our findings are 0-based), and every
+    rule the run selected is listed in the driver — including
+    ``RPR000`` so engine-level findings resolve to a rule entry.
+    """
+    summaries = rule_summaries()
+    summaries[META_RULE_ID] = (
+        "engine-level finding: unparseable file or malformed waiver"
+    )
+    rules = [
+        {
+            "id": rid,
+            "shortDescription": {"text": summaries[rid]},
+        }
+        for rid in [META_RULE_ID, *report.rule_ids]
+        if rid in summaries
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": _SARIF_LEVELS[f.severity],
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": max(f.line, 1),
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in report.findings
+    ]
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(doc, indent=2, sort_keys=False)

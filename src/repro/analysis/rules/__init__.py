@@ -7,20 +7,26 @@ Rule ids are stable API: reports, suppression comments and CI artifacts
 reference them. Add new rules with fresh ids; never renumber.
 """
 
+from repro.analysis.rules.columnar_hygiene import ColumnarHygieneRule
 from repro.analysis.rules.deprecation import DeprecationHygieneRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.exception_hygiene import ExceptionHygieneRule
 from repro.analysis.rules.facade import FacadeSignatureRule
+from repro.analysis.rules.locks import LockDisciplineRule
 from repro.analysis.rules.parity import EngineParityRule
 from repro.analysis.rules.policy_contract import PolicyContractRule
+from repro.analysis.rules.snapshot_schema import SnapshotSchemaRule
 from repro.analysis.rules.spec_strings import SpecStringRule
 
 __all__ = [
+    "ColumnarHygieneRule",
     "DeprecationHygieneRule",
     "DeterminismRule",
     "EngineParityRule",
     "ExceptionHygieneRule",
     "FacadeSignatureRule",
+    "LockDisciplineRule",
     "PolicyContractRule",
+    "SnapshotSchemaRule",
     "SpecStringRule",
 ]

@@ -210,6 +210,44 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_python_files() -> set[Path]:
+    """Python files the git checkout has touched: tracked files modified
+    vs HEAD plus untracked (non-ignored) files. A :class:`SpecError`
+    when the working directory is not inside a git checkout."""
+    import subprocess
+
+    from repro.utils.specs import SpecError
+
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError) as exc:
+        raise SpecError(
+            "repro lint --changed needs to run inside a git checkout "
+            f"(git rev-parse failed: {exc})"
+        ) from exc
+    out: set[Path] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD", "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, cwd=top, capture_output=True, text=True, check=True
+            )
+        except subprocess.CalledProcessError as exc:
+            raise SpecError(
+                f"repro lint --changed: {' '.join(cmd)} failed: "
+                f"{exc.stderr.strip() or exc}"
+            ) from exc
+        for line in proc.stdout.splitlines():
+            if line.endswith(".py"):
+                out.add((Path(top) / line).resolve())
+    return out
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro import analysis
 
@@ -220,11 +258,26 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         if args.rule
         else None
     )
+    files = list(analysis.iter_python_files(paths))
+    if args.changed:
+        changed = _changed_python_files()
+        # Project-wide rules (engine parity, lock discipline, snapshot
+        # schema) need their whole surface parsed even when only one
+        # side of it changed.
+        scope = set(analysis.project_scope_paths(files, rules))
+        files = [
+            f for f in files if f.resolve() in changed or f in scope
+        ]
+    cache = (
+        analysis.LintCache(Path(args.cache_dir)) if args.cache_dir else None
+    )
     report = analysis.run_lint(
-        analysis.iter_python_files(paths), rule_ids=rules
+        files, rule_ids=rules, cache=cache, jobs=args.jobs
     )
     if args.format == "json":
         print(analysis.render_json(report))
+    elif args.format == "sarif":
+        print(analysis.render_sarif(report))
     else:
         print(analysis.render_text(report))
     return report.exit_code
@@ -639,21 +692,48 @@ def build_parser() -> argparse.ArgumentParser:
             "AST-lint the codebase against the repro-specific rule pack: "
             "RPR001 determinism, RPR002 engine parity, RPR003 policy "
             "contract, RPR004 deprecation hygiene, RPR005 spec-string "
-            "hygiene, RPR006 exception hygiene. Exits 0 when clean, 1 on "
-            "findings."
+            "hygiene, RPR006 exception hygiene, RPR007 facade "
+            "signatures, RPR008 serve-layer lock discipline, RPR009 "
+            "columnar-kernel hygiene, RPR010 snapshot-schema drift. "
+            "Directory operands are expanded to their *.py files; a "
+            "file operand is always linted, even when discovery would "
+            "skip it."
+        ),
+        epilog=(
+            "exit codes: 0 = clean; 1 = findings; 2 = engine error "
+            "(a file failed to parse, reported as RPR000)"
         ),
     )
     p_lint.add_argument(
         "paths", nargs="*", metavar="PATH",
         help="files or directories to lint (default: the installed "
-             "repro package)",
+             "repro package); explicit files are always linted",
     )
-    p_lint.add_argument("--format", choices=("text", "json"), default="text",
-                        help="report format (json is the CI artifact shape)")
+    p_lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (json is the CI artifact shape, sarif the "
+             "code-scanning upload shape)",
+    )
     p_lint.add_argument(
         "--rule", action="append", metavar="RULE",
         help="restrict to these rule ids (repeatable or comma-separated, "
              "e.g. --rule RPR001,RPR002)",
+    )
+    p_lint.add_argument(
+        "--changed", action="store_true",
+        help="lint only files changed vs git HEAD (plus untracked), "
+             "keeping the files project-wide rules always need",
+    )
+    p_lint.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="lint files in N worker processes (0 = one per CPU; "
+             "default: in-process)",
+    )
+    p_lint.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="reuse per-file results from DIR/lint-cache.json when file "
+             "and rule-pack hashes match (warm runs re-lint only what "
+             "changed; the report stays byte-identical)",
     )
     p_lint.set_defaults(func=_cmd_lint)
 

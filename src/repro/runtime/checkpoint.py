@@ -53,7 +53,13 @@ from typing import Any, Callable
 from repro.utils.atomicio import atomic_write_bytes
 from repro.utils.validation import check_positive_int
 
-__all__ = ["CHECKPOINT_SCHEMA_VERSION", "CheckpointConfig", "SimulationState"]
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "SNAPSHOT_FIELDS",
+    "STATE_FIELDS",
+    "CheckpointConfig",
+    "SimulationState",
+]
 
 #: Bumped whenever the snapshot layout changes incompatibly; load()
 #: refuses mismatched versions instead of resuming garbage.
@@ -63,6 +69,94 @@ __all__ = ["CHECKPOINT_SCHEMA_VERSION", "CheckpointConfig", "SimulationState"]
 #: end), and ``repro.serve`` session snapshots (``engine="session:*"``)
 #: joined the format.
 CHECKPOINT_SCHEMA_VERSION = 2
+
+#: The schema manifest: the exact field set each engine's
+#: ``live_state()`` pickles into the payload, per engine key. This is
+#: the reviewed record of what ``CHECKPOINT_SCHEMA_VERSION`` names —
+#: ``repro lint`` (RPR010) cross-checks each engine's ``live_state``
+#: dict literal against its entry here, so adding/removing a
+#: snapshot-carried field without editing this manifest (and bumping
+#: the version with a migration note) fails the lint.
+SNAPSHOT_FIELDS: dict[str, frozenset[str]] = {
+    "reference": frozenset(
+        {
+            "policy",
+            "events",
+            "obs",
+            "schedule",
+            "pool",
+            "service_time",
+            "accuracy_sum",
+            "n_invocations",
+            "n_warm",
+            "n_cold",
+            "overhead",
+            "n_decisions",
+            "total_mb_minutes",
+            "mem_series",
+            "ideal_series",
+            "capacity_rng",
+            "n_forced",
+            "injector",
+            "n_checkpoints",
+            "last_arrival",
+        }
+    ),
+    "fast": frozenset(
+        {
+            "policy",
+            "events",
+            "obs",
+            "schedule",
+            "pool",
+            "service_time",
+            "accuracy_sum",
+            "n_invocations",
+            "n_warm",
+            "n_cold",
+            "total_mb_minutes",
+            "mem_series",
+            "ideal_series",
+            "capacity_rng",
+            "n_forced",
+            "injector",
+            "n_checkpoints",
+            "last_arrival",
+        }
+    ),
+    "fleet": frozenset(
+        {
+            "policy",
+            "events",
+            "obs",
+            "model",
+            "tables",
+            "fleet",
+            "pool",
+            "injector",
+            "service_time",
+            "accuracy_sum",
+            "n_invocations",
+            "n_cold",
+            "total_mb_minutes",
+            "mem_series",
+            "ideal_series",
+            "next_minute",
+        }
+    ),
+}
+
+#: The :class:`SimulationState` field layout, pinned as (name,
+#: annotation) pairs in declaration order. RPR010 compares this against
+#: the dataclass body so a rename or retype of a snapshot field is as
+#: loud as an added/removed one.
+STATE_FIELDS: tuple[tuple[str, str], ...] = (
+    ("engine", "str"),
+    ("next_minute", "int"),
+    ("cursor", "tuple"),
+    ("payload", "bytes"),
+    ("schema_version", "int"),
+)
 
 
 @dataclass(frozen=True)

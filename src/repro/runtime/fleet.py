@@ -265,6 +265,9 @@ class _Shard:
             cold_part = tables.cold_s[fam, serve_lv] + (counts - 1) * warm_s
         else:
             penalty = np.zeros(len(lfids))
+            # repro: lint-ok[RPR009] fault-injection path only (injector
+            # attached): iterates the injected cold starts of one shard-
+            # minute, bounded by the chaos scenario, not fleet cardinality
             for i in np.flatnonzero(cold).tolist():
                 gfid = int(lfids[i]) + self.lo
                 variant = tables.variant(int(fam[i]), int(serve_lv[i]))
@@ -284,6 +287,9 @@ class _Shard:
             obs.tally_serve(self.index, int(counts.sum()), n_cold)
             if rec is not None:
                 rows = self.sampled_rows(lfids)
+                # repro: lint-ok[RPR009] trace-sampling path: iterates the
+                # cold starts of the sampled fids only, bounded by the obs
+                # session's sample size, not fleet cardinality
                 for i in rows[cold[rows]].tolist():
                     gfid = int(lfids[i]) + self.lo
                     variant = tables.variant(int(fam[i]), int(serve_lv[i]))
@@ -524,8 +530,6 @@ class FleetShards:
             if obs is not None:
                 obs.tally_peak()
             if rec is not None:
-                # repro: lint-ok[RPR002] the loop engines record peaks from
-                # shared GlobalOptimizer.review; the reducer inlines Alg. 1
                 rec.record_peak(minute, demand, prior, target)
             parts = [s.publish_alive(minute, True) for s in self.shards]
             alive = np.concatenate([p[0] for p in parts])
@@ -619,7 +623,6 @@ class FleetShards:
                 self.shard_for(victim).apply_downgrade(
                     victim, minute, allow_drop
                 )
-                # repro: lint-ok[RPR002] priority bookkeeping mirroring GlobalOptimizer.review (the other engines' shared helper), not an obs hook
                 priority.record_downgrade(victim)
                 new_count = counts[victim] + 1.0
                 counts[victim] = new_count
@@ -1012,6 +1015,10 @@ class FleetStepper:
         if pool is not None:
             # Pre-warm pass (reference order: every fid, ascending).
             t_pool = time.perf_counter() if spans is not None else 0.0
+            # repro: lint-ok[RPR009] compat mode only (a reference
+            # ContainerPool is attached): golden-equivalence runs mirror
+            # the reference loop's per-fid reconcile; the lean fleet path
+            # has pool=None and never enters this branch
             for fid in range(n_fn):
                 pool.reconcile(fid, fleet.shard_for(fid).variant_at(fid, t), t)
             if spans is not None:
@@ -1051,6 +1058,10 @@ class FleetStepper:
             else:
                 # Compatibility serving: the reference loop's exact call
                 # and event order, per invoking fid ascending.
+                # repro: lint-ok[RPR009] compat mode only (pool or event
+                # log attached): replays the reference loop's exact
+                # per-event order for golden equivalence; the lean path
+                # takes the vectorized branch above
                 for i in range(n_events):
                     fid = int(inv_fids[i])
                     count = int(inv_counts[i])
@@ -1155,6 +1166,9 @@ class FleetStepper:
         # Commit the minute.
         if pool is not None:
             t_pool = time.perf_counter() if spans is not None else 0.0
+            # repro: lint-ok[RPR009] compat mode only (a reference
+            # ContainerPool is attached): the commit-side mirror of the
+            # pre-warm reconcile above; pool=None on the lean fleet path
             for fid in range(n_fn):
                 pool.reconcile(fid, fleet.shard_for(fid).variant_at(fid, t), t)
             pool.tick_all()
@@ -1169,6 +1183,10 @@ class FleetStepper:
         if self.mem_series is not None:
             self.mem_series[t] = mem_t
         if self.ideal_series is not None and n_events:
+            # repro: lint-ok[RPR009] same expression, operand dtype and
+            # operand order as the reference engine's ideal-series sum, so
+            # numpy's pairwise reduction is bitwise-identical across
+            # engines; pinned by the golden equivalence tests
             self.ideal_series[t] = tables.highest_mb[inv_fids].sum()
 
         self.service_time = service_time

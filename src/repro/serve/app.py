@@ -39,6 +39,8 @@ import json
 import pickle
 import re
 import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
 
 from repro.obs.export import render_prometheus
 from repro.runtime.checkpoint import SimulationState
@@ -57,7 +59,7 @@ __all__ = [
 class ApiError(Exception):
     """A request error with an HTTP status (the transports map it)."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
 
@@ -123,7 +125,7 @@ class _Ticker:
     """Background thread driving one session's ``advance()`` on a
     wall-clock cadence until the horizon, a stop, or an error."""
 
-    def __init__(self, managed: "_ManagedSession", interval_s: float):
+    def __init__(self, managed: "_ManagedSession", interval_s: float) -> None:
         self.interval_s = interval_s
         self.error: str | None = None
         self._managed = managed
@@ -157,7 +159,7 @@ class _Ticker:
 
 
 class _ManagedSession:
-    def __init__(self, sid: str, session: ControlSession):
+    def __init__(self, sid: str, session: ControlSession) -> None:
         self.sid = sid
         self.session = session
         self.lock = threading.Lock()
@@ -173,7 +175,7 @@ class SessionManager:
     threaded by design) while different tenants advance in parallel.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._sessions: dict[str, _ManagedSession] = {}
         self._registry_lock = threading.Lock()
         self._ids = itertools.count(1)
@@ -204,42 +206,65 @@ class SessionManager:
             raise ApiError(400, str(exc)) from exc
 
     def _get(self, sid: str) -> _ManagedSession:
-        try:
-            return self._sessions[sid]
-        except KeyError:
-            raise ApiError(404, f"no session {sid!r}") from None
+        with self._registry_lock:
+            try:
+                return self._sessions[sid]
+            except KeyError:
+                raise ApiError(404, f"no session {sid!r}") from None
 
     def list(self) -> list[dict]:
-        return [self.info(sid) for sid in sorted(self._sessions)]
+        with self._registry_lock:
+            sids = sorted(self._sessions)
+        out: list[dict] = []
+        for sid in sids:
+            try:
+                out.append(self.info(sid))
+            except ApiError:
+                continue  # closed between the snapshot and the read-out
+        return out
 
     def info(self, sid: str) -> dict:
         managed = self._get(sid)
         session = managed.session
-        ticker = managed.ticker
-        return {
-            "id": sid,
-            "engine": session.engine,
-            "online": session.online,
-            "n_functions": session.n_functions,
-            "horizon_minutes": session.horizon,
-            "next_minute": session.next_minute,
-            "done": session.done,
-            "n_advances": managed.n_advances,
-            "ticking": ticker is not None and ticker.running,
-            "tick_error": ticker.error if ticker is not None else None,
-        }
+        with managed.lock:
+            n_advances = managed.n_advances
+            ticker = managed.ticker
+            info = {
+                "id": sid,
+                "engine": session.engine,
+                "online": session.online,
+                "n_functions": session.n_functions,
+                "horizon_minutes": session.horizon,
+                "next_minute": session.next_minute,
+                "done": session.done,
+                "n_advances": n_advances,
+                "ticking": ticker is not None and ticker.running,
+                "tick_error": ticker.error if ticker is not None else None,
+            }
+        return info
 
     def close(self, sid: str) -> dict:
         managed = self._get(sid)
-        if managed.ticker is not None:
-            managed.ticker.stop()
+        with managed.lock:
+            ticker = managed.ticker
+            managed.ticker = None
+        # stop() joins the tick thread, whose loop acquires managed.lock
+        # — calling it under that lock would deadlock until the join
+        # timeout.
+        if ticker is not None:
+            ticker.stop()
         with self._registry_lock:
             self._sessions.pop(sid, None)
         return {"id": sid, "closed": True}
 
     def close_all(self) -> None:
-        for sid in list(self._sessions):
-            self.close(sid)
+        with self._registry_lock:
+            sids = list(self._sessions)
+        for sid in sids:
+            try:
+                self.close(sid)
+            except ApiError:
+                continue  # closed concurrently
 
     # -- stepping ----------------------------------------------------------
 
@@ -268,12 +293,19 @@ class SessionManager:
             interval_ms = body.get("interval_ms", 1000)
             if not isinstance(interval_ms, (int, float)) or interval_ms < 0:
                 raise ApiError(400, f"bad interval_ms: {interval_ms!r}")
-            if managed.ticker is not None and managed.ticker.running:
-                raise ApiError(409, f"session {sid} is already ticking")
-            managed.ticker = _Ticker(managed, interval_ms / 1000.0)
+            with managed.lock:
+                if managed.ticker is not None and managed.ticker.running:
+                    raise ApiError(409, f"session {sid} is already ticking")
+                # Safe under the lock: the new thread's first advance
+                # blocks on managed.lock until we release it.
+                managed.ticker = _Ticker(managed, interval_ms / 1000.0)
         elif action == "stop":
-            if managed.ticker is not None:
-                managed.ticker.stop()
+            with managed.lock:
+                ticker = managed.ticker
+            # Join outside managed.lock — the tick loop needs it to
+            # finish its in-flight advance.
+            if ticker is not None:
+                ticker.stop()
         else:
             raise ApiError(400, f"tick action must be start|stop, got {action!r}")
         return self.info(sid)
@@ -318,7 +350,32 @@ class SessionManager:
 
 
 # -- stdlib transport --------------------------------------------------------
-def make_server(host: str = "127.0.0.1", *, port: int = 0, manager=None):
+class _ControlPlaneServer(ThreadingHTTPServer):
+    """The control-plane HTTP server: a ``ThreadingHTTPServer`` with the
+    attached :class:`SessionManager` reachable as ``server.manager``.
+
+    Multi-tenant control planes see bursts of simultaneous connects
+    (every tenant advancing each minute); the stdlib default backlog of
+    5 drops connections under that load.
+    """
+
+    request_queue_size = 128
+    daemon_threads = True
+    manager: SessionManager
+
+
+#: One route: (HTTP verb, path pattern, handler(match, query, body)).
+_RouteHandler = Callable[
+    ["dict[str, str]", "dict[str, list[str]]", bytes], Any
+]
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    *,
+    port: int = 0,
+    manager: SessionManager | None = None,
+) -> _ControlPlaneServer:
     """A ready-to-run ``ThreadingHTTPServer`` serving the v1 API.
 
     Returns the server; call ``serve_forever()`` (typically on a
@@ -327,12 +384,10 @@ def make_server(host: str = "127.0.0.1", *, port: int = 0, manager=None):
     and the smoke driver use. The attached manager is reachable as
     ``server.manager``.
     """
-    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-
     manager = manager if manager is not None else SessionManager()
 
     _SID = r"(?P<sid>[A-Za-z0-9_-]+)"
-    routes = [
+    routes: list[tuple[str, re.Pattern[str], _RouteHandler]] = [
         ("GET", re.compile(r"^/v1/healthz$"),
          lambda m, q, b: {"status": "ok"}),
         ("GET", re.compile(r"^/v1/sessions$"),
@@ -368,8 +423,8 @@ def make_server(host: str = "127.0.0.1", *, port: int = 0, manager=None):
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
 
-        def log_message(self, fmt, *args):  # quiet by default
-            pass
+        def log_message(self, format: str, *args: Any) -> None:
+            pass  # quiet by default
 
         def _dispatch(self, method: str) -> None:
             from urllib.parse import parse_qs, urlsplit
@@ -405,7 +460,7 @@ def make_server(host: str = "127.0.0.1", *, port: int = 0, manager=None):
                 return
             self._send_json(404, {"error": f"no route {method} {split.path}"})
 
-        def _send_json(self, status: int, payload: dict) -> None:
+        def _send_json(self, status: int, payload: Any) -> None:
             self._send_raw(
                 status, json.dumps(payload).encode(), "application/json"
             )
@@ -417,23 +472,16 @@ def make_server(host: str = "127.0.0.1", *, port: int = 0, manager=None):
             self.end_headers()
             self.wfile.write(body)
 
-        def do_GET(self):
+        def do_GET(self) -> None:
             self._dispatch("GET")
 
-        def do_POST(self):
+        def do_POST(self) -> None:
             self._dispatch("POST")
 
-        def do_DELETE(self):
+        def do_DELETE(self) -> None:
             self._dispatch("DELETE")
 
-    class Server(ThreadingHTTPServer):
-        # Multi-tenant control planes see bursts of simultaneous
-        # connects (every tenant advancing each minute); the stdlib
-        # default backlog of 5 drops connections under that load.
-        request_queue_size = 128
-        daemon_threads = True
-
-    server = Server((host, port), Handler)
+    server = _ControlPlaneServer((host, port), Handler)
     server.manager = manager
     return server
 
@@ -441,18 +489,18 @@ def make_server(host: str = "127.0.0.1", *, port: int = 0, manager=None):
 class _Text:
     """Marker wrapper: route result is already plain text."""
 
-    def __init__(self, value: str):
+    def __init__(self, value: str) -> None:
         self.value = value
 
 
 class _Octets:
     """Marker wrapper: route result is raw bytes."""
 
-    def __init__(self, value: bytes):
+    def __init__(self, value: bytes) -> None:
         self.value = value
 
 
-def _json_body(body: bytes, default=None):
+def _json_body(body: bytes, default: Any | None = None) -> Any:
     if not body:
         if default is not None:
             return default
@@ -463,7 +511,12 @@ def _json_body(body: bytes, default=None):
         raise ApiError(400, f"bad JSON body: {exc}") from exc
 
 
-def serve(host: str = "127.0.0.1", *, port: int = 8750, manager=None) -> None:
+def serve(
+    host: str = "127.0.0.1",
+    *,
+    port: int = 8750,
+    manager: SessionManager | None = None,
+) -> None:
     """Run the stdlib server until interrupted (the ``repro serve``
     entry point). Binds loopback by default — snapshots travel as
     pickles, so only expose the port to callers you trust."""
@@ -480,7 +533,7 @@ def serve(host: str = "127.0.0.1", *, port: int = 8750, manager=None) -> None:
 
 
 # -- FastAPI transport (optional extra) --------------------------------------
-def create_fastapi_app(manager=None):
+def create_fastapi_app(manager: SessionManager | None = None) -> Any:
     """The same v1 routes as an ASGI app (requires ``fastapi``).
 
     FastAPI is an optional extra — the stdlib transport above is the
@@ -505,53 +558,53 @@ def create_fastapi_app(manager=None):
     app = FastAPI(title="repro control plane", version="1")
     app.state.manager = manager
 
-    def _guard(fn, *args, **kwargs):
+    def _guard(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
         try:
             return fn(*args, **kwargs)
         except ApiError as exc:
             raise HTTPException(exc.status, str(exc)) from exc
 
     @app.get("/v1/healthz")
-    def healthz():
+    def healthz() -> dict:
         return {"status": "ok"}
 
     @app.get("/v1/sessions")
-    def list_sessions():
+    def list_sessions() -> dict:
         return {"sessions": manager.list()}
 
     @app.post("/v1/sessions")
-    def create_session(spec: dict):
+    def create_session(spec: dict) -> Any:
         return _guard(manager.create, spec)
 
     @app.post("/v1/sessions/restore")
-    async def restore_session(request: Request):
+    async def restore_session(request: Request) -> Any:
         return _guard(manager.restore, await request.body())
 
     @app.get("/v1/sessions/{sid}")
-    def session_info(sid: str):
+    def session_info(sid: str) -> Any:
         return _guard(manager.info, sid)
 
     @app.delete("/v1/sessions/{sid}")
-    def close_session(sid: str):
+    def close_session(sid: str) -> Any:
         return _guard(manager.close, sid)
 
     @app.post("/v1/sessions/{sid}/advance")
-    def advance_session(sid: str, body: dict | None = None):
+    def advance_session(sid: str, body: dict | None = None) -> Any:
         return _guard(manager.advance, sid, body)
 
     @app.post("/v1/sessions/{sid}/tick")
-    def tick_session(sid: str, body: dict | None = None):
+    def tick_session(sid: str, body: dict | None = None) -> Any:
         return _guard(manager.tick, sid, body)
 
     @app.get("/v1/sessions/{sid}/metrics")
-    def session_metrics(sid: str):
+    def session_metrics(sid: str) -> Any:
         return Response(
             _guard(manager.metrics, sid),
             media_type="text/plain; version=0.0.4; charset=utf-8",
         )
 
     @app.get("/v1/sessions/{sid}/snapshot")
-    def session_snapshot(sid: str):
+    def session_snapshot(sid: str) -> Any:
         return Response(
             _guard(manager.snapshot, sid),
             media_type="application/octet-stream",
@@ -559,11 +612,11 @@ def create_fastapi_app(manager=None):
 
     @app.get("/v1/sessions/{sid}/decisions")
     def session_decisions(sid: str, fid: int | None = None,
-                          kind: str | None = None):
+                          kind: str | None = None) -> Any:
         return {"decisions": _guard(manager.decisions, sid, fid, kind)}
 
     @app.get("/v1/sessions/{sid}/result")
-    def session_result(sid: str):
+    def session_result(sid: str) -> Any:
         return _guard(manager.result, sid)
 
     return app

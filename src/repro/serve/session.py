@@ -35,10 +35,11 @@ engine checkpoints use.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, replace
 from pathlib import Path
 from time import perf_counter
+from typing import Any
 
 import numpy as np
 
@@ -139,7 +140,7 @@ class ControlSession:
         shards: int = 1,
         online: bool = False,
         _restored: tuple | None = None,
-    ):
+    ) -> None:
         self.sim = sim
         self.trace = sim.trace
         self.horizon = sim.trace.horizon
@@ -148,6 +149,9 @@ class ControlSession:
         self.online = online
         self._wall = 0.0
         self._span_added = False
+        # The three steppers share the stepping surface by convention,
+        # not by base class — dispatch stays duck-typed.
+        self.stepper: Any
         if _restored is None:
             live: dict | None = None
             next_minute = 0
@@ -414,7 +418,9 @@ class ControlSession:
         return float(self.stepper.last_memory_mb)
 
     def _minute_events(
-        self, t: int, invocations
+        self,
+        t: int,
+        invocations: Mapping[int, int] | Iterable[tuple[int, int]] | None,
     ) -> tuple[np.ndarray, np.ndarray]:
         if invocations is None:
             col = self.trace.counts[:, t]

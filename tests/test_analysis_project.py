@@ -1,0 +1,355 @@
+"""The analysis core: symbol table, call graph, reaching definitions."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import ProjectContext
+from repro.analysis.engine import SourceModule
+from repro.analysis.project import (
+    UNKNOWN,
+    TypeInfo,
+    import_aliases,
+    resolve_alias,
+)
+
+
+def load(tmp_path: Path, rel: str, source: str) -> SourceModule:
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return SourceModule.load(path)
+
+
+def context(tmp_path: Path, **files: str) -> ProjectContext:
+    return ProjectContext(
+        [load(tmp_path, f"{name}.py", source) for name, source in files.items()]
+    )
+
+
+def fn_defs(ctx: ProjectContext, module_index: int, qual: str):
+    """ReachingDefs for ``Class.method`` or ``func`` in one module."""
+    module = ctx[module_index]
+    syms = ctx.symbols.module(module.display)
+    if "." in qual:
+        cls, method = qual.split(".")
+        node = syms.classes[cls].methods[method].node
+    else:
+        node = syms.functions[qual].node
+    return ctx.reaching(node, module)
+
+
+class TestSymbolTable:
+    def test_classes_functions_and_init_attrs(self, tmp_path):
+        ctx = context(
+            tmp_path,
+            mod="""\
+            import threading
+
+            def helper():
+                return 1
+
+            class Registry:
+                def __init__(self):
+                    self.lock = threading.Lock()
+                    self.items = {}
+                    self.count = 0
+
+                def add(self, key):
+                    self.items[key] = True
+            """,
+        )
+        syms = ctx.symbols.module(ctx[0].display)
+        assert set(syms.functions) == {"helper"}
+        cls = syms.classes["Registry"]
+        assert cls.init_attrs == ("lock", "items", "count")
+        assert set(cls.methods) == {"__init__", "add"}
+        assert cls.attr_types["lock"] == TypeInfo("call", "threading.Lock")
+        assert cls.attr_types["items"] == TypeInfo("container", "dict")
+        assert cls.attr_types["count"] == TypeInfo("scalar", "int")
+
+    def test_conflicting_reassignment_degrades_to_unknown(self, tmp_path):
+        ctx = context(
+            tmp_path,
+            mod="""\
+            class C:
+                def __init__(self):
+                    self.x = {}
+
+                def reset(self):
+                    self.x = 0
+            """,
+        )
+        cls = ctx.symbols.module(ctx[0].display).classes["C"]
+        assert cls.attr_types["x"] is UNKNOWN
+
+    def test_none_placeholder_does_not_conflict(self, tmp_path):
+        ctx = context(
+            tmp_path,
+            mod="""\
+            class C:
+                def __init__(self):
+                    self.ticker = None
+
+                def start(self):
+                    self.ticker = {}
+            """,
+        )
+        cls = ctx.symbols.module(ctx[0].display).classes["C"]
+        assert cls.attr_types["ticker"] == TypeInfo("container", "dict")
+
+    def test_find_class_prefers_asking_module(self, tmp_path):
+        ctx = context(
+            tmp_path,
+            a="""\
+            class Shared:
+                def __init__(self):
+                    self.origin = "a"
+            """,
+            b="""\
+            class Shared:
+                def __init__(self):
+                    self.origin = "b"
+            """,
+        )
+        found = ctx.symbols.find_class("Shared", prefer_module=ctx[1].display)
+        assert found.module == ctx[1].display
+        assert ctx.symbols.find_class("Nope") is None
+
+    def test_import_aliases_and_resolution(self, tmp_path):
+        module = load(
+            tmp_path,
+            "mod.py",
+            """\
+            import numpy as np
+            import collections
+            from threading import Lock as Mutex
+            """,
+        )
+        aliases = import_aliases(module.tree)
+        assert aliases["np"] == "numpy"
+        assert aliases["Mutex"] == "threading.Lock"
+        assert resolve_alias("np.zeros", aliases) == "numpy.zeros"
+        assert resolve_alias("collections.deque", aliases) == "collections.deque"
+        assert resolve_alias("unrelated.name", aliases) == "unrelated.name"
+
+
+class TestReachingDefs:
+    def test_numpy_factory_dtype_and_astype(self, tmp_path):
+        ctx = context(
+            tmp_path,
+            mod="""\
+            import numpy as np
+
+            def f(n):
+                levels = np.full(n, 0, dtype=np.int8)
+                wide = levels.astype(np.int64)
+                budget = np.zeros(n)
+                return levels, wide, budget
+            """,
+        )
+        defs = fn_defs(ctx, 0, "f")
+        assert defs.type_of("levels") == TypeInfo("array", "int8")
+        assert defs.type_of("wide") == TypeInfo("array", "int64")
+        # zeros defaults to float64 when no dtype is given.
+        assert defs.type_of("budget") == TypeInfo("array", "float64")
+
+    def test_subscript_preserves_array_dtype(self, tmp_path):
+        ctx = context(
+            tmp_path,
+            mod="""\
+            import numpy as np
+
+            def f(rows):
+                col = np.arange(10, dtype=np.int32)
+                picked = col[rows]
+                return picked
+            """,
+        )
+        defs = fn_defs(ctx, 0, "f")
+        assert defs.type_of("picked") == TypeInfo("array", "int32")
+
+    def test_conflicting_rebinding_is_unknown(self, tmp_path):
+        ctx = context(
+            tmp_path,
+            mod="""\
+            import numpy as np
+
+            def f(flag):
+                x = np.zeros(4, dtype=np.int8)
+                if flag:
+                    x = {}
+                return x
+            """,
+        )
+        assert fn_defs(ctx, 0, "f").type_of("x") is UNKNOWN
+
+    def test_parameter_annotation_is_a_definition(self, tmp_path):
+        ctx = context(
+            tmp_path,
+            mod="""\
+            class Session:
+                def __init__(self):
+                    self.n = 0
+
+            def f(s: Session):
+                return s
+            """,
+        )
+        assert fn_defs(ctx, 0, "f").type_of("s") == TypeInfo(
+            "instance", "Session"
+        )
+
+    def test_self_attr_resolves_through_owner_class(self, tmp_path):
+        ctx = context(
+            tmp_path,
+            mod="""\
+            import numpy as np
+
+            class Tables:
+                def __init__(self, n):
+                    self.highest_mb = np.zeros(n, dtype=np.int32)
+
+            class Stepper:
+                def __init__(self, tables: Tables):
+                    self.tables = tables
+
+                def step(self):
+                    t = self.tables
+                    return t.highest_mb
+            """,
+        )
+        defs = fn_defs(ctx, 0, "Stepper.step")
+        assert defs.type_of("self") == TypeInfo("instance", "Stepper")
+        assert defs.type_of("t") == TypeInfo("instance", "Tables")
+
+    def test_constructor_call_type_resolves_attrs(self, tmp_path):
+        # A binding typed call:pkg.Cls is an instance of Cls when Cls
+        # is a scanned project class — how RPR009 sees dtypes through
+        # `self.tables = VariantTables(...)` three modules away.
+        ctx = context(
+            tmp_path,
+            tables="""\
+            import numpy as np
+
+            class VariantTables:
+                def __init__(self, n):
+                    self.highest_mb = np.zeros(n, dtype=np.int32)
+            """,
+            stepper="""\
+            from tables import VariantTables
+
+            class Stepper:
+                def __init__(self, n):
+                    self.tables = VariantTables(n)
+
+                def step(self):
+                    col = self.tables.highest_mb
+                    return col
+            """,
+        )
+        defs = fn_defs(ctx, 1, "Stepper.step")
+        assert defs.type_of("col") == TypeInfo("array", "int32")
+
+    def test_method_return_annotation_types_the_call(self, tmp_path):
+        ctx = context(
+            tmp_path,
+            mod="""\
+            class Managed:
+                def __init__(self):
+                    self.n = 0
+
+            class Manager:
+                def __init__(self):
+                    self.registry = {}
+
+                def _get(self, sid) -> Managed:
+                    return self.registry[sid]
+
+                def info(self, sid):
+                    managed = self._get(sid)
+                    return managed
+            """,
+        )
+        defs = fn_defs(ctx, 0, "Manager.info")
+        assert defs.type_of("managed") == TypeInfo("instance", "Managed")
+
+    def test_definitions_lists_every_textual_assignment(self, tmp_path):
+        ctx = context(
+            tmp_path,
+            mod="""\
+            def f():
+                x = 1
+                x = 2
+                return x
+            """,
+        )
+        assert len(fn_defs(ctx, 0, "f").definitions("x")) == 2
+        assert fn_defs(ctx, 0, "f").definitions("missing") == []
+
+
+class TestCallGraph:
+    def test_function_constructor_and_method_edges(self, tmp_path):
+        ctx = context(
+            tmp_path,
+            mod="""\
+            def helper():
+                return 1
+
+            class Worker:
+                def __init__(self):
+                    self.n = helper()
+
+                def run(self):
+                    return self.n
+
+            def main():
+                w = Worker()
+                w.run()
+                helper()
+            """,
+        )
+        display = ctx[0].display
+        graph = ctx.call_graph
+        main_edges = graph.callees(f"{display}::main")
+        assert f"{display}::Worker.__init__" in main_edges
+        assert f"{display}::Worker.run" in main_edges
+        assert f"{display}::helper" in main_edges
+        assert f"{display}::main" in graph.callers(f"{display}::helper")
+        assert f"{display}::Worker.__init__" in graph.callers(
+            f"{display}::helper"
+        )
+
+    def test_unresolvable_receiver_adds_no_edge(self, tmp_path):
+        ctx = context(
+            tmp_path,
+            mod="""\
+            def main(thing):
+                thing.run()
+            """,
+        )
+        assert ctx.call_graph.callees(f"{ctx[0].display}::main") == set()
+
+
+class TestProjectContext:
+    def test_sequence_protocol_and_lazy_layers(self, tmp_path):
+        ctx = context(tmp_path, a="X = 1\n", b="Y = 2\n")
+        assert len(ctx) == 2
+        assert [m.path.name for m in ctx] == ["a.py", "b.py"]
+        assert ctx._symbols is None  # not built until asked for
+        _ = ctx.symbols
+        assert ctx._symbols is not None
+
+    def test_reaching_is_cached_per_function(self, tmp_path):
+        ctx = context(
+            tmp_path,
+            mod="""\
+            def f():
+                x = 1
+                return x
+            """,
+        )
+        module = ctx[0]
+        node = ctx.symbols.module(module.display).functions["f"].node
+        assert ctx.reaching(node, module) is ctx.reaching(node, module)

@@ -817,8 +817,533 @@ class TestExceptionHygieneRPR006:
         assert rules_hit(path, "RPR006") == []
 
 
+class TestLockDisciplineRPR008:
+    GUARDED = textwrap.dedent(
+        """\
+        import threading
+
+        class Manager:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._sessions = {}
+
+            def add(self, sid):
+                with self._lock:
+                    self._sessions[sid] = 1
+
+            def list(self):
+                with self._lock:
+                    return sorted(self._sessions)
+        """
+    )
+
+    def broken(self, old: str, new: str) -> str:
+        source = self.GUARDED.replace(old, new)
+        assert source != self.GUARDED, "fixture edit did not apply"
+        return source
+
+    def test_guarded_accesses_clean(self, tmp_path):
+        path = write(tmp_path, "serve/app.py", self.GUARDED)
+        assert rules_hit(path, "RPR008") == []
+
+    def test_unlocked_read_flagged(self, tmp_path):
+        source = self.broken(
+            "        with self._lock:\n"
+            "            return sorted(self._sessions)",
+            "        return sorted(self._sessions)",
+        )
+        path = write(tmp_path, "serve/app.py", source)
+        report = lint_paths([path], rule_ids=["RPR008"])
+        (finding,) = report.findings
+        assert "unlocked read of shared Manager._sessions" in finding.message
+
+    def test_unlocked_write_flagged(self, tmp_path):
+        source = self.broken(
+            "        with self._lock:\n"
+            "            self._sessions[sid] = 1",
+            "        self._sessions[sid] = 1",
+        )
+        path = write(tmp_path, "serve/app.py", source)
+        report = lint_paths([path], rule_ids=["RPR008"])
+        (finding,) = report.findings
+        assert "unlocked" in finding.message
+        assert "with self._lock:" in finding.message
+
+    def test_waiver_with_reason_accepted(self, tmp_path):
+        source = self.broken(
+            "        with self._lock:\n"
+            "            return sorted(self._sessions)",
+            "        # repro: lint-ok[RPR008] single-threaded setup phase\n"
+            "        return sorted(self._sessions)",
+        )
+        path = write(tmp_path, "serve/app.py", source)
+        assert rules_hit(path, "RPR008") == []
+
+    def test_wrong_lock_does_not_count(self, tmp_path):
+        # Holding another object's lock is not holding the owner's.
+        path = write(
+            tmp_path,
+            "serve/app.py",
+            """\
+            import threading
+
+            class Inner:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+            class Manager:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._sessions = {}
+                    self.inner = Inner()
+
+                def list(self):
+                    with self.inner.lock:
+                        return sorted(self._sessions)
+            """,
+        )
+        assert rules_hit(path, "RPR008") == ["RPR008"]
+
+    def test_inconsistent_lock_order_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "serve/app.py",
+            """\
+            import threading
+
+            class Manager:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def two(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR008"])
+        (finding,) = report.findings
+        assert "inconsistent lock order" in finding.message
+        assert "ABBA" in finding.message
+
+    def test_daemon_write_vs_snapshot_flagged(self, tmp_path):
+        # Worker itself has no lock — the daemon-vs-snapshot check still
+        # fires on the torn-read shape (Registry exists because the rule
+        # only engages when the scope has at least one guarded class).
+        path = write(
+            tmp_path,
+            "serve/ticker.py",
+            """\
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self.lock = threading.Lock()
+                    self.items = {}
+
+            class Worker:
+                def __init__(self):
+                    self.count = 0
+                    self.thread = threading.Thread(
+                        target=self._run, daemon=True
+                    )
+
+                def _run(self):
+                    self.count = self.count + 1
+
+                def snapshot(self):
+                    return self.count
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR008"])
+        (finding,) = report.findings
+        assert "daemon thread Worker._run" in finding.message
+        assert "snapshot()" in finding.message
+
+    def test_out_of_scope_module_exempt(self, tmp_path):
+        source = self.GUARDED.replace(
+            "        with self._lock:\n"
+            "            return sorted(self._sessions)",
+            "        return sorted(self._sessions)",
+        )
+        path = write(tmp_path, "runtime/app.py", source)
+        assert rules_hit(path, "RPR008") == []
+
+
+class TestRealServeFixtureCopyRPR008:
+    """The acceptance fixture: the real serving layer's lock usage,
+    copied verbatim, then broken."""
+
+    @pytest.fixture
+    def app_copy(self, tmp_path):
+        target = tmp_path / "serve" / "app.py"
+        target.parent.mkdir(parents=True)
+        shutil.copy(REPRO_ROOT / "serve" / "app.py", target)
+        return target
+
+    def test_pristine_copy_is_clean(self, app_copy):
+        assert rules_hit(app_copy, "RPR008") == []
+
+    def test_removed_registry_lock_caught(self, app_copy):
+        source = app_copy.read_text()
+        broken = source.replace(
+            "        with self._registry_lock:\n"
+            "            sids = sorted(self._sessions)",
+            "        sids = sorted(self._sessions)",
+        )
+        assert broken != source, "expected list() guard not found"
+        app_copy.write_text(broken)
+        report = lint_paths([app_copy], rule_ids=["RPR008"])
+        assert [f.rule for f in report.findings] == ["RPR008"]
+        assert "_sessions" in report.findings[0].message
+
+
+class TestColumnarHygieneRPR009:
+    def test_hot_path_fleet_range_loop_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "runtime/fleet.py",
+            """\
+            def step(n_fn):
+                total = 0
+                for fid in range(n_fn):
+                    total += fid
+                return total
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR009"])
+        (finding,) = report.findings
+        assert "hot path step()" in finding.message
+        assert "fleet cardinality" in finding.message
+
+    def test_hot_path_tolist_loop_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "runtime/columnar.py",
+            """\
+            import numpy as np
+
+            def serve(cold):
+                for i in np.flatnonzero(cold).tolist():
+                    handle(i)
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR009"])
+        (finding,) = report.findings
+        assert ".tolist()" in finding.message
+
+    def test_same_loop_outside_hot_path_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "runtime/fleet.py",
+            """\
+            def build_tables(n_fn):
+                out = []
+                for fid in range(n_fn):
+                    out.append(fid)
+                return out
+            """,
+        )
+        assert rules_hit(path, "RPR009") == []
+
+    def test_waiver_with_reason_accepted(self, tmp_path):
+        path = write(
+            tmp_path,
+            "runtime/fleet.py",
+            """\
+            def step(n_fn, pool):
+                # repro: lint-ok[RPR009] compat mode only (pool attached)
+                for fid in range(n_fn):
+                    pool.touch(fid)
+            """,
+        )
+        assert rules_hit(path, "RPR009") == []
+
+    def test_narrow_dtype_arithmetic_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "runtime/columnar.py",
+            """\
+            import numpy as np
+
+            def plan(n):
+                levels = np.full(n, 0, dtype=np.int8)
+                return levels + 1
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR009"])
+        (finding,) = report.findings
+        assert "int8" in finding.message
+        assert "overflow" in finding.message
+
+    def test_widened_arithmetic_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "runtime/columnar.py",
+            """\
+            import numpy as np
+
+            def plan(n):
+                levels = np.full(n, 0, dtype=np.int8)
+                return levels.astype(np.int64) + 1
+            """,
+        )
+        assert rules_hit(path, "RPR009") == []
+
+    def test_unstable_argsort_flagged_stable_clean(self, tmp_path):
+        bad = write(
+            tmp_path,
+            "a/columnar.py",
+            """\
+            def rank(scores):
+                return scores.argsort()
+            """,
+        )
+        good = write(
+            tmp_path,
+            "b/columnar.py",
+            """\
+            def rank(scores):
+                return scores.argsort(kind="stable")
+            """,
+        )
+        assert rules_hit(bad, "RPR009") == ["RPR009"]
+        assert rules_hit(good, "RPR009") == []
+
+    def test_argpartition_carveout_needs_stable_argsort(self, tmp_path):
+        bare = write(
+            tmp_path,
+            "a/columnar.py",
+            """\
+            import numpy as np
+
+            def top_k(scores, k):
+                return np.argpartition(scores, k)[:k]
+            """,
+        )
+        reordered = write(
+            tmp_path,
+            "b/columnar.py",
+            """\
+            import numpy as np
+
+            def top_k(scores, k):
+                rough = np.argpartition(scores, k)[:k]
+                return rough[scores[rough].argsort(kind="stable")]
+            """,
+        )
+        report = lint_paths([bare], rule_ids=["RPR009"])
+        (finding,) = report.findings
+        assert "carve-out" in finding.message
+        assert rules_hit(reordered, "RPR009") == []
+
+    def test_hot_path_unordered_float_sum_flagged(self, tmp_path):
+        path = write(
+            tmp_path,
+            "runtime/fleet.py",
+            """\
+            import numpy as np
+
+            def step(n):
+                vals = np.zeros(n)
+                return vals.sum()
+            """,
+        )
+        report = lint_paths([path], rule_ids=["RPR009"])
+        (finding,) = report.findings
+        assert "unordered float reduction" in finding.message
+
+    def test_axis_sum_and_int_sum_clean(self, tmp_path):
+        path = write(
+            tmp_path,
+            "runtime/fleet.py",
+            """\
+            import numpy as np
+
+            def step(n):
+                grid = np.zeros((n, 4))
+                counts = np.zeros(n, dtype=np.int64)
+                return grid.sum(axis=0), counts.sum()
+            """,
+        )
+        assert rules_hit(path, "RPR009") == []
+
+    def test_out_of_scope_basename_exempt(self, tmp_path):
+        path = write(
+            tmp_path,
+            "runtime/planner.py",
+            """\
+            def step(n_fn):
+                for fid in range(n_fn):
+                    pass
+            """,
+        )
+        assert rules_hit(path, "RPR009") == []
+
+
+CHECKPOINT_FIXTURE = """\
+# v1: initial snapshot schema.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+SNAPSHOT_FIELDS = {
+    "reference": frozenset({"policy", "pool"}),
+}
+
+STATE_FIELDS = (
+    ("engine", "str"),
+    ("payload", "bytes"),
+)
+
+
+class SimulationState:
+    engine: str
+    payload: bytes
+"""
+
+SIMULATOR_FIXTURE = """\
+class Sim:
+    def live_state(self):
+        return {"policy": self.policy, "pool": self.pool}
+"""
+
+
+class TestSnapshotSchemaRPR010:
+    def pair(self, tmp_path, checkpoint=CHECKPOINT_FIXTURE,
+             sim=SIMULATOR_FIXTURE):
+        return [
+            write(tmp_path, "runtime/checkpoint.py", checkpoint),
+            write(tmp_path, "runtime/simulator.py", sim),
+        ]
+
+    def test_matching_manifest_clean(self, tmp_path):
+        assert rules_hit(self.pair(tmp_path), "RPR010") == []
+
+    def test_removed_snapshot_field_without_bump_caught(self, tmp_path):
+        # The acceptance fixture: drop a live_state key, leave the
+        # manifest (and version) alone.
+        sim = SIMULATOR_FIXTURE.replace(', "pool": self.pool', "")
+        paths = self.pair(tmp_path, sim=sim)
+        report = lint_paths(paths, rule_ids=["RPR010"])
+        (finding,) = report.findings
+        assert "drifted from SNAPSHOT_FIELDS" in finding.message
+        assert "removed: pool" in finding.message
+
+    def test_added_snapshot_field_caught(self, tmp_path):
+        sim = SIMULATOR_FIXTURE.replace(
+            '"pool": self.pool', '"pool": self.pool, "rng": self.rng'
+        )
+        report = lint_paths(self.pair(tmp_path, sim=sim), rule_ids=["RPR010"])
+        (finding,) = report.findings
+        assert "added: rng" in finding.message
+
+    def test_version_bump_without_migration_note_caught(self, tmp_path):
+        checkpoint = CHECKPOINT_FIXTURE.replace(
+            "CHECKPOINT_SCHEMA_VERSION = 1", "CHECKPOINT_SCHEMA_VERSION = 2"
+        )
+        report = lint_paths(
+            self.pair(tmp_path, checkpoint=checkpoint), rule_ids=["RPR010"]
+        )
+        (finding,) = report.findings
+        assert "no 'v2:' migration note" in finding.message
+
+    def test_state_class_drift_caught(self, tmp_path):
+        checkpoint = CHECKPOINT_FIXTURE.replace(
+            "    payload: bytes", "    payload: str"
+        )
+        report = lint_paths(
+            self.pair(tmp_path, checkpoint=checkpoint), rule_ids=["RPR010"]
+        )
+        (finding,) = report.findings
+        assert "SimulationState fields" in finding.message
+        assert "drifted from STATE_FIELDS" in finding.message
+
+    def test_missing_manifest_with_engines_caught(self, tmp_path):
+        checkpoint = (
+            "# v1: initial snapshot schema.\n"
+            "CHECKPOINT_SCHEMA_VERSION = 1\n"
+        )
+        report = lint_paths(
+            self.pair(tmp_path, checkpoint=checkpoint), rule_ids=["RPR010"]
+        )
+        messages = [f.message for f in report.findings]
+        assert any("no SNAPSHOT_FIELDS manifest" in m for m in messages)
+
+    def test_directory_without_checkpoint_skipped(self, tmp_path):
+        path = write(tmp_path, "obs/fleet.py", SIMULATOR_FIXTURE)
+        assert rules_hit(path, "RPR010") == []
+
+
+class TestFleetReducerCarveoutRPR002:
+    """The two reducer emit sites are carved out in the rule itself —
+    not re-waived at every call site."""
+
+    def test_carveout_list_is_pinned(self):
+        from repro.analysis.rules.parity import FLEET_REDUCER_CARVEOUTS
+
+        assert FLEET_REDUCER_CARVEOUTS == frozenset(
+            {"record_peak", "record_downgrade"}
+        )
+
+    def trio(self, tmp_path, sim_extra="", fleet_extra=""):
+        sim = write(
+            tmp_path,
+            "runtime/simulator.py",
+            SIM_TEMPLATE + sim_extra,
+        )
+        fleet = write(
+            tmp_path,
+            "runtime/fleet.py",
+            FAST_TEMPLATE.replace("def run(", "def fleet_run(") + fleet_extra,
+        )
+        return [sim, fleet]
+
+    def test_fleet_side_carveout_names_exempt(self, tmp_path):
+        paths = self.trio(
+            tmp_path,
+            fleet_extra=(
+                "\n"
+                "def reduce(rec, priority):\n"
+                "    rec.record_peak(1, 2, 3, 4)\n"
+                "    priority.record_downgrade(0)\n"
+            ),
+        )
+        assert rules_hit(paths, "RPR002") == []
+
+    def test_other_fleet_side_hooks_still_flagged(self, tmp_path):
+        paths = self.trio(
+            tmp_path,
+            fleet_extra=(
+                "\ndef reduce(rec):\n    rec.record_slow(1)\n"
+            ),
+        )
+        report = lint_paths(paths, rule_ids=["RPR002"])
+        (finding,) = report.findings
+        assert "record_slow" in finding.message
+
+    def test_carveout_names_one_sided_in_simulator_flagged(self, tmp_path):
+        # The exemption is fleet-side only: the same names one-sided in
+        # the reference loop are a real asymmetry.
+        paths = self.trio(
+            tmp_path,
+            sim_extra=(
+                "\ndef review(rec):\n    rec.record_peak(1, 2, 3, 4)\n"
+            ),
+        )
+        report = lint_paths(paths, rule_ids=["RPR002"])
+        assert [f.rule for f in report.findings] == ["RPR002"]
+        assert "record_peak" in report.findings[0].message
+
+
 class TestShippedTreeSelfCheck:
     def test_repro_lints_clean(self):
         report = lint_paths([REPRO_ROOT])
         assert report.findings == [], [str(f) for f in report.findings]
         assert report.exit_code == 0
+        # The full pack ran — RPR001 through RPR010.
+        assert report.rule_ids == [f"RPR{n:03d}" for n in range(1, 11)]

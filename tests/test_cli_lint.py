@@ -85,3 +85,91 @@ class TestLintCommand:
     def test_nonexistent_path_is_a_spec_error(self):
         with pytest.raises(SpecError, match="does not exist"):
             main(["lint", "/no/such/tree"])
+
+    def test_sarif_format(self, planted_dir, capsys):
+        rc = main(["lint", "--format", "sarif", str(planted_dir)])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert {r["ruleId"] for r in run["results"]} == {"RPR001"}
+
+    def test_unparseable_file_exits_two(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        rc = main(["lint", str(tmp_path)])
+        assert rc == 2
+        assert "RPR000" in capsys.readouterr().out
+
+    def test_explicit_file_operand_always_linted(self, planted_dir, capsys):
+        # Naming the file directly lints exactly it, not its directory.
+        rc = main(["lint", str(planted_dir / "runtime" / "bad.py")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "1 file(s)" in out
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--help"])
+        out = capsys.readouterr().out
+        assert "0 = clean" in out
+        assert "1 = findings" in out
+        assert "2 = engine error" in out
+
+
+class TestLintIncrementalFlags:
+    def test_cache_dir_warm_run_is_byte_identical(self, planted_dir, capsys):
+        cache = planted_dir / ".lint-cache"
+        argv = [
+            "lint", "--format", "json", "--cache-dir", str(cache),
+            str(planted_dir / "runtime"),
+        ]
+        assert main(argv) == 1
+        cold = capsys.readouterr().out
+        assert (cache / "lint-cache.json").exists()
+        assert main(argv) == 1
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_jobs_fan_out_matches_serial(self, planted_dir, capsys):
+        serial_argv = ["lint", "--format", "json", str(planted_dir)]
+        assert main(serial_argv) == 1
+        serial = capsys.readouterr().out
+        assert main([*serial_argv, "--jobs", "2"]) == 1
+        assert capsys.readouterr().out == serial
+
+    def test_changed_outside_git_is_a_spec_error(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SpecError, match="git checkout"):
+            main(["lint", "--changed", str(tmp_path)])
+
+    def test_changed_narrows_to_touched_files(self, tmp_path, monkeypatch, capsys):
+        import subprocess
+
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv], cwd=tmp_path, check=True, capture_output=True
+            )
+
+        git("init")
+        git("config", "user.email", "t@example.com")
+        git("config", "user.name", "t")
+        clean = tmp_path / "clean.py"
+        clean.write_text("X = 1\n")
+        tracked = tmp_path / "runtime" / "tracked.py"
+        tracked.parent.mkdir()
+        tracked.write_text("Y = 2\n")
+        git("add", "-A")
+        git("commit", "-m", "seed")
+
+        tracked.write_text("import random\n")  # modified vs HEAD
+        (tmp_path / "fresh.py").write_text("import secrets\n")  # untracked
+        monkeypatch.chdir(tmp_path)
+
+        rc = main(["lint", "--format", "json", "--changed", str(tmp_path)])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        # clean.py is unchanged and outside every project scope: skipped.
+        assert doc["n_files"] == 2
+        assert {f["rule"] for f in doc["findings"]} == {"RPR001"}
