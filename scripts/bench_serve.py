@@ -17,6 +17,18 @@ Two numbers are reported so the transport cost is visible:
   directly, which bounds what a faster transport (FastAPI/uvicorn, unix
   sockets) could recover.
 
+A third measurement prices crash durability: the in-process drive run
+with the write-ahead journal off vs on (order-balanced rounds, best-of
+— wall-clock noise is additive, so the minimum is the robust
+estimator), reported as ``journal.overhead_frac`` and gated by
+``--gate-journal-overhead`` (the durability budget is <=10%). The
+journaled rounds run the production-default 240-minute compaction
+cadence, so the gated number is the steady-state write-ahead append
+cost; compaction (a snapshot + fsync every 4 simulated hours per
+session, ~4 ms each) amortizes below measurement noise at that cadence
+and is exercised separately — and aggressively, every 16 minutes — by
+``serve_chaos.py``.
+
 Merges a ``serving`` section into ``BENCH_perf.json`` (other sections
 untouched).
 
@@ -32,16 +44,24 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 import threading
 import time
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
-from repro.serve.app import SessionManager, make_server
+from repro.serve import JournalSupervisor
+from repro.serve.app import ServeLimits, SessionManager, make_server
 from repro.utils.atomicio import atomic_write_json
 
 SEED = 2024
+#: Compaction cadence for the journaled rounds — the production
+#: default (``repro serve --compact-every``). Tighter cadences turn the
+#: per-bucket snapshot fsync into a convoy (every lockstep session
+#: compacts in the same instant) and measure filesystem batching, not
+#: the advance path; the chaos drill stresses that regime instead.
+JOURNAL_EVERY_MINUTES = 240
 
 
 def make_spec(n_functions: int, horizon: int, seed: int) -> dict:
@@ -109,10 +129,64 @@ def drive_inproc(manager: SessionManager, sids: list[str], minutes: int,
     return time.perf_counter() - start
 
 
+def _journal_round(journaled: bool, sessions: int, minutes: int,
+                   n_functions: int, workers: int, seed0: int) -> float:
+    """One timed in-process drive with the journal off or on."""
+    horizon = minutes + 10
+    with tempfile.TemporaryDirectory(prefix="bench-journal-") as tmp:
+        manager = SessionManager(
+            limits=ServeLimits(max_sessions=sessions),
+            journal=JournalSupervisor(
+                tmp, every_minutes=JOURNAL_EVERY_MINUTES
+            )
+            if journaled
+            else None,
+        )
+        try:
+            sids = [
+                manager.create(make_spec(n_functions, horizon, seed0 + i))["id"]
+                for i in range(sessions)
+            ]
+            drive_inproc(manager, sids, 1, workers)  # warm
+            return drive_inproc(manager, sids, minutes, workers)
+        finally:
+            manager.close_all()
+
+
+def bench_journal(sessions: int, minutes: int, n_functions: int,
+                  workers: int) -> dict:
+    """Journal-off vs journal-on, best-of over order-balanced rounds."""
+    seconds: dict[bool, list[float]] = {False: [], True: []}
+    for i, journaled in enumerate((False, True, True, False, False, True)):
+        seconds[journaled].append(
+            _journal_round(journaled, sessions, minutes, n_functions,
+                           workers, SEED + 1000 * i)
+        )
+    off_s = min(seconds[False])
+    on_s = min(seconds[True])
+    total = sessions * minutes
+    return {
+        "sessions": sessions,
+        "minutes_per_session": minutes,
+        "compact_every_minutes": JOURNAL_EVERY_MINUTES,
+        "rounds_off_seconds": seconds[False],
+        "rounds_on_seconds": seconds[True],
+        "off_seconds": off_s,
+        "on_seconds": on_s,
+        "off_minutes_per_s": total / off_s,
+        "on_minutes_per_s": total / on_s,
+        "overhead_frac": (on_s - off_s) / off_s,
+    }
+
+
 def bench(sessions: int, minutes: int, n_functions: int,
           workers: int) -> dict:
     horizon = 2 * minutes + 10  # room for both drives in one session set
-    server = make_server("127.0.0.1", port=0)
+    # Admission control would 503 the default 64-session table; the
+    # bench sizes the limit to the fleet it is about to create.
+    server = make_server(
+        "127.0.0.1", port=0, limits=ServeLimits(max_sessions=sessions)
+    )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     host, port = server.server_address[:2]
@@ -179,6 +253,11 @@ def main(argv: list[str] | None = None) -> int:
         "--gate-minutes-per-s", type=float, default=None,
         help="fail if sustained HTTP minutes/sec falls below this",
     )
+    parser.add_argument(
+        "--gate-journal-overhead", type=float, default=None, metavar="FRAC",
+        help="fail if the write-ahead journal costs more than this "
+             "fraction of in-process advance throughput (e.g. 0.10)",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -198,6 +277,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {mode:7s} {rate:10.1f} minutes/s "
               f"({result[mode]['seconds']:.2f} s)")
 
+    journal = bench_journal(args.sessions, args.minutes, args.n_functions,
+                            args.workers)
+    result["journal"] = journal
+    print(
+        f"  journal off {journal['off_minutes_per_s']:10.1f} minutes/s, "
+        f"on {journal['on_minutes_per_s']:10.1f} minutes/s "
+        f"(overhead {journal['overhead_frac']:+.1%})"
+    )
+
     if args.out.exists():
         doc = json.loads(args.out.read_text())
     else:
@@ -216,6 +304,20 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 1
         print(f"gate ok: {rate:.1f} >= {args.gate_minutes_per_s:.1f}")
+
+    if args.gate_journal_overhead is not None:
+        frac = result["journal"]["overhead_frac"]
+        if frac > args.gate_journal_overhead:
+            print(
+                f"GATE FAIL: journal overhead {frac:.1%} > "
+                f"{args.gate_journal_overhead:.1%}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"gate ok: journal overhead {frac:.1%} <= "
+            f"{args.gate_journal_overhead:.1%}"
+        )
     return 0
 
 

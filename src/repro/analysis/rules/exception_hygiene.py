@@ -49,8 +49,10 @@ from repro.analysis.engine import (
 __all__ = ["ExceptionHygieneRule"]
 
 #: Package directories the failure contract covers: the engines, the
-#: sweep executors, and trace ingestion.
-SCOPED_DIRS = frozenset({"runtime", "experiments", "traces"})
+#: sweep executors, trace ingestion, and the serving layer (whose
+#: write-ahead journal makes a swallowed exception a durability hole:
+#: an advance that failed silently still looks journaled).
+SCOPED_DIRS = frozenset({"runtime", "experiments", "traces", "serve"})
 
 #: Exception names that make a handler "broad": everything (or nearly
 #: everything) funnels through it.

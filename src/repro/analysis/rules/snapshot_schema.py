@@ -20,7 +20,13 @@ machine-checks it against a golden manifest in the checkpoint module:
   drift;
 - ``CHECKPOINT_SCHEMA_VERSION`` must be an integer literal, and the
   checkpoint module must contain a ``v<N>:`` migration note for the
-  current version — a bump without a note is itself a finding.
+  current version — a bump without a note is itself a finding;
+- ``WIRE_FIELDS`` pins the JSON wire envelope: when the checkpoint
+  module defines a ``to_wire_json`` codec, the key set of the dict
+  literal it emits must match the manifest — the envelope is what
+  snapshots look like over HTTP and in the serve-layer journal, so an
+  unreviewed key change breaks cross-version restore exactly like a
+  ``live_state()`` drift.
 
 Files are grouped by directory (like the engine-parity rule), so a
 fixture copy of ``checkpoint.py`` + ``simulator.py`` in a test sandbox
@@ -59,6 +65,8 @@ _SCOPE_BASENAMES = frozenset({CHECKPOINT_BASENAME, *ENGINE_KEYS})
 _VERSION_NAME = "CHECKPOINT_SCHEMA_VERSION"
 _MANIFEST_NAME = "SNAPSHOT_FIELDS"
 _STATE_MANIFEST_NAME = "STATE_FIELDS"
+_WIRE_MANIFEST_NAME = "WIRE_FIELDS"
+_WIRE_CODEC_NAME = "to_wire_json"
 _STATE_CLASS = "SimulationState"
 
 
@@ -194,6 +202,7 @@ class SnapshotSchemaRule(Rule):
                 )
 
         yield from self._check_state_class(checkpoint)
+        yield from self._check_wire_codec(checkpoint)
 
     # -- manifest ------------------------------------------------------------
     def _read_manifest(
@@ -334,6 +343,85 @@ class SnapshotSchemaRule(Rule):
                 f"AND bump {_VERSION_NAME} with a migration note (a field "
                 "rename or retype changes what old snapshots restore into)",
             )
+
+    # -- to_wire_json vs WIRE_FIELDS ------------------------------------------
+    def _check_wire_codec(self, checkpoint: SourceModule) -> Iterator[Finding]:
+        codec: ast.FunctionDef | ast.AsyncFunctionDef | None = None
+        for node in ast.walk(checkpoint.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == _WIRE_CODEC_NAME
+            ):
+                codec = node
+                break
+        if codec is None:
+            return
+        manifest_node = _assign_value(checkpoint.tree, _WIRE_MANIFEST_NAME)
+        if manifest_node is None:
+            yield self.finding(
+                checkpoint,
+                codec,
+                f"a {_WIRE_CODEC_NAME}() wire codec exists but the "
+                f"checkpoint module has no {_WIRE_MANIFEST_NAME} manifest "
+                "pinning the envelope's key set — an envelope key change "
+                "would go unreviewed",
+            )
+            return
+        expected = _str_set(manifest_node)
+        if expected is None:
+            yield self.finding(
+                checkpoint,
+                manifest_node,
+                f"{_WIRE_MANIFEST_NAME} must be a literal tuple/set of "
+                "string keys so tooling can read it statically",
+                severity=Severity.WARNING,
+            )
+            return
+        emitted = self._emitted_keys(codec)
+        if emitted is None:
+            yield self.finding(
+                checkpoint,
+                codec,
+                f"{_WIRE_CODEC_NAME}() does not build a single dict "
+                "literal with string keys — the envelope key set cannot "
+                f"be verified against {_WIRE_MANIFEST_NAME}",
+                severity=Severity.WARNING,
+            )
+            return
+        added = emitted - expected
+        removed = expected - emitted
+        if added or removed:
+            detail = []
+            if added:
+                detail.append(f"added: {_fmt(added)}")
+            if removed:
+                detail.append(f"removed: {_fmt(removed)}")
+            yield self.finding(
+                checkpoint,
+                codec,
+                f"wire-envelope keys of {_WIRE_CODEC_NAME}() drifted from "
+                f"{_WIRE_MANIFEST_NAME} ({'; '.join(detail)}) — update the "
+                f"manifest AND note the change at {_VERSION_NAME}; peers "
+                "on the old envelope cannot restore these snapshots",
+            )
+
+    @staticmethod
+    def _emitted_keys(
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> frozenset[str] | None:
+        dicts = [
+            node for node in ast.walk(fn) if isinstance(node, ast.Dict)
+        ]
+        if len(dicts) != 1:
+            return None
+        keys: set[str] = set()
+        for key in dicts[0].keys:
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ):
+                return None
+            keys.add(key.value)
+        return frozenset(keys)
 
     @staticmethod
     def _read_state_manifest(

@@ -607,10 +607,25 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve.app import serve
+    import os
 
-    serve(args.host, port=args.port)
-    return 0
+    from repro.serve.app import ServeLimits, serve
+
+    token = args.token or os.environ.get("REPRO_SERVE_TOKEN") or None
+    return serve(
+        args.host,
+        port=args.port,
+        token=token,
+        journal_dir=args.journal_dir,
+        recover=args.recover,
+        compact_every=args.compact_every,
+        limits=ServeLimits(
+            max_sessions=args.max_sessions,
+            max_inflight=args.max_inflight,
+            deadline_s=args.deadline_s,
+            max_body_bytes=args.max_body_mb * 1024 * 1024,
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -858,9 +873,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the HTTP control plane over repro.serve sessions",
     )
     p_serve.add_argument("--host", default="127.0.0.1",
-                         help="bind address (loopback by default — "
-                              "snapshots travel as pickles)")
+                         help="bind address (loopback by default; "
+                              "non-loopback binds require --token)")
     p_serve.add_argument("--port", type=int, default=8750)
+    p_serve.add_argument("--token", default=None,
+                         help="bearer token every request must carry "
+                              "(falls back to $REPRO_SERVE_TOKEN)")
+    p_serve.add_argument("--journal-dir", default=None, metavar="DIR",
+                         help="write-ahead-journal directory: every "
+                              "advance is journaled before it executes, "
+                              "with periodic snapshot compaction")
+    p_serve.add_argument("--recover", action="store_true",
+                         help="rebuild all sessions found in "
+                              "--journal-dir before serving")
+    p_serve.add_argument("--compact-every", type=int, default=240,
+                         metavar="MINUTES",
+                         help="snapshot-compaction cadence in "
+                              "session-minutes")
+    p_serve.add_argument("--max-sessions", type=int, default=64,
+                         help="admission control: 503 past this many "
+                              "open sessions")
+    p_serve.add_argument("--max-inflight", type=int, default=4,
+                         help="backpressure: 429 past this many queued "
+                              "advances per session")
+    p_serve.add_argument("--deadline-s", type=float, default=30.0,
+                         help="per-request deadline waiting on a "
+                              "session (503 past it)")
+    p_serve.add_argument("--max-body-mb", type=int, default=8,
+                         help="reject request bodies larger than this "
+                              "(413)")
     p_serve.set_defaults(func=_cmd_serve)
     return parser
 

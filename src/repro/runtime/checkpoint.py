@@ -45,18 +45,23 @@ counters identical between them.
 
 from __future__ import annotations
 
+import base64
+import binascii
+import json
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.utils.atomicio import atomic_write_bytes
+from repro.utils.atomicio import atomic_write_bytes, canonical_json, sha256_bytes
 from repro.utils.validation import check_positive_int
 
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
     "SNAPSHOT_FIELDS",
     "STATE_FIELDS",
+    "WIRE_FIELDS",
+    "WIRE_FORMAT",
     "CheckpointConfig",
     "SimulationState",
 ]
@@ -67,7 +72,11 @@ __all__ = [
 #: accumulator (the stepper refactor serves minutes one at a time, so
 #: the total can no longer be recomputed as a whole-trace sum at the
 #: end), and ``repro.serve`` session snapshots (``engine="session:*"``)
-#: joined the format.
+#: joined the format. v2 also defines the JSON wire envelope
+#: (``to_wire_json``/``from_wire_json``): the same payload bytes in a
+#: versioned, integrity-checked JSON carrier — the pickle layout is
+#: unchanged, so no bump; envelopes embed this version and refuse
+#: mismatches exactly like ``load()``.
 CHECKPOINT_SCHEMA_VERSION = 2
 
 #: The schema manifest: the exact field set each engine's
@@ -158,6 +167,26 @@ STATE_FIELDS: tuple[tuple[str, str], ...] = (
     ("schema_version", "int"),
 )
 
+#: Format tag of the JSON wire envelope (:meth:`SimulationState.to_wire_json`).
+WIRE_FORMAT = "repro-snapshot"
+
+#: The wire-envelope schema: the exact key set ``to_wire_json`` emits,
+#: pinned like ``SNAPSHOT_FIELDS``/``STATE_FIELDS`` — RPR010 cross-checks
+#: the codec's dict literal against this manifest, so adding or removing
+#: an envelope key without the reviewed manifest edit (and a version
+#: note) fails the lint. The envelope embeds
+#: ``CHECKPOINT_SCHEMA_VERSION`` — the wire format versions with the
+#: snapshot schema, not separately.
+WIRE_FIELDS: tuple[str, ...] = (
+    "format",
+    "schema_version",
+    "engine",
+    "next_minute",
+    "cursor",
+    "payload_sha256",
+    "payload_b64",
+)
+
 
 @dataclass(frozen=True)
 class SimulationState:
@@ -202,6 +231,85 @@ class SimulationState:
                 f"readable by this build (expects v{CHECKPOINT_SCHEMA_VERSION})"
             )
         return pickle.loads(self.payload)
+
+    # -- wire form -----------------------------------------------------------
+    def to_wire_json(self) -> str:
+        """The snapshot as a canonical-JSON wire envelope.
+
+        This is the format snapshots travel in over HTTP (and the
+        on-disk form the serve-layer journal compacts to): a versioned,
+        inspectable JSON object instead of a raw pickle stream. The
+        pickle payload rides inside as base64 with a SHA-256 beside it,
+        so the envelope round-trips **bit-identically** — ``payload``
+        bytes are preserved exactly — while transport corruption and
+        schema drift are detected before anything is unpickled.
+        Deserializing the payload still executes pickle bytecode, so
+        the serving layer only accepts envelopes from authenticated
+        callers (see the bearer-token gate in :mod:`repro.serve.app`).
+        """
+        return canonical_json(
+            {
+                "format": WIRE_FORMAT,
+                "schema_version": self.schema_version,
+                "engine": self.engine,
+                "next_minute": self.next_minute,
+                "cursor": list(self.cursor),
+                "payload_sha256": sha256_bytes(self.payload),
+                "payload_b64": base64.b64encode(self.payload).decode("ascii"),
+            }
+        )
+
+    @classmethod
+    def from_wire_json(cls, text: str | bytes) -> "SimulationState":
+        """Rebuild a snapshot from :meth:`to_wire_json` output.
+
+        Raises ``ValueError`` on anything that is not a well-formed,
+        current-version, integrity-intact envelope — undecodable JSON,
+        a foreign ``format`` tag, a schema-version mismatch, missing
+        keys, or a payload whose SHA-256 does not match.
+        """
+        if isinstance(text, bytes):
+            text = text.decode("utf-8", errors="replace")
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"undecodable snapshot envelope: {exc}") from exc
+        if not isinstance(obj, dict) or obj.get("format") != WIRE_FORMAT:
+            raise ValueError(
+                "not a snapshot envelope: expected a JSON object with "
+                f"format={WIRE_FORMAT!r}"
+            )
+        missing = [key for key in WIRE_FIELDS if key not in obj]
+        if missing:
+            raise ValueError(
+                f"snapshot envelope is missing keys: {', '.join(missing)}"
+            )
+        version = obj["schema_version"]
+        if version != CHECKPOINT_SCHEMA_VERSION:
+            raise ValueError(
+                f"snapshot schema v{version} is not readable by this "
+                f"build (expects v{CHECKPOINT_SCHEMA_VERSION})"
+            )
+        try:
+            payload = base64.b64decode(obj["payload_b64"], validate=True)
+        except (binascii.Error, TypeError) as exc:
+            raise ValueError(f"undecodable snapshot payload: {exc}") from exc
+        digest = sha256_bytes(payload)
+        if digest != obj["payload_sha256"]:
+            raise ValueError(
+                "snapshot payload corrupt: sha256 mismatch "
+                f"(expected {obj['payload_sha256']}, got {digest})"
+            )
+        cursor = obj["cursor"]
+        if not isinstance(cursor, list):
+            raise ValueError(f"snapshot cursor must be a list, got {cursor!r}")
+        return cls(
+            engine=str(obj["engine"]),
+            next_minute=int(obj["next_minute"]),
+            cursor=tuple(cursor),
+            payload=payload,
+            schema_version=int(version),
+        )
 
     # -- durable form --------------------------------------------------------
     def save(self, path: str | Path) -> Path:

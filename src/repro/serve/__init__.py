@@ -6,8 +6,16 @@ simulated minute on any of the three engines and reports that minute's
 decisions; ``snapshot()``/``restore()`` make sessions survive process
 restarts. :mod:`repro.serve.app` wraps sessions in a multi-tenant async
 HTTP service (FastAPI when installed, a stdlib fallback otherwise).
+:mod:`repro.serve.journal` adds crash durability: a per-session
+write-ahead journal with snapshot compaction, and a supervisor that
+rebuilds every tenant bit-identically after a SIGKILL.
 """
 
+from repro.serve.journal import (
+    JournalError,
+    JournalSupervisor,
+    SessionJournal,
+)
 from repro.serve.session import (
     AdvanceResult,
     ControlSession,
@@ -15,4 +23,12 @@ from repro.serve.session import (
     open_session,
 )
 
-__all__ = ["AdvanceResult", "ControlSession", "TraceMeta", "open_session"]
+__all__ = [
+    "AdvanceResult",
+    "ControlSession",
+    "JournalError",
+    "JournalSupervisor",
+    "SessionJournal",
+    "TraceMeta",
+    "open_session",
+]

@@ -1,0 +1,358 @@
+"""Session write-ahead journal: crash durability for the serving layer.
+
+The batch path survives ``kill -9`` through the durable-sweep manifest;
+this module gives ``repro serve`` the same guarantee. Every tenant
+session owns a :class:`SessionJournal` in the journal directory:
+
+- ``<sid>.journal`` — an append-only JSONL log. The first record is an
+  ``open`` record carrying the JSON session spec (the exact body
+  ``POST /v1/sessions`` received) and the session's
+  :meth:`~repro.serve.session.ControlSession.fingerprint`; every
+  subsequent record is an ``advance`` written **before** the engine
+  steps (write-ahead: the record is the intent, the engine step is the
+  effect). Appends flush to the kernel per record, so a SIGKILL never
+  loses an acknowledged advance; fsync is batched at compaction and
+  shutdown (see :class:`~repro.utils.atomicio.DurableAppender`).
+- ``<sid>.snapshot.json`` — the latest compaction point: the session's
+  :meth:`~repro.runtime.checkpoint.SimulationState.to_wire_json` JSON
+  envelope, written atomically. Compaction fires on the
+  ``CheckpointConfig`` cadence (first advance of each
+  ``every_minutes``-wide bucket), snapshots + fsyncs, then resets the
+  journal to its ``open`` header so replay work stays bounded.
+
+Recovery (:meth:`JournalSupervisor.recover`) rebuilds one session
+**bit-identically**: restore the snapshot if one exists (else reopen
+from the ``open`` record's spec, refusing on a fingerprint mismatch),
+then re-execute every journaled advance at or past the restore point.
+The engines are deterministic, so re-executing an advance whose engine
+step may or may not have completed before the crash converges to the
+same bytes either way — the golden tests drive recovered sessions to
+the horizon and require equality with ``Simulation.run()`` on all three
+engines, fault plans included. A crash mid-append leaves at most one
+torn final line; it is discarded (the client never got that response)
+and the post-recovery compaction truncates it away.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.runtime.checkpoint import SimulationState
+from repro.utils.atomicio import (
+    DurableAppender,
+    atomic_write_text,
+    canonical_json,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.session import ControlSession
+
+__all__ = [
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalError",
+    "JournalSupervisor",
+    "SessionJournal",
+]
+
+#: Journal record schema. v1: ``open`` records carry ``spec`` (JSON
+#: session spec or null for snapshot-only sessions) + ``fingerprint``;
+#: ``advance`` records carry ``minute`` + ``invocations`` ({fid: count}
+#: or null for replay-from-trace).
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class JournalError(Exception):
+    """A journal that cannot be recovered (corrupt header, fingerprint
+    mismatch, unreadable snapshot) — never raised for a torn tail."""
+
+
+class SessionJournal:
+    """Write-ahead journal + snapshot pair for one session.
+
+    Not thread-safe by itself: callers hold the session's lock around
+    :meth:`record_advance`/:meth:`compact`, which also serializes the
+    journal (the serving layer already serializes advances per session).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        sid: str,
+        *,
+        every_minutes: int = 240,
+    ) -> None:
+        self.directory = Path(directory)
+        self.sid = sid
+        self.every_minutes = int(every_minutes)
+        self.path = self.directory / f"{sid}.journal"
+        self.snapshot_path = self.directory / f"{sid}.snapshot.json"
+        self._header: str | None = None
+        self._last_bucket = -1
+        self._appender: DurableAppender | None = None
+
+    # -- writing -------------------------------------------------------------
+
+    def begin(
+        self,
+        spec: dict | None,
+        fingerprint: str,
+        *,
+        next_minute: int = 0,
+    ) -> None:
+        """Start a fresh journal with its ``open`` header record.
+
+        ``spec`` is the JSON session spec recovery can rebuild from, or
+        ``None`` for sessions that only exist as snapshots (restored
+        over HTTP) — those must :meth:`compact` immediately so a
+        restore point exists before the first advance is acknowledged.
+        ``next_minute`` anchors the compaction cadence to the session's
+        current position, so the first bucket is full-width rather than
+        compacting on the very first advance.
+        """
+        self._last_bucket = next_minute // self.every_minutes
+        self._header = canonical_json(
+            {
+                "v": JOURNAL_SCHEMA_VERSION,
+                "kind": "open",
+                "sid": self.sid,
+                "spec": spec,
+                "fingerprint": fingerprint,
+            }
+        )
+        self._reset_log()
+
+    def record_advance(
+        self, minute: int, invocations: dict[int, int] | None
+    ) -> None:
+        """Append one advance record — called *before* the engine steps."""
+        if self._appender is None:
+            raise ValueError(f"journal for {self.sid} is closed")
+        self._appender.append_line(
+            canonical_json(
+                {
+                    "v": JOURNAL_SCHEMA_VERSION,
+                    "kind": "advance",
+                    "minute": int(minute),
+                    "invocations": (
+                        {str(fid): int(n) for fid, n in invocations.items()}
+                        if invocations is not None
+                        else None
+                    ),
+                }
+            )
+        )
+
+    def maybe_compact(self, session: "ControlSession") -> None:
+        """Compact when the session enters a new cadence bucket —
+        the same bucketing rule ``CheckpointConfig.every_minutes``
+        uses, so compaction minutes are a pure function of the trace."""
+        bucket = session.next_minute // self.every_minutes
+        if bucket > self._last_bucket:
+            self.compact(session)
+
+    def compact(self, session: "ControlSession") -> None:
+        """Snapshot the session and reset the journal to its header.
+
+        Ordering is the crash-safety argument: the snapshot lands
+        atomically (fsynced) *before* the journal is reset, so at every
+        instant either the old journal or the new snapshot can rebuild
+        the session — never neither.
+        """
+        atomic_write_text(
+            self.snapshot_path, session.snapshot().to_wire_json() + "\n"
+        )
+        self._last_bucket = session.next_minute // self.every_minutes
+        self._reset_log()
+
+    def sync(self) -> None:
+        """fsync the journal log (drain/shutdown boundary)."""
+        if self._appender is not None:
+            self._appender.sync()
+
+    def close(self) -> None:
+        """fsync and close (idempotent); the files stay for recovery."""
+        if self._appender is not None:
+            self._appender.close()
+            self._appender = None
+
+    def delete(self) -> None:
+        """Remove the journal and snapshot — an explicit close of the
+        session means there is nothing left to recover."""
+        self.close()
+        self.path.unlink(missing_ok=True)
+        self.snapshot_path.unlink(missing_ok=True)
+
+    def _reset_log(self) -> None:
+        if self._header is None:
+            raise ValueError(f"journal for {self.sid} has no open record")
+        if self._appender is not None:
+            self._appender.close(sync=False)
+        # durable=False: the reset is only reached *after* the snapshot
+        # is fsynced (compact()) or before any advance exists (begin()),
+        # so a power cut that loses this rewrite leaves either the old
+        # journal (whose stale records replay skips) or a torn/empty
+        # file (zero records — the snapshot alone recovers). Skipping
+        # the fsync halves compaction's fsync count, which dominates
+        # the journal's advance-path overhead.
+        atomic_write_text(self.path, self._header + "\n", durable=False)
+        self._appender = DurableAppender(self.path)
+
+
+def read_records(path: Path) -> list[dict[str, Any]]:
+    """Parse a journal file, discarding a torn final line.
+
+    A torn line anywhere *except* the tail is corruption and raises
+    :class:`JournalError`; the tail is the expected SIGKILL artifact
+    (the append never returned, so its advance was never acknowledged).
+    """
+    records: list[dict[str, Any]] = []
+    lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if i == len(lines) - 1:
+                break  # torn tail: the unacknowledged in-flight append
+            raise JournalError(
+                f"{path}:{i + 1}: corrupt journal record: {exc}"
+            ) from exc
+        if not isinstance(obj, dict):
+            raise JournalError(f"{path}:{i + 1}: record is not an object")
+        records.append(obj)
+    return records
+
+
+class JournalSupervisor:
+    """Owns one journal directory: creates per-session journals and
+    rebuilds sessions from what a crashed process left behind.
+
+    Thread-safety: journal *creation* can race across tenants, so the
+    supervisor only touches per-``sid`` paths derived under a caller-
+    provided id — the serving layer allocates ids under its registry
+    lock, making every ``sid`` unique; after that each journal is
+    confined to its session's lock.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        every_minutes: int = 240,
+    ) -> None:
+        self.directory = Path(directory)
+        self.every_minutes = int(every_minutes)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def create(
+        self, sid: str, spec: dict | None, session: "ControlSession"
+    ) -> SessionJournal:
+        """Open a fresh journal for a newly registered session."""
+        journal = SessionJournal(
+            self.directory, sid, every_minutes=self.every_minutes
+        )
+        journal.begin(
+            spec, session.fingerprint(), next_minute=session.next_minute
+        )
+        if spec is None:
+            # Snapshot-only session (restored over HTTP): without a
+            # spec, the snapshot IS the only restore point — write it
+            # before the first advance can be acknowledged.
+            journal.compact(session)
+        return journal
+
+    def discover(self) -> list[str]:
+        """Session ids with recoverable state in the directory."""
+        sids = {p.name[: -len(".journal")] for p in
+                self.directory.glob("*.journal")}
+        sids.update(
+            p.name[: -len(".snapshot.json")]
+            for p in self.directory.glob("*.snapshot.json")
+        )
+        return sorted(sids)
+
+    def recover(
+        self, sid: str
+    ) -> tuple["ControlSession", SessionJournal]:
+        """Rebuild one session bit-identically and hand back its
+        (compacted) journal, ready for further advances."""
+        from repro.serve.session import ControlSession
+
+        journal_path = self.directory / f"{sid}.journal"
+        snapshot_path = self.directory / f"{sid}.snapshot.json"
+        records = (
+            read_records(journal_path) if journal_path.exists() else []
+        )
+        header = records[0] if records else None
+        if header is not None and header.get("kind") != "open":
+            raise JournalError(
+                f"{journal_path}: first record must be an 'open' header, "
+                f"got kind={header.get('kind')!r}"
+            )
+
+        session: ControlSession | None = None
+        if snapshot_path.exists():
+            try:
+                state = SimulationState.from_wire_json(
+                    snapshot_path.read_text(encoding="utf-8")
+                )
+                session = ControlSession.restore(state)
+            except ValueError as exc:
+                raise JournalError(
+                    f"{snapshot_path}: unreadable snapshot: {exc}"
+                ) from exc
+        if session is None:
+            if header is None or header.get("spec") is None:
+                raise JournalError(
+                    f"session {sid!r}: no snapshot and no open-record "
+                    "spec to rebuild from"
+                )
+            from repro.serve.app import open_session_from_spec
+
+            session = open_session_from_spec(dict(header["spec"]))
+            expected = header.get("fingerprint")
+            actual = session.fingerprint()
+            if expected is not None and expected != actual:
+                raise JournalError(
+                    f"session {sid!r}: rebuilt session fingerprint "
+                    f"{actual[:12]} does not match the journaled "
+                    f"{str(expected)[:12]} — the spec or its registries "
+                    "drifted; replaying advances would diverge silently"
+                )
+
+        for record in records[1:]:
+            if record.get("kind") != "advance":
+                continue
+            minute = int(record["minute"])
+            if minute < session.next_minute:
+                continue  # already inside the snapshot
+            raw = record.get("invocations")
+            invocations = (
+                {int(fid): int(n) for fid, n in raw.items()}
+                if raw is not None
+                else None
+            )
+            try:
+                session.advance(minute, invocations)
+            except ValueError:
+                # The original call failed the same validation and
+                # never stepped the engine; skipping converges to the
+                # pre-crash state.
+                continue
+
+        journal = SessionJournal(
+            self.directory, sid, every_minutes=self.every_minutes
+        )
+        journal.begin(
+            dict(header["spec"]) if header and header.get("spec") else None,
+            session.fingerprint(),
+            next_minute=session.next_minute,
+        )
+        # Compacting immediately truncates any torn tail, bounds the
+        # next recovery's replay, and guarantees snapshot-only sessions
+        # keep a restore point.
+        journal.compact(session)
+        return session, journal

@@ -334,6 +334,36 @@ class ControlSession:
             and (kind is None or r.get("kind") == kind)
         ]
 
+    # -- identity ----------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """A stable SHA-256 naming *what this session runs*.
+
+        Hashes the engine/shard selection, mode, policy class, the full
+        ``SimulationConfig`` (fault plan and observability included) and
+        the trace content (shape + counts bytes — already perturbed if
+        the fault plan perturbs traces, so a session rebuilt from the
+        same spec hashes identically). The serve-layer journal records
+        it at open and recovery refuses to replay advances against a
+        session that rebuilt differently — a spec or trace drift would
+        otherwise replay into silently different state.
+        """
+        from repro.utils.atomicio import sha256_bytes
+
+        trace_sha = sha256_bytes(self.trace.counts.tobytes())
+        identity = "|".join(
+            (
+                self.engine,
+                str(self.shards),
+                str(self.online),
+                type(self.sim.policy).__name__,
+                repr(self.sim.config),
+                f"{self.n_functions}x{self.horizon}",
+                trace_sha,
+            )
+        )
+        return sha256_bytes(identity.encode("utf-8"))
+
     # -- snapshot / restore ------------------------------------------------
 
     def snapshot(self) -> SimulationState:

@@ -30,10 +30,12 @@ from pathlib import Path
 from typing import IO, Any
 
 __all__ = [
+    "DurableAppender",
     "atomic_write_bytes",
     "atomic_write_json",
     "atomic_write_text",
     "atomic_writer",
+    "canonical_json",
     "sha256_bytes",
     "sha256_file",
 ]
@@ -113,6 +115,63 @@ def atomic_write_json(
     newline) so identical payloads are byte-identical files."""
     text = json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
     return atomic_write_text(path, text, durable=durable)
+
+
+def canonical_json(obj: Any) -> str:
+    """One-line canonical JSON (sorted keys, minimal separators, no
+    trailing newline) — the byte-stable record form journals and
+    content hashes use: identical payloads are identical strings."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class DurableAppender:
+    """Append-only record log: the write-ahead-journal primitive.
+
+    Unlike the ``atomic_write_*`` helpers (which replace a whole file),
+    an appender grows one file a record at a time. Each
+    :meth:`append_line` flushes the record to the OS before returning,
+    so a SIGKILL of *this process* never loses an acknowledged record —
+    kernel buffers survive process death. Durability against power loss
+    is batched: :meth:`sync` fsyncs, and callers invoke it at their
+    compaction/shutdown boundaries rather than per record (an fsync per
+    record would dominate a sub-millisecond append path).
+
+    A record is one line; a crash mid-append leaves at most one torn
+    final line, which readers detect as unparseable JSON and discard.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[bytes] | None = open(self.path, "ab")
+
+    def append_line(self, text: str) -> None:
+        """Append ``text`` as one record line, flushed to the kernel."""
+        if self._fh is None:
+            raise ValueError(f"appender for {self.path} is closed")
+        self._fh.write(text.encode("utf-8") + b"\n")
+        self._fh.flush()
+
+    def sync(self) -> None:
+        """fsync the log — full durability up to the last append."""
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self, *, sync: bool = True) -> None:
+        """Close the handle (idempotent), fsyncing first by default."""
+        if self._fh is None:
+            return
+        if sync:
+            self.sync()
+        self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "DurableAppender":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
 
 def sha256_bytes(data: bytes) -> str:

@@ -708,6 +708,22 @@ class TestExceptionHygieneRPR006:
         )
         assert rules_hit(path, "RPR006") == ["RPR006"]
 
+    def test_serve_scope_covered(self, tmp_path):
+        # The serving layer is in RPR006 scope: a swallowed exception in
+        # journal/recovery code is a durability hole, not a style nit.
+        path = write(
+            tmp_path,
+            "serve/journal.py",
+            """\
+            def recover():
+                try:
+                    replay()
+                except OSError:
+                    pass
+            """,
+        )
+        assert rules_hit(path, "RPR006") == ["RPR006"]
+
     def test_broad_handler_without_raise_flagged(self, tmp_path):
         path = write(
             tmp_path,
@@ -1277,6 +1293,58 @@ class TestSnapshotSchemaRPR010:
     def test_directory_without_checkpoint_skipped(self, tmp_path):
         path = write(tmp_path, "obs/fleet.py", SIMULATOR_FIXTURE)
         assert rules_hit(path, "RPR010") == []
+
+
+WIRE_CHECKPOINT_FIXTURE = CHECKPOINT_FIXTURE + """\
+
+WIRE_FIELDS = ("format", "payload_b64")
+
+
+def to_wire_json(self):
+    return dumps({"format": WIRE_FORMAT, "payload_b64": encode(self)})
+"""
+
+
+class TestWireEnvelopeRPR010:
+    """The JSON wire envelope's key set is schema, same as live_state."""
+
+    def pair(self, tmp_path, checkpoint=WIRE_CHECKPOINT_FIXTURE):
+        return [
+            write(tmp_path, "runtime/checkpoint.py", checkpoint),
+            write(tmp_path, "runtime/simulator.py", SIMULATOR_FIXTURE),
+        ]
+
+    def test_matching_envelope_clean(self, tmp_path):
+        assert rules_hit(self.pair(tmp_path), "RPR010") == []
+
+    def test_envelope_key_drift_caught(self, tmp_path):
+        checkpoint = WIRE_CHECKPOINT_FIXTURE.replace(
+            '"payload_b64": encode(self)',
+            '"payload": encode(self)',
+        )
+        report = lint_paths(
+            self.pair(tmp_path, checkpoint=checkpoint), rule_ids=["RPR010"]
+        )
+        (finding,) = report.findings
+        assert "drifted from WIRE_FIELDS" in finding.message
+        assert "added: payload" in finding.message
+        assert "removed: payload_b64" in finding.message
+
+    def test_codec_without_manifest_caught(self, tmp_path):
+        checkpoint = WIRE_CHECKPOINT_FIXTURE.replace(
+            'WIRE_FIELDS = ("format", "payload_b64")\n', ""
+        )
+        report = lint_paths(
+            self.pair(tmp_path, checkpoint=checkpoint), rule_ids=["RPR010"]
+        )
+        (finding,) = report.findings
+        assert "no WIRE_FIELDS manifest" in finding.message
+
+    def test_checkpoint_without_codec_needs_no_manifest(self, tmp_path):
+        # The base fixture has neither codec nor WIRE_FIELDS — clean.
+        assert rules_hit(
+            self.pair(tmp_path, checkpoint=CHECKPOINT_FIXTURE), "RPR010"
+        ) == []
 
 
 class TestFleetReducerCarveoutRPR002:

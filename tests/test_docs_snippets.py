@@ -59,6 +59,44 @@ class TestReadmeQuickstart:
         for rel in re.findall(r"`(examples/[a-z_]+\.py)`", readme):
             assert (REPO_ROOT / rel).exists(), rel
 
+    def test_documented_serve_invocations_parse(self):
+        """Every `python -m repro serve ...` line in the docs must parse
+        against the real CLI — a renamed or removed flag rots the
+        crash-recovery quickstart silently otherwise."""
+        import shlex
+
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        commands = []
+        for doc in ("README.md", "docs/architecture.md"):
+            for line in (REPO_ROOT / doc).read_text().splitlines():
+                line = line.strip()
+                if "-m repro serve" not in line or line.startswith("#"):
+                    continue
+                # Strip any env-var prefix, the interpreter invocation,
+                # and a trailing comment.
+                argv = shlex.split(line, comments=True)
+                argv = argv[argv.index("repro") + 1 :]
+                commands.append((doc, argv))
+        assert len(commands) >= 4, "README lost its serve quickstart lines"
+        for doc, argv in commands:
+            assert argv[0] == "serve", (doc, argv)
+            args = parser.parse_args(argv)
+            assert args.func is not None, (doc, argv)
+
+    def test_documented_serve_flags_exist(self):
+        """Flags the durability docs name must exist on the serve parser."""
+        from repro.cli import build_parser
+
+        source = None
+        for action in build_parser()._subparsers._group_actions:
+            source = action.choices["serve"].format_help()
+        for flag in ("--journal-dir", "--recover", "--compact-every",
+                     "--token", "--max-sessions", "--max-inflight",
+                     "--deadline-s", "--max-body-mb"):
+            assert flag in source, flag
+
 
 class TestExamples:
     @pytest.mark.parametrize(
